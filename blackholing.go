@@ -1,0 +1,202 @@
+// Package bgpblackholing reproduces "Inferring BGP Blackholing Activity
+// in the Internet" (Giotsas et al., IMC 2017) end to end: it builds a
+// synthetic AS-level Internet, documents and extracts a blackhole
+// communities dictionary, replays a December 2014 – March 2017 timeline
+// of blackholing activity through simulated route collectors (RIPE RIS,
+// Route Views, PCH, a large CDN), runs the paper's inference engine
+// over the observed BGP updates, and regenerates every table and figure
+// of the paper's evaluation.
+//
+// The package is a facade over the internal building blocks:
+//
+//   - internal/bgp        — BGP model + RFC 4271 wire format
+//   - internal/mrt        — RFC 6396 MRT archives
+//   - internal/topology   — synthetic Internet (ASes, IXPs, routing)
+//   - internal/irr        — IRR/web documentation corpus
+//   - internal/dictionary — blackhole communities dictionary (§4.1)
+//   - internal/collector  — route collectors + announcement propagation
+//   - internal/stream     — BGPStream-like merged update streams
+//   - internal/core       — the inference engine (§4.2)
+//   - internal/workload   — the longitudinal activity scenario (§6)
+//   - internal/dataplane  — traceroute + IXP IPFIX simulation (§10)
+//   - internal/scans      — scans.io-like host profiling (§8)
+//   - internal/analysis   — every table and figure
+//
+// Quickstart:
+//
+//	p, err := bgpblackholing.NewPipeline(bgpblackholing.SmallOptions())
+//	if err != nil { ... }
+//	res := p.RunWindow(800, 810)
+//	fmt.Println(len(res.Events), "blackholing events inferred")
+package bgpblackholing
+
+import (
+	"fmt"
+	"time"
+
+	"bgpblackholing/internal/analysis"
+	"bgpblackholing/internal/collector"
+	"bgpblackholing/internal/core"
+	"bgpblackholing/internal/dictionary"
+	"bgpblackholing/internal/irr"
+	"bgpblackholing/internal/rpki"
+	"bgpblackholing/internal/stream"
+	"bgpblackholing/internal/topology"
+	"bgpblackholing/internal/workload"
+)
+
+// Options sizes an end-to-end pipeline.
+type Options struct {
+	// Seed drives all randomness; identical options yield identical
+	// results.
+	Seed int64
+	// TopoScale scales the AS population (1.0 = paper scale: ~1700
+	// ASes, 111 IXPs, 307 blackholing providers).
+	TopoScale float64
+	// CollectorScale scales collector session counts (1.0 = Table 1
+	// scale: 425 RIS + 269 RV + PCH at every IXP + 3349 CDN sessions).
+	CollectorScale float64
+	// EventScale scales the daily blackholing event volume.
+	EventScale float64
+	// Days is the timeline length (850 ≈ Dec 2014 – Mar 2017).
+	Days int
+}
+
+// DefaultOptions is the paper-scale configuration.
+func DefaultOptions() Options {
+	return Options{Seed: 42, TopoScale: 1, CollectorScale: 1, EventScale: 1, Days: 850}
+}
+
+// SmallOptions is a laptop-friendly configuration for tests, examples
+// and quick experiments: the same shapes at a fraction of the volume.
+func SmallOptions() Options {
+	return Options{Seed: 42, TopoScale: 0.15, CollectorScale: 0.15, EventScale: 0.3, Days: 850}
+}
+
+// Pipeline wires the full system together.
+type Pipeline struct {
+	Opts     Options
+	Topo     *topology.Topology
+	Deploy   *collector.Deployment
+	Corpus   []irr.Document
+	Dict     *dictionary.Dictionary
+	Scenario *workload.Scenario
+}
+
+// NewPipeline builds the world: topology, collector deployment,
+// documentation corpus, extracted dictionary (documented communities
+// plus private-communication additions) and the longitudinal scenario.
+func NewPipeline(opts Options) (*Pipeline, error) {
+	topoCfg := topology.DefaultConfig().Scaled(opts.TopoScale)
+	topoCfg.Seed = opts.Seed
+	topo, err := topology.Generate(topoCfg)
+	if err != nil {
+		return nil, fmt.Errorf("generate topology: %w", err)
+	}
+	colCfg := collector.DefaultConfig().Scaled(opts.CollectorScale)
+	colCfg.Seed = opts.Seed
+	deploy := collector.Deploy(topo, colCfg)
+	rpkiCfg := rpki.DefaultBuildConfig()
+	rpkiCfg.Seed = opts.Seed
+	deploy.RPKI = rpki.Build(topo, rpkiCfg)
+
+	corpus := irr.GenerateCorpus(topo, opts.Seed)
+	dict := dictionary.FromCorpus(corpus)
+	dict.AddPrivateFromTopology(topo)
+
+	wlCfg := workload.DefaultConfig().Scaled(opts.EventScale)
+	wlCfg.Seed = opts.Seed
+	wlCfg.Days = opts.Days
+	scenario := workload.NewScenario(topo, wlCfg)
+
+	return &Pipeline{
+		Opts:     opts,
+		Topo:     topo,
+		Deploy:   deploy,
+		Corpus:   corpus,
+		Dict:     dict,
+		Scenario: scenario,
+	}, nil
+}
+
+// RunResult is the outcome of replaying a timeline window through the
+// inference engine.
+type RunResult struct {
+	// Events are the closed prefix-level blackholing events.
+	Events []*core.Event
+	// InferStats carries the per-community prefix-length statistics fed
+	// during the run (Figure 2 raw material) and the inferred
+	// undocumented communities.
+	InferStats *dictionary.InferenceResult
+	// LastDayResults holds the propagation results of the window's last
+	// week, for data-plane experiments.
+	LastDayResults []*collector.Result
+	// LastDayIntents are the intents behind LastDayResults (index-aligned
+	// is not guaranteed; use prefixes to match).
+	LastDayIntents []workload.Intent
+	// WindowStart and WindowEnd delimit the replayed wall-clock window.
+	WindowStart, WindowEnd time.Time
+}
+
+// RunWindow replays days [fromDay, toDay) of the scenario: it generates
+// each day's intents, propagates them to the collectors, feeds the
+// merged update stream through the inference engine and the
+// dictionary-extension collector, and returns the closed events.
+func (p *Pipeline) RunWindow(fromDay, toDay int) *RunResult {
+	engine := core.NewEngine(p.Dict, p.Topo)
+	inferCol := dictionary.NewCollector(p.Dict)
+	res := &RunResult{
+		WindowStart: workload.TimelineStart.Add(time.Duration(fromDay) * 24 * time.Hour),
+		WindowEnd:   workload.TimelineStart.Add(time.Duration(toDay) * 24 * time.Hour),
+	}
+
+	// Background churn once per window so the Figure 2 statistics see
+	// ordinary TE communities alongside blackhole communities.
+	ordinary := p.Deploy.OrdinaryUpdates(res.WindowStart, 5000)
+	for _, o := range ordinary {
+		inferCol.Observe(o.Update)
+	}
+
+	for day := fromDay; day < toDay; day++ {
+		intents := p.Scenario.IntentsForDay(day)
+		obs, results := workload.Materialize(p.Deploy, p.Topo, intents, p.Opts.Seed)
+		if day >= toDay-7 {
+			res.LastDayResults = append(res.LastDayResults, results...)
+			res.LastDayIntents = append(res.LastDayIntents, intents...)
+		}
+		s := stream.FromObservations(obs)
+		for {
+			el, err := s.Next()
+			if err != nil {
+				break
+			}
+			engine.Process(el)
+			inferCol.Observe(el.Update)
+		}
+	}
+	engine.Flush(res.WindowEnd)
+	res.Events = engine.Events()
+	res.InferStats = inferCol.Infer()
+	return res
+}
+
+// Re-exported result helpers so downstream users rarely need to import
+// the internal packages directly.
+
+// Table1 computes the dataset overview (Table 1).
+func (p *Pipeline) Table1() []analysis.Table1Row { return analysis.Table1(p.Deploy) }
+
+// Table2 computes the communities-dictionary distribution (Table 2).
+func (p *Pipeline) Table2(inferred *dictionary.InferenceResult) []analysis.Table2Row {
+	return analysis.Table2(p.Dict, inferred, p.Topo)
+}
+
+// Table3 computes the blackhole visibility overview (Table 3).
+func (p *Pipeline) Table3(events []*core.Event) []analysis.Table3Row {
+	return analysis.Table3(events, p.Deploy)
+}
+
+// Table4 computes visibility by provider type (Table 4).
+func (p *Pipeline) Table4(events []*core.Event) []analysis.Table4Row {
+	return analysis.Table4(events, p.Topo, p.Deploy)
+}

@@ -1,0 +1,170 @@
+package bgpblackholing
+
+import (
+	"testing"
+
+	"bgpblackholing/internal/collector"
+	"bgpblackholing/internal/core"
+	"bgpblackholing/internal/topology"
+)
+
+func smallPipeline(t testing.TB) *Pipeline {
+	t.Helper()
+	p, err := NewPipeline(SmallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPipelineBuilds(t *testing.T) {
+	p := smallPipeline(t)
+	if len(p.Topo.Order) == 0 || len(p.Deploy.Collectors) == 0 || len(p.Corpus) == 0 {
+		t.Fatal("pipeline incomplete")
+	}
+	if len(p.Dict.Providers()) == 0 || len(p.Dict.IXPs()) == 0 {
+		t.Fatal("dictionary empty")
+	}
+}
+
+func TestRunWindowProducesEvents(t *testing.T) {
+	p := smallPipeline(t)
+	res := p.RunWindow(800, 805)
+	if len(res.Events) == 0 {
+		t.Fatal("no events inferred")
+	}
+	// Events must reference real providers from the dictionary and have
+	// sane time bounds.
+	for _, ev := range res.Events {
+		if len(ev.Providers) == 0 {
+			t.Fatal("event without providers")
+		}
+		if ev.End.Before(ev.Start) {
+			t.Fatal("event ends before it starts")
+		}
+		// Events start within the window; long-lived ones may end after
+		// it (their withdrawals are part of the materialized stream).
+		if ev.Start.Before(res.WindowStart) {
+			t.Fatalf("event starts %v before window %v", ev.Start, res.WindowStart)
+		}
+		for pr := range ev.Providers {
+			switch pr.Kind {
+			case core.ProviderAS:
+				as := p.Topo.AS(pr.ASN)
+				if as == nil || as.Blackholing == nil {
+					t.Fatalf("event names non-provider %v", pr)
+				}
+			case core.ProviderIXP:
+				if p.Topo.IXPs[pr.IXPID].Blackholing == nil {
+					t.Fatalf("event names non-blackholing IXP %v", pr)
+				}
+			}
+		}
+	}
+	if res.InferStats == nil || len(res.InferStats.Stats) == 0 {
+		t.Fatal("no inference statistics")
+	}
+	if len(res.LastDayResults) == 0 {
+		t.Fatal("no last-day propagation results")
+	}
+}
+
+func TestRunWindowDeterministic(t *testing.T) {
+	p1 := smallPipeline(t)
+	p2 := smallPipeline(t)
+	r1 := p1.RunWindow(800, 802)
+	r2 := p2.RunWindow(800, 802)
+	if len(r1.Events) != len(r2.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(r1.Events), len(r2.Events))
+	}
+}
+
+func TestMostBlackholedPrefixesAreHostRoutes(t *testing.T) {
+	p := smallPipeline(t)
+	res := p.RunWindow(795, 805)
+	n32, total := 0, 0
+	for _, ev := range res.Events {
+		if !ev.Prefix.Addr().Is4() {
+			continue
+		}
+		total++
+		if ev.Prefix.Bits() == 32 {
+			n32++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no IPv4 events")
+	}
+	if frac := float64(n32) / float64(total); frac < 0.9 {
+		t.Fatalf("/32 fraction = %.2f, want ~0.98", frac)
+	}
+}
+
+func TestBundlingContributesNoPathInferences(t *testing.T) {
+	p := smallPipeline(t)
+	res := p.RunWindow(795, 805)
+	noPath, total := 0, 0
+	for _, ev := range res.Events {
+		for _, d := range ev.ASDistances {
+			total++
+			if d == core.NoPath {
+				noPath++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no distance samples")
+	}
+	frac := float64(noPath) / float64(total)
+	if frac < 0.2 {
+		t.Fatalf("no-path fraction = %.2f, want substantial (paper ~0.5)", frac)
+	}
+}
+
+func TestTableHelpers(t *testing.T) {
+	p := smallPipeline(t)
+	res := p.RunWindow(800, 803)
+	if rows := p.Table1(); len(rows) != 5 {
+		t.Fatalf("table1 rows = %d", len(rows))
+	}
+	if rows := p.Table2(res.InferStats); len(rows) != 6 {
+		t.Fatalf("table2 rows = %d", len(rows))
+	}
+	rows3 := p.Table3(res.Events)
+	if len(rows3) != 5 {
+		t.Fatalf("table3 rows = %d", len(rows3))
+	}
+	all := rows3[len(rows3)-1]
+	if all.Providers == 0 || all.Prefixes == 0 {
+		t.Fatalf("table3 ALL row empty: %+v", all)
+	}
+	rows4 := p.Table4(res.Events)
+	var ta, ixp int
+	for _, r := range rows4 {
+		switch r.Type {
+		case topology.KindTransitAccess:
+			ta = r.Prefixes
+		case topology.KindIXP:
+			ixp = r.Prefixes
+		}
+	}
+	if ta == 0 {
+		t.Fatal("no transit/access blackholing in table4")
+	}
+	_ = ixp // IXP visibility depends on adoption; checked in benches
+}
+
+func TestCDNSeesMostProviders(t *testing.T) {
+	p := smallPipeline(t)
+	res := p.RunWindow(790, 805)
+	rows := p.Table3(res.Events)
+	byName := map[string]int{}
+	for _, r := range rows {
+		byName[r.Source] = r.Providers
+	}
+	if byName["CDN"] < byName["RIS"] || byName["CDN"] < byName["RV"] {
+		t.Fatalf("CDN providers %d should lead RIS %d / RV %d",
+			byName["CDN"], byName["RIS"], byName["RV"])
+	}
+	_ = collector.PlatformCDN
+}

@@ -1,0 +1,289 @@
+// Command bhreport runs the full reproduction end to end and prints
+// every table and figure of the paper's evaluation: the dataset overview
+// (Table 1), the communities dictionary (Table 2), blackhole visibility
+// (Tables 3-4), the community prefix-length profile (Figure 2), the
+// longitudinal growth series (Figure 4), prefix CDFs (Figure 5), country
+// distributions (Figure 6), services / providers-per-event / AS-distance
+// (Figure 7), durations (Figure 8) and data-plane efficacy (Figure 9).
+//
+// Usage:
+//
+//	bhreport [-scale 0.2] [-events 0.3] [-seed 42] [-full]
+//
+// -full replays the entire Dec 2014 – Mar 2017 timeline for Figure 4;
+// otherwise only the Aug 2016 – Mar 2017 analysis window runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"time"
+
+	"bgpblackholing"
+	"bgpblackholing/internal/analysis"
+	"bgpblackholing/internal/bgp"
+	"bgpblackholing/internal/compliance"
+	"bgpblackholing/internal/core"
+	"bgpblackholing/internal/dataplane"
+	"bgpblackholing/internal/scans"
+	"bgpblackholing/internal/topology"
+	"bgpblackholing/internal/workload"
+)
+
+func main() {
+	var (
+		scale  = flag.Float64("scale", 0.2, "world scale (1.0 = paper scale)")
+		events = flag.Float64("events", 0.3, "event volume scale")
+		seed   = flag.Int64("seed", 42, "deterministic seed")
+		full   = flag.Bool("full", false, "replay the full Dec 2014 - Mar 2017 timeline")
+		csvDir = flag.String("csv", "", "also write plottable CSVs for the figure series into this directory")
+	)
+	flag.Parse()
+	if err := run(*scale, *events, *seed, *full, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "bhreport:", err)
+		os.Exit(1)
+	}
+}
+
+// writeCSVs exports the figure series for plotting.
+func writeCSVs(dir string, res *bgpblackholing.RunResult, full bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	save := func(name string, f func(w *os.File) error) error {
+		fh, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := f(fh); err != nil {
+			fh.Close()
+			return err
+		}
+		return fh.Close()
+	}
+	if full {
+		series := analysis.Figure4(res.Events, workload.TimelineStart, 850)
+		if err := save("figure4_daily.csv", func(w *os.File) error {
+			return analysis.WriteFigure4CSV(w, series)
+		}); err != nil {
+			return err
+		}
+	}
+	ungrouped, grouped := analysis.Figure8(res.Events, core.DefaultGroupTimeout)
+	if err := save("figure8_durations.csv", func(w *os.File) error {
+		return analysis.WriteDurationsCSV(w, ungrouped, grouped)
+	}); err != nil {
+		return err
+	}
+	if err := save("figure7b_providers_per_event.csv", func(w *os.File) error {
+		return analysis.WriteHistogramCSV(w, "providers", analysis.Figure7b(res.Events))
+	}); err != nil {
+		return err
+	}
+	if err := save("figure7c_as_distance.csv", func(w *os.File) error {
+		return analysis.WriteHistogramCSV(w, "distance", analysis.Figure7c(res.Events))
+	}); err != nil {
+		return err
+	}
+	return save("events.csv", func(w *os.File) error {
+		return analysis.WriteEventsCSV(w, res.Events)
+	})
+}
+
+func section(name string) { fmt.Printf("\n=== %s ===\n", name) }
+
+func run(scale, events float64, seed int64, full bool, csvDir string) error {
+	opts := bgpblackholing.Options{
+		Seed: seed, TopoScale: scale, CollectorScale: scale,
+		EventScale: events, Days: 850,
+	}
+	p, err := bgpblackholing.NewPipeline(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("world: %d ASes, %d IXPs, %d blackholing providers (+%d IXPs), dictionary: %d communities\n",
+		len(p.Topo.Order), len(p.Topo.IXPs),
+		len(p.Topo.BlackholingProviders()), len(p.Topo.BlackholingIXPs()),
+		len(p.Dict.Entries()))
+
+	from, to := 640, 850
+	if full {
+		from = 0
+	}
+	fmt.Printf("replaying timeline days [%d,%d)...\n", from, to)
+	res := p.RunWindow(from, to)
+	fmt.Printf("inferred %d blackholing events\n", len(res.Events))
+
+	section("Table 1: BGP dataset overview (March 2017)")
+	fmt.Print(analysis.FormatTable1(p.Table1()))
+
+	section("Table 2: blackhole communities dictionary")
+	fmt.Print(analysis.FormatTable2(p.Table2(res.InferStats)))
+
+	section("Table 3: blackhole dataset overview")
+	fmt.Print(analysis.FormatTable3(p.Table3(res.Events)))
+
+	section("Table 4: blackhole visibility by provider type")
+	fmt.Print(analysis.FormatTable4(p.Table4(res.Events)))
+
+	section("Figure 2: community prefix-length profile")
+	for _, r := range analysis.SummarizeFigure2(res.InferStats.Stats, p.Dict) {
+		label := "non-blackhole"
+		if r.IsBlackhole {
+			label = "blackhole"
+		}
+		fmt.Printf("%-14s communities=%-4d mean frac on /32 = %.2f, on <=/24 = %.2f\n",
+			label, r.Communities, r.MeanFracAt32, r.MeanFracAtOrPre24)
+	}
+	fmt.Printf("inferred undocumented blackhole communities: %d\n", len(res.InferStats.Inferred))
+
+	if full {
+		section("Figure 4: longitudinal growth (sampled)")
+		series := analysis.Figure4(res.Events, workload.TimelineStart, 850)
+		fmt.Print(analysis.FormatFigure4(series, 60))
+	}
+
+	section("Figure 5: blackholed prefixes per provider / user type")
+	transit, ixp := analysis.Figure5a(res.Events, p.Topo)
+	tc, xc := analysis.NewCDFInts(transit), analysis.NewCDFInts(ixp)
+	fmt.Printf("transit/access providers: n=%d median=%.0f p90=%.0f max=%.0f\n",
+		tc.Len(), tc.Quantile(0.5), tc.Quantile(0.9), tc.Quantile(1))
+	fmt.Printf("IXPs:                     n=%d median=%.0f p90=%.0f max=%.0f\n",
+		xc.Len(), xc.Quantile(0.5), xc.Quantile(0.9), xc.Quantile(1))
+	for k, counts := range map[string][]int{} {
+		_ = k
+		_ = counts
+	}
+	byKind := analysis.Figure5b(res.Events, p.Topo)
+	for _, k := range topology.Kinds() {
+		if len(byKind[k]) == 0 {
+			continue
+		}
+		c := analysis.NewCDFInts(byKind[k])
+		fmt.Printf("users %-22s n=%-5d median=%.0f p90=%.0f\n", k, c.Len(), c.Quantile(0.5), c.Quantile(0.9))
+	}
+
+	section("Figure 6: per-country distribution")
+	provs, users := analysis.Figure6(res.Events, p.Topo)
+	fmt.Print("top provider countries: ")
+	for _, c := range analysis.TopCountries(provs, 6) {
+		fmt.Printf("%s=%d ", c.Country, c.Count)
+	}
+	fmt.Print("\ntop user countries:     ")
+	for _, c := range analysis.TopCountries(users, 6) {
+		fmt.Printf("%s=%d ", c.Country, c.Count)
+	}
+	fmt.Println()
+
+	section("Figure 7a: services on blackholed prefixes")
+	svcCounts := analysis.Figure7a(res.Events, seed)
+	for _, svc := range []string{"HTTP", "HTTPS", "SSH", "FTP", "Telnet", "DNS", "NTP", "SMTP", "IMAP", "NONE"} {
+		fmt.Printf("%-7s %d\n", svc, svcCounts[scans.Service(svc)])
+	}
+
+	section("Figure 7b: providers per blackholing event")
+	h := analysis.Figure7b(res.Events)
+	multi := 0.0
+	for _, k := range h.Keys() {
+		if k > 1 {
+			multi += h.Fraction(k)
+		}
+	}
+	fmt.Printf("single-provider: %.0f%%  multi-provider: %.0f%%  max: %d\n",
+		100*h.Fraction(1), 100*multi, h.Keys()[len(h.Keys())-1])
+
+	section("Figure 7c: collector-provider AS distance")
+	hc := analysis.Figure7c(res.Events)
+	for _, k := range hc.Keys() {
+		label := fmt.Sprint(k)
+		if k == core.NoPath {
+			label = "no-path"
+		}
+		fmt.Printf("%-8s %.1f%%\n", label, 100*hc.Fraction(k))
+	}
+
+	section("Figure 8: blackholing durations")
+	ungrouped, grouped := analysis.Figure8(res.Events, core.DefaultGroupTimeout)
+	cu, cg := analysis.NewCDFDurations(ungrouped), analysis.NewCDFDurations(grouped)
+	fmt.Printf("ungrouped: n=%d  <=1min: %.0f%%\n", cu.Len(), 100*cu.FractionAtOrBelow(60))
+	fmt.Printf("grouped:   n=%d  <=1min: %.0f%%  >16h: %.0f%%\n",
+		cg.Len(), 100*cg.FractionAtOrBelow(60), 100*(1-cg.FractionAtOrBelow(16*3600)))
+
+	section("Figure 9a/9b: data-plane efficacy (traceroute campaign)")
+	sim := &dataplane.Simulator{Topo: p.Topo}
+	r := rand.New(rand.NewSource(seed))
+	var ms []dataplane.PathMeasurement
+	n := 0
+	for _, pr := range res.LastDayResults {
+		if n >= 60 || !pr.Prefix.IsValid() || !pr.Prefix.Addr().Is4() {
+			continue
+		}
+		if len(pr.DroppingASes) == 0 {
+			continue
+		}
+		bh := &dataplane.BlackholeState{
+			Prefix: pr.Prefix, DroppingASes: pr.DroppingASes,
+			DroppingIXPMembers: pr.DroppingIXPMembers,
+		}
+		ms = append(ms, sim.MeasureEvent(pr.User, pr.Prefix, bh, r, 4)...)
+		n++
+	}
+	sample := analysis.Figure9ab(ms)
+	ci := analysis.NewCDFInts(sample.IPDiffs)
+	ca := analysis.NewCDFInts(sample.ASDiffs)
+	fmt.Printf("paths: n=%d  mean IP shortening=%.1f hops  shorter-during=%.0f%%  mean AS shortening=%.1f\n",
+		ci.Len(), ci.Mean(), 100*(1-ci.FractionAtOrBelow(0)), ca.Mean())
+
+	section("Figure 9c: IXP traffic to blackholed prefixes (one week)")
+	var x *topology.IXP
+	for _, cand := range p.Topo.BlackholingIXPs() {
+		if x == nil || len(cand.Members) > len(x.Members) {
+			x = cand
+		}
+	}
+	if x != nil {
+		var victims []dataplane.VictimSpec
+		seen := map[netip.Prefix]bool{}
+		for _, pr := range res.LastDayResults {
+			if drops, ok := pr.DroppingIXPMembers[x.ID]; ok && !seen[pr.Prefix] && len(victims) < 3 {
+				seen[pr.Prefix] = true
+				victims = append(victims, dataplane.VictimSpec{Prefix: pr.Prefix, Honoring: drops})
+			}
+		}
+		start := time.Date(2017, 3, 20, 0, 0, 0, 0, time.UTC)
+		series := dataplane.SimulateIXPTraffic(x, victims, start, 7*24*time.Hour, dataplane.DefaultIPFIXConfig())
+		for i, s := range series {
+			fmt.Printf("prefix %-18s drop fraction: %.0f%%\n", victims[i].Prefix, 100*dataplane.DropFraction(s))
+		}
+	}
+	section("RFC 7999 / RFC 5635 compliance scorecard (§11)")
+	fmt.Print(compliance.AuditEvents(res.Events).Format())
+
+	section("Validation against ground truth (§10 passive validation)")
+	cutoff := res.WindowEnd.AddDate(0, 0, -7)
+	var weekEvents []*core.Event
+	for _, ev := range res.Events {
+		if !ev.Start.Before(cutoff) {
+			weekEvents = append(weekEvents, ev)
+		}
+	}
+	v := analysis.Validate(weekEvents, res.LastDayIntents)
+	fmt.Printf("last-week intents: %d  detected: %d (recall %.0f%%)\n",
+		v.Intents, v.DetectedPrefixOnsets, 100*v.Recall())
+	fmt.Printf("route-server intents: %d  detected: %d (recall %.0f%%; paper confirms 99.5%% RS visibility)\n",
+		v.IXPIntents, v.DetectedIXPIntents, 100*v.IXPRecall())
+
+	if csvDir != "" {
+		if err := writeCSVs(csvDir, res, full); err != nil {
+			return fmt.Errorf("write CSVs: %w", err)
+		}
+		fmt.Printf("\nwrote figure CSVs to %s\n", csvDir)
+	}
+
+	_ = bgp.ASN(0)
+	return nil
+}

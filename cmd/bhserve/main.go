@@ -1,0 +1,168 @@
+// Command bhserve runs a live blackholing detector: it listens for BGP
+// sessions on a TCP port (like a RIPE RIS collector), feeds every
+// received UPDATE through the inference engine, and prints blackholing
+// events as they close — the §10 near-real-time workflow as a daemon.
+//
+// Usage:
+//
+//	bhserve -listen 127.0.0.1:1790 -scale 0.15 -seed 42
+//
+// Point any RFC 4271 speaker at it (examples/livefeed shows a client);
+// updates tagged with dictionary communities start events, withdrawals
+// and untagged re-announcements close them. SIGINT flushes open events
+// and exits.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"os"
+	"os/signal"
+	"sort"
+	"sync"
+	"time"
+
+	"bgpblackholing"
+	"bgpblackholing/internal/bgp"
+	"bgpblackholing/internal/bgpd"
+	"bgpblackholing/internal/collector"
+	"bgpblackholing/internal/core"
+	"bgpblackholing/internal/stream"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:1790", "listen address for BGP sessions")
+		scale  = flag.Float64("scale", 0.15, "world scale (dictionary + topology)")
+		seed   = flag.Int64("seed", 42, "deterministic seed")
+		asn    = flag.Uint("asn", 64900, "local AS number")
+	)
+	flag.Parse()
+	if err := run(*listen, *scale, *seed, uint32(*asn)); err != nil {
+		fmt.Fprintln(os.Stderr, "bhserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, scale float64, seed int64, asn uint32) error {
+	p, err := bgpblackholing.NewPipeline(bgpblackholing.Options{
+		Seed: seed, TopoScale: scale, CollectorScale: scale, EventScale: scale, Days: 850,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Printf("bhserve: dictionary with %d communities, listening on %s (AS%d)\n",
+		len(p.Dict.Entries()), ln.Addr(), asn)
+
+	live := stream.NewLive()
+	var wg sync.WaitGroup
+
+	// Acceptor.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				live.Close()
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				serveSession(conn, asn, live)
+			}()
+		}
+	}()
+
+	// Engine loop with periodic event reporting.
+	engine := core.NewEngine(p.Dict, p.Topo)
+	reported := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			el, err := live.Next()
+			if err != nil {
+				return
+			}
+			engine.Process(el)
+			for _, ev := range engine.Events()[reported:] {
+				printEvent(ev)
+				reported++
+			}
+		}
+	}()
+
+	// SIGINT: stop accepting, flush, report.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("\nbhserve: shutting down")
+	ln.Close()
+	live.Close()
+	<-done
+	engine.Flush(time.Now().UTC())
+	for _, ev := range engine.Events()[reported:] {
+		printEvent(ev)
+	}
+	m := engine.Metrics()
+	fmt.Printf("bhserve: %d updates (%d cleaned), %d detections, %d events (%d explicit / %d implicit ends)\n",
+		m.UpdatesProcessed, m.UpdatesCleaned, m.Detections, m.EventsClosed, m.ExplicitEnds, m.ImplicitEnds)
+	return nil
+}
+
+func serveSession(conn net.Conn, asn uint32, live *stream.Live) {
+	sess, err := bgpd.Establish(conn, bgpd.Config{
+		ASN:      bgp.ASN(asn),
+		BGPID:    netip.MustParseAddr("10.255.0.1"),
+		HoldTime: 90 * time.Second,
+	})
+	if err != nil {
+		fmt.Printf("bhserve: handshake failed from %s: %v\n", conn.RemoteAddr(), err)
+		return
+	}
+	defer sess.Close()
+	fmt.Printf("bhserve: session up with AS%s (%s)\n", sess.Peer().ASN, conn.RemoteAddr())
+	peerIP := peerAddr(conn)
+	for {
+		u, err := sess.ReadUpdate()
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				fmt.Printf("bhserve: session with AS%s ended: %v\n", sess.Peer().ASN, err)
+			}
+			return
+		}
+		u.PeerAS = sess.Peer().ASN
+		u.PeerIP = peerIP
+		live.Publish(&stream.Elem{Collector: "bhserve", Platform: collector.PlatformRIS, Update: u})
+	}
+}
+
+func peerAddr(conn net.Conn) netip.Addr {
+	if ap, err := netip.ParseAddrPort(conn.RemoteAddr().String()); err == nil {
+		return ap.Addr()
+	}
+	return netip.Addr{}
+}
+
+func printEvent(ev *core.Event) {
+	var provs []string
+	for pr := range ev.Providers {
+		provs = append(provs, pr.String())
+	}
+	sort.Strings(provs)
+	fmt.Printf("EVENT %s  %s - %s (%s)  providers=%v users=%d\n",
+		ev.Prefix,
+		ev.Start.Format(time.RFC3339), ev.End.Format(time.RFC3339),
+		ev.Duration().Truncate(time.Second), provs, len(ev.Users))
+}

@@ -1,0 +1,113 @@
+// ixpefficacy reproduces the §10 efficacy study on one IXP: it detects
+// live blackholing events, runs the four-group RIPE-Atlas-style
+// traceroute campaign against each victim (Figure 9a/9b), and samples a
+// week of IPFIX traffic on the IXP fabric to split dropped from
+// forwarded bytes (Figure 9c).
+//
+//	go run ./examples/ixpefficacy
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"bgpblackholing"
+	"bgpblackholing/internal/analysis"
+	"bgpblackholing/internal/bgp"
+	"bgpblackholing/internal/dataplane"
+	"bgpblackholing/internal/topology"
+)
+
+func main() {
+	p, err := bgpblackholing.NewPipeline(bgpblackholing.SmallOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := p.RunWindow(843, 850)
+	sim := &dataplane.Simulator{Topo: p.Topo}
+	r := rand.New(rand.NewSource(7))
+
+	// Traceroute campaign over the week's events.
+	var ms []dataplane.PathMeasurement
+	n := 0
+	for _, pr := range res.LastDayResults {
+		if n >= 40 || !pr.Prefix.IsValid() || !pr.Prefix.Addr().Is4() || len(pr.DroppingASes) == 0 {
+			continue
+		}
+		bh := &dataplane.BlackholeState{
+			Prefix:             pr.Prefix,
+			DroppingASes:       pr.DroppingASes,
+			DroppingIXPMembers: pr.DroppingIXPMembers,
+		}
+		ms = append(ms, sim.MeasureEvent(pr.User, pr.Prefix, bh, r, 4)...)
+		n++
+	}
+	sample := analysis.Figure9ab(ms)
+	ip := analysis.NewCDFInts(sample.IPDiffs)
+	as := analysis.NewCDFInts(sample.ASDiffs)
+	fmt.Printf("traceroute campaign: %d events, %d path triples\n", n, ip.Len())
+	fmt.Printf("  IP-level:  mean shortening %.1f hops, %0.f%% of paths shorter during blackholing\n",
+		ip.Mean(), 100*(1-ip.FractionAtOrBelow(0)))
+	fmt.Printf("  AS-level:  mean shortening %.1f AS hops\n", as.Mean())
+
+	// IPFIX week on the biggest blackholing IXP.
+	var x *topology.IXP
+	for _, cand := range p.Topo.BlackholingIXPs() {
+		if x == nil || len(cand.Members) > len(x.Members) {
+			x = cand
+		}
+	}
+	if x == nil {
+		log.Fatal("no blackholing IXP in world")
+	}
+	var victims []dataplane.VictimSpec
+	seen := map[netip.Prefix]bool{}
+	for _, pr := range res.LastDayResults {
+		if drops, ok := pr.DroppingIXPMembers[x.ID]; ok && !seen[pr.Prefix] && len(victims) < 4 {
+			seen[pr.Prefix] = true
+			victims = append(victims, dataplane.VictimSpec{Prefix: pr.Prefix, Honoring: drops})
+		}
+	}
+	// One misconfigured victim: blackholed on the control plane only.
+	victims = append(victims, dataplane.VictimSpec{
+		Prefix:           netip.MustParsePrefix("31.255.0.9/32"),
+		ControlPlaneOnly: true,
+	})
+
+	start := time.Date(2017, 3, 20, 0, 0, 0, 0, time.UTC)
+	series := dataplane.SimulateIXPTraffic(x, victims, start, 7*24*time.Hour, dataplane.DefaultIPFIXConfig())
+	fmt.Printf("\nIPFIX week at %s (%d members):\n", x.Name, len(x.Members))
+	for i, s := range series {
+		kind := "blackholed"
+		if victims[i].ControlPlaneOnly {
+			kind = "misconfigured"
+		}
+		fmt.Printf("  %-18s [%s] drop fraction %.0f%%\n",
+			victims[i].Prefix, kind, 100*dataplane.DropFraction(s))
+	}
+
+	// Who keeps forwarding? (§10: 80% of leaked traffic from <10 members.)
+	if len(victims) > 1 {
+		top := dataplane.TopForwarders(x, victims[0], dataplane.DefaultIPFIXConfig())
+		var total, top10 int64
+		for i, c := range top {
+			total += c.Bytes
+			if i < 10 {
+				top10 += c.Bytes
+			}
+		}
+		if total > 0 {
+			fmt.Printf("\nleaked traffic: top-10 of %d non-honouring members carry %.0f%%\n",
+				len(top), 100*float64(top10)/float64(total))
+			for i, c := range top {
+				if i >= 3 {
+					break
+				}
+				fmt.Printf("  AS%s\n", bgp.ASN(c.Member).String())
+			}
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// livefeed runs the detection pipeline over a real BGP session: a
+// collector listens on localhost TCP, a victim's router connects,
+// announces a blackholed /32 (RFC 7999 community + NO_EXPORT), probes
+// the attack twice with the ON/OFF practice, and withdraws. The
+// inference engine consumes the session through a live stream and
+// reports the events — §10's near-real-time workflow end to end, over
+// actual sockets.
+//
+//	go run ./examples/livefeed
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/netip"
+	"time"
+
+	"bgpblackholing"
+	"bgpblackholing/internal/bgp"
+	"bgpblackholing/internal/bgpd"
+	"bgpblackholing/internal/collector"
+	"bgpblackholing/internal/core"
+	"bgpblackholing/internal/stream"
+)
+
+func main() {
+	p, err := bgpblackholing.NewPipeline(bgpblackholing.SmallOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The victim: an IXP member with the RFC 7999 service available.
+	var victimAS bgp.ASN
+	var victim netip.Prefix
+	for _, x := range p.Topo.BlackholingIXPs() {
+		victimAS = x.Members[0]
+		b := p.Topo.AS(victimAS).Prefixes[0].Addr().As4()
+		victim = netip.PrefixFrom(netip.AddrFrom4([4]byte{b[0], b[1], 7, 7}), 32)
+		break
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	fmt.Printf("collector listening on %s\n", ln.Addr())
+
+	live := stream.NewLive()
+
+	// Collector side: accept the session and publish every update into
+	// the live stream.
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		sess, err := bgpd.Establish(conn, bgpd.Config{
+			ASN: 64900, BGPID: netip.MustParseAddr("10.255.0.1"), HoldTime: 30 * time.Second,
+		})
+		if err != nil {
+			log.Printf("collector handshake: %v", err)
+			live.Close()
+			return
+		}
+		fmt.Printf("collector: session established with AS%s\n", sess.Peer().ASN)
+		for {
+			u, err := sess.ReadUpdate()
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, bgpd.ErrNotification) {
+					log.Printf("collector read: %v", err)
+				}
+				live.Close()
+				return
+			}
+			u.PeerAS = sess.Peer().ASN
+			u.PeerIP = netip.MustParseAddr("10.0.0.9")
+			live.Publish(&stream.Elem{Collector: "live-rrc", Platform: collector.PlatformRIS, Update: u})
+		}
+	}()
+
+	// Router side: connect and run two ON/OFF probing rounds.
+	go func() {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		sess, err := bgpd.Establish(conn, bgpd.Config{
+			ASN: victimAS, BGPID: netip.MustParseAddr("10.0.0.9"), HoldTime: 30 * time.Second,
+		})
+		if err != nil {
+			log.Fatalf("router handshake: %v", err)
+		}
+		defer sess.Close()
+		for round := 0; round < 2; round++ {
+			fmt.Printf("router: announcing blackhole for %s (round %d)\n", victim, round+1)
+			if err := sess.SendUpdate(&bgp.Update{
+				Announced:   []netip.Prefix{victim},
+				Origin:      bgp.OriginIGP,
+				Path:        bgp.NewPath(victimAS),
+				NextHop:     netip.MustParseAddr("10.0.0.9"),
+				Communities: []bgp.Community{bgp.CommunityBlackhole, bgp.CommunityNoExport},
+			}); err != nil {
+				log.Fatal(err)
+			}
+			time.Sleep(60 * time.Millisecond)
+			fmt.Println("router: withdrawing (checking whether the attack stopped)")
+			if err := sess.SendUpdate(&bgp.Update{
+				Withdrawn: []netip.Prefix{victim},
+			}); err != nil {
+				log.Fatal(err)
+			}
+			time.Sleep(40 * time.Millisecond)
+		}
+	}()
+
+	// The engine consumes the live stream. The victim's peer IP is in no
+	// IXP LAN here (direct session), so detection rides on the path
+	// check against the IXP's transparent route server... use the
+	// simplest confirmable form: the peer IP placed inside the IXP LAN.
+	engine := core.NewEngine(p.Dict, p.Topo)
+	nUpdates := 0
+	for {
+		el, err := live.Next()
+		if err != nil {
+			break
+		}
+		// Stamp the peer IP into the victim's IXP peering LAN so the
+		// §4.2 peer-ip check confirms the IXP provider, as it would on a
+		// PCH collector at the exchange.
+		x := p.Topo.IXPs[p.Topo.AS(victimAS).IXPs[0]]
+		el.Update.PeerIP = x.MemberIP(victimAS)
+		el.Update.PeerAS = victimAS
+		nUpdates++
+		engine.Process(el)
+	}
+	engine.Flush(time.Now().UTC().Add(time.Hour))
+
+	fmt.Printf("\nprocessed %d live updates\n", nUpdates)
+	events := engine.Events()
+	fmt.Printf("inferred %d blackholing events:\n", len(events))
+	for _, ev := range events {
+		var provs []string
+		for pr := range ev.Providers {
+			provs = append(provs, pr.String())
+		}
+		fmt.Printf("  %s  %v  providers=%v\n", ev.Prefix, ev.Duration().Truncate(time.Millisecond), provs)
+	}
+	periods := core.Group(events, core.DefaultGroupTimeout)
+	fmt.Printf("grouped into %d period(s) — the ON/OFF probing practice\n", len(periods))
+}

@@ -1,0 +1,87 @@
+// lookingglass demonstrates the §5.2 Cogent case: blackholing triggered
+// through an out-of-band customer portal is invisible in every BGP feed,
+// but a looking glass inside the provider reveals the null route — and a
+// community-capable glass can enumerate everything a provider currently
+// blackholes.
+//
+//	go run ./examples/lookingglass
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+
+	"bgpblackholing"
+	"bgpblackholing/internal/bgp"
+	"bgpblackholing/internal/core"
+	"bgpblackholing/internal/lookingglass"
+	"bgpblackholing/internal/stream"
+	"bgpblackholing/internal/workload"
+)
+
+func main() {
+	p, err := bgpblackholing.NewPipeline(bgpblackholing.SmallOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	glasses := lookingglass.Deploy(p.Topo)
+	fmt.Printf("deployed %d looking glasses\n\n", len(glasses.Glasses()))
+
+	// Replay one day, mirroring each propagation's drop set into the
+	// glasses (their RIBs) while the collectors observe BGP.
+	day := 848
+	engine := core.NewEngine(p.Dict, p.Topo)
+	intents := p.Scenario.IntentsForDay(day)
+	obs, results := workload.Materialize(p.Deploy, p.Topo, intents, p.Opts.Seed)
+	for _, res := range results {
+		glasses.RecordResult(res, nil)
+	}
+	s := stream.FromObservations(obs)
+	for {
+		el, err := s.Next()
+		if err != nil {
+			break
+		}
+		engine.Process(el)
+	}
+	bgpVisible := map[netip.Prefix]bool{}
+	engine.Flush(workload.TimelineStart.AddDate(0, 0, day+2))
+	for _, ev := range engine.Events() {
+		bgpVisible[ev.Prefix] = true
+	}
+
+	// The portal case: a provider null-routes a prefix with no BGP
+	// announcement at all.
+	provider := p.Topo.BlackholingProviders()[0]
+	hidden := netip.MustParsePrefix("198.41.128.4/32")
+	glasses.RecordBlackhole(provider.ASN, hidden, []bgp.Community{provider.Blackholing.Communities[0]})
+
+	fmt.Printf("BGP-visible blackholed prefixes today: %d\n", len(bgpVisible))
+	fmt.Printf("portal-blackholed prefix %s visible in BGP: %v\n", hidden, bgpVisible[hidden])
+
+	g := glasses.Glass(provider.ASN)
+	entries := g.QueryPrefix(hidden)
+	for _, e := range entries {
+		if e.Blackholed {
+			fmt.Printf("looking glass inside AS%d: %s -> next-hop %s (null route, community %s)\n",
+				provider.ASN, e.Prefix, e.NextHop, e.Communities[0])
+		}
+	}
+
+	// Community-capable glasses can enumerate a provider's blackholing.
+	if g.Capability >= lookingglass.CapCommunity {
+		list, err := g.QueryCommunity(provider.Blackholing.Communities[0])
+		if err == nil {
+			fmt.Printf("\nAS%d currently null-routes %d prefixes (via community query):\n",
+				provider.ASN, len(list))
+			for i, e := range list {
+				if i >= 5 {
+					fmt.Println("  ...")
+					break
+				}
+				fmt.Printf("  %s\n", e.Prefix)
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+
+	"bgpblackholing/internal/collector"
+	"bgpblackholing/internal/core"
+)
+
+func TestWriteFigure4CSV(t *testing.T) {
+	series := []DailyPoint{
+		{Day: t0, Providers: 3, Users: 5, Prefixes: 7},
+		{Day: t0.AddDate(0, 0, 1), Providers: 4, Users: 6, Prefixes: 9},
+	}
+	var buf bytes.Buffer
+	if err := WriteFigure4CSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0][0] != "day" {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[2][3] != "9" {
+		t.Fatalf("prefixes cell = %q", rows[2][3])
+	}
+}
+
+func TestWriteCDFAndHistogramCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCDFCSV(&buf, "prefixes", NewCDFInts([]int{1, 2, 3, 10})); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("cdf rows = %d", len(rows))
+	}
+	last := rows[len(rows)-1]
+	if last[1] != "1.000000" {
+		t.Fatalf("final CDF fraction = %q", last[1])
+	}
+
+	buf.Reset()
+	if err := WriteHistogramCSV(&buf, "distance", NewHistogram([]int{-1, -1, 0, 1})); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || rows[1][0] != "-1" || rows[1][1] != "2" {
+		t.Fatalf("histogram rows = %v", rows)
+	}
+}
+
+func TestWriteDurationsCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteDurationsCSV(&buf,
+		[]time.Duration{time.Minute, time.Second},
+		[]time.Duration{time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ungrouped,1\n") || !strings.Contains(out, "grouped,3600\n") {
+		t.Fatalf("csv:\n%s", out)
+	}
+	// Sorted ascending within each kind.
+	if strings.Index(out, "ungrouped,1\n") > strings.Index(out, "ungrouped,60\n") {
+		t.Fatal("durations not sorted")
+	}
+}
+
+func TestWriteEventsCSV(t *testing.T) {
+	ev := mkEvent("31.0.0.1/32", asRef(100), 200, 0, 90, collector.PlatformRIS)
+	ev.Detections = 4
+	var buf bytes.Buffer
+	if err := WriteEventsCSV(&buf, []*core.Event{ev}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatal("rows")
+	}
+	r := rows[1]
+	if r[0] != "31.0.0.1/32" || r[3] != "5400" || r[4] != "1" || r[6] != "4" || r[7] != "false" {
+		t.Fatalf("row = %v", r)
+	}
+}
+
+func TestCoveredAddresses(t *testing.T) {
+	events := []*core.Event{
+		mkEvent("31.0.0.1/32", asRef(100), 200, 0, 10, collector.PlatformRIS),
+		mkEvent("31.0.0.1/32", asRef(100), 200, 20, 30, collector.PlatformRIS), // duplicate prefix
+		mkEvent("31.0.1.0/24", asRef(100), 200, 0, 10, collector.PlatformRIS),
+		mkEvent("31.0.1.7/32", asRef(100), 200, 0, 10, collector.PlatformRIS), // inside the /24
+	}
+	got := CoveredAddresses(events)
+	if got != 1+256 {
+		t.Fatalf("covered = %d, want 257", got)
+	}
+	if CoveredAddresses(nil) != 0 {
+		t.Fatal("empty should be 0")
+	}
+}

@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"net/netip"
+
+	"bgpblackholing/internal/core"
+	"bgpblackholing/internal/scans"
+)
+
+// CoveredAddresses counts the unique IPv4 addresses covered by the
+// distinct blackholed prefixes of the events (§8: 20,948 March-2017
+// prefixes covered 5.2M addresses — mostly /32s, with a tail of /24s
+// and shorter doing the volume). Overlapping prefixes are de-duplicated
+// by keeping the least-specific covering prefix.
+func CoveredAddresses(events []*core.Event) uint64 {
+	// Collect distinct IPv4 prefixes.
+	seen := map[netip.Prefix]bool{}
+	var prefixes []netip.Prefix
+	for _, ev := range events {
+		if !ev.Prefix.Addr().Is4() || seen[ev.Prefix] {
+			continue
+		}
+		seen[ev.Prefix] = true
+		prefixes = append(prefixes, ev.Prefix)
+	}
+	// Drop prefixes covered by a less-specific one also present.
+	var total uint64
+	for _, p := range prefixes {
+		covered := false
+		for _, q := range prefixes {
+			if q != p && q.Bits() < p.Bits() && q.Contains(p.Addr()) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			total += uint64(1) << (32 - p.Bits())
+		}
+	}
+	return total
+}
+
+// MaliciousDay summarises one day of reputation matches across a
+// blackholed-prefix population (§8 "Malicious Activity of Blackholed
+// IPs": 400-900 daily prober/scanner matches, >90% probers, ~2% both,
+// 500-800 daily login-attempt sources, union ≈ 2% of prefixes).
+type MaliciousDay struct {
+	Day int
+	// Probers, Scanners and Both count prefixes matching each class.
+	Probers  int
+	Scanners int
+	Both     int
+	// LoginAttempts counts prefixes with repeated login attempts.
+	LoginAttempts int
+	// AnySuspicious counts prefixes in the union.
+	AnySuspicious int
+	// Total is the evaluated prefix population.
+	Total int
+}
+
+// MaliciousActivity evaluates the reputation feeds against the distinct
+// IPv4 blackholed prefixes of the events, one row per day in [fromDay,
+// toDay).
+func MaliciousActivity(events []*core.Event, fromDay, toDay int, seed int64) []MaliciousDay {
+	seen := map[netip.Prefix]bool{}
+	var addrs []netip.Addr
+	for _, ev := range events {
+		if seen[ev.Prefix] || !ev.Prefix.Addr().Is4() {
+			continue
+		}
+		seen[ev.Prefix] = true
+		addrs = append(addrs, ev.Prefix.Addr())
+	}
+	var out []MaliciousDay
+	for day := fromDay; day < toDay; day++ {
+		row := MaliciousDay{Day: day, Total: len(addrs)}
+		for _, a := range addrs {
+			act := scans.ActivityFor(a, day, seed)
+			switch {
+			case act.Prober && act.Scanner:
+				row.Both++
+			case act.Prober:
+				row.Probers++
+			case act.Scanner:
+				row.Scanners++
+			}
+			if act.LoginAttempts {
+				row.LoginAttempts++
+			}
+			if act.Suspicious() {
+				row.AnySuspicious++
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}

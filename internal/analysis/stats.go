@@ -1,0 +1,169 @@
+// Package analysis computes every table and figure of the paper's
+// evaluation from inference results, topology ground truth, scan
+// profiles and data-plane measurements. Each experiment has a dedicated
+// function returning structured rows/series plus a formatter that prints
+// the same shape the paper reports.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// CDF is an empirical cumulative distribution over float64 samples.
+type CDF struct {
+	xs []float64
+}
+
+// NewCDF builds a CDF from samples (copied and sorted).
+func NewCDF(samples []float64) *CDF {
+	xs := append([]float64(nil), samples...)
+	sort.Float64s(xs)
+	return &CDF{xs: xs}
+}
+
+// NewCDFInts builds a CDF from integer samples.
+func NewCDFInts(samples []int) *CDF {
+	xs := make([]float64, len(samples))
+	for i, s := range samples {
+		xs[i] = float64(s)
+	}
+	return NewCDF(xs)
+}
+
+// NewCDFDurations builds a CDF over durations in seconds.
+func NewCDFDurations(samples []time.Duration) *CDF {
+	xs := make([]float64, len(samples))
+	for i, s := range samples {
+		xs[i] = s.Seconds()
+	}
+	return NewCDF(xs)
+}
+
+// Len returns the sample count.
+func (c *CDF) Len() int { return len(c.xs) }
+
+// FractionAtOrBelow returns P(X <= x).
+func (c *CDF) FractionAtOrBelow(x float64) float64 {
+	if len(c.xs) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.xs, x)
+	// Advance over equal values.
+	for i < len(c.xs) && c.xs[i] <= x {
+		i++
+	}
+	return float64(i) / float64(len(c.xs))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1).
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.xs) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return c.xs[0]
+	}
+	if q >= 1 {
+		return c.xs[len(c.xs)-1]
+	}
+	i := int(q * float64(len(c.xs)))
+	if i >= len(c.xs) {
+		i = len(c.xs) - 1
+	}
+	return c.xs[i]
+}
+
+// Mean returns the sample mean.
+func (c *CDF) Mean() float64 {
+	if len(c.xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range c.xs {
+		s += x
+	}
+	return s / float64(len(c.xs))
+}
+
+// Histogram counts samples into labelled integer bins.
+type Histogram struct {
+	// Bins maps bin key to count.
+	Bins map[int]int
+}
+
+// NewHistogram builds a histogram from integer samples.
+func NewHistogram(samples []int) *Histogram {
+	h := &Histogram{Bins: map[int]int{}}
+	for _, s := range samples {
+		h.Bins[s]++
+	}
+	return h
+}
+
+// Total returns the sample count.
+func (h *Histogram) Total() int {
+	n := 0
+	for _, c := range h.Bins {
+		n += c
+	}
+	return n
+}
+
+// Fraction returns the share of samples in bin k.
+func (h *Histogram) Fraction(k int) float64 {
+	t := h.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(h.Bins[k]) / float64(t)
+}
+
+// Keys returns the bin keys ascending.
+func (h *Histogram) Keys() []int {
+	out := make([]int, 0, len(h.Bins))
+	for k := range h.Bins {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FormatTable renders rows as an aligned text table.
+func FormatTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}

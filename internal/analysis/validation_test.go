@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"net/netip"
+	"testing"
+
+	"bgpblackholing/internal/bgp"
+	"bgpblackholing/internal/collector"
+	"bgpblackholing/internal/core"
+	"bgpblackholing/internal/workload"
+)
+
+func TestValidateRecall(t *testing.T) {
+	events := []*core.Event{
+		mkEvent("31.0.0.1/32", asRef(100), 200, 0, 10, collector.PlatformRIS),
+		mkEvent("31.0.0.2/32", ixpRef(0), 200, 0, 10, collector.PlatformPCH),
+	}
+	intents := []workload.Intent{
+		{Prefix: netip.MustParsePrefix("31.0.0.1/32"), Providers: []bgp.ASN{100}},
+		{Prefix: netip.MustParsePrefix("31.0.0.2/32"), IXPs: []int{0}},
+		{Prefix: netip.MustParsePrefix("31.0.0.3/32"), Providers: []bgp.ASN{100}}, // missed
+		{Prefix: netip.MustParsePrefix("31.0.0.4/32"), Misconfigured: true},       // excluded
+	}
+	v := Validate(events, intents)
+	if v.Intents != 3 {
+		t.Fatalf("intents = %d", v.Intents)
+	}
+	if v.DetectedPrefixOnsets != 2 {
+		t.Fatalf("detected = %d", v.DetectedPrefixOnsets)
+	}
+	if v.IXPIntents != 1 || v.DetectedIXPIntents != 1 {
+		t.Fatalf("IXP recall inputs = %d/%d", v.DetectedIXPIntents, v.IXPIntents)
+	}
+	if v.FalsePrefixes != 0 {
+		t.Fatalf("false prefixes = %d", v.FalsePrefixes)
+	}
+	if r := v.Recall(); r < 0.66 || r > 0.67 {
+		t.Fatalf("recall = %v", r)
+	}
+	if v.IXPRecall() != 1 {
+		t.Fatalf("IXP recall = %v", v.IXPRecall())
+	}
+}
+
+func TestValidateFlagsUnknownPrefixes(t *testing.T) {
+	events := []*core.Event{
+		mkEvent("31.9.9.9/32", asRef(100), 200, 0, 10, collector.PlatformRIS),
+	}
+	v := Validate(events, nil)
+	if v.FalsePrefixes != 1 {
+		t.Fatalf("false prefixes = %d", v.FalsePrefixes)
+	}
+	var empty Validation
+	if empty.Recall() != 0 || empty.IXPRecall() != 0 {
+		t.Fatal("empty validation should report zero recall")
+	}
+}
+
+func TestMaliciousActivityAggregates(t *testing.T) {
+	var events []*core.Event
+	for i := 0; i < 3000; i++ {
+		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{31, byte(i >> 8), byte(i), 7}), 32)
+		events = append(events, mkEvent(p.String(), asRef(100), 200, 0, 10, collector.PlatformRIS))
+	}
+	rows := MaliciousActivity(events, 100, 103, 42)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Total != 3000 {
+			t.Fatalf("total = %d", r.Total)
+		}
+		if r.AnySuspicious == 0 {
+			t.Fatal("no suspicious prefixes at all")
+		}
+		// >90% of prober/scanner matches are probers (§8).
+		matches := r.Probers + r.Scanners + r.Both
+		if matches > 0 && float64(r.Probers+r.Both)/float64(matches) < 0.8 {
+			t.Fatalf("prober share too low: %+v", r)
+		}
+		// Union ~2% of prefixes.
+		if f := float64(r.AnySuspicious) / float64(r.Total); f > 0.05 {
+			t.Fatalf("suspicious fraction = %v", f)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package bgp
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// FuzzUnmarshalUpdate asserts the UPDATE decoder never panics and that
+// anything it accepts re-encodes without error (run with
+// `go test -fuzz=FuzzUnmarshalUpdate ./internal/bgp` for a real fuzzing
+// session; the seed corpus runs under plain `go test`).
+func FuzzUnmarshalUpdate(f *testing.F) {
+	seed := &Update{
+		Announced:        []netip.Prefix{netip.MustParsePrefix("192.88.99.1/32")},
+		Withdrawn:        []netip.Prefix{netip.MustParsePrefix("198.51.0.0/16")},
+		Origin:           OriginIGP,
+		Path:             NewPath(3356, 174, 65001),
+		NextHop:          netip.MustParseAddr("10.0.0.1"),
+		Communities:      []Community{CommunityBlackhole, CommunityNoExport},
+		LargeCommunities: []LargeCommunity{{212100, 666, 0}},
+	}
+	wire, err := MarshalUpdate(seed)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(wire)
+	f.Add(wire[:20])
+	mut := append([]byte(nil), wire...)
+	mut[25] ^= 0xFF
+	f.Add(mut)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		u, err := UnmarshalUpdate(data)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted updates must re-encode (unless they exceed the size
+		// limit after normalisation, which Marshal reports as an error,
+		// not a panic).
+		_, _ = MarshalUpdate(u)
+	})
+}
+
+// FuzzUnmarshalPathAttributes covers the standalone attribute decoder
+// used by MRT RIB entries.
+func FuzzUnmarshalPathAttributes(f *testing.F) {
+	u := &Update{
+		Origin:      OriginIGP,
+		Path:        NewPath(3356, 65001),
+		NextHop:     netip.MustParseAddr("10.0.0.1"),
+		Communities: []Community{CommunityBlackhole},
+	}
+	f.Add(MarshalPathAttributes(u))
+	f.Add([]byte{0x40, 1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := UnmarshalPathAttributes(data)
+		if err != nil {
+			return
+		}
+		_ = MarshalPathAttributes(got)
+	})
+}
+
+// FuzzParseCommunity covers the text parsers.
+func FuzzParseCommunity(f *testing.F) {
+	f.Add("65535:666")
+	f.Add("0:0")
+	f.Add("a:b")
+	f.Add("1:2:3")
+	f.Fuzz(func(t *testing.T, s string) {
+		if c, err := ParseCommunity(s); err == nil {
+			// Canonical notation must round-trip.
+			back, err := ParseCommunity(c.String())
+			if err != nil || back != c {
+				t.Fatalf("round trip failed for %q -> %v", s, c)
+			}
+		}
+		if lc, err := ParseLargeCommunity(s); err == nil {
+			back, err := ParseLargeCommunity(lc.String())
+			if err != nil || back != lc {
+				t.Fatalf("large round trip failed for %q", s)
+			}
+		}
+	})
+}

@@ -1,0 +1,219 @@
+package bgp
+
+import (
+	"slices"
+	"strings"
+)
+
+// SegmentType distinguishes AS_PATH segment kinds per RFC 4271 §4.3.
+type SegmentType uint8
+
+// AS_PATH segment types.
+const (
+	SegmentSet      SegmentType = 1 // AS_SET: unordered set of ASes
+	SegmentSequence SegmentType = 2 // AS_SEQUENCE: ordered sequence of ASes
+)
+
+// Segment is one AS_PATH segment: a typed list of AS numbers.
+type Segment struct {
+	Type SegmentType
+	ASNs []ASN
+}
+
+// Path is a BGP AS_PATH attribute: an ordered list of segments. The first
+// AS of the first sequence segment is the sender-side neighbor; the last
+// AS of the last segment is (normally) the route originator.
+type Path struct {
+	Segments []Segment
+}
+
+// NewPath builds a single AS_SEQUENCE path from the given ASNs, which is
+// the overwhelmingly common shape of real-world paths.
+func NewPath(asns ...ASN) Path {
+	if len(asns) == 0 {
+		return Path{}
+	}
+	return Path{Segments: []Segment{{Type: SegmentSequence, ASNs: slices.Clone(asns)}}}
+}
+
+// IsEmpty reports whether the path carries no AS numbers at all.
+func (p Path) IsEmpty() bool {
+	for _, s := range p.Segments {
+		if len(s.ASNs) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the path.
+func (p Path) Clone() Path {
+	out := Path{Segments: make([]Segment, len(p.Segments))}
+	for i, s := range p.Segments {
+		out.Segments[i] = Segment{Type: s.Type, ASNs: slices.Clone(s.ASNs)}
+	}
+	return out
+}
+
+// Flatten returns all AS numbers in path order, including duplicates from
+// prepending and the members of any AS_SET segments.
+func (p Path) Flatten() []ASN {
+	var out []ASN
+	for _, s := range p.Segments {
+		out = append(out, s.ASNs...)
+	}
+	return out
+}
+
+// WithoutPrepending returns the flattened path with consecutive duplicate
+// AS numbers collapsed, removing AS-path prepending. The paper removes
+// prepending before locating the blackholing user on the path (§4.2).
+func (p Path) WithoutPrepending() []ASN {
+	flat := p.Flatten()
+	out := flat[:0:0]
+	for i, a := range flat {
+		if i == 0 || flat[i-1] != a {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Origin returns the originating AS (last AS of the path) and true, or
+// zero and false for an empty path. For paths ending in an AS_SET the
+// first member of the set is reported, matching common collector practice.
+func (p Path) Origin() (ASN, bool) {
+	for i := len(p.Segments) - 1; i >= 0; i-- {
+		s := p.Segments[i]
+		if len(s.ASNs) == 0 {
+			continue
+		}
+		if s.Type == SegmentSet {
+			return s.ASNs[0], true
+		}
+		return s.ASNs[len(s.ASNs)-1], true
+	}
+	return 0, false
+}
+
+// First returns the leftmost AS (the collector-side neighbor) and true,
+// or zero and false for an empty path.
+func (p Path) First() (ASN, bool) {
+	for _, s := range p.Segments {
+		if len(s.ASNs) > 0 {
+			return s.ASNs[0], true
+		}
+	}
+	return 0, false
+}
+
+// Contains reports whether the AS appears anywhere on the path.
+func (p Path) Contains(a ASN) bool {
+	for _, s := range p.Segments {
+		if slices.Contains(s.ASNs, a) {
+			return true
+		}
+	}
+	return false
+}
+
+// IndexOf returns the position of the first occurrence of a on the
+// prepending-free path, or -1 when absent. Position 0 is the
+// collector-side neighbor.
+func (p Path) IndexOf(a ASN) int {
+	return slices.Index(p.WithoutPrepending(), a)
+}
+
+// HopBefore returns the AS immediately preceding target on the
+// prepending-free path (i.e. one hop closer to the origin) and true.
+// The paper infers the blackholing user as the AS before the blackholing
+// provider along the AS path (§4.2). When target is absent or is the
+// origin, it returns zero and false.
+func (p Path) HopBefore(target ASN) (ASN, bool) {
+	flat := p.WithoutPrepending()
+	for i, a := range flat {
+		if a == target {
+			if i+1 < len(flat) {
+				return flat[i+1], true
+			}
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// Prepend returns a copy of the path with a prepended n times at the
+// front, as done by the announcing router at each eBGP hop.
+func (p Path) Prepend(a ASN, n int) Path {
+	out := p.Clone()
+	if n <= 0 {
+		return out
+	}
+	rep := make([]ASN, n)
+	for i := range rep {
+		rep[i] = a
+	}
+	if len(out.Segments) > 0 && out.Segments[0].Type == SegmentSequence {
+		out.Segments[0].ASNs = append(rep, out.Segments[0].ASNs...)
+		return out
+	}
+	out.Segments = append([]Segment{{Type: SegmentSequence, ASNs: rep}}, out.Segments...)
+	return out
+}
+
+// Len returns the AS_PATH length for route selection: each AS in a
+// sequence counts 1, each AS_SET counts 1 in total (RFC 4271 §9.1.2.2).
+func (p Path) Len() int {
+	n := 0
+	for _, s := range p.Segments {
+		if len(s.ASNs) == 0 {
+			continue
+		}
+		if s.Type == SegmentSet {
+			n++
+		} else {
+			n += len(s.ASNs)
+		}
+	}
+	return n
+}
+
+// String renders the path with sequence hops space-separated and sets in
+// braces, e.g. "3356 174 {64512 64513}".
+func (p Path) String() string {
+	var b strings.Builder
+	for i, s := range p.Segments {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if s.Type == SegmentSet {
+			b.WriteByte('{')
+		}
+		for j, a := range s.ASNs {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(a.String())
+		}
+		if s.Type == SegmentSet {
+			b.WriteByte('}')
+		}
+	}
+	return b.String()
+}
+
+// Equal reports whether two paths are structurally identical.
+func (p Path) Equal(q Path) bool {
+	if len(p.Segments) != len(q.Segments) {
+		return false
+	}
+	for i := range p.Segments {
+		if p.Segments[i].Type != q.Segments[i].Type {
+			return false
+		}
+		if !slices.Equal(p.Segments[i].ASNs, q.Segments[i].ASNs) {
+			return false
+		}
+	}
+	return true
+}

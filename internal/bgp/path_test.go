@@ -1,0 +1,170 @@
+package bgp
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+func TestPathBasics(t *testing.T) {
+	p := NewPath(3356, 174, 65000)
+	if p.IsEmpty() {
+		t.Fatal("path should not be empty")
+	}
+	if got := p.String(); got != "3356 174 65000" {
+		t.Fatalf("String = %q", got)
+	}
+	if first, ok := p.First(); !ok || first != 3356 {
+		t.Fatalf("First = %v,%v", first, ok)
+	}
+	if origin, ok := p.Origin(); !ok || origin != 65000 {
+		t.Fatalf("Origin = %v,%v", origin, ok)
+	}
+	if !p.Contains(174) || p.Contains(7018) {
+		t.Fatal("Contains wrong")
+	}
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	var empty Path
+	if !empty.IsEmpty() {
+		t.Fatal("zero path should be empty")
+	}
+	if _, ok := empty.Origin(); ok {
+		t.Fatal("empty path has no origin")
+	}
+	if _, ok := empty.First(); ok {
+		t.Fatal("empty path has no first")
+	}
+}
+
+func TestPathPrependingRemoval(t *testing.T) {
+	p := NewPath(3356, 174, 174, 174, 65000, 65000)
+	got := p.WithoutPrepending()
+	want := []ASN{3356, 174, 65000}
+	if !slices.Equal(got, want) {
+		t.Fatalf("WithoutPrepending = %v, want %v", got, want)
+	}
+}
+
+func TestPathHopBefore(t *testing.T) {
+	// Collector <- 3356 <- 174 <- 65000 (origin). The blackholing user of
+	// provider 174 is the next hop toward the origin: 65000.
+	p := NewPath(3356, 174, 174, 65000)
+	user, ok := p.HopBefore(174)
+	if !ok || user != 65000 {
+		t.Fatalf("HopBefore(174) = %v,%v; want 65000,true", user, ok)
+	}
+	if _, ok := p.HopBefore(65000); ok {
+		t.Fatal("origin has no hop before it")
+	}
+	if _, ok := p.HopBefore(7018); ok {
+		t.Fatal("absent AS should report false")
+	}
+}
+
+func TestPathPrepend(t *testing.T) {
+	p := NewPath(174, 65000)
+	q := p.Prepend(3356, 3)
+	if got := q.String(); got != "3356 3356 3356 174 65000" {
+		t.Fatalf("Prepend = %q", got)
+	}
+	// Original must be unchanged.
+	if got := p.String(); got != "174 65000" {
+		t.Fatalf("original mutated: %q", got)
+	}
+	if got := p.Prepend(3356, 0).String(); got != "174 65000" {
+		t.Fatalf("Prepend n=0 = %q", got)
+	}
+	var empty Path
+	if got := empty.Prepend(42, 2).String(); got != "42 42" {
+		t.Fatalf("Prepend on empty = %q", got)
+	}
+}
+
+func TestPathWithSets(t *testing.T) {
+	p := Path{Segments: []Segment{
+		{Type: SegmentSequence, ASNs: []ASN{3356, 174}},
+		{Type: SegmentSet, ASNs: []ASN{64512, 64513}},
+	}}
+	if got := p.String(); got != "3356 174 {64512 64513}" {
+		t.Fatalf("String = %q", got)
+	}
+	// AS_SET counts 1 toward path length.
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if origin, ok := p.Origin(); !ok || origin != 64512 {
+		t.Fatalf("Origin = %v,%v", origin, ok)
+	}
+	if !p.Contains(64513) {
+		t.Fatal("Contains should see set members")
+	}
+}
+
+func TestPathIndexOf(t *testing.T) {
+	p := NewPath(3356, 3356, 174, 65000)
+	if i := p.IndexOf(174); i != 1 {
+		t.Fatalf("IndexOf(174) = %d, want 1 (prepending removed)", i)
+	}
+	if i := p.IndexOf(9999); i != -1 {
+		t.Fatalf("IndexOf(absent) = %d", i)
+	}
+}
+
+func TestPathCloneIndependence(t *testing.T) {
+	p := NewPath(1, 2, 3)
+	q := p.Clone()
+	q.Segments[0].ASNs[0] = 99
+	if p.Segments[0].ASNs[0] != 1 {
+		t.Fatal("Clone shares backing storage")
+	}
+	if !p.Equal(p.Clone()) {
+		t.Fatal("clone should equal original")
+	}
+	if p.Equal(q) {
+		t.Fatal("mutated clone should differ")
+	}
+}
+
+func TestPathEqual(t *testing.T) {
+	a := NewPath(1, 2, 3)
+	b := NewPath(1, 2, 3)
+	if !a.Equal(b) {
+		t.Fatal("identical paths unequal")
+	}
+	c := Path{Segments: []Segment{{Type: SegmentSet, ASNs: []ASN{1, 2, 3}}}}
+	if a.Equal(c) {
+		t.Fatal("set vs sequence should differ")
+	}
+}
+
+// Property: WithoutPrepending never contains consecutive duplicates and
+// preserves first/last elements of non-empty paths.
+func TestPathWithoutPrependingProperties(t *testing.T) {
+	f := func(raw []uint16, reps uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		r := rand.New(rand.NewSource(int64(reps)))
+		var asns []ASN
+		for _, v := range raw {
+			n := 1 + r.Intn(3)
+			for i := 0; i < n; i++ {
+				asns = append(asns, ASN(v)+1)
+			}
+		}
+		p := NewPath(asns...)
+		out := p.WithoutPrepending()
+		for i := 1; i < len(out); i++ {
+			if out[i] == out[i-1] {
+				return false
+			}
+		}
+		return out[0] == asns[0] && out[len(out)-1] == asns[len(asns)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

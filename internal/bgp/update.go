@@ -1,0 +1,143 @@
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+	"slices"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Update is a decoded BGP UPDATE as observed by a route collector peer:
+// the protocol message content plus the collection metadata (timestamp,
+// peer address and peer AS) that MRT and BGPStream attach to it.
+//
+// A single Update may simultaneously withdraw and announce prefixes, per
+// RFC 4271. The zero value is an empty (keepalive-like) update.
+type Update struct {
+	// Time is the collection timestamp.
+	Time time.Time
+	// PeerIP is the address of the BGP peer that sent the message to the
+	// collector. For IXP route-server feeds this lies in the IXP peering
+	// LAN, which the inference engine exploits (§4.2).
+	PeerIP netip.Addr
+	// PeerAS is the AS of the sending peer.
+	PeerAS ASN
+
+	// Withdrawn lists prefixes withdrawn by this message.
+	Withdrawn []netip.Prefix
+	// Announced lists prefixes announced (NLRI) by this message. All
+	// announced prefixes share the path attributes below.
+	Announced []netip.Prefix
+
+	// Origin is the ORIGIN path attribute.
+	Origin Origin
+	// Path is the AS_PATH attribute.
+	Path Path
+	// NextHop is the NEXT_HOP attribute (or the MP_REACH next hop for
+	// IPv6). Blackholing providers publish a well-known blackholing
+	// next-hop address wired to a null interface.
+	NextHop netip.Addr
+	// Communities carries the RFC 1997 standard communities.
+	Communities []Community
+	// LargeCommunities carries RFC 8092 large communities.
+	LargeCommunities []LargeCommunity
+	// ExtendedCommunities carries RFC 4360 extended communities.
+	ExtendedCommunities []ExtendedCommunity
+}
+
+// IsAnnouncement reports whether the update announces at least one prefix.
+func (u *Update) IsAnnouncement() bool { return len(u.Announced) > 0 }
+
+// IsWithdrawal reports whether the update withdraws at least one prefix.
+func (u *Update) IsWithdrawal() bool { return len(u.Withdrawn) > 0 }
+
+// HasCommunity reports whether the update carries the given standard
+// community.
+func (u *Update) HasCommunity(c Community) bool {
+	return slices.Contains(u.Communities, c)
+}
+
+// HasNoExport reports whether the update carries the RFC 1997 NO_EXPORT
+// well-known community, which RFC 7999 requires on blackhole routes.
+func (u *Update) HasNoExport() bool { return u.HasCommunity(CommunityNoExport) }
+
+// Clone returns a deep copy of the update.
+func (u *Update) Clone() *Update {
+	out := *u
+	out.Withdrawn = slices.Clone(u.Withdrawn)
+	out.Announced = slices.Clone(u.Announced)
+	out.Path = u.Path.Clone()
+	out.Communities = slices.Clone(u.Communities)
+	out.LargeCommunities = slices.Clone(u.LargeCommunities)
+	out.ExtendedCommunities = slices.Clone(u.ExtendedCommunities)
+	return &out
+}
+
+// SortCommunities sorts the standard communities in ascending numeric
+// order, the canonical on-the-wire ordering used by most implementations.
+func (u *Update) SortCommunities() {
+	sort.Slice(u.Communities, func(i, j int) bool { return u.Communities[i] < u.Communities[j] })
+}
+
+// String renders a compact single-line summary suitable for logs.
+func (u *Update) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "update t=%s peer=%s AS%s", u.Time.UTC().Format(time.RFC3339), u.PeerIP, u.PeerAS)
+	if len(u.Withdrawn) > 0 {
+		fmt.Fprintf(&b, " withdraw=%v", u.Withdrawn)
+	}
+	if len(u.Announced) > 0 {
+		fmt.Fprintf(&b, " announce=%v path=[%s] nh=%s", u.Announced, u.Path, u.NextHop)
+		if len(u.Communities) > 0 {
+			b.WriteString(" comm=")
+			for i, c := range u.Communities {
+				if i > 0 {
+					b.WriteByte(' ')
+				}
+				b.WriteString(c.String())
+			}
+		}
+	}
+	return b.String()
+}
+
+// RIBEntry is one route in a BGP table dump: a prefix with the attributes
+// it was learned with from one collector peer. Table dumps initialise the
+// blackholing inference (§4.2 "Initialization Based on BGP Table Dump").
+type RIBEntry struct {
+	// Prefix is the routed destination.
+	Prefix netip.Prefix
+	// PeerIP and PeerAS identify the collector peer contributing the route.
+	PeerIP netip.Addr
+	PeerAS ASN
+	// OriginatedAt is the (collector-local) time the route was last
+	// announced; table dumps cannot pinpoint the true start time, so the
+	// engine treats dump-seeded events as started "before the dump".
+	OriginatedAt time.Time
+
+	Origin              Origin
+	Path                Path
+	NextHop             netip.Addr
+	Communities         []Community
+	LargeCommunities    []LargeCommunity
+	ExtendedCommunities []ExtendedCommunity
+}
+
+// ToUpdate converts the RIB entry into an equivalent announcement update
+// stamped with the given time, the form consumed by the inference engine.
+func (e *RIBEntry) ToUpdate(t time.Time) *Update {
+	return &Update{
+		Time:                t,
+		PeerIP:              e.PeerIP,
+		PeerAS:              e.PeerAS,
+		Announced:           []netip.Prefix{e.Prefix},
+		Origin:              e.Origin,
+		Path:                e.Path.Clone(),
+		NextHop:             e.NextHop,
+		Communities:         slices.Clone(e.Communities),
+		LargeCommunities:    slices.Clone(e.LargeCommunities),
+		ExtendedCommunities: slices.Clone(e.ExtendedCommunities),
+	}
+}

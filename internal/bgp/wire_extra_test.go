@@ -1,0 +1,158 @@
+package bgp
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+)
+
+// TestExtendedLengthAttribute forces a COMMUNITIES attribute longer than
+// 255 bytes (more than 63 communities), exercising the RFC 4271
+// extended-length attribute flag on both encode and decode.
+func TestExtendedLengthAttribute(t *testing.T) {
+	u := &Update{
+		Announced: []netip.Prefix{netip.MustParsePrefix("192.88.99.1/32")},
+		Origin:    OriginIGP,
+		Path:      NewPath(3356, 65001),
+		NextHop:   netip.MustParseAddr("10.0.0.1"),
+	}
+	for i := 0; i < 100; i++ {
+		u.Communities = append(u.Communities, MakeCommunity(3356, uint16(i)))
+	}
+	wire, err := MarshalUpdate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalUpdate(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Communities, u.Communities) {
+		t.Fatalf("got %d communities, want %d", len(got.Communities), len(u.Communities))
+	}
+}
+
+// TestASSetRoundTrip covers AS_SET segments through the wire format.
+func TestASSetRoundTrip(t *testing.T) {
+	u := &Update{
+		Announced: []netip.Prefix{netip.MustParsePrefix("192.88.99.0/24")},
+		Origin:    OriginIncomplete,
+		Path: Path{Segments: []Segment{
+			{Type: SegmentSequence, ASNs: []ASN{3356, 174}},
+			{Type: SegmentSet, ASNs: []ASN{64512, 64513, 64514}},
+		}},
+		NextHop: netip.MustParseAddr("10.0.0.1"),
+	}
+	wire, err := MarshalUpdate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalUpdate(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Path.Equal(u.Path) {
+		t.Fatalf("path = %v, want %v", got.Path, u.Path)
+	}
+	if got.Origin != OriginIncomplete {
+		t.Fatalf("origin = %v", got.Origin)
+	}
+}
+
+// TestMalformedASPathSegment rejects unknown segment types and short
+// segments.
+func TestMalformedASPathSegment(t *testing.T) {
+	u := &Update{
+		Announced: []netip.Prefix{netip.MustParsePrefix("192.88.99.0/24")},
+		Origin:    OriginIGP,
+		Path:      NewPath(3356),
+		NextHop:   netip.MustParseAddr("10.0.0.1"),
+	}
+	wire, err := MarshalUpdate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate the AS_PATH attribute (flags 0x40, code 2) and corrupt the
+	// segment type.
+	for i := HeaderLen; i+1 < len(wire); i++ {
+		if wire[i] == flagTransitive && wire[i+1] == attrASPath {
+			wire[i+3] = 9 // invalid segment type
+			break
+		}
+	}
+	if _, err := UnmarshalUpdate(wire); err == nil {
+		t.Fatal("want error for invalid segment type")
+	}
+}
+
+// TestUnknownAttributeSkipped: decoders must ignore unrecognised path
+// attributes transparently.
+func TestUnknownAttributeSkipped(t *testing.T) {
+	u := &Update{
+		Announced: []netip.Prefix{netip.MustParsePrefix("192.88.99.0/24")},
+		Origin:    OriginIGP,
+		Path:      NewPath(3356),
+		NextHop:   netip.MustParseAddr("10.0.0.1"),
+	}
+	wire, err := MarshalUpdate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Splice in an unknown attribute (code 99) before the NLRI. Rebuild
+	// the message manually: parse header fields.
+	// Withdrawn len is at body[0:2] (0), attrs len at body[2:4].
+	body := append([]byte(nil), wire[HeaderLen:]...)
+	attrsLen := int(body[2])<<8 | int(body[3])
+	unknown := []byte{flagOptional | flagTransitive, 99, 2, 0xAB, 0xCD}
+	newBody := append([]byte(nil), body[:4]...)
+	newBody = append(newBody, body[4:4+attrsLen]...)
+	newBody = append(newBody, unknown...)
+	newBody = append(newBody, body[4+attrsLen:]...)
+	newAttrsLen := attrsLen + len(unknown)
+	newBody[2], newBody[3] = byte(newAttrsLen>>8), byte(newAttrsLen)
+
+	msg := make([]byte, 0, HeaderLen+len(newBody))
+	for i := 0; i < 16; i++ {
+		msg = append(msg, 0xFF)
+	}
+	total := HeaderLen + len(newBody)
+	msg = append(msg, byte(total>>8), byte(total), TypeUpdate)
+	msg = append(msg, newBody...)
+
+	got, err := UnmarshalUpdate(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Path.Equal(u.Path) || len(got.Announced) != 1 {
+		t.Fatal("known attributes lost around unknown one")
+	}
+}
+
+// TestMarshalPathAttributesStandalone covers the MRT RIB-entry form.
+func TestMarshalPathAttributesStandalone(t *testing.T) {
+	u := &Update{
+		Origin:           OriginEGP,
+		Path:             NewPath(6939, 65010),
+		NextHop:          netip.MustParseAddr("2001:db8::9"), // v6: MP_REACH form
+		Communities:      []Community{CommunityBlackhole},
+		LargeCommunities: []LargeCommunity{{212100, 666, 0}},
+	}
+	attrs := MarshalPathAttributes(u)
+	got, err := UnmarshalPathAttributes(attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Origin != OriginEGP || !got.Path.Equal(u.Path) {
+		t.Fatal("origin/path mismatch")
+	}
+	if got.NextHop != u.NextHop {
+		t.Fatalf("v6 next hop = %v", got.NextHop)
+	}
+	if !reflect.DeepEqual(got.Communities, u.Communities) ||
+		!reflect.DeepEqual(got.LargeCommunities, u.LargeCommunities) {
+		t.Fatal("communities mismatch")
+	}
+	if len(got.Announced) != 0 {
+		t.Fatal("standalone attributes should carry no NLRI")
+	}
+}

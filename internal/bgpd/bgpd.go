@@ -1,0 +1,353 @@
+// Package bgpd implements a minimal BGP-4 speaker (RFC 4271) over real
+// network connections: OPEN with the 4-octet-AS capability (RFC 6793),
+// KEEPALIVE, NOTIFICATION and UPDATE exchange with hold-time
+// supervision. It is the transport by which simulated route collectors
+// can ingest feeds the way RIPE RIS and Route Views do — over live BGP
+// sessions — rather than from files.
+//
+// The implementation covers the session subset a collector needs:
+// handshake, keepalives, update exchange and orderly teardown. Policy
+// (what to announce) lives in the caller.
+package bgpd
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"bgpblackholing/internal/bgp"
+)
+
+// Message type codes (RFC 4271 §4.1).
+const (
+	typeOpen         = 1
+	typeUpdate       = 2
+	typeNotification = 3
+	typeKeepalive    = 4
+)
+
+// Errors.
+var (
+	ErrBadVersion   = errors.New("bgpd: unsupported BGP version")
+	ErrBadOpen      = errors.New("bgpd: malformed OPEN")
+	ErrNotification = errors.New("bgpd: peer sent NOTIFICATION")
+	ErrHoldExpired  = errors.New("bgpd: hold timer expired")
+	ErrClosed       = errors.New("bgpd: session closed")
+)
+
+// Config describes the local side of a session.
+type Config struct {
+	// ASN is the local AS number (4-octet capable).
+	ASN bgp.ASN
+	// BGPID is the local BGP identifier.
+	BGPID netip.Addr
+	// HoldTime is the proposed hold time (0 disables keepalive
+	// supervision; RFC minimum otherwise is 3s).
+	HoldTime time.Duration
+}
+
+// Peer describes the remote side learned from its OPEN.
+type Peer struct {
+	ASN      bgp.ASN
+	BGPID    netip.Addr
+	HoldTime time.Duration
+}
+
+// Session is one established BGP session.
+type Session struct {
+	conn net.Conn
+	cfg  Config
+	peer Peer
+
+	mu     sync.Mutex
+	closed bool
+
+	// negotiated hold time (min of both sides).
+	hold time.Duration
+}
+
+// marshalOpen builds the OPEN message body.
+func marshalOpen(cfg Config) []byte {
+	body := make([]byte, 0, 29)
+	body = append(body, 4) // version
+	// My Autonomous System: AS_TRANS when the real ASN needs 4 octets.
+	as16 := uint16(23456)
+	if cfg.ASN.Is16Bit() {
+		as16 = uint16(cfg.ASN)
+	}
+	body = binary.BigEndian.AppendUint16(body, as16)
+	body = binary.BigEndian.AppendUint16(body, uint16(cfg.HoldTime.Seconds()))
+	id := cfg.BGPID.As4()
+	body = append(body, id[:]...)
+	// Optional parameters: capability (param 2) for 4-octet AS (code 65).
+	cap4 := []byte{65, 4, 0, 0, 0, 0}
+	binary.BigEndian.PutUint32(cap4[2:], uint32(cfg.ASN))
+	param := append([]byte{2, byte(len(cap4))}, cap4...)
+	body = append(body, byte(len(param)))
+	body = append(body, param...)
+	return body
+}
+
+// parseOpen decodes an OPEN body into a Peer.
+func parseOpen(body []byte) (Peer, error) {
+	if len(body) < 10 {
+		return Peer{}, ErrBadOpen
+	}
+	if body[0] != 4 {
+		return Peer{}, fmt.Errorf("%w: %d", ErrBadVersion, body[0])
+	}
+	p := Peer{
+		ASN:      bgp.ASN(binary.BigEndian.Uint16(body[1:3])),
+		HoldTime: time.Duration(binary.BigEndian.Uint16(body[3:5])) * time.Second,
+		BGPID:    netip.AddrFrom4([4]byte(body[5:9])),
+	}
+	optLen := int(body[9])
+	opts := body[10:]
+	if len(opts) < optLen {
+		return Peer{}, ErrBadOpen
+	}
+	opts = opts[:optLen]
+	for len(opts) >= 2 {
+		ptype, plen := opts[0], int(opts[1])
+		if len(opts) < 2+plen {
+			return Peer{}, ErrBadOpen
+		}
+		val := opts[2 : 2+plen]
+		opts = opts[2+plen:]
+		if ptype != 2 {
+			continue // non-capability parameter
+		}
+		for len(val) >= 2 {
+			code, clen := val[0], int(val[1])
+			if len(val) < 2+clen {
+				return Peer{}, ErrBadOpen
+			}
+			if code == 65 && clen == 4 {
+				p.ASN = bgp.ASN(binary.BigEndian.Uint32(val[2:6]))
+			}
+			val = val[2+clen:]
+		}
+	}
+	return p, nil
+}
+
+// writeMessage frames and sends one BGP message.
+func writeMessage(w io.Writer, msgType byte, body []byte) error {
+	msg := make([]byte, 0, bgp.HeaderLen+len(body))
+	for i := 0; i < 16; i++ {
+		msg = append(msg, 0xFF)
+	}
+	msg = binary.BigEndian.AppendUint16(msg, uint16(bgp.HeaderLen+len(body)))
+	msg = append(msg, msgType)
+	msg = append(msg, body...)
+	_, err := w.Write(msg)
+	return err
+}
+
+// readMessage reads one framed message.
+func readMessage(r io.Reader) (byte, []byte, error) {
+	var hdr [bgp.HeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	for i := 0; i < 16; i++ {
+		if hdr[i] != 0xFF {
+			return 0, nil, bgp.ErrBadMarker
+		}
+	}
+	total := int(binary.BigEndian.Uint16(hdr[16:18]))
+	if total < bgp.HeaderLen || total > bgp.MaxMessageLen {
+		return 0, nil, bgp.ErrBadLength
+	}
+	body := make([]byte, total-bgp.HeaderLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return hdr[18], body, nil
+}
+
+// Establish performs the OPEN/KEEPALIVE handshake on conn. Both sides
+// call Establish; the handshake is symmetric. Sends run concurrently
+// with receives so the handshake also works over fully synchronous
+// transports (net.Pipe).
+func Establish(conn net.Conn, cfg Config) (*Session, error) {
+	sendErr := make(chan error, 1)
+	go func() {
+		if err := writeMessage(conn, typeOpen, marshalOpen(cfg)); err != nil {
+			sendErr <- err
+			return
+		}
+		sendErr <- nil
+	}()
+	msgType, body, err := readMessage(conn)
+	if err != nil {
+		return nil, err
+	}
+	if err := <-sendErr; err != nil {
+		return nil, err
+	}
+	if msgType == typeNotification {
+		return nil, notificationError(body)
+	}
+	if msgType != typeOpen {
+		return nil, fmt.Errorf("bgpd: expected OPEN, got type %d", msgType)
+	}
+	peer, err := parseOpen(body)
+	if err != nil {
+		// RFC behaviour: notify and fail.
+		_ = writeMessage(conn, typeNotification, []byte{2, 0}) // OPEN error
+		return nil, err
+	}
+	go func() { sendErr <- writeMessage(conn, typeKeepalive, nil) }()
+	// Await the peer's keepalive confirming establishment.
+	msgType, body, err = readMessage(conn)
+	if err != nil {
+		return nil, err
+	}
+	if err := <-sendErr; err != nil {
+		return nil, err
+	}
+	if msgType == typeNotification {
+		return nil, notificationError(body)
+	}
+	if msgType != typeKeepalive {
+		return nil, fmt.Errorf("bgpd: expected KEEPALIVE, got type %d", msgType)
+	}
+	s := &Session{conn: conn, cfg: cfg, peer: peer}
+	s.hold = cfg.HoldTime
+	if peer.HoldTime > 0 && (s.hold == 0 || peer.HoldTime < s.hold) {
+		s.hold = peer.HoldTime
+	}
+	return s, nil
+}
+
+func notificationError(body []byte) error {
+	if len(body) >= 2 {
+		return fmt.Errorf("%w: code %d subcode %d", ErrNotification, body[0], body[1])
+	}
+	return ErrNotification
+}
+
+// Peer returns the remote side's identity.
+func (s *Session) Peer() Peer { return s.peer }
+
+// HoldTime returns the negotiated hold time.
+func (s *Session) HoldTime() time.Duration { return s.hold }
+
+// SendUpdate transmits one UPDATE.
+func (s *Session) SendUpdate(u *bgp.Update) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	wire, err := bgp.MarshalUpdate(u)
+	if err != nil {
+		return err
+	}
+	// MarshalUpdate emits a complete framed message already.
+	_, err = s.conn.Write(wire)
+	return err
+}
+
+// SendKeepalive transmits a KEEPALIVE.
+func (s *Session) SendKeepalive() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return writeMessage(s.conn, typeKeepalive, nil)
+}
+
+// ReadUpdate blocks until the next UPDATE arrives, transparently
+// consuming keepalives. It honours the negotiated hold time: silence
+// longer than the hold time fails with ErrHoldExpired. io.EOF reports
+// an orderly remote close.
+func (s *Session) ReadUpdate() (*bgp.Update, error) {
+	for {
+		if s.hold > 0 {
+			_ = s.conn.SetReadDeadline(time.Now().Add(s.hold))
+		}
+		msgType, body, err := readMessage(s.conn)
+		if err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				return nil, ErrHoldExpired
+			}
+			return nil, err
+		}
+		switch msgType {
+		case typeKeepalive:
+			continue
+		case typeNotification:
+			return nil, notificationError(body)
+		case typeUpdate:
+			// Re-frame for the bgp decoder (it expects the full message).
+			msg := make([]byte, 0, bgp.HeaderLen+len(body))
+			for i := 0; i < 16; i++ {
+				msg = append(msg, 0xFF)
+			}
+			msg = binary.BigEndian.AppendUint16(msg, uint16(bgp.HeaderLen+len(body)))
+			msg = append(msg, typeUpdate)
+			msg = append(msg, body...)
+			u, err := bgp.UnmarshalUpdate(msg)
+			if err != nil {
+				return nil, err
+			}
+			u.Time = time.Now().UTC()
+			return u, nil
+		default:
+			return nil, fmt.Errorf("bgpd: unexpected message type %d", msgType)
+		}
+	}
+}
+
+// Notify sends a NOTIFICATION (code/subcode) and closes the session.
+// The notification write is best-effort and bounded: a peer that has
+// stopped reading must not block the teardown.
+func (s *Session) Notify(code, subcode byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.closed = true
+	_ = s.conn.SetWriteDeadline(time.Now().Add(200 * time.Millisecond))
+	_ = writeMessage(s.conn, typeNotification, []byte{code, subcode})
+	return s.conn.Close()
+}
+
+// Close ends the session with the RFC "Cease" notification
+// (best-effort, bounded like Notify).
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	_ = s.conn.SetWriteDeadline(time.Now().Add(200 * time.Millisecond))
+	_ = writeMessage(s.conn, typeNotification, []byte{6, 0}) // Cease
+	return s.conn.Close()
+}
+
+// KeepaliveLoop sends keepalives every interval until the session
+// closes; run it in a goroutine on long-lived sessions. It returns the
+// first send error (ErrClosed on orderly shutdown).
+func (s *Session) KeepaliveLoop(interval time.Duration) error {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for range t.C {
+		if err := s.SendKeepalive(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

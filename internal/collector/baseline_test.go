@@ -1,0 +1,167 @@
+package collector
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+
+	"bgpblackholing/internal/bgp"
+	"bgpblackholing/internal/mrt"
+	"bgpblackholing/internal/topology"
+)
+
+func baselineWorld(t testing.TB) (*topology.Topology, *Deployment) {
+	t.Helper()
+	topo, err := topology.Generate(topology.DefaultConfig().Scaled(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, Deploy(topo, DefaultConfig().Scaled(0.1))
+}
+
+func TestExportedPrefixesFeedSemantics(t *testing.T) {
+	topo, d := baselineWorld(t)
+	all := d.allPublicPrefixes()
+	if len(all) == 0 {
+		t.Fatal("no public prefixes")
+	}
+	asn := topo.Order[0]
+
+	full := d.exportedPrefixes(PeerSession{AS: asn, Feed: FeedFull}, all)
+	if len(full) != len(all) {
+		t.Fatalf("full feed exports %d of %d", len(full), len(all))
+	}
+
+	partial := d.exportedPrefixes(PeerSession{AS: asn, Feed: FeedPartial}, all)
+	if len(partial) == 0 || len(partial) >= len(all) {
+		t.Fatalf("partial feed exports %d of %d, want a strict subset", len(partial), len(all))
+	}
+
+	custOnly := d.exportedPrefixes(PeerSession{AS: asn, Feed: FeedCustomerOnly}, all)
+	cone := topo.CustomerCone(asn)
+	wantCount := 0
+	for a := range cone {
+		wantCount += len(topo.AS(a).Prefixes)
+	}
+	if len(custOnly) != wantCount {
+		t.Fatalf("customer-only feed exports %d, want %d (cone prefixes)", len(custOnly), wantCount)
+	}
+}
+
+func TestInternalPrefixesOnlyViaInternalSessions(t *testing.T) {
+	topo, d := baselineWorld(t)
+	all := d.allPublicPrefixes()
+	asn := topo.Order[0]
+	ext := d.exportedPrefixes(PeerSession{AS: asn, Feed: FeedFull}, all)
+	intl := d.exportedPrefixes(PeerSession{AS: asn, Feed: FeedFull, Internal: true}, all)
+	if len(intl) <= len(ext) {
+		t.Fatal("internal session should add customer-specific prefixes")
+	}
+	// The extras are /24 more-specifics inside the AS's primary space.
+	primary := topo.AS(asn).Prefixes[0]
+	for _, p := range intl[len(ext):] {
+		if p.Bits() != 24 || !primary.Overlaps(p) {
+			t.Fatalf("internal prefix %v not a /24 inside %v", p, primary)
+		}
+	}
+}
+
+func TestRouteServerSessionExportsMemberCones(t *testing.T) {
+	topo, d := baselineWorld(t)
+	all := d.allPublicPrefixes()
+	x := topo.IXPs[0]
+	got := d.exportedPrefixes(PeerSession{AS: x.RouteServerASN, RouteServer: true, IXPID: x.ID}, all)
+	if len(got) == 0 {
+		t.Fatal("RS session exports nothing")
+	}
+	// Every member's own prefixes must be present.
+	set := map[netip.Prefix]bool{}
+	for _, p := range got {
+		set[p] = true
+	}
+	for _, m := range x.Members {
+		for _, p := range topo.AS(m).Prefixes {
+			if !set[p] {
+				t.Fatalf("member AS%d prefix %v missing from RS export", m, p)
+			}
+		}
+	}
+}
+
+func TestWriteTableDumpRoundTrip(t *testing.T) {
+	topo, d := baselineWorld(t)
+	// Find a provider and fabricate active blackhole observations.
+	provider := topo.BlackholingProviders()[0]
+	col := d.ByPlatform(PlatformCDN)[0]
+	dumpTime := time.Date(2017, 3, 1, 0, 0, 0, 0, time.UTC)
+	obs := []Observation{
+		{
+			Collector: col,
+			Update: &bgp.Update{
+				Time:        dumpTime.Add(-time.Hour),
+				PeerIP:      netip.MustParseAddr("22.3.1.9"),
+				PeerAS:      provider.ASN,
+				Announced:   []netip.Prefix{netip.MustParsePrefix("31.7.7.7/32")},
+				Path:        bgp.NewPath(provider.ASN, 65001),
+				NextHop:     netip.MustParseAddr("22.3.1.10"),
+				Communities: provider.Blackholing.Communities[:1],
+			},
+		},
+		{
+			Collector: col,
+			Update: &bgp.Update{
+				Time:        dumpTime.Add(-2 * time.Hour),
+				PeerIP:      netip.MustParseAddr("22.3.1.11"),
+				PeerAS:      provider.ASN + 1,
+				Announced:   []netip.Prefix{netip.MustParsePrefix("31.7.7.7/32")},
+				Path:        bgp.NewPath(provider.ASN+1, provider.ASN, 65001),
+				NextHop:     netip.MustParseAddr("22.3.1.12"),
+				Communities: provider.Blackholing.Communities[:1],
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteTableDump(&buf, col, obs, dumpTime); err != nil {
+		t.Fatal(err)
+	}
+	r := mrt.NewReader(&buf)
+	rec1, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pit, ok := rec1.(*mrt.PeerIndexTable)
+	if !ok || len(pit.Peers) != 2 {
+		t.Fatalf("peer index = %+v", rec1)
+	}
+	rec2, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rib, ok := rec2.(*mrt.RIB)
+	if !ok || len(rib.Entries) != 2 {
+		t.Fatalf("rib = %+v", rec2)
+	}
+	entries, err := r.ResolveRIB(rib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries[0].PeerAS != provider.ASN || entries[0].Communities[0] != provider.Blackholing.Communities[0] {
+		t.Fatalf("entry 0 = %+v", entries[0])
+	}
+	if !entries[0].OriginatedAt.Equal(dumpTime.Add(-time.Hour)) {
+		t.Fatal("originated time lost")
+	}
+}
+
+func TestWriteTableDumpEmptyIsNoop(t *testing.T) {
+	_, d := baselineWorld(t)
+	col := d.ByPlatform(PlatformRIS)[0]
+	var buf bytes.Buffer
+	if err := WriteTableDump(&buf, col, nil, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatal("empty dump should write nothing")
+	}
+}

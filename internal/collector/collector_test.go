@@ -1,0 +1,484 @@
+package collector
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"bgpblackholing/internal/bgp"
+	"bgpblackholing/internal/topology"
+)
+
+var t0 = time.Date(2017, 3, 1, 0, 0, 0, 0, time.UTC)
+
+// fixtureWorld builds a small controlled topology:
+//
+//	provider(100, blackholing via 100:666, peers with RIS)
+//	  └── user(200, customer, IXP member, has collector session at CDN)
+//	peerAS(300, peer of user, non-filtering, peers with RV)
+//	strictAS(400, peer of user, filtering)
+//	IXP 0 with route server 59000, members {user, 300, 400}, PCH collector.
+func fixtureWorld(t testing.TB) (*topology.Topology, *Deployment) {
+	t.Helper()
+	topo := &topology.Topology{ASes: map[bgp.ASN]*topology.AS{}}
+	add := func(asn bgp.ASN, firstOctet byte) *topology.AS {
+		as := &topology.AS{
+			ASN:                  asn,
+			DeclaredKind:         topology.KindTransitAccess,
+			CAIDAKind:            topology.KindTransitAccess,
+			Country:              "DE",
+			Prefixes:             []netip.Prefix{netip.PrefixFrom(netip.AddrFrom4([4]byte{firstOctet, 0, 0, 0}), 16)},
+			FiltersMoreSpecifics: true,
+			HasIRRRouteObjects:   true,
+		}
+		topo.ASes[asn] = as
+		topo.Order = append(topo.Order, asn)
+		return as
+	}
+	provider := add(100, 30)
+	user := add(200, 31)
+	peerAS := add(300, 32)
+	strictAS := add(400, 33)
+
+	provider.Blackholing = &topology.BlackholeService{
+		Communities:  []bgp.Community{bgp.MakeCommunity(100, 666)},
+		Doc:          topology.DocIRR,
+		MaxPrefixLen: 32,
+		MinPrefixLen: 24,
+	}
+	// This provider leaks blackholed more-specifics to its collector
+	// session (a minority behaviour the visibility tests rely on).
+	provider.FiltersMoreSpecifics = false
+	provider.Customers = []bgp.ASN{200}
+	user.Providers = []bgp.ASN{100}
+	user.Peers = []bgp.ASN{300, 400}
+	peerAS.Peers = []bgp.ASN{200}
+	strictAS.Peers = []bgp.ASN{200}
+	peerAS.FiltersMoreSpecifics = false // sloppy network that leaks
+
+	ixp := &topology.IXP{
+		ID:              0,
+		Name:            "IXP-TEST",
+		Country:         "DE",
+		RouteServerASN:  59000,
+		InsertsRSASN:    false,
+		PeeringLAN:      netip.MustParsePrefix("23.0.0.0/22"),
+		Members:         []bgp.ASN{200, 300, 400},
+		HasPCHCollector: true,
+		Blackholing: &topology.BlackholeService{
+			Communities:  []bgp.Community{bgp.CommunityBlackhole},
+			Doc:          topology.DocWeb,
+			MaxPrefixLen: 32,
+			MinPrefixLen: 24,
+			Shared:       true,
+		},
+		BlackholingIPv4: netip.MustParseAddr("23.0.0.66"),
+	}
+	user.IXPs = []int{0}
+	peerAS.IXPs = []int{0}
+	strictAS.IXPs = []int{0}
+	topo.IXPs = []*topology.IXP{ixp}
+
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hand-built deployment: RIS peers with provider, RV with peerAS,
+	// PCH at the IXP, CDN directly inside the user.
+	d := &Deployment{
+		Topo:            topo,
+		sessionsByAS:    map[bgp.ASN][]sessionRef{},
+		rsSessionsByIXP: map[int][]sessionRef{},
+	}
+	ris := &Collector{Platform: PlatformRIS, Name: "rrc00", IXPID: -1,
+		IP: netip.MustParseAddr("22.0.0.1"), ASN: 64900}
+	ris.Sessions = []PeerSession{{AS: 100, IP: netip.MustParseAddr("22.0.1.1"), Feed: FeedFull, IXPID: -1}}
+	rv := &Collector{Platform: PlatformRV, Name: "route-views0", IXPID: -1,
+		IP: netip.MustParseAddr("22.1.0.1"), ASN: 64901}
+	rv.Sessions = []PeerSession{{AS: 300, IP: netip.MustParseAddr("22.1.1.1"), Feed: FeedFull, IXPID: -1}}
+	pch := &Collector{Platform: PlatformPCH, Name: "pch-IXP-TEST", IXPID: 0,
+		IP: netip.MustParseAddr("22.2.0.1"), ASN: 3856}
+	pch.Sessions = []PeerSession{{AS: 59000, IP: netip.MustParseAddr("23.0.0.1"), Feed: FeedFull, RouteServer: true, IXPID: 0}}
+	cdn := &Collector{Platform: PlatformCDN, Name: "cdn", IXPID: -1,
+		IP: netip.MustParseAddr("22.3.0.1"), ASN: 20940}
+	cdn.Sessions = []PeerSession{{AS: 200, IP: netip.MustParseAddr("22.3.1.1"), Feed: FeedFull, IXPID: -1, Internal: true}}
+	d.Collectors = []*Collector{ris, rv, pch, cdn}
+	for _, col := range d.Collectors {
+		for i, s := range col.Sessions {
+			ref := sessionRef{col, i}
+			d.sessionsByAS[s.AS] = append(d.sessionsByAS[s.AS], ref)
+			if s.RouteServer {
+				d.rsSessionsByIXP[s.IXPID] = append(d.rsSessionsByIXP[s.IXPID], ref)
+			}
+		}
+	}
+	return topo, d
+}
+
+func victimPrefix() netip.Prefix { return netip.MustParsePrefix("31.0.0.1/32") }
+
+func TestPropagateProviderAcceptsBlackhole(t *testing.T) {
+	_, d := fixtureWorld(t)
+	res := d.Propagate(Announcement{
+		Time:            t0,
+		User:            200,
+		Prefix:          victimPrefix(),
+		Communities:     []bgp.Community{bgp.MakeCommunity(100, 666)},
+		TargetProviders: []bgp.ASN{100},
+	})
+	if !res.DroppingASes[100] {
+		t.Fatal("provider did not install the blackhole")
+	}
+	// The RIS session with the provider must observe the route with the
+	// provider first on path.
+	var seen bool
+	for _, o := range res.Observations {
+		if o.Collector.Platform == PlatformRIS {
+			seen = true
+			if first, _ := o.Update.Path.First(); first != 100 {
+				t.Fatalf("RIS path = %v", o.Update.Path)
+			}
+			if !o.Update.HasCommunity(bgp.MakeCommunity(100, 666)) {
+				t.Fatal("blackhole community lost on observation")
+			}
+		}
+	}
+	if !seen {
+		t.Fatal("RIS did not observe the blackholed prefix")
+	}
+}
+
+func TestPropagateRejectsWithoutCommunity(t *testing.T) {
+	_, d := fixtureWorld(t)
+	res := d.Propagate(Announcement{
+		Time:            t0,
+		User:            200,
+		Prefix:          victimPrefix(),
+		TargetProviders: []bgp.ASN{100},
+	})
+	if res.DroppingASes[100] {
+		t.Fatal("provider accepted an untagged /32")
+	}
+}
+
+func TestPropagateNoExportStopsLeaking(t *testing.T) {
+	_, d := fixtureWorld(t)
+	res := d.Propagate(Announcement{
+		Time:        t0,
+		User:        200,
+		Prefix:      victimPrefix(),
+		Communities: []bgp.Community{bgp.MakeCommunity(100, 666)},
+		NoExport:    true,
+		Bundled:     true,
+	})
+	// peerAS(300) is non-filtering and would leak, but NO_EXPORT stops
+	// re-export beyond the first hop; RV still sees 300's own view.
+	for _, o := range res.Observations {
+		if o.Collector.Platform == PlatformRV {
+			flat := o.Update.Path.Flatten()
+			if len(flat) > 2 {
+				t.Fatalf("NO_EXPORT leaked %v", flat)
+			}
+		}
+	}
+}
+
+func TestPropagateBundledReachesCDNDirectly(t *testing.T) {
+	_, d := fixtureWorld(t)
+	res := d.Propagate(Announcement{
+		Time:        t0,
+		User:        200,
+		Prefix:      victimPrefix(),
+		Communities: []bgp.Community{bgp.MakeCommunity(100, 666), bgp.CommunityBlackhole},
+		Bundled:     true,
+	})
+	var cdnSeen bool
+	for _, o := range res.Observations {
+		if o.Collector.Platform == PlatformCDN {
+			cdnSeen = true
+			// Direct session with the user: path is just the user, and
+			// the bundled communities are fully visible.
+			if first, _ := o.Update.Path.First(); first != 200 {
+				t.Fatalf("CDN path = %v", o.Update.Path)
+			}
+			if !o.Update.HasCommunity(bgp.CommunityBlackhole) {
+				t.Fatal("bundled community missing at CDN")
+			}
+		}
+	}
+	if !cdnSeen {
+		t.Fatal("CDN missed the user's own announcement")
+	}
+	// Bundling also reaches the IXP route server.
+	if len(res.AcceptedIXPs) != 1 || res.AcceptedIXPs[0] != 0 {
+		t.Fatalf("AcceptedIXPs = %v", res.AcceptedIXPs)
+	}
+}
+
+func TestPropagateIXPObservationShape(t *testing.T) {
+	topo, d := fixtureWorld(t)
+	res := d.Propagate(Announcement{
+		Time:        t0,
+		User:        200,
+		Prefix:      victimPrefix(),
+		Communities: []bgp.Community{bgp.CommunityBlackhole},
+		TargetIXPs:  []int{0},
+	})
+	var pchObs *Observation
+	for i := range res.Observations {
+		if res.Observations[i].Collector.Platform == PlatformPCH {
+			pchObs = &res.Observations[i]
+		}
+	}
+	if pchObs == nil {
+		t.Fatal("PCH did not observe the IXP blackhole")
+	}
+	x := topo.IXPs[0]
+	// Transparent route server: peer-as is the member, peer-ip inside
+	// the peering LAN, next hop is the blackholing IP.
+	if pchObs.Update.PeerAS != 200 {
+		t.Fatalf("peer AS = %v", pchObs.Update.PeerAS)
+	}
+	if !x.PeeringLAN.Contains(pchObs.Update.PeerIP) {
+		t.Fatalf("peer IP %v outside LAN", pchObs.Update.PeerIP)
+	}
+	if pchObs.Update.NextHop != x.BlackholingIPv4 {
+		t.Fatalf("next hop = %v, want %v", pchObs.Update.NextHop, x.BlackholingIPv4)
+	}
+	// Dropping members exclude the user itself.
+	if res.DroppingIXPMembers[0][200] {
+		t.Fatal("user listed as dropping member")
+	}
+	if len(res.DroppingIXPMembers[0]) == 0 {
+		t.Fatal("no members honour the blackhole")
+	}
+}
+
+func TestPropagateIXPInsertsRSASN(t *testing.T) {
+	topo, d := fixtureWorld(t)
+	topo.IXPs[0].InsertsRSASN = true
+	res := d.Propagate(Announcement{
+		Time:        t0,
+		User:        200,
+		Prefix:      victimPrefix(),
+		Communities: []bgp.Community{bgp.CommunityBlackhole},
+		TargetIXPs:  []int{0},
+	})
+	for _, o := range res.Observations {
+		if o.Collector.Platform == PlatformPCH {
+			flat := o.Update.Path.Flatten()
+			if len(flat) != 2 || flat[0] != 59000 || flat[1] != 200 {
+				t.Fatalf("path = %v, want [59000 200]", flat)
+			}
+			if o.Update.PeerAS != 59000 {
+				t.Fatalf("peer AS = %v, want RS", o.Update.PeerAS)
+			}
+		}
+	}
+}
+
+func TestPropagateIXPIRRRejection(t *testing.T) {
+	topo, d := fixtureWorld(t)
+	topo.IXPs[0].Blackholing.RequiresIRRRegistration = true
+	topo.ASes[200].HasIRRRouteObjects = false
+	res := d.Propagate(Announcement{
+		Time:        t0,
+		User:        200,
+		Prefix:      victimPrefix(),
+		Communities: []bgp.Community{bgp.CommunityBlackhole},
+		TargetIXPs:  []int{0},
+	})
+	if len(res.AcceptedIXPs) != 0 {
+		t.Fatal("IXP accepted despite missing IRR objects")
+	}
+	if len(res.Rejections) != 1 || res.Rejections[0].Reason != "prefix not registered in IRR" {
+		t.Fatalf("rejections = %v", res.Rejections)
+	}
+}
+
+func TestPropagateIXPWrongCommunity(t *testing.T) {
+	_, d := fixtureWorld(t)
+	res := d.Propagate(Announcement{
+		Time:        t0,
+		User:        200,
+		Prefix:      victimPrefix(),
+		Communities: []bgp.Community{bgp.MakeCommunity(999, 1)},
+		TargetIXPs:  []int{0},
+	})
+	if len(res.AcceptedIXPs) != 0 {
+		t.Fatal("IXP accepted a wrong community")
+	}
+	if len(res.Rejections) != 1 || res.Rejections[0].Reason != "wrong BGP community" {
+		t.Fatalf("rejections = %v", res.Rejections)
+	}
+}
+
+func TestPropagateNonMemberCannotUseIXP(t *testing.T) {
+	topo, d := fixtureWorld(t)
+	// provider(100) is not an IXP member.
+	_ = topo
+	res := d.Propagate(Announcement{
+		Time:        t0,
+		User:        100,
+		Prefix:      netip.MustParsePrefix("30.0.0.1/32"),
+		Communities: []bgp.Community{bgp.CommunityBlackhole},
+		TargetIXPs:  []int{0},
+	})
+	if len(res.AcceptedIXPs) != 0 || len(res.Rejections) != 0 {
+		t.Fatalf("non-member handled: %v %v", res.AcceptedIXPs, res.Rejections)
+	}
+}
+
+func TestPropagateAuthenticationRejectsForeignPrefix(t *testing.T) {
+	_, d := fixtureWorld(t)
+	// User 200 tries to blackhole address space originated by 300.
+	res := d.Propagate(Announcement{
+		Time:            t0,
+		User:            200,
+		Prefix:          netip.MustParsePrefix("32.0.0.1/32"), // 300's space
+		Communities:     []bgp.Community{bgp.MakeCommunity(100, 666)},
+		TargetProviders: []bgp.ASN{100},
+	})
+	if res.DroppingASes[100] {
+		t.Fatal("provider blackholed a prefix outside the user's cone")
+	}
+}
+
+func TestWithdrawMatchesObservers(t *testing.T) {
+	_, d := fixtureWorld(t)
+	res := d.Propagate(Announcement{
+		Time:        t0,
+		User:        200,
+		Prefix:      victimPrefix(),
+		Communities: []bgp.Community{bgp.MakeCommunity(100, 666), bgp.CommunityBlackhole},
+		Bundled:     true,
+	})
+	w := d.Withdraw(res, t0.Add(10*time.Minute))
+	if len(w) != len(res.Observations) {
+		t.Fatalf("withdrawals %d != observations %d", len(w), len(res.Observations))
+	}
+	for i, o := range w {
+		if !o.Update.IsWithdrawal() || o.Update.IsAnnouncement() {
+			t.Fatalf("withdrawal %d malformed: %v", i, o.Update)
+		}
+		if o.Update.PeerIP != res.Observations[i].Update.PeerIP {
+			t.Fatal("withdrawal peer mismatch")
+		}
+		if !o.Update.Time.Equal(t0.Add(10 * time.Minute)) {
+			t.Fatal("withdrawal time wrong")
+		}
+	}
+}
+
+func TestReannounceWithoutStripsCommunities(t *testing.T) {
+	_, d := fixtureWorld(t)
+	res := d.Propagate(Announcement{
+		Time:        t0,
+		User:        200,
+		Prefix:      victimPrefix(),
+		Communities: []bgp.Community{bgp.MakeCommunity(100, 666)},
+		Bundled:     true,
+	})
+	re := d.ReannounceWithout(res, t0.Add(time.Hour))
+	if len(re) != len(res.Observations) {
+		t.Fatal("reannouncement count mismatch")
+	}
+	for _, o := range re {
+		if len(o.Update.Communities) != 0 {
+			t.Fatal("communities survived implicit withdrawal")
+		}
+		if !o.Update.IsAnnouncement() {
+			t.Fatal("reannouncement lost NLRI")
+		}
+	}
+}
+
+func TestDeployGeneratedWorld(t *testing.T) {
+	topo, err := topology.Generate(topology.DefaultConfig().Scaled(0.15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Deploy(topo, DefaultConfig().Scaled(0.15))
+	if d.SessionCount(PlatformRIS) == 0 || d.SessionCount(PlatformCDN) == 0 {
+		t.Fatal("missing sessions")
+	}
+	// PCH has one collector per IXP with a collector.
+	nPCH := len(d.ByPlatform(PlatformPCH))
+	if nPCH != len(topo.IXPs) {
+		t.Fatalf("PCH collectors = %d, want %d", nPCH, len(topo.IXPs))
+	}
+	for _, c := range d.ByPlatform(PlatformPCH) {
+		if len(c.Sessions) != 1 || !c.Sessions[0].RouteServer {
+			t.Fatal("PCH collector must have exactly the RS session")
+		}
+	}
+	if len(d.PeerASes(PlatformCDN)) == 0 {
+		t.Fatal("CDN has no peer ASes")
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	topo, err := topology.Generate(topology.DefaultConfig().Scaled(0.15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Deploy(topo, DefaultConfig().Scaled(0.15))
+	rows := d.Table1()
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 4 platforms + total", len(rows))
+	}
+	byPlat := map[Platform]VisibilityStats{}
+	for _, r := range rows[:4] {
+		byPlat[r.Platform] = r
+	}
+	// The CDN's internal feeds give it the most prefixes and by far the
+	// most unique prefixes (Table 1's headline observation).
+	cdn := byPlat[PlatformCDN]
+	for _, p := range []Platform{PlatformRIS, PlatformRV, PlatformPCH} {
+		if cdn.Prefixes < byPlat[p].Prefixes {
+			t.Errorf("CDN prefixes %d < %s prefixes %d", cdn.Prefixes, p, byPlat[p].Prefixes)
+		}
+	}
+	if cdn.UniquePrefixes == 0 {
+		t.Error("CDN should see unique (internal) prefixes")
+	}
+	total := rows[4]
+	if total.Prefixes < cdn.Prefixes {
+		t.Error("total row smaller than CDN row")
+	}
+}
+
+func TestOrdinaryUpdatesCarryTECommunities(t *testing.T) {
+	topo, err := topology.Generate(topology.DefaultConfig().Scaled(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Deploy(topo, DefaultConfig().Scaled(0.1))
+	obs := d.OrdinaryUpdates(t0, 500)
+	if len(obs) == 0 {
+		t.Fatal("no ordinary updates")
+	}
+	for _, o := range obs {
+		if len(o.Update.Communities) == 0 {
+			t.Fatal("ordinary update without communities")
+		}
+		as := topo.AS(o.Update.PeerAS)
+		for _, c := range o.Update.Communities {
+			found := false
+			for _, rc := range as.RoutingCommunities {
+				if rc == c {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("update carries community %s the peer does not document", c)
+			}
+		}
+	}
+}
+
+func TestPlatformString(t *testing.T) {
+	if PlatformRIS.String() != "RIS" || PlatformCDN.String() != "CDN" || Platform(9).String() != "Platform(9)" {
+		t.Fatal("platform strings wrong")
+	}
+}

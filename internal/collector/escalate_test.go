@@ -1,0 +1,192 @@
+package collector
+
+import (
+	"net/netip"
+	"testing"
+
+	"bgpblackholing/internal/bgp"
+	"bgpblackholing/internal/topology"
+)
+
+// escalationWorld builds a three-level provider chain where both P1 and
+// its upstream Q offer blackholing:
+//
+//	Q(50, blackholing) ── P1(100, blackholing) ── user(200)
+func escalationWorld(t *testing.T) (*topology.Topology, *Deployment) {
+	t.Helper()
+	topo := &topology.Topology{ASes: map[bgp.ASN]*topology.AS{}}
+	add := func(asn bgp.ASN, octet byte) *topology.AS {
+		as := &topology.AS{
+			ASN: asn, DeclaredKind: topology.KindTransitAccess, CAIDAKind: topology.KindTransitAccess,
+			Prefixes:             []netip.Prefix{netip.PrefixFrom(netip.AddrFrom4([4]byte{octet, 0, 0, 0}), 16)},
+			FiltersMoreSpecifics: true,
+			HasIRRRouteObjects:   true,
+		}
+		topo.ASes[asn] = as
+		topo.Order = append(topo.Order, asn)
+		return as
+	}
+	q := add(50, 29)
+	p1 := add(100, 30)
+	user := add(200, 31)
+	cust := func(prov, c *topology.AS) {
+		prov.Customers = append(prov.Customers, c.ASN)
+		c.Providers = append(c.Providers, prov.ASN)
+	}
+	cust(q, p1)
+	cust(p1, user)
+	svc := func(asn bgp.ASN) *topology.BlackholeService {
+		return &topology.BlackholeService{
+			Communities:  []bgp.Community{bgp.MakeCommunity(uint16(asn), 666)},
+			MaxPrefixLen: 32, MinPrefixLen: 24,
+		}
+	}
+	q.Blackholing = svc(50)
+	p1.Blackholing = svc(100)
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := &Deployment{
+		Topo:            topo,
+		sessionsByAS:    map[bgp.ASN][]sessionRef{},
+		rsSessionsByIXP: map[int][]sessionRef{},
+	}
+	return topo, d
+}
+
+func TestEscalationReachesUpstream(t *testing.T) {
+	_, d := escalationWorld(t)
+	// The deterministic hash may or may not select this (P1,Q) pair;
+	// scan a few prefixes to find one that escalates and one that does
+	// not, proving the arrangement is per-pair.
+	escalated, stayed := false, false
+	for i := 0; i < 64 && (!escalated || !stayed); i++ {
+		prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{31, 0, byte(i), 1}), 32)
+		res := d.Propagate(Announcement{
+			User:            200,
+			Prefix:          prefix,
+			Communities:     []bgp.Community{bgp.MakeCommunity(100, 666)},
+			TargetProviders: []bgp.ASN{100},
+		})
+		if !res.DroppingASes[100] {
+			t.Fatal("direct provider did not drop")
+		}
+		if res.DroppingASes[50] {
+			escalated = true
+		} else {
+			stayed = true
+		}
+	}
+	if !escalated {
+		t.Fatal("no prefix ever escalated to the upstream")
+	}
+	if !stayed {
+		t.Fatal("every prefix escalated: arrangement should be per-pair")
+	}
+}
+
+func TestEscalationCarriesUpstreamCommunity(t *testing.T) {
+	topo, d := escalationWorld(t)
+	// Make the upstream leak to a collector so the escalated state is
+	// observable.
+	topo.ASes[50].FiltersMoreSpecifics = false
+	ris := &Collector{Platform: PlatformRIS, Name: "rrc00", IXPID: -1,
+		IP: netip.MustParseAddr("22.0.0.1"), ASN: 64900}
+	ris.Sessions = []PeerSession{{AS: 50, IP: netip.MustParseAddr("22.0.1.1"), Feed: FeedFull, IXPID: -1}}
+	d.Collectors = append(d.Collectors, ris)
+	d.sessionsByAS[50] = []sessionRef{{ris, 0}}
+
+	for i := 0; i < 64; i++ {
+		prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{31, 0, byte(i), 1}), 32)
+		res := d.Propagate(Announcement{
+			User:            200,
+			Prefix:          prefix,
+			Communities:     []bgp.Community{bgp.MakeCommunity(100, 666)},
+			TargetProviders: []bgp.ASN{100},
+		})
+		if !res.DroppingASes[50] {
+			continue
+		}
+		// Found an escalated propagation observed at RIS.
+		for _, o := range res.Observations {
+			if o.Collector != ris {
+				continue
+			}
+			if !o.Update.HasCommunity(bgp.MakeCommunity(50, 666)) {
+				t.Fatal("escalated announcement lacks the upstream's community")
+			}
+			if !o.Update.HasCommunity(bgp.MakeCommunity(100, 666)) {
+				t.Fatal("original community stripped during escalation")
+			}
+			flat := o.Update.Path.Flatten()
+			if len(flat) < 3 || flat[0] != 50 || flat[1] != 100 || flat[2] != 200 {
+				t.Fatalf("escalated path = %v, want [50 100 200]", flat)
+			}
+			return
+		}
+		t.Fatal("escalated drop not observed at the leaking upstream's session")
+	}
+	t.Skip("no prefix escalated in 64 tries (hash unlucky)")
+}
+
+func TestEscalationBoundedByLevels(t *testing.T) {
+	// A long provider chain must not escalate beyond escalationLevels.
+	topo := &topology.Topology{ASes: map[bgp.ASN]*topology.AS{}}
+	var prev *topology.AS
+	for i := 0; i < 8; i++ {
+		asn := bgp.ASN(100 + i)
+		as := &topology.AS{
+			ASN: asn, DeclaredKind: topology.KindTransitAccess, CAIDAKind: topology.KindTransitAccess,
+			Prefixes:             []netip.Prefix{netip.PrefixFrom(netip.AddrFrom4([4]byte{byte(40 + i), 0, 0, 0}), 16)},
+			FiltersMoreSpecifics: true, HasIRRRouteObjects: true,
+			Blackholing: &topology.BlackholeService{
+				Communities:  []bgp.Community{bgp.MakeCommunity(uint16(asn), 666)},
+				MaxPrefixLen: 32, MinPrefixLen: 24,
+			},
+		}
+		topo.ASes[asn] = as
+		topo.Order = append(topo.Order, asn)
+		if prev != nil {
+			// prev is the customer of as (chain goes upward).
+			as.Customers = append(as.Customers, prev.ASN)
+			prev.Providers = append(prev.Providers, as.ASN)
+		}
+		prev = as
+	}
+	user := &topology.AS{
+		ASN: 99, DeclaredKind: topology.KindTransitAccess, CAIDAKind: topology.KindTransitAccess,
+		Prefixes:           []netip.Prefix{netip.MustParsePrefix("31.0.0.0/16")},
+		HasIRRRouteObjects: true,
+	}
+	topo.ASes[99] = user
+	topo.Order = append(topo.Order, 99)
+	user.Providers = []bgp.ASN{100}
+	topo.ASes[100].Customers = append(topo.ASes[100].Customers, 99)
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := &Deployment{Topo: topo, sessionsByAS: map[bgp.ASN][]sessionRef{}, rsSessionsByIXP: map[int][]sessionRef{}}
+
+	worst := 0
+	for i := 0; i < 32; i++ {
+		prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{31, 0, byte(i), 1}), 32)
+		res := d.Propagate(Announcement{
+			User:            99,
+			Prefix:          prefix,
+			Communities:     []bgp.Community{bgp.MakeCommunity(100, 666)},
+			TargetProviders: []bgp.ASN{100},
+		})
+		depth := 0
+		for asn := range res.DroppingASes {
+			if int(asn)-100 > depth {
+				depth = int(asn) - 100
+			}
+		}
+		if depth > worst {
+			worst = depth
+		}
+	}
+	if worst > escalationLevels {
+		t.Fatalf("escalation depth %d exceeds limit %d", worst, escalationLevels)
+	}
+}

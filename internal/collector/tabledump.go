@@ -1,0 +1,80 @@
+package collector
+
+import (
+	"io"
+	"net/netip"
+	"sort"
+	"time"
+
+	"bgpblackholing/internal/mrt"
+)
+
+// WriteTableDump writes a TABLE_DUMP_V2 snapshot for one collector from
+// announcement observations that are active at dumpTime: the per-peer
+// routes a collector's RIB would hold, in RFC 6396 format (one
+// PEER_INDEX_TABLE followed by one RIB record per prefix). This is the
+// §4.2 initialisation artefact: events found in a dump have unknown
+// start times.
+func WriteTableDump(w io.Writer, col *Collector, obs []Observation, dumpTime time.Time) error {
+	// Build the peer index from the observations' sessions.
+	peerIdx := map[netip.Addr]uint16{}
+	pit := &mrt.PeerIndexTable{
+		Time:        dumpTime,
+		CollectorID: col.IP,
+		ViewName:    col.Name,
+	}
+	// Group per prefix.
+	type entry struct {
+		peer netip.Addr
+		obs  Observation
+	}
+	byPrefix := map[netip.Prefix][]entry{}
+	var prefixes []netip.Prefix
+	for _, o := range obs {
+		if o.Collector != col || !o.Update.IsAnnouncement() {
+			continue
+		}
+		if _, ok := peerIdx[o.Update.PeerIP]; !ok {
+			peerIdx[o.Update.PeerIP] = uint16(len(pit.Peers))
+			pit.Peers = append(pit.Peers, mrt.Peer{
+				BGPID: o.Update.PeerIP,
+				IP:    o.Update.PeerIP,
+				AS:    o.Update.PeerAS,
+			})
+		}
+		for _, p := range o.Update.Announced {
+			if len(byPrefix[p]) == 0 {
+				prefixes = append(prefixes, p)
+			}
+			byPrefix[p] = append(byPrefix[p], entry{peer: o.Update.PeerIP, obs: o})
+		}
+	}
+	if len(prefixes) == 0 {
+		return nil
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].String() < prefixes[j].String() })
+
+	mw := mrt.NewWriter(w)
+	if err := mw.WritePeerIndexTable(pit); err != nil {
+		return err
+	}
+	for seq, p := range prefixes {
+		rib := &mrt.RIB{Time: dumpTime, Sequence: uint32(seq), Prefix: p}
+		seen := map[netip.Addr]bool{}
+		for _, e := range byPrefix[p] {
+			if seen[e.peer] {
+				continue // one route per peer in a RIB
+			}
+			seen[e.peer] = true
+			rib.Entries = append(rib.Entries, mrt.RIBEntry{
+				PeerIndex:      peerIdx[e.peer],
+				OriginatedTime: e.obs.Update.Time,
+				Attrs:          e.obs.Update,
+			})
+		}
+		if err := mw.WriteRIB(rib); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,617 @@
+// Package core implements the paper's primary contribution (§4.2): the
+// BGP blackholing inference engine. It classifies BGP updates against a
+// blackhole-communities dictionary, resolves ambiguous and bundled
+// communities via AS-path and peer-IP checks, tracks blackholing events
+// per (prefix, BGP peer) through announcements, explicit withdrawals and
+// implicit withdrawals, and correlates the per-peer signals into
+// prefix-level events with exact start and end times.
+package core
+
+import (
+	"errors"
+	"io"
+	"net/netip"
+	"sort"
+	"time"
+
+	"bgpblackholing/internal/bgp"
+	"bgpblackholing/internal/bogon"
+	"bgpblackholing/internal/collector"
+	"bgpblackholing/internal/dictionary"
+	"bgpblackholing/internal/stream"
+	"bgpblackholing/internal/topology"
+)
+
+// ProviderKind distinguishes AS-level from IXP blackholing providers.
+type ProviderKind int
+
+// Provider kinds.
+const (
+	ProviderAS ProviderKind = iota
+	ProviderIXP
+)
+
+// ProviderRef identifies one inferred blackholing provider.
+type ProviderRef struct {
+	Kind ProviderKind
+	// ASN is set for AS providers.
+	ASN bgp.ASN
+	// IXPID is set for IXP providers (Kind == ProviderIXP).
+	IXPID int
+}
+
+// String renders the provider for logs.
+func (p ProviderRef) String() string {
+	if p.Kind == ProviderIXP {
+		return "ixp:" + itoa(p.IXPID)
+	}
+	return "AS" + p.ASN.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+// NoPath is the AS-distance value recorded when the provider does not
+// appear on the AS path at all — the community-bundling case that
+// contributes about half the paper's inferences (Fig 7c "No-path").
+const NoPath = -1
+
+// ProviderInference is one provider identified on one update, with the
+// AS distance between the collector's peer and the provider (0 for IXPs
+// where the collector sits at the exchange, 1 when the collector peers
+// directly with the provider, NoPath when inferred purely from
+// bundling).
+type ProviderInference struct {
+	Provider   ProviderRef
+	User       bgp.ASN
+	Community  bgp.Community
+	ASDistance int
+}
+
+// Detection is one update classified as a blackholing announcement. The
+// classification applies to every prefix the update announces.
+type Detection struct {
+	Time      time.Time
+	PeerIP    netip.Addr
+	PeerAS    bgp.ASN
+	Providers []ProviderInference
+}
+
+// Event is one correlated prefix-level blackholing event: the span
+// during which at least one BGP peer observed the prefix blackholed.
+type Event struct {
+	Prefix netip.Prefix
+	Start  time.Time
+	End    time.Time
+	// StartUnknown marks events seeded from a table dump, whose true
+	// start predates monitoring (§4.2 "initial starting time of zero").
+	StartUnknown bool
+	// Providers aggregates every provider inferred during the event.
+	Providers map[ProviderRef]bool
+	// Users aggregates every inferred blackholing user.
+	Users map[bgp.ASN]bool
+	// Communities aggregates the matched blackhole communities.
+	Communities map[bgp.Community]bool
+	// Platforms records which collection platforms observed the event.
+	Platforms map[collector.Platform]bool
+	// Peers records the observing BGP peers.
+	Peers map[netip.Addr]bool
+	// ASDistances records one collector-to-provider distance per
+	// provider inference (NoPath for bundling-only inferences).
+	ASDistances []int
+	// ProviderDistances records, per provider, the best (smallest)
+	// distance at which any collector peer saw the provider on the AS
+	// path during the event; NoPath when the provider was only ever
+	// inferred from community bundling. Figure 7c counts events by this
+	// value.
+	ProviderDistances map[ProviderRef]int
+	// DirectProviders marks providers observed through their own direct
+	// collector session (AS providers as the collector peer, IXPs via a
+	// route-server session) — Table 3's "direct BGP feed" column.
+	DirectProviders map[ProviderRef]bool
+	// ProvidersByPlatform records which platform's observations
+	// evidenced each provider, for the per-source rows of Table 3.
+	ProvidersByPlatform map[collector.Platform]map[ProviderRef]bool
+	// UsersByPlatform records which platform's observations evidenced
+	// each user.
+	UsersByPlatform map[collector.Platform]map[bgp.ASN]bool
+	// ProviderUsers records, per provider, the users inferred to be
+	// using it (Table 4 user attribution).
+	ProviderUsers map[ProviderRef]map[bgp.ASN]bool
+	// Detections counts classified announcements within the event.
+	Detections int
+	// DirectFeed is true when any observing peer was itself an inferred
+	// provider (Table 3's "direct BGP feed" column).
+	DirectFeed bool
+	// SawNoExport is true when any classified announcement carried the
+	// RFC 1997 NO_EXPORT community, as RFC 7999 requires on blackhole
+	// routes (audited by package compliance).
+	SawNoExport bool
+}
+
+// Duration returns the event length.
+func (e *Event) Duration() time.Duration { return e.End.Sub(e.Start) }
+
+// Metrics counts what the engine has processed, for live-deployment
+// observability (bhserve exposes them on shutdown).
+type Metrics struct {
+	// UpdatesProcessed counts every consumed update post-cleaning.
+	UpdatesProcessed uint64
+	// UpdatesCleaned counts updates removed entirely by §3 cleaning.
+	UpdatesCleaned uint64
+	// Detections counts classified blackholing announcements
+	// (per announced prefix).
+	Detections uint64
+	// ExplicitEnds counts per-peer endings from BGP withdrawals;
+	// ImplicitEnds counts endings from untagged re-announcements (§4.2
+	// distinguishes the two).
+	ExplicitEnds uint64
+	ImplicitEnds uint64
+	// EventsClosed counts correlated prefix-level events closed.
+	EventsClosed uint64
+}
+
+// Engine is the blackholing inference engine.
+type Engine struct {
+	dict *dictionary.Dictionary
+	topo *topology.Topology
+
+	// perPeer tracks active blackholing per (prefix, peer IP).
+	perPeer map[peerKey]*peerState
+	// perPrefix correlates peers into prefix-level events.
+	perPrefix map[netip.Prefix]*prefixState
+	closed    []*Event
+
+	// Clean enables §3 data cleaning (bogon and coarse-prefix removal).
+	Clean bool
+
+	metrics Metrics
+}
+
+// Metrics returns a snapshot of the engine's counters.
+func (e *Engine) Metrics() Metrics { return e.metrics }
+
+type peerKey struct {
+	prefix netip.Prefix
+	peer   netip.Addr
+}
+
+type peerState struct {
+	start        time.Time
+	startUnknown bool
+}
+
+type prefixState struct {
+	event       *Event
+	activePeers map[netip.Addr]bool
+	lastEnd     time.Time
+}
+
+// NewEngine returns an engine inferring against the documented
+// dictionary. The topology stands in for the PeeringDB lookups the
+// paper performs (IXP route-server ASNs and peering LANs).
+func NewEngine(dict *dictionary.Dictionary, topo *topology.Topology) *Engine {
+	return &Engine{
+		dict:      dict,
+		topo:      topo,
+		perPeer:   map[peerKey]*peerState{},
+		perPrefix: map[netip.Prefix]*prefixState{},
+		Clean:     true,
+	}
+}
+
+// Classify inspects one update and returns the blackholing detection, or
+// nil when the update carries no resolvable blackhole community. It is
+// stateless; event tracking happens in Process.
+func (e *Engine) Classify(u *bgp.Update) *Detection {
+	if len(u.Announced) == 0 || (len(u.Communities) == 0 && len(u.LargeCommunities) == 0) {
+		return nil
+	}
+	var infs []ProviderInference
+	flat := u.Path.WithoutPrepending()
+	origin, hasOrigin := u.Path.Origin()
+
+	addAS := func(p bgp.ASN, c bgp.Community, shared bool) {
+		idx := -1
+		for i, a := range flat {
+			if a == p {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			if shared {
+				// Ambiguous community with no candidate on path: the
+				// update is not considered further (§4.2).
+				return
+			}
+			// Bundling: the community names the provider even though the
+			// provider does not forward the prefix.
+			if !hasOrigin {
+				return
+			}
+			infs = append(infs, ProviderInference{
+				Provider:   ProviderRef{Kind: ProviderAS, ASN: p},
+				User:       origin,
+				Community:  c,
+				ASDistance: NoPath,
+			})
+			return
+		}
+		user, ok := u.Path.HopBefore(p)
+		if !ok {
+			// Provider is the path origin: it blackholes its own prefix.
+			user = p
+		}
+		infs = append(infs, ProviderInference{
+			Provider:   ProviderRef{Kind: ProviderAS, ASN: p},
+			User:       user,
+			Community:  c,
+			ASDistance: idx + 1,
+		})
+	}
+
+	addIXP := func(xid int, c bgp.Community) {
+		if e.topo == nil || xid < 0 || xid >= len(e.topo.IXPs) {
+			return
+		}
+		x := e.topo.IXPs[xid]
+		// Check 1: the route server's ASN appears on the path.
+		if u.Path.Contains(x.RouteServerASN) {
+			user, ok := u.Path.HopBefore(x.RouteServerASN)
+			if !ok {
+				return
+			}
+			infs = append(infs, ProviderInference{
+				Provider:   ProviderRef{Kind: ProviderIXP, IXPID: xid},
+				User:       user,
+				Community:  c,
+				ASDistance: 0,
+			})
+			return
+		}
+		// Check 2: the peer-ip lies inside the IXP's peering LAN; the
+		// blackholing user is then the peer-as (§4.2).
+		if x.PeeringLAN.IsValid() && x.PeeringLAN.Contains(u.PeerIP) {
+			infs = append(infs, ProviderInference{
+				Provider:   ProviderRef{Kind: ProviderIXP, IXPID: xid},
+				User:       u.PeerAS,
+				Community:  c,
+				ASDistance: 0,
+			})
+		}
+	}
+
+	for _, c := range u.Communities {
+		entry := e.dict.Lookup(c)
+		if entry == nil {
+			continue
+		}
+		shared := entry.Shared || len(entry.Providers)+len(entry.IXPs) > 1
+		for _, p := range entry.Providers {
+			addAS(p, c, shared)
+		}
+		for _, xid := range entry.IXPs {
+			addIXP(xid, c)
+		}
+	}
+	for _, lc := range u.LargeCommunities {
+		entry := e.dict.LookupLarge(lc)
+		if entry == nil {
+			continue
+		}
+		// Large communities encode a 32-bit provider ASN in the global
+		// administrator field; treat like an unambiguous standard entry.
+		for _, p := range entry.Providers {
+			addAS(p, bgp.MakeCommunity(uint16(lc.Global), uint16(lc.Local1)), len(entry.Providers) > 1)
+		}
+	}
+	if len(infs) == 0 {
+		return nil
+	}
+	// Deduplicate providers (one community may be matched per provider
+	// from several sources).
+	sort.Slice(infs, func(i, j int) bool {
+		a, b := infs[i].Provider, infs[j].Provider
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.ASN != b.ASN {
+			return a.ASN < b.ASN
+		}
+		return a.IXPID < b.IXPID
+	})
+	dedup := infs[:0]
+	for i, inf := range infs {
+		if i == 0 || inf.Provider != infs[i-1].Provider {
+			dedup = append(dedup, inf)
+		}
+	}
+	return &Detection{
+		Time:      u.Time,
+		PeerIP:    u.PeerIP,
+		PeerAS:    u.PeerAS,
+		Providers: dedup,
+	}
+}
+
+// InitFromRIB seeds the engine from a table dump (§4.2 "Initialization
+// Based on BGP Table Dump"): blackholed prefixes found in the dump start
+// events whose true start time is unknown.
+func (e *Engine) InitFromRIB(entries []bgp.RIBEntry, dumpTime time.Time, collectorName string, platform collector.Platform) {
+	for i := range entries {
+		u := entries[i].ToUpdate(dumpTime)
+		e.process(u, collectorName, platform, true)
+	}
+}
+
+// Process consumes one stream element, updating event state.
+func (e *Engine) Process(el *stream.Elem) {
+	e.process(el.Update, el.Collector, el.Platform, false)
+}
+
+// ProcessUpdate consumes a raw update with explicit collection context.
+func (e *Engine) ProcessUpdate(u *bgp.Update, collectorName string, platform collector.Platform) {
+	e.process(u, collectorName, platform, false)
+}
+
+func (e *Engine) process(u *bgp.Update, collectorName string, platform collector.Platform, fromDump bool) {
+	if e.Clean {
+		u = bogon.CleanUpdate(u)
+		if u == nil {
+			e.metrics.UpdatesCleaned++
+			return
+		}
+	}
+	e.metrics.UpdatesProcessed++
+
+	// Explicit withdrawals end per-peer blackholing (§4.2).
+	for _, p := range u.Withdrawn {
+		if e.endPeer(peerKey{p, u.PeerIP}, u.Time) {
+			e.metrics.ExplicitEnds++
+		}
+	}
+	if len(u.Announced) == 0 {
+		return
+	}
+
+	det := e.Classify(u)
+	for _, p := range u.Announced {
+		key := peerKey{p, u.PeerIP}
+		if det == nil {
+			// Announcement without blackhole communities: implicit
+			// withdrawal if this peer previously saw the prefix
+			// blackholed (§4.2).
+			if e.endPeer(key, u.Time) {
+				e.metrics.ImplicitEnds++
+			}
+			continue
+		}
+		e.metrics.Detections++
+		e.startOrRefresh(key, u, det, p, collectorName, platform, fromDump)
+	}
+}
+
+func (e *Engine) startOrRefresh(key peerKey, u *bgp.Update, det *Detection, prefix netip.Prefix, collectorName string, platform collector.Platform, fromDump bool) {
+	ps := e.perPeer[key]
+	if ps == nil {
+		ps = &peerState{start: u.Time, startUnknown: fromDump}
+		e.perPeer[key] = ps
+	}
+
+	st := e.perPrefix[prefix]
+	if st == nil {
+		st = &prefixState{activePeers: map[netip.Addr]bool{}}
+		e.perPrefix[prefix] = st
+	}
+	if st.event == nil {
+		st.event = &Event{
+			Prefix:              prefix,
+			Start:               u.Time,
+			End:                 u.Time,
+			StartUnknown:        fromDump,
+			Providers:           map[ProviderRef]bool{},
+			Users:               map[bgp.ASN]bool{},
+			Communities:         map[bgp.Community]bool{},
+			Platforms:           map[collector.Platform]bool{},
+			Peers:               map[netip.Addr]bool{},
+			ProviderDistances:   map[ProviderRef]int{},
+			DirectProviders:     map[ProviderRef]bool{},
+			ProvidersByPlatform: map[collector.Platform]map[ProviderRef]bool{},
+			UsersByPlatform:     map[collector.Platform]map[bgp.ASN]bool{},
+			ProviderUsers:       map[ProviderRef]map[bgp.ASN]bool{},
+		}
+	}
+	ev := st.event
+	st.activePeers[u.PeerIP] = true
+	if u.Time.After(ev.End) {
+		ev.End = u.Time
+	}
+	if u.HasNoExport() {
+		ev.SawNoExport = true
+	}
+	ev.Detections++
+	ev.Platforms[platform] = true
+	ev.Peers[u.PeerIP] = true
+	if ev.ProvidersByPlatform[platform] == nil {
+		ev.ProvidersByPlatform[platform] = map[ProviderRef]bool{}
+		ev.UsersByPlatform[platform] = map[bgp.ASN]bool{}
+	}
+	for _, inf := range det.Providers {
+		ev.Providers[inf.Provider] = true
+		ev.ProvidersByPlatform[platform][inf.Provider] = true
+		if inf.User != 0 {
+			ev.Users[inf.User] = true
+			ev.UsersByPlatform[platform][inf.User] = true
+			if ev.ProviderUsers[inf.Provider] == nil {
+				ev.ProviderUsers[inf.Provider] = map[bgp.ASN]bool{}
+			}
+			ev.ProviderUsers[inf.Provider][inf.User] = true
+		}
+		ev.Communities[inf.Community] = true
+		ev.ASDistances = append(ev.ASDistances, inf.ASDistance)
+		if cur, ok := ev.ProviderDistances[inf.Provider]; !ok || betterDistance(inf.ASDistance, cur) {
+			ev.ProviderDistances[inf.Provider] = inf.ASDistance
+		}
+		if inf.Provider.Kind == ProviderAS && inf.Provider.ASN == u.PeerAS {
+			ev.DirectFeed = true
+			ev.DirectProviders[inf.Provider] = true
+		}
+		if inf.Provider.Kind == ProviderIXP && inf.ASDistance == 0 {
+			ev.DirectFeed = true
+			ev.DirectProviders[inf.Provider] = true
+		}
+	}
+}
+
+// betterDistance prefers any on-path distance over NoPath, and smaller
+// distances otherwise.
+func betterDistance(cand, cur int) bool {
+	if cur == NoPath {
+		return cand != NoPath
+	}
+	return cand != NoPath && cand < cur
+}
+
+// endPeer closes the per-peer state, reporting whether the peer was
+// actually tracking the prefix.
+func (e *Engine) endPeer(key peerKey, t time.Time) bool {
+	if _, ok := e.perPeer[key]; !ok {
+		return false
+	}
+	delete(e.perPeer, key)
+	st := e.perPrefix[key.prefix]
+	if st == nil || st.event == nil {
+		return true
+	}
+	delete(st.activePeers, key.peer)
+	if t.After(st.event.End) {
+		st.event.End = t
+	}
+	if len(st.activePeers) == 0 {
+		// All peers agree the blackholing is over: close the event.
+		e.closed = append(e.closed, st.event)
+		e.metrics.EventsClosed++
+		st.event = nil
+		st.lastEnd = t
+	}
+	return true
+}
+
+// Flush closes every still-active event at time t (end of monitoring).
+func (e *Engine) Flush(t time.Time) {
+	var keys []netip.Prefix
+	for p, st := range e.perPrefix {
+		if st.event != nil {
+			keys = append(keys, p)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	for _, p := range keys {
+		st := e.perPrefix[p]
+		if t.After(st.event.End) {
+			st.event.End = t
+		}
+		e.closed = append(e.closed, st.event)
+		e.metrics.EventsClosed++
+		st.event = nil
+	}
+	e.perPeer = map[peerKey]*peerState{}
+}
+
+// Run drains a stream through the engine.
+func (e *Engine) Run(s stream.Stream) error {
+	for {
+		el, err := s.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		e.Process(el)
+	}
+}
+
+// Events returns all closed events in closing order.
+func (e *Engine) Events() []*Event { return e.closed }
+
+// ActiveCount reports how many prefixes are currently blackholed.
+func (e *Engine) ActiveCount() int {
+	n := 0
+	for _, st := range e.perPrefix {
+		if st.event != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Period is a group of events for the same prefix whose gaps are at most
+// the grouping timeout — the paper's 5-minute aggregation that turns the
+// ON/OFF probing practice into operator-level blackholing periods
+// (Fig 8a "Grouped").
+type Period struct {
+	Prefix netip.Prefix
+	Start  time.Time
+	End    time.Time
+	Events []*Event
+}
+
+// Duration returns the period length.
+func (p *Period) Duration() time.Duration { return p.End.Sub(p.Start) }
+
+// DefaultGroupTimeout is the paper's 5-minute grouping window.
+const DefaultGroupTimeout = 5 * time.Minute
+
+// Group merges per-prefix events with inter-event gaps of at most
+// timeout into periods.
+func Group(events []*Event, timeout time.Duration) []*Period {
+	byPrefix := map[netip.Prefix][]*Event{}
+	for _, ev := range events {
+		byPrefix[ev.Prefix] = append(byPrefix[ev.Prefix], ev)
+	}
+	var prefixes []netip.Prefix
+	for p := range byPrefix {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].String() < prefixes[j].String() })
+
+	var out []*Period
+	for _, p := range prefixes {
+		evs := byPrefix[p]
+		sort.Slice(evs, func(i, j int) bool { return evs[i].Start.Before(evs[j].Start) })
+		var cur *Period
+		for _, ev := range evs {
+			if cur != nil && ev.Start.Sub(cur.End) <= timeout {
+				cur.Events = append(cur.Events, ev)
+				if ev.End.After(cur.End) {
+					cur.End = ev.End
+				}
+				continue
+			}
+			cur = &Period{Prefix: p, Start: ev.Start, End: ev.End, Events: []*Event{ev}}
+			out = append(out, cur)
+		}
+	}
+	return out
+}

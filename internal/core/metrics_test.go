@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"bgpblackholing/internal/bgp"
+	"bgpblackholing/internal/collector"
+)
+
+func TestMetricsCounters(t *testing.T) {
+	topo, dict := testWorld()
+	e := NewEngine(dict, topo)
+	bh := bgp.MakeCommunity(100, 666)
+
+	// A bogon announcement is cleaned away entirely.
+	e.ProcessUpdate(announce("22.0.1.1", 100, 0, "10.0.0.1/32", []bgp.ASN{100, 200}, bh), "rrc00", collector.PlatformRIS)
+	// Two detections on one prefix each, one explicit end, one implicit.
+	e.ProcessUpdate(announce("22.0.1.1", 100, time.Minute, "31.0.0.1/32", []bgp.ASN{100, 200}, bh), "rrc00", collector.PlatformRIS)
+	e.ProcessUpdate(announce("22.0.1.1", 100, time.Minute, "31.0.0.2/32", []bgp.ASN{100, 200}, bh), "rrc00", collector.PlatformRIS)
+	e.ProcessUpdate(withdraw("22.0.1.1", 100, 2*time.Minute, "31.0.0.1/32"), "rrc00", collector.PlatformRIS)
+	e.ProcessUpdate(announce("22.0.1.1", 100, 3*time.Minute, "31.0.0.2/32", []bgp.ASN{100, 200}), "rrc00", collector.PlatformRIS)
+	// A withdrawal for something never tracked counts nothing.
+	e.ProcessUpdate(withdraw("22.0.1.1", 100, 4*time.Minute, "31.0.0.9/32"), "rrc00", collector.PlatformRIS)
+
+	m := e.Metrics()
+	if m.UpdatesCleaned != 1 {
+		t.Fatalf("cleaned = %d", m.UpdatesCleaned)
+	}
+	if m.UpdatesProcessed != 5 {
+		t.Fatalf("processed = %d", m.UpdatesProcessed)
+	}
+	if m.Detections != 2 {
+		t.Fatalf("detections = %d", m.Detections)
+	}
+	if m.ExplicitEnds != 1 || m.ImplicitEnds != 1 {
+		t.Fatalf("ends = %d/%d", m.ExplicitEnds, m.ImplicitEnds)
+	}
+	if m.EventsClosed != 2 {
+		t.Fatalf("events closed = %d", m.EventsClosed)
+	}
+
+	// Flush counts too.
+	e.ProcessUpdate(announce("22.0.1.1", 100, 5*time.Minute, "31.0.0.3/32", []bgp.ASN{100, 200}, bh), "rrc00", collector.PlatformRIS)
+	e.Flush(t0.Add(time.Hour))
+	if got := e.Metrics().EventsClosed; got != 3 {
+		t.Fatalf("events closed after flush = %d", got)
+	}
+}

@@ -1,0 +1,374 @@
+package dataplane
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"bgpblackholing/internal/bgp"
+	"bgpblackholing/internal/topology"
+)
+
+// lineWorld: T1(10) ── M(20) ── U(30), vertical customer links, plus a
+// peer edge M(20)──P(40) at IXP 0.
+func lineWorld(t testing.TB) *topology.Topology {
+	t.Helper()
+	topo := &topology.Topology{ASes: map[bgp.ASN]*topology.AS{}}
+	add := func(asn bgp.ASN, octet byte) *topology.AS {
+		as := &topology.AS{
+			ASN: asn, DeclaredKind: topology.KindTransitAccess, CAIDAKind: topology.KindTransitAccess,
+			Prefixes: []netip.Prefix{netip.PrefixFrom(netip.AddrFrom4([4]byte{octet, 0, 0, 0}), 16)},
+		}
+		topo.ASes[asn] = as
+		topo.Order = append(topo.Order, asn)
+		return as
+	}
+	t1 := add(10, 30)
+	m := add(20, 31)
+	u := add(30, 32)
+	p := add(40, 33)
+	cust := func(prov, c *topology.AS) {
+		prov.Customers = append(prov.Customers, c.ASN)
+		c.Providers = append(c.Providers, prov.ASN)
+	}
+	cust(t1, m)
+	cust(m, u)
+	m.Peers = append(m.Peers, 40)
+	p.Peers = append(p.Peers, 20)
+	x := &topology.IXP{
+		ID: 0, Name: "IXP-0", RouteServerASN: 59000,
+		PeeringLAN: netip.MustParsePrefix("23.0.0.0/22"),
+		Members:    []bgp.ASN{20, 40},
+	}
+	m.IXPs = []int{0}
+	p.IXPs = []int{0}
+	topo.IXPs = []*topology.IXP{x}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestTracerouteReachesWithoutBlackhole(t *testing.T) {
+	topo := lineWorld(t)
+	s := &Simulator{Topo: topo}
+	dst := netip.MustParseAddr("32.0.0.1") // inside U(30)
+	res := s.Traceroute(10, dst, nil)
+	if !res.Reached {
+		t.Fatalf("not reached: %+v", res)
+	}
+	last := res.Hops[len(res.Hops)-1]
+	if last.IP != dst || last.ASN != 30 {
+		t.Fatalf("last hop = %+v", last)
+	}
+	if res.ASLength() != 3 {
+		t.Fatalf("AS length = %d, want 3", res.ASLength())
+	}
+}
+
+func TestTracerouteDropsAtProviderIngress(t *testing.T) {
+	topo := lineWorld(t)
+	s := &Simulator{Topo: topo}
+	dst := netip.MustParseAddr("32.0.0.1")
+	bh := &BlackholeState{
+		Prefix:       netip.PrefixFrom(dst, 32),
+		DroppingASes: map[bgp.ASN]bool{20: true}, // M blackholes
+	}
+	res := s.Traceroute(10, dst, bh)
+	if res.Reached {
+		t.Fatal("blackholed host reached")
+	}
+	if res.DroppedAt != 20 {
+		t.Fatalf("dropped at %v, want 20", res.DroppedAt)
+	}
+	clean := s.Traceroute(10, dst, nil)
+	if res.IPLength() >= clean.IPLength() {
+		t.Fatalf("blackholed path (%d) not shorter than clean (%d)", res.IPLength(), clean.IPLength())
+	}
+	if res.ASLength() >= clean.ASLength() {
+		t.Fatal("AS-level path not shorter")
+	}
+}
+
+func TestTracerouteBlackholeDoesNotAffectOtherHosts(t *testing.T) {
+	topo := lineWorld(t)
+	s := &Simulator{Topo: topo}
+	bh := &BlackholeState{
+		Prefix:       netip.MustParsePrefix("32.0.0.1/32"),
+		DroppingASes: map[bgp.ASN]bool{20: true},
+	}
+	// The /31 neighbour is unaffected.
+	res := s.Traceroute(10, netip.MustParseAddr("32.0.0.0"), bh)
+	if !res.Reached {
+		t.Fatal("neighbour host should be reachable")
+	}
+}
+
+func TestTracerouteIXPFabricDrop(t *testing.T) {
+	topo := lineWorld(t)
+	s := &Simulator{Topo: topo}
+	dst := netip.MustParseAddr("32.0.0.1") // in U, customer of M
+	// P(40) reaches U via peer M across IXP 0. P honours a blackhole.
+	bh := &BlackholeState{
+		Prefix:             netip.PrefixFrom(dst, 32),
+		DroppingIXPMembers: map[int]map[bgp.ASN]bool{0: {40: true}},
+	}
+	res := s.Traceroute(40, dst, bh)
+	if res.Reached {
+		t.Fatal("traffic crossed the fabric despite honouring member")
+	}
+	if res.DroppedAt != 40 {
+		t.Fatalf("dropped at %v, want sending member 40", res.DroppedAt)
+	}
+}
+
+func TestTracerouteDropAtDestinationAS(t *testing.T) {
+	topo := lineWorld(t)
+	s := &Simulator{Topo: topo}
+	dst := netip.MustParseAddr("32.0.0.1")
+	bh := &BlackholeState{
+		Prefix:       netip.PrefixFrom(dst, 32),
+		DroppingASes: map[bgp.ASN]bool{30: true}, // destination AS itself
+	}
+	res := s.Traceroute(10, dst, bh)
+	if res.Reached {
+		t.Fatal("host should be unreachable")
+	}
+	if res.DroppedAt != 30 {
+		t.Fatalf("dropped at %v", res.DroppedAt)
+	}
+}
+
+func TestSelectProbesGroups(t *testing.T) {
+	topo, err := topology.Generate(topology.DefaultConfig().Scaled(0.15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find an AS with providers, customers and peers that hosts probes
+	// (the deterministic one-in-four Atlas-coverage rule).
+	hostsProbes := func(asn bgp.ASN) bool {
+		return uint64(asn)*0x9E3779B97F4A7C15>>60%4 == 0
+	}
+	var user, bare bgp.ASN
+	for _, asn := range topo.Order {
+		as := topo.AS(asn)
+		if len(as.Providers) == 0 || len(as.Customers) == 0 || len(as.Peers) == 0 {
+			continue
+		}
+		if user == 0 && hostsProbes(asn) {
+			user = asn
+		}
+		if bare == 0 && !hostsProbes(asn) {
+			bare = asn
+		}
+	}
+	if user == 0 {
+		t.Skip("no suitable user")
+	}
+	r := rand.New(rand.NewSource(1))
+	probes := SelectProbes(topo, user, r, 4)
+	if len(probes) != 16 {
+		t.Fatalf("probes = %d, want 16 (4 groups x 4)", len(probes))
+	}
+	counts := map[ProbeGroup]int{}
+	for _, p := range probes {
+		counts[p.Group]++
+		if p.Group == GroupInside && p.AS != user {
+			t.Fatal("inside probe outside probe-hosting user AS")
+		}
+	}
+	for _, g := range []ProbeGroup{GroupDownstream, GroupUpstream, GroupPeering, GroupInside} {
+		if counts[g] != 4 {
+			t.Fatalf("group %s has %d probes", g, counts[g])
+		}
+	}
+	// A user without Atlas coverage fills the inside group randomly.
+	if bare != 0 {
+		probes = SelectProbes(topo, bare, r, 4)
+		n := 0
+		for _, p := range probes {
+			if p.Group == GroupInside {
+				n++
+			}
+		}
+		if n != 4 {
+			t.Fatalf("inside group not filled for bare user: %d", n)
+		}
+	}
+}
+
+func TestMeasureEventDiffs(t *testing.T) {
+	topo := lineWorld(t)
+	s := &Simulator{Topo: topo}
+	prefix := netip.MustParsePrefix("32.0.0.1/32")
+	bh := &BlackholeState{
+		Prefix:       prefix,
+		DroppingASes: map[bgp.ASN]bool{20: true},
+	}
+	r := rand.New(rand.NewSource(1))
+	ms := s.MeasureEvent(30, prefix, bh, r, 2)
+	if len(ms) != 8 {
+		t.Fatalf("measurements = %d", len(ms))
+	}
+	// A Tier-1 probe (upstream group) must see a shorter path during.
+	anyShorter := false
+	for _, m := range ms {
+		if m.IPDiff() > 0 {
+			anyShorter = true
+		}
+	}
+	if !anyShorter {
+		t.Fatal("no probe saw path shortening")
+	}
+}
+
+func TestNeighborTarget(t *testing.T) {
+	if NeighborTarget(netip.MustParsePrefix("32.0.0.1/32")) != netip.MustParseAddr("32.0.0.0") {
+		t.Fatal("/32 neighbour should flip last bit")
+	}
+	if NeighborTarget(netip.MustParsePrefix("32.0.0.0/32")) != netip.MustParseAddr("32.0.0.1") {
+		t.Fatal("/32 neighbour should flip last bit")
+	}
+	if NeighborTarget(netip.MustParsePrefix("32.0.0.0/24")) != netip.MustParseAddr("32.0.0.1") {
+		t.Fatal("/24 neighbour should be next host")
+	}
+}
+
+func TestSimulateIXPTraffic(t *testing.T) {
+	topo, err := topology.Generate(topology.DefaultConfig().Scaled(0.15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := topo.IXPs[0]
+	honoring := map[bgp.ASN]bool{}
+	for i, m := range x.Members {
+		if i%5 != 0 { // 80% honour
+			honoring[m] = true
+		}
+	}
+	victims := []VictimSpec{
+		{Prefix: netip.MustParsePrefix("31.0.0.1/32"), Honoring: honoring},
+		{Prefix: netip.MustParsePrefix("31.0.0.2/32"), ControlPlaneOnly: true},
+	}
+	start := time.Date(2017, 3, 20, 0, 0, 0, 0, time.UTC)
+	series := SimulateIXPTraffic(x, victims, start, 7*24*time.Hour, DefaultIPFIXConfig())
+	if len(series) != 2 {
+		t.Fatal("series count")
+	}
+	if len(series[0]) != 7*24 {
+		t.Fatalf("buckets = %d", len(series[0]))
+	}
+	// The honoured victim drops most traffic; the misconfigured one
+	// drops none (Fig 9c red region).
+	if f := DropFraction(series[0]); f < 0.5 {
+		t.Fatalf("drop fraction = %.2f, want > 0.5", f)
+	}
+	if f := DropFraction(series[1]); f != 0 {
+		t.Fatalf("control-plane-only drop fraction = %.2f, want 0", f)
+	}
+	// Diurnal variation: max bucket should clearly exceed min bucket.
+	var minB, maxB int64 = 1 << 62, 0
+	for _, p := range series[0] {
+		tot := p.Dropped + p.Forwarded
+		if tot < minB {
+			minB = tot
+		}
+		if tot > maxB {
+			maxB = tot
+		}
+	}
+	if maxB < minB*2 {
+		t.Fatalf("no diurnal variation: min=%d max=%d", minB, maxB)
+	}
+}
+
+func TestTopForwardersSkew(t *testing.T) {
+	topo, err := topology.Generate(topology.DefaultConfig().Scaled(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Use the big IXP (ID 0) for a realistic member count.
+	x := topo.IXPs[0]
+	honoring := map[bgp.ASN]bool{}
+	for i, m := range x.Members {
+		if i%5 != 0 {
+			honoring[m] = true
+		}
+	}
+	v := VictimSpec{Prefix: netip.MustParsePrefix("31.0.0.1/32"), Honoring: honoring}
+	top := TopForwarders(x, v, DefaultIPFIXConfig())
+	if len(top) < 3 {
+		t.Skip("too few forwarders")
+	}
+	var total, top10 int64
+	for i, c := range top {
+		total += c.Bytes
+		if i < 10 {
+			top10 += c.Bytes
+		}
+	}
+	if float64(top10)/float64(total) < 0.4 {
+		t.Fatalf("top-10 share = %.2f, want heavy tail", float64(top10)/float64(total))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Bytes > top[i-1].Bytes {
+			t.Fatal("not sorted descending")
+		}
+	}
+}
+
+func TestICMPBlockingHidesHops(t *testing.T) {
+	topo, err := topology.Generate(topology.DefaultConfig().Scaled(0.15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Simulator{Topo: topo}
+	// Find a blocked transit AS on some working path.
+	var found bool
+	for _, src := range topo.Order[:40] {
+		for _, dst := range topo.Order[len(topo.Order)-40:] {
+			path := topo.PathBetween(src, dst)
+			if len(path) < 3 {
+				continue
+			}
+			hasBlocked := false
+			for _, a := range path[1 : len(path)-1] {
+				if blocksICMP(a) {
+					hasBlocked = true
+				}
+			}
+			if !hasBlocked {
+				continue
+			}
+			target := topo.AS(dst).Prefixes[0].Addr().Next()
+			res := s.Traceroute(src, target, nil)
+			if !res.Reached {
+				continue
+			}
+			// No hop may belong to an ICMP-blocking transit AS.
+			for _, h := range res.Hops[:len(res.Hops)-1] {
+				if h.ASN != src && blocksICMP(h.ASN) {
+					t.Fatalf("hop from ICMP-blocking AS%d visible", h.ASN)
+				}
+			}
+			// The trace still reaches the destination (silent middle).
+			if res.Hops[len(res.Hops)-1].IP != target {
+				t.Fatal("destination missing")
+			}
+			found = true
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		t.Skip("no blocked transit AS on sampled paths")
+	}
+}
+
+func TestProbeGroupString(t *testing.T) {
+	if GroupDownstream.String() != "downstream" || GroupInside.String() != "inside" || ProbeGroup(9).String() != "unknown" {
+		t.Fatal("probe group strings")
+	}
+}

@@ -1,0 +1,156 @@
+package dataplane
+
+import (
+	"math"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"bgpblackholing/internal/bgp"
+	"bgpblackholing/internal/topology"
+)
+
+// TrafficPoint is one time-bucket of IXP traffic toward one blackholed
+// prefix, split into dropped (redirected to the blackholing next hop)
+// and forwarded (members not honouring the blackhole) bytes — the two
+// stacked series of Figure 9(c).
+type TrafficPoint struct {
+	Time      time.Time
+	Prefix    netip.Prefix
+	Dropped   int64
+	Forwarded int64
+}
+
+// MemberContribution summarises one member's share of the traffic that
+// still reaches a blackholed prefix (§10: 80% of leaked traffic comes
+// from fewer than ten members).
+type MemberContribution struct {
+	Member bgp.ASN
+	Bytes  int64
+}
+
+// IPFIXConfig parameterises the fabric simulation.
+type IPFIXConfig struct {
+	// SampleRate is the flow sampling ratio (1 out of N packets; the
+	// paper's traces are 1:10000).
+	SampleRate int
+	// BucketLen is the aggregation interval of the output series.
+	BucketLen time.Duration
+	// MeanMbps scales each member's mean offered traffic toward the
+	// victim prefix.
+	MeanMbps float64
+	// Seed drives the deterministic noise.
+	Seed int64
+}
+
+// DefaultIPFIXConfig matches the paper's one-week, 1:10K-sampled traces.
+func DefaultIPFIXConfig() IPFIXConfig {
+	return IPFIXConfig{SampleRate: 10000, BucketLen: time.Hour, MeanMbps: 40, Seed: 42}
+}
+
+// VictimSpec describes one blackholed prefix on the fabric for the
+// simulation window.
+type VictimSpec struct {
+	Prefix netip.Prefix
+	// Honoring lists members redirecting their traffic to the
+	// blackholing next hop (from collector.Result.DroppingIXPMembers).
+	Honoring map[bgp.ASN]bool
+	// ControlPlaneOnly marks prefixes blackholed on the control plane
+	// with no data-plane effect (misconfigured users, the red region of
+	// Fig 9c): every member keeps forwarding.
+	ControlPlaneOnly bool
+}
+
+// memberWeight gives each member a heavy-tailed share of the traffic
+// toward a victim, so that a handful of members dominate (§10).
+func memberWeight(member bgp.ASN, prefix netip.Prefix, seed int64) float64 {
+	h := uint64(member)*0x9E3779B97F4A7C15 ^ uint64(seed)*0xBF58476D1CE4E5B9
+	for _, b := range prefix.Addr().As16() {
+		h = (h ^ uint64(b)) * 0x94D049BB133111EB
+	}
+	// Pareto-like with a bounded tail: weight = (1/u)^1.3 with u uniform
+	// in [0.05, 1), so a few members dominate without any single member
+	// overwhelming the aggregate.
+	u := float64(h%9500+500) / 10000
+	return math.Pow(1/u, 1.3)
+}
+
+// SimulateIXPTraffic produces the per-bucket dropped/forwarded series
+// for each victim prefix on one IXP's fabric over [start, start+dur).
+// Traffic follows a diurnal curve with deterministic noise.
+func SimulateIXPTraffic(x *topology.IXP, victims []VictimSpec, start time.Time, dur time.Duration, cfg IPFIXConfig) [][]TrafficPoint {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	nBuckets := int(dur / cfg.BucketLen)
+	out := make([][]TrafficPoint, len(victims))
+
+	for vi, v := range victims {
+		series := make([]TrafficPoint, nBuckets)
+		// Precompute member weights.
+		weights := make([]float64, len(x.Members))
+		var totalW float64
+		for i, m := range x.Members {
+			weights[i] = memberWeight(m, v.Prefix, cfg.Seed)
+			totalW += weights[i]
+		}
+		for b := 0; b < nBuckets; b++ {
+			t := start.Add(time.Duration(b) * cfg.BucketLen)
+			// Diurnal shape: peak in the evening, trough at night.
+			hour := float64(t.Hour()) + float64(t.Minute())/60
+			diurnal := 0.6 + 0.4*math.Sin((hour-6)/24*2*math.Pi)
+			noise := 0.85 + 0.3*r.Float64()
+			bucketBytes := cfg.MeanMbps * 1e6 / 8 * cfg.BucketLen.Seconds() * diurnal * noise
+
+			var dropped, forwarded float64
+			for i, m := range x.Members {
+				share := bucketBytes * weights[i] / totalW
+				if !v.ControlPlaneOnly && v.Honoring[m] {
+					dropped += share
+				} else {
+					forwarded += share
+				}
+			}
+			series[b] = TrafficPoint{
+				Time:      t,
+				Prefix:    v.Prefix,
+				Dropped:   int64(dropped) / int64(cfg.SampleRate) * int64(cfg.SampleRate),
+				Forwarded: int64(forwarded) / int64(cfg.SampleRate) * int64(cfg.SampleRate),
+			}
+		}
+		out[vi] = series
+	}
+	return out
+}
+
+// TopForwarders returns the members contributing the most forwarded
+// (non-dropped) traffic toward a victim, descending.
+func TopForwarders(x *topology.IXP, v VictimSpec, cfg IPFIXConfig) []MemberContribution {
+	var out []MemberContribution
+	for _, m := range x.Members {
+		if !v.ControlPlaneOnly && v.Honoring[m] {
+			continue
+		}
+		w := memberWeight(m, v.Prefix, cfg.Seed)
+		out = append(out, MemberContribution{Member: m, Bytes: int64(w * 1e6)})
+	}
+	// Insertion sort by bytes descending (deterministic).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Bytes > out[j-1].Bytes; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// DropFraction returns the overall fraction of bytes dropped across a
+// series.
+func DropFraction(series []TrafficPoint) float64 {
+	var d, f int64
+	for _, p := range series {
+		d += p.Dropped
+		f += p.Forwarded
+	}
+	if d+f == 0 {
+		return 0
+	}
+	return float64(d) / float64(d+f)
+}

@@ -1,0 +1,322 @@
+// Package dataplane simulates the data-plane measurements of §10: RIPE
+// Atlas-style traceroutes toward blackholed and neighbouring hosts
+// (Figure 9a/9b) and IPFIX flow sampling on an IXP switching fabric
+// (Figure 9c).
+//
+// The simulator derives IP-level paths from the topology's valley-free
+// AS paths, expanding each AS into a deterministic number of router
+// hops, and truncates paths where blackholing drops traffic: at the
+// ingress of an AS-level blackholing provider, or on the IXP fabric when
+// the sending member honours a route-server blackhole.
+package dataplane
+
+import (
+	"math/rand"
+	"net/netip"
+
+	"bgpblackholing/internal/bgp"
+	"bgpblackholing/internal/topology"
+)
+
+// Hop is one responding interface on a traced path.
+type Hop struct {
+	IP  netip.Addr
+	ASN bgp.ASN
+}
+
+// TraceResult is one traceroute outcome.
+type TraceResult struct {
+	// Hops lists the responding interfaces in order, ending with the
+	// destination when reached.
+	Hops []Hop
+	// Reached reports whether the destination answered.
+	Reached bool
+	// DroppedAt names the AS (or IXP member) at which traffic died, 0
+	// when the trace completed.
+	DroppedAt bgp.ASN
+}
+
+// IPLength returns the IP-level path length: the number of hops to the
+// last responding interface.
+func (t *TraceResult) IPLength() int { return len(t.Hops) }
+
+// ASLength returns the AS-level path length: the number of distinct
+// ASes on the responding path.
+func (t *TraceResult) ASLength() int {
+	seen := map[bgp.ASN]bool{}
+	for _, h := range t.Hops {
+		if h.ASN != 0 {
+			seen[h.ASN] = true
+		}
+	}
+	return len(seen)
+}
+
+// BlackholeState captures where a blackholed prefix's traffic dies, as
+// produced by the control-plane propagation (collector.Result).
+type BlackholeState struct {
+	// Prefix is the blackholed prefix.
+	Prefix netip.Prefix
+	// DroppingASes null-route at ingress.
+	DroppingASes map[bgp.ASN]bool
+	// DroppingIXPMembers maps IXP ID to members redirecting their
+	// traffic for the prefix to the blackholing next hop.
+	DroppingIXPMembers map[int]map[bgp.ASN]bool
+}
+
+// Covers reports whether the state applies to the destination address.
+func (b *BlackholeState) Covers(dst netip.Addr) bool {
+	return b != nil && b.Prefix.IsValid() && b.Prefix.Contains(dst)
+}
+
+// Simulator runs traceroutes over one topology.
+type Simulator struct {
+	Topo *topology.Topology
+}
+
+// routersPerAS returns how many router hops an AS contributes to a
+// transit path (deterministic per AS, 1-4).
+func routersPerAS(asn bgp.ASN) int {
+	h := uint64(asn) * 0x9E3779B97F4A7C15
+	return 1 + int((h>>32)%4)
+}
+
+// blocksICMP reports whether an AS filters ICMP TTL-exceeded responses
+// from its routers (§10 names ICMP blocking among the traceroute
+// artefacts; roughly one AS in ten here). Its routers appear as
+// non-responding hops: present on the path, absent from the trace.
+func blocksICMP(asn bgp.ASN) bool {
+	return uint64(asn)*0xD6E8FEB86659FD93>>56%10 == 0
+}
+
+// routerIP fabricates the deterministic interface address of router i
+// inside an AS (infrastructure space 21.0.0.0/8).
+func routerIP(asn bgp.ASN, i int) netip.Addr {
+	return netip.AddrFrom4([4]byte{21, byte(asn >> 8), byte(asn), byte(1 + i)})
+}
+
+// sharedIXP returns an IXP at which both ASes peer, or nil. The edge
+// a—b is then assumed to cross that IXP's fabric.
+func (s *Simulator) sharedIXP(a, b bgp.ASN) *topology.IXP {
+	aa, bb := s.Topo.AS(a), s.Topo.AS(b)
+	if aa == nil || bb == nil {
+		return nil
+	}
+	member := map[int]bool{}
+	for _, x := range aa.IXPs {
+		member[x] = true
+	}
+	for _, x := range bb.IXPs {
+		if member[x] {
+			return s.Topo.IXPs[x]
+		}
+	}
+	return nil
+}
+
+// Traceroute traces from a probe in srcAS toward dst, honouring the
+// blackhole state (which may be nil for a clean trace).
+func (s *Simulator) Traceroute(srcAS bgp.ASN, dst netip.Addr, bh *BlackholeState) TraceResult {
+	dstPrefix := netip.PrefixFrom(dst, dst.BitLen())
+	dstAS := s.Topo.OriginOf(dstPrefix)
+	if dstAS == 0 {
+		return TraceResult{}
+	}
+	asPath := s.Topo.PathBetween(srcAS, dstAS)
+	if asPath == nil {
+		return TraceResult{}
+	}
+
+	covers := bh.Covers(dst)
+	var res TraceResult
+	for i, asn := range asPath {
+		// Ingress drop at an AS-level blackholing provider: the paper's
+		// null-route at the AS ingress point (§2). The provider's
+		// ingress interface still answers, then silence.
+		if covers && i > 0 && bh.DroppingASes[asn] {
+			if !blocksICMP(asn) {
+				res.Hops = append(res.Hops, Hop{IP: routerIP(asn, 0), ASN: asn})
+			}
+			res.DroppedAt = asn
+			return res
+		}
+		// IXP-fabric drop: the edge from the previous AS crossed an IXP
+		// where the previous AS honours the blackhole.
+		if covers && i > 0 {
+			prev := asPath[i-1]
+			if s.Topo.Rel(prev, asn) == topology.RelPeer {
+				if x := s.sharedIXP(prev, asn); x != nil {
+					if drops, ok := bh.DroppingIXPMembers[x.ID]; ok && drops[prev] {
+						// Traffic was redirected to the blackholing
+						// next hop and discarded on the fabric.
+						res.DroppedAt = prev
+						return res
+					}
+				}
+			}
+		}
+		n := routersPerAS(asn)
+		if i == 0 || i == len(asPath)-1 {
+			n = 1 // source and destination edge contribute one hop
+		}
+		if blocksICMP(asn) && i != 0 {
+			continue // routers stay silent; the path continues beyond them
+		}
+		for j := 0; j < n; j++ {
+			res.Hops = append(res.Hops, Hop{IP: routerIP(asn, j), ASN: asn})
+		}
+	}
+	// Destination host answers.
+	if covers && bh.DroppingASes[dstAS] {
+		// Blackholed at the destination AS itself: host unreachable.
+		res.DroppedAt = dstAS
+		return res
+	}
+	res.Hops = append(res.Hops, Hop{IP: dst, ASN: dstAS})
+	res.Reached = true
+	return res
+}
+
+// ProbeGroup is the RIPE Atlas probe-selection group of §10.
+type ProbeGroup int
+
+// Probe groups: downstream cone, upstream cone, peering, inside the
+// blackholing user's AS.
+const (
+	GroupDownstream ProbeGroup = iota
+	GroupUpstream
+	GroupPeering
+	GroupInside
+)
+
+// String names the group.
+func (g ProbeGroup) String() string {
+	switch g {
+	case GroupDownstream:
+		return "downstream"
+	case GroupUpstream:
+		return "upstream"
+	case GroupPeering:
+		return "peering"
+	case GroupInside:
+		return "inside"
+	}
+	return "unknown"
+}
+
+// Probe is one measurement vantage point.
+type Probe struct {
+	AS    bgp.ASN
+	Group ProbeGroup
+}
+
+// SelectProbes picks perGroup probes from each of the four groups
+// relative to the blackholing user, filling shortfalls from the whole
+// topology at random — the paper's exact procedure (§10).
+func SelectProbes(topo *topology.Topology, user bgp.ASN, r *rand.Rand, perGroup int) []Probe {
+	userAS := topo.AS(user)
+	if userAS == nil {
+		return nil
+	}
+	var out []Probe
+
+	pickFrom := func(cands []bgp.ASN, g ProbeGroup) {
+		n := 0
+		for _, idx := range r.Perm(len(cands)) {
+			if n >= perGroup {
+				return
+			}
+			out = append(out, Probe{AS: cands[idx], Group: g})
+			n++
+		}
+		// Shortfall: random ASes from the topology.
+		for n < perGroup && len(topo.Order) > 0 {
+			out = append(out, Probe{AS: topo.Order[r.Intn(len(topo.Order))], Group: g})
+			n++
+		}
+	}
+
+	var down []bgp.ASN
+	for a := range topo.CustomerCone(user) {
+		if a != user {
+			down = append(down, a)
+		}
+	}
+	topology.SortASNs(down)
+	var up []bgp.ASN
+	for a := range topo.UpstreamCone(user) {
+		up = append(up, a)
+	}
+	topology.SortASNs(up)
+	peers := append([]bgp.ASN(nil), userAS.Peers...)
+	topology.SortASNs(peers)
+
+	pickFrom(down, GroupDownstream)
+	pickFrom(up, GroupUpstream)
+	pickFrom(peers, GroupPeering)
+	// Few networks actually host Atlas probes inside the victim AS; the
+	// shortfall is filled at random like the other groups (§10).
+	var inside []bgp.ASN
+	if uint64(user)*0x9E3779B97F4A7C15>>60%4 == 0 {
+		inside = make([]bgp.ASN, perGroup)
+		for i := range inside {
+			inside[i] = user
+		}
+	}
+	pickFrom(inside, GroupInside)
+	return out
+}
+
+// PathMeasurement is one probe's traceroute triple for a blackholing
+// event: to the blackholed host during the event, to the same host
+// after withdrawal, and to a neighbouring non-blackholed host during
+// the event.
+type PathMeasurement struct {
+	Probe    Probe
+	During   TraceResult
+	After    TraceResult
+	Neighbor TraceResult
+}
+
+// IPDiff returns after-minus-during IP path length (positive = the
+// blackholed trace terminated earlier).
+func (m *PathMeasurement) IPDiff() int { return m.After.IPLength() - m.During.IPLength() }
+
+// ASDiff returns after-minus-during AS path length.
+func (m *PathMeasurement) ASDiff() int { return m.After.ASLength() - m.During.ASLength() }
+
+// NeighborIPDiff returns neighbour-minus-blackholed IP path length
+// during the event.
+func (m *PathMeasurement) NeighborIPDiff() int { return m.Neighbor.IPLength() - m.During.IPLength() }
+
+// NeighborTarget picks the non-blackholed comparison host: for a /32 the
+// other host of its /31, else the first spare address of the covering
+// prefix (§10, footnote 3).
+func NeighborTarget(p netip.Prefix) netip.Addr {
+	a := p.Addr().As4()
+	if p.Bits() >= 31 {
+		a[3] ^= 1
+		return netip.AddrFrom4(a)
+	}
+	a[3] += 1
+	return netip.AddrFrom4(a)
+}
+
+// MeasureEvent runs the full §10 campaign for one blackholing event.
+func (s *Simulator) MeasureEvent(user bgp.ASN, prefix netip.Prefix, bh *BlackholeState, r *rand.Rand, perGroup int) []PathMeasurement {
+	if !prefix.Addr().Is4() {
+		return nil
+	}
+	probes := SelectProbes(s.Topo, user, r, perGroup)
+	target := prefix.Addr()
+	neighbor := NeighborTarget(prefix)
+	var out []PathMeasurement
+	for _, p := range probes {
+		m := PathMeasurement{Probe: p}
+		m.During = s.Traceroute(p.AS, target, bh)
+		m.After = s.Traceroute(p.AS, target, nil)
+		m.Neighbor = s.Traceroute(p.AS, neighbor, nil)
+		out = append(out, m)
+	}
+	return out
+}

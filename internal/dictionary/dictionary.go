@@ -1,0 +1,368 @@
+// Package dictionary builds the blackhole-communities dictionary of
+// §4.1: it extracts documented blackhole communities from IRR records and
+// operator web pages with keyword/lemma text matching, augments them with
+// communities learned via private communication, and supports the
+// prefix-length-based inference that extends the dictionary with
+// undocumented candidates (the Figure 2 method).
+package dictionary
+
+import (
+	"regexp"
+	"sort"
+	"strings"
+
+	"bgpblackholing/internal/bgp"
+	"bgpblackholing/internal/irr"
+	"bgpblackholing/internal/topology"
+)
+
+// Entry describes one blackhole community in the dictionary.
+type Entry struct {
+	Community bgp.Community
+	// Providers lists the ASes known to honour this community. Shared
+	// communities (e.g. 0:666 or 65535:666) map to several providers.
+	Providers []bgp.ASN
+	// IXPs lists IXP IDs honouring the community via their route servers.
+	IXPs []int
+	// Doc records the strongest documentation source seen.
+	Doc topology.DocSource
+	// MaxPrefixLen is the documented most-specific accepted length
+	// (0 when undocumented).
+	MaxPrefixLen int
+	// Scope is a documented regional restriction ("" for global).
+	Scope string
+	// Shared is true when the community's high 16 bits do not encode a
+	// single public provider ASN, so AS-path disambiguation is needed.
+	Shared bool
+}
+
+// LargeEntry is the large-community analogue of Entry.
+type LargeEntry struct {
+	Community bgp.LargeCommunity
+	Providers []bgp.ASN
+	Doc       topology.DocSource
+}
+
+// Dictionary is the blackhole communities dictionary.
+type Dictionary struct {
+	entries map[bgp.Community]*Entry
+	large   map[bgp.LargeCommunity]*LargeEntry
+	// nonBlackhole maps communities documented for other purposes
+	// (relationship tagging, TE); the paper's "second dictionary".
+	nonBlackhole map[bgp.Community][]bgp.ASN
+}
+
+// New returns an empty dictionary.
+func New() *Dictionary {
+	return &Dictionary{
+		entries:      map[bgp.Community]*Entry{},
+		large:        map[bgp.LargeCommunity]*LargeEntry{},
+		nonBlackhole: map[bgp.Community][]bgp.ASN{},
+	}
+}
+
+// Lookup returns the entry for a community, or nil.
+func (d *Dictionary) Lookup(c bgp.Community) *Entry { return d.entries[c] }
+
+// LookupLarge returns the entry for a large community, or nil.
+func (d *Dictionary) LookupLarge(lc bgp.LargeCommunity) *LargeEntry { return d.large[lc] }
+
+// IsNonBlackhole reports whether the community is documented for a
+// non-blackholing purpose by at least one AS.
+func (d *Dictionary) IsNonBlackhole(c bgp.Community) bool {
+	return len(d.nonBlackhole[c]) > 0
+}
+
+// Entries returns all entries sorted by community value.
+func (d *Dictionary) Entries() []*Entry {
+	out := make([]*Entry, 0, len(d.entries))
+	for _, e := range d.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Community < out[j].Community })
+	return out
+}
+
+// LargeEntries returns all large-community entries.
+func (d *Dictionary) LargeEntries() []*LargeEntry {
+	out := make([]*LargeEntry, 0, len(d.large))
+	for _, e := range d.large {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Community, out[j].Community
+		if a.Global != b.Global {
+			return a.Global < b.Global
+		}
+		if a.Local1 != b.Local1 {
+			return a.Local1 < b.Local1
+		}
+		return a.Local2 < b.Local2
+	})
+	return out
+}
+
+// Providers returns the deduplicated set of AS providers across entries.
+func (d *Dictionary) Providers() []bgp.ASN {
+	seen := map[bgp.ASN]bool{}
+	for _, e := range d.entries {
+		for _, p := range e.Providers {
+			seen[p] = true
+		}
+	}
+	for _, e := range d.large {
+		for _, p := range e.Providers {
+			seen[p] = true
+		}
+	}
+	out := make([]bgp.ASN, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	return topology.SortASNs(out)
+}
+
+// IXPs returns the deduplicated set of IXP IDs across entries.
+func (d *Dictionary) IXPs() []int {
+	seen := map[int]bool{}
+	for _, e := range d.entries {
+		for _, x := range e.IXPs {
+			seen[x] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for x := range seen {
+		out = append(out, x)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (d *Dictionary) addEntry(c bgp.Community, doc topology.DocSource, provider bgp.ASN, ixp int, maxLen int, scope string) *Entry {
+	e := d.entries[c]
+	if e == nil {
+		e = &Entry{Community: c, Doc: doc, MaxPrefixLen: maxLen, Scope: scope}
+		d.entries[c] = e
+	}
+	if doc > e.Doc {
+		e.Doc = doc
+	}
+	if maxLen > e.MaxPrefixLen {
+		e.MaxPrefixLen = maxLen
+	}
+	if provider != 0 && !containsASN(e.Providers, provider) {
+		e.Providers = append(e.Providers, provider)
+	}
+	if ixp >= 0 && !containsInt(e.IXPs, ixp) {
+		e.IXPs = append(e.IXPs, ixp)
+	}
+	// A community honoured by more than one party, or whose high bits do
+	// not name the (single) provider, needs AS-path disambiguation.
+	e.Shared = len(e.Providers)+len(e.IXPs) > 1 ||
+		(len(e.Providers) == 1 && bgp.ASN(c.High()) != e.Providers[0]) ||
+		(len(e.IXPs) == 1 && len(e.Providers) == 0)
+	return e
+}
+
+func containsASN(s []bgp.ASN, v bgp.ASN) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// communityRe matches standard community notation in free text.
+var communityRe = regexp.MustCompile(`\b(\d{1,5}):(\d{1,5})\b`)
+
+// largeCommunityRe matches large community notation a:b:c.
+var largeCommunityRe = regexp.MustCompile(`\b(\d{1,10}):(\d{1,10}):(\d{1,10})\b`)
+
+// maxLenRe captures "up to /NN" style documentation of the accepted
+// prefix length.
+var maxLenRe = regexp.MustCompile(`(?:up to|accepted up to|more specific than /24 up to)\s*/(\d{1,3})`)
+
+// blackholeLemmas are the stems whose presence in a sentence marks it as
+// documenting a blackhole community. Matching is case-insensitive and
+// tolerant of inflection ("blackholing", "blackholed", "null-routed").
+var blackholeLemmas = []string{
+	"blackhol", "black hol", "null rout", "null-rout", "nullrout", "rtbh",
+	"remotely triggered", "discard",
+}
+
+// regionLemmas extract the regional scope of fine-grained communities.
+var regionRe = regexp.MustCompile(`(?i)(?:blackhole )?in ([A-Za-z ]+?) only`)
+
+// sentenceContainsBlackholeLemma reports whether s (already lowercased)
+// documents blackholing.
+func sentenceContainsBlackholeLemma(s string) bool {
+	for _, l := range blackholeLemmas {
+		if strings.Contains(s, l) {
+			return true
+		}
+	}
+	return false
+}
+
+// FromCorpus extracts the documented dictionary from a documentation
+// corpus. The extractor is purely textual: it sees only what operators
+// published, exactly like the paper's scraper+NLTK pipeline.
+//
+// Validation rule (§4.1): a community enters the documented dictionary
+// only when the publishing party can be identified (the record's ASN or
+// IXP), mirroring "we only include communities we can validate via
+// published information".
+func FromCorpus(docs []irr.Document) *Dictionary {
+	d := New()
+	for _, doc := range docs {
+		sentences := splitSentences(doc.Text)
+		// Documented accepted prefix length applies document-wide (it is
+		// usually stated on its own line).
+		docMaxLen := 0
+		if mm := maxLenRe.FindStringSubmatch(strings.ToLower(doc.Text)); mm != nil {
+			docMaxLen = atoiSafe(mm[1])
+		}
+		prevBH := false
+		for _, sent := range sentences {
+			low := strings.ToLower(sent)
+			lemmaHere := sentenceContainsBlackholeLemma(low)
+			// One-sentence context window: prose like "We offer a
+			// blackholing service. Announce the prefix with community
+			// X:Y." documents the community in the follow-up sentence.
+			isBH := lemmaHere || prevBH
+			prevBH = lemmaHere
+
+			// Large communities first (their notation contains the
+			// standard notation as a substring).
+			largeSeen := map[string]bool{}
+			for _, m := range largeCommunityRe.FindAllString(sent, -1) {
+				largeSeen[m] = true
+				if !isBH {
+					continue
+				}
+				lc, err := bgp.ParseLargeCommunity(m)
+				if err != nil {
+					continue
+				}
+				e := d.large[lc]
+				if e == nil {
+					e = &LargeEntry{Community: lc, Doc: docSource(doc)}
+					d.large[lc] = e
+				}
+				if doc.ASN != 0 && !containsASN(e.Providers, doc.ASN) {
+					e.Providers = append(e.Providers, doc.ASN)
+				}
+			}
+
+			for _, m := range communityRe.FindAllString(sent, -1) {
+				if coveredByLarge(m, largeSeen) {
+					continue
+				}
+				c, err := bgp.ParseCommunity(m)
+				if err != nil {
+					continue
+				}
+				if !isBH {
+					// Feed the non-blackhole dictionary (Fig 2 baseline).
+					if doc.ASN != 0 && !containsASN(d.nonBlackhole[c], doc.ASN) {
+						d.nonBlackhole[c] = append(d.nonBlackhole[c], doc.ASN)
+					}
+					continue
+				}
+				scope := ""
+				if rm := regionRe.FindStringSubmatch(sent); rm != nil {
+					scope = strings.TrimSpace(rm[1])
+				}
+				d.addEntry(c, docSource(doc), doc.ASN, doc.IXPID, docMaxLen, scope)
+			}
+		}
+	}
+	return d
+}
+
+// coveredByLarge reports whether the standard-notation match m is a
+// substring of a matched large community (e.g. "666:0" inside
+// "212100:666:0").
+func coveredByLarge(m string, large map[string]bool) bool {
+	for l := range large {
+		if strings.Contains(l, m) {
+			return true
+		}
+	}
+	return false
+}
+
+func docSource(doc irr.Document) topology.DocSource {
+	if doc.Source == irr.SourceWeb {
+		return topology.DocWeb
+	}
+	return topology.DocIRR
+}
+
+// AddNonBlackhole records a community documented for a non-blackholing
+// purpose (relationship tagging, traffic engineering) into the second
+// dictionary used by the Figure 2 comparison.
+func (d *Dictionary) AddNonBlackhole(c bgp.Community, provider bgp.ASN) {
+	if !containsASN(d.nonBlackhole[c], provider) {
+		d.nonBlackhole[c] = append(d.nonBlackhole[c], provider)
+	}
+}
+
+// AddPrivate records a community learned through private communication
+// (5 networks in the paper).
+func (d *Dictionary) AddPrivate(c bgp.Community, provider bgp.ASN, maxLen int) {
+	d.addEntry(c, topology.DocPrivate, provider, -1, maxLen, "")
+}
+
+// AddPrivateFromTopology injects the communities of providers whose
+// documentation source is private communication, reading the ground
+// truth the way the authors read their e-mail.
+func (d *Dictionary) AddPrivateFromTopology(topo *topology.Topology) {
+	for _, asn := range topo.Order {
+		as := topo.ASes[asn]
+		if as.Blackholing == nil || as.Blackholing.Doc != topology.DocPrivate {
+			continue
+		}
+		for _, c := range as.Blackholing.Communities {
+			d.AddPrivate(c, asn, as.Blackholing.MaxPrefixLen)
+		}
+	}
+}
+
+func splitSentences(text string) []string {
+	// Lines are natural sentence units in RPSL; periods split web prose.
+	var out []string
+	for _, line := range strings.Split(text, "\n") {
+		for _, s := range strings.Split(line, ". ") {
+			s = strings.TrimSpace(s)
+			if s != "" {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+func atoiSafe(s string) int {
+	n := 0
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 0
+		}
+		n = n*10 + int(r-'0')
+		if n > 1000 {
+			return 0
+		}
+	}
+	return n
+}

@@ -1,0 +1,197 @@
+package dictionary
+
+import (
+	"testing"
+
+	"bgpblackholing/internal/bgp"
+	"bgpblackholing/internal/irr"
+	"bgpblackholing/internal/topology"
+)
+
+func worldAndCorpus(t testing.TB) (*topology.Topology, []irr.Document) {
+	t.Helper()
+	topo, err := topology.Generate(topology.DefaultConfig().Scaled(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, irr.GenerateCorpus(topo, 1)
+}
+
+func TestFromCorpusFindsDocumentedCommunities(t *testing.T) {
+	topo, docs := worldAndCorpus(t)
+	d := FromCorpus(docs)
+	for _, asn := range topo.Order {
+		as := topo.ASes[asn]
+		if as.Blackholing == nil {
+			continue
+		}
+		primary := as.Blackholing.Communities[0]
+		e := d.Lookup(primary)
+		switch as.Blackholing.Doc {
+		case topology.DocIRR, topology.DocWeb:
+			if e == nil {
+				t.Fatalf("documented community %s of AS%d not extracted", primary, asn)
+			}
+			if !containsASN(e.Providers, asn) {
+				t.Fatalf("entry %s misses provider AS%d: %v", primary, asn, e.Providers)
+			}
+			if e.MaxPrefixLen != as.Blackholing.MaxPrefixLen {
+				t.Errorf("entry %s max prefix len = %d, want %d", primary, e.MaxPrefixLen, as.Blackholing.MaxPrefixLen)
+			}
+		case topology.DocNone:
+			if e != nil && containsASN(e.Providers, asn) {
+				t.Fatalf("undocumented community %s of AS%d wrongly extracted", primary, asn)
+			}
+		}
+	}
+}
+
+func TestFromCorpusFindsIXPCommunities(t *testing.T) {
+	topo, docs := worldAndCorpus(t)
+	d := FromCorpus(docs)
+	for _, x := range topo.BlackholingIXPs() {
+		e := d.Lookup(x.Blackholing.Communities[0])
+		if e == nil {
+			t.Fatalf("IXP %s community not extracted", x.Name)
+		}
+		if !containsInt(e.IXPs, x.ID) {
+			t.Fatalf("entry misses IXP %s: %v", x.Name, e.IXPs)
+		}
+	}
+	// RFC 7999 65535:666 must be shared across many IXPs.
+	e := d.Lookup(bgp.CommunityBlackhole)
+	if e == nil || len(e.IXPs) < 2 || !e.Shared {
+		t.Fatalf("RFC7999 entry = %+v, want shared across IXPs", e)
+	}
+}
+
+func TestFromCorpusLevel3Collision(t *testing.T) {
+	topo, docs := worldAndCorpus(t)
+	d := FromCorpus(docs)
+	// Find the Level3-style AS: Tier-1 whose blackhole low value is 9999
+	// and which tags peering routes with ASN:666.
+	var l3 *topology.AS
+	for _, asn := range topo.Order {
+		as := topo.ASes[asn]
+		if as.Tier1 && as.Blackholing != nil && as.Blackholing.Communities[0].Low() == 9999 {
+			l3 = as
+			break
+		}
+	}
+	if l3 == nil {
+		t.Skip("no Level3-style AS in this world")
+	}
+	c666 := bgp.MakeCommunity(uint16(l3.ASN), 666)
+	if e := d.Lookup(c666); e != nil && containsASN(e.Providers, l3.ASN) {
+		t.Fatalf("%s wrongly classified as blackhole community", c666)
+	}
+	if !d.IsNonBlackhole(c666) {
+		t.Fatalf("%s should be in the non-blackhole dictionary", c666)
+	}
+	if e := d.Lookup(l3.Blackholing.Communities[0]); e == nil {
+		t.Fatalf("real blackhole community %s missed", l3.Blackholing.Communities[0])
+	}
+}
+
+func TestAddPrivateFromTopology(t *testing.T) {
+	topo, docs := worldAndCorpus(t)
+	d := FromCorpus(docs)
+	before := len(d.Providers())
+	d.AddPrivateFromTopology(topo)
+	after := len(d.Providers())
+	nPrivate := 0
+	for _, asn := range topo.Order {
+		as := topo.ASes[asn]
+		if as.Blackholing != nil && as.Blackholing.Doc == topology.DocPrivate {
+			nPrivate++
+			if e := d.Lookup(as.Blackholing.Communities[0]); e == nil || e.Doc != topology.DocPrivate {
+				t.Fatalf("private community of AS%d not added", asn)
+			}
+		}
+	}
+	if nPrivate > 0 && after <= before {
+		t.Fatalf("providers %d -> %d despite %d private networks", before, after, nPrivate)
+	}
+}
+
+func TestDictionaryCoverageMatchesGroundTruth(t *testing.T) {
+	topo, docs := worldAndCorpus(t)
+	d := FromCorpus(docs)
+	d.AddPrivateFromTopology(topo)
+	// Every documented (IRR/Web/Private) provider must be present.
+	want := map[bgp.ASN]bool{}
+	for _, asn := range topo.Order {
+		as := topo.ASes[asn]
+		if as.Blackholing != nil && as.Blackholing.Doc != topology.DocNone {
+			want[asn] = true
+		}
+	}
+	got := map[bgp.ASN]bool{}
+	for _, p := range d.Providers() {
+		got[p] = true
+	}
+	for asn := range want {
+		if !got[asn] {
+			t.Errorf("documented provider AS%d missing from dictionary", asn)
+		}
+	}
+	// And nothing else (no false-positive providers). Shared communities
+	// may attribute extra providers only if they are real.
+	for asn := range got {
+		as := topo.ASes[asn]
+		if as == nil || as.Blackholing == nil {
+			t.Errorf("dictionary names non-provider AS%d", asn)
+		}
+	}
+	if len(d.IXPs()) != len(topo.BlackholingIXPs()) {
+		t.Errorf("dictionary IXPs = %d, want %d", len(d.IXPs()), len(topo.BlackholingIXPs()))
+	}
+}
+
+func TestLargeCommunityExtraction(t *testing.T) {
+	topo, docs := worldAndCorpus(t)
+	d := FromCorpus(docs)
+	var want *topology.AS
+	for _, asn := range topo.Order {
+		as := topo.ASes[asn]
+		if as.Blackholing != nil && len(as.Blackholing.LargeCommunities) > 0 &&
+			(as.Blackholing.Doc == topology.DocIRR || as.Blackholing.Doc == topology.DocWeb) {
+			want = as
+			break
+		}
+	}
+	if want == nil {
+		t.Skip("no documented large-community provider in this world")
+	}
+	e := d.LookupLarge(want.Blackholing.LargeCommunities[0])
+	if e == nil || !containsASN(e.Providers, want.ASN) {
+		t.Fatalf("large community %v not extracted for AS%d", want.Blackholing.LargeCommunities[0], want.ASN)
+	}
+	if len(d.LargeEntries()) == 0 {
+		t.Fatal("LargeEntries empty")
+	}
+}
+
+func TestEntriesSorted(t *testing.T) {
+	_, docs := worldAndCorpus(t)
+	d := FromCorpus(docs)
+	es := d.Entries()
+	for i := 1; i < len(es); i++ {
+		if es[i-1].Community >= es[i].Community {
+			t.Fatal("Entries not sorted")
+		}
+	}
+}
+
+func TestSharedFlagForNonASNHighBits(t *testing.T) {
+	d := New()
+	d.addEntry(bgp.MakeCommunity(0, 666), topology.DocIRR, 5000, -1, 32, "")
+	e := d.Lookup(bgp.MakeCommunity(0, 666))
+	if e == nil || !e.Shared {
+		t.Fatalf("0:666 with provider 5000 should be shared, got %+v", e)
+	}
+	d.addEntry(bgp.MakeCommunity(4000, 666), topology.DocIRR, 4000, -1, 32, "")
+	if e := d.Lookup(bgp.MakeCommunity(4000, 666)); e.Shared {
+		t.Fatalf("4000:666 owned by AS4000 should not be shared")
+	}
+}

@@ -1,0 +1,145 @@
+package dictionary
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"bgpblackholing/internal/bgp"
+	"bgpblackholing/internal/topology"
+)
+
+func announce(prefix string, comms ...bgp.Community) *bgp.Update {
+	return &bgp.Update{
+		Announced:   []netip.Prefix{netip.MustParsePrefix(prefix)},
+		Communities: comms,
+	}
+}
+
+func knownDict() *Dictionary {
+	d := New()
+	d.addEntry(bgp.MakeCommunity(3356, 9999), topology.DocIRR, 3356, -1, 32, "")
+	return d
+}
+
+func TestInferFindsUndocumentedBlackholeCommunity(t *testing.T) {
+	d := knownDict()
+	c := NewCollector(d)
+	undoc := bgp.MakeCommunity(7018, 666)
+	known := bgp.MakeCommunity(3356, 9999)
+	// Bundled announcements: undocumented community rides along with the
+	// known one, always on /32s (distinct victims; repeated identical
+	// applications count once).
+	for i := 0; i < 5; i++ {
+		c.Observe(announce(fmt.Sprintf("192.0.2.%d/32", i+1), known, undoc))
+	}
+	res := c.Infer()
+	if len(res.Inferred) != 1 {
+		t.Fatalf("inferred %d communities, want 1", len(res.Inferred))
+	}
+	e := res.Inferred[0]
+	if e.Community != undoc || e.Providers[0] != 7018 {
+		t.Fatalf("inferred %+v", e)
+	}
+}
+
+func TestInferRejectsWithoutCoOccurrence(t *testing.T) {
+	d := knownDict()
+	c := NewCollector(d)
+	undoc := bgp.MakeCommunity(7018, 666)
+	for i := 0; i < 5; i++ {
+		c.Observe(announce("192.0.2.1/32", undoc))
+	}
+	if res := c.Infer(); len(res.Inferred) != 0 {
+		t.Fatalf("inferred %v without co-occurrence", res.Inferred)
+	}
+}
+
+func TestInferRejectsCoarsePrefixUsage(t *testing.T) {
+	d := knownDict()
+	c := NewCollector(d)
+	te := bgp.MakeCommunity(7018, 100)
+	known := bgp.MakeCommunity(3356, 9999)
+	// TE community mostly on /24 and shorter; one bundled /32.
+	for i := 0; i < 10; i++ {
+		c.Observe(announce("198.51.100.0/24", te))
+	}
+	c.Observe(announce("192.0.2.1/32", known, te))
+	if res := c.Infer(); len(res.Inferred) != 0 {
+		t.Fatalf("inferred %v for a /24-dominant community", res.Inferred)
+	}
+}
+
+func TestInferRejectsPrivateASNHighBits(t *testing.T) {
+	d := knownDict()
+	c := NewCollector(d)
+	known := bgp.MakeCommunity(3356, 9999)
+	private := bgp.MakeCommunity(65001, 666) // 65001 is a private ASN
+	zero := bgp.MakeCommunity(0, 667)
+	for i := 0; i < 5; i++ {
+		c.Observe(announce("192.0.2.1/32", known, private, zero))
+	}
+	if res := c.Infer(); len(res.Inferred) != 0 {
+		t.Fatalf("inferred %v despite non-public high bits", res.Inferred)
+	}
+}
+
+func TestInferRejectsDocumentedNonBlackhole(t *testing.T) {
+	d := knownDict()
+	peering := bgp.MakeCommunity(7018, 666)
+	d.nonBlackhole[peering] = []bgp.ASN{7018}
+	c := NewCollector(d)
+	known := bgp.MakeCommunity(3356, 9999)
+	for i := 0; i < 5; i++ {
+		c.Observe(announce("192.0.2.1/32", known, peering))
+	}
+	if res := c.Infer(); len(res.Inferred) != 0 {
+		t.Fatalf("inferred %v despite non-blackhole documentation", res.Inferred)
+	}
+}
+
+func TestInferRequiresMinimumSupport(t *testing.T) {
+	d := knownDict()
+	c := NewCollector(d)
+	known := bgp.MakeCommunity(3356, 9999)
+	undoc := bgp.MakeCommunity(7018, 666)
+	c.Observe(announce("192.0.2.1/32", known, undoc)) // only 1 occurrence
+	if res := c.Infer(); len(res.Inferred) != 0 {
+		t.Fatalf("inferred %v below support threshold", res.Inferred)
+	}
+}
+
+func TestStatsFractions(t *testing.T) {
+	d := knownDict()
+	c := NewCollector(d)
+	comm := bgp.MakeCommunity(7018, 100)
+	c.Observe(announce("198.51.100.0/24", comm))
+	c.Observe(announce("203.0.113.0/24", comm))
+	c.Observe(announce("192.0.2.1/32", comm))
+	// A duplicate application is counted once.
+	c.Observe(announce("192.0.2.1/32", comm))
+	s := c.stats[comm]
+	if s.Total != 3 {
+		t.Fatalf("total = %d", s.Total)
+	}
+	if got := s.FractionAtLen(24); got < 0.66 || got > 0.67 {
+		t.Fatalf("FractionAtLen(24) = %v", got)
+	}
+	if got := s.FractionMoreSpecificThan24(); got < 0.33 || got > 0.34 {
+		t.Fatalf("FractionMoreSpecificThan24 = %v", got)
+	}
+	var empty CommunityStats
+	if empty.FractionAtLen(32) != 0 || empty.FractionMoreSpecificThan24() != 0 {
+		t.Fatal("zero-total stats should report 0")
+	}
+}
+
+func TestObserveIgnoresWithdrawalsAndBareAnnouncements(t *testing.T) {
+	d := knownDict()
+	c := NewCollector(d)
+	c.Observe(&bgp.Update{Withdrawn: []netip.Prefix{netip.MustParsePrefix("192.0.2.0/24")}})
+	c.Observe(announce("192.0.2.1/32")) // no communities
+	if len(c.stats) != 0 {
+		t.Fatalf("stats = %v, want empty", c.stats)
+	}
+}

@@ -1,0 +1,78 @@
+package dictionary
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"bgpblackholing/internal/bgp"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	topo, docs := worldAndCorpus(t)
+	d := FromCorpus(docs)
+	d.AddPrivateFromTopology(topo)
+
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(got.Providers(), d.Providers()) {
+		t.Fatalf("providers differ: %v vs %v", got.Providers(), d.Providers())
+	}
+	if !reflect.DeepEqual(got.IXPs(), d.IXPs()) {
+		t.Fatalf("IXPs differ")
+	}
+	if len(got.Entries()) != len(d.Entries()) {
+		t.Fatalf("entries %d vs %d", len(got.Entries()), len(d.Entries()))
+	}
+	for i, e := range d.Entries() {
+		ge := got.Entries()[i]
+		if ge.Community != e.Community || ge.Doc != e.Doc || ge.MaxPrefixLen != e.MaxPrefixLen ||
+			ge.Scope != e.Scope || ge.Shared != e.Shared {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, ge, e)
+		}
+	}
+	if len(got.LargeEntries()) != len(d.LargeEntries()) {
+		t.Fatal("large entries differ")
+	}
+	// The non-blackhole dictionary survives too.
+	for c := range d.nonBlackhole {
+		if !got.IsNonBlackhole(c) {
+			t.Fatalf("non-blackhole community %s lost", c)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("{broken")); err == nil {
+		t.Fatal("want decode error")
+	}
+	if _, err := Load(strings.NewReader(`{"version":9}`)); err == nil {
+		t.Fatal("want version error")
+	}
+	if _, err := Load(strings.NewReader(`{"version":1,"entries":[{"community":"xx","doc":"IRR"}]}`)); err == nil {
+		t.Fatal("want community parse error")
+	}
+	if _, err := Load(strings.NewReader(`{"version":1,"entries":[{"community":"1:2","doc":"Carrier pigeon"}]}`)); err == nil {
+		t.Fatal("want doc source error")
+	}
+}
+
+func TestSaveIsHumanReadable(t *testing.T) {
+	d := New()
+	d.AddPrivate(bgp.MakeCommunity(3356, 9999), 3356, 32)
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"3356:9999"`) {
+		t.Fatalf("canonical notation missing:\n%s", buf.String())
+	}
+}

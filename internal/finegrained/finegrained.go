@@ -1,0 +1,220 @@
+// Package finegrained implements the extension §11 points to (refs
+// [14, 24]: SDN-enabled advanced blackholing at IXPs): blackholing
+// scoped by transport port, so a volumetric attack on one service can be
+// dropped while legitimate traffic to the same address survives — the
+// paper's main criticism of classic RTBH ("blackholing also discards
+// legitimate traffic") answered.
+//
+// The control plane encodes the port scope in an extended community
+// (experimental type 0x80); an SDN-capable IXP fabric then drops only
+// matching flows. The data-plane simulation quantifies what classic
+// blackholing destroys and fine-grained blackholing preserves.
+package finegrained
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"bgpblackholing/internal/bgp"
+	"bgpblackholing/internal/topology"
+)
+
+// Extended-community layout: experimental type 0x80, subtype 0x66
+// ("fine-grained blackhole"), two octets of destination port, one octet
+// of protocol (6 = TCP, 17 = UDP), three reserved octets.
+const (
+	extType    = 0x80
+	extSubtype = 0x66
+)
+
+// Scope is the traffic slice a fine-grained request drops.
+type Scope struct {
+	// Port is the attacked destination port.
+	Port uint16
+	// Protocol is the IP protocol (6 TCP, 17 UDP; 0 = any).
+	Protocol uint8
+}
+
+// Encode packs the scope into an extended community.
+func (s Scope) Encode() bgp.ExtendedCommunity {
+	var ec bgp.ExtendedCommunity
+	ec[0] = extType
+	ec[1] = extSubtype
+	binary.BigEndian.PutUint16(ec[2:4], s.Port)
+	ec[4] = s.Protocol
+	return ec
+}
+
+// Decode extracts a scope from an extended community; ok is false when
+// the community is not a fine-grained blackhole scope.
+func Decode(ec bgp.ExtendedCommunity) (Scope, bool) {
+	if ec.Type() != extType || ec.SubType() != extSubtype {
+		return Scope{}, false
+	}
+	return Scope{
+		Port:     binary.BigEndian.Uint16(ec[2:4]),
+		Protocol: ec[4],
+	}, true
+}
+
+// ScopeFromUpdate finds the first fine-grained scope on an update.
+func ScopeFromUpdate(u *bgp.Update) (Scope, bool) {
+	for _, ec := range u.ExtendedCommunities {
+		if s, ok := Decode(ec); ok {
+			return s, true
+		}
+	}
+	return Scope{}, false
+}
+
+// TrafficSplit is one time bucket of victim traffic under a mitigation
+// policy.
+type TrafficSplit struct {
+	Time time.Time
+	// AttackDropped is attack-port traffic removed by the mitigation.
+	AttackDropped int64
+	// LegitimateDropped is collateral damage: non-attack traffic
+	// removed anyway.
+	LegitimateDropped int64
+	// LegitimateDelivered survived.
+	LegitimateDelivered int64
+	// AttackLeaked is attack traffic that still got through.
+	AttackLeaked int64
+}
+
+// Policy selects the mitigation under simulation.
+type Policy int
+
+// Mitigation policies.
+const (
+	// PolicyNone delivers everything.
+	PolicyNone Policy = iota
+	// PolicyClassicRTBH drops all traffic to the victim at honouring
+	// members (classic §2 blackholing).
+	PolicyClassicRTBH
+	// PolicyFineGrained drops only the scoped attack port at
+	// SDN-capable honouring members.
+	PolicyFineGrained
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyClassicRTBH:
+		return "classic RTBH"
+	case PolicyFineGrained:
+		return "fine-grained"
+	}
+	return "none"
+}
+
+// SimConfig parameterises the fabric simulation.
+type SimConfig struct {
+	Seed int64
+	// AttackMbps is the mean attack volume toward the scoped port.
+	AttackMbps float64
+	// LegitimateMbps is the mean legitimate volume (other ports).
+	LegitimateMbps float64
+	// BucketLen aggregates the series.
+	BucketLen time.Duration
+	// FracSDNCapable is the fraction of honouring members whose
+	// hardware can match ports (the rest fall back to classic drops
+	// under PolicyFineGrained).
+	FracSDNCapable float64
+}
+
+// DefaultSimConfig models a large volumetric attack on one service.
+func DefaultSimConfig() SimConfig {
+	return SimConfig{
+		Seed:           42,
+		AttackMbps:     400,
+		LegitimateMbps: 30,
+		BucketLen:      time.Hour,
+		FracSDNCapable: 0.7,
+	}
+}
+
+// Simulate runs one week of victim traffic through an IXP under the
+// policy. honoring lists members applying the mitigation.
+func Simulate(x *topology.IXP, victim netip.Prefix, scope Scope, honoring map[bgp.ASN]bool, policy Policy, start time.Time, dur time.Duration, cfg SimConfig) []TrafficSplit {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	n := int(dur / cfg.BucketLen)
+	out := make([]TrafficSplit, n)
+	sdn := map[bgp.ASN]bool{}
+	for _, m := range x.Members {
+		sdn[m] = r.Float64() < cfg.FracSDNCapable
+	}
+	for b := 0; b < n; b++ {
+		t := start.Add(time.Duration(b) * cfg.BucketLen)
+		hour := float64(t.Hour())
+		diurnal := 0.6 + 0.4*math.Sin((hour-6)/24*2*math.Pi)
+		noise := 0.85 + 0.3*r.Float64()
+		secs := cfg.BucketLen.Seconds()
+		attack := cfg.AttackMbps * 1e6 / 8 * secs * noise
+		legit := cfg.LegitimateMbps * 1e6 / 8 * secs * diurnal * noise
+
+		var split TrafficSplit
+		split.Time = t
+		for _, m := range x.Members {
+			shareA := attack / float64(len(x.Members))
+			shareL := legit / float64(len(x.Members))
+			switch {
+			case policy == PolicyNone || !honoring[m]:
+				split.AttackLeaked += int64(shareA)
+				split.LegitimateDelivered += int64(shareL)
+			case policy == PolicyClassicRTBH:
+				split.AttackDropped += int64(shareA)
+				split.LegitimateDropped += int64(shareL)
+			case policy == PolicyFineGrained && sdn[m]:
+				split.AttackDropped += int64(shareA)
+				split.LegitimateDelivered += int64(shareL)
+			default: // fine-grained requested, hardware can't: classic
+				split.AttackDropped += int64(shareA)
+				split.LegitimateDropped += int64(shareL)
+			}
+		}
+		out[b] = split
+	}
+	return out
+}
+
+// Summary aggregates a series.
+type Summary struct {
+	Policy            Policy
+	AttackDropFrac    float64
+	LegitSurvivalFrac float64
+	TotalAttack       int64
+	TotalLegit        int64
+}
+
+// Summarize reduces a series under its policy.
+func Summarize(policy Policy, series []TrafficSplit) Summary {
+	var s Summary
+	s.Policy = policy
+	var aDrop, aLeak, lDrop, lOK int64
+	for _, p := range series {
+		aDrop += p.AttackDropped
+		aLeak += p.AttackLeaked
+		lDrop += p.LegitimateDropped
+		lOK += p.LegitimateDelivered
+	}
+	s.TotalAttack = aDrop + aLeak
+	s.TotalLegit = lDrop + lOK
+	if s.TotalAttack > 0 {
+		s.AttackDropFrac = float64(aDrop) / float64(s.TotalAttack)
+	}
+	if s.TotalLegit > 0 {
+		s.LegitSurvivalFrac = float64(lOK) / float64(s.TotalLegit)
+	}
+	return s
+}
+
+// Format renders the summary.
+func (s Summary) Format() string {
+	return fmt.Sprintf("%-13s attack dropped %.0f%%, legitimate traffic surviving %.0f%%",
+		s.Policy, 100*s.AttackDropFrac, 100*s.LegitSurvivalFrac)
+}

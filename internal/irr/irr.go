@@ -1,0 +1,239 @@
+// Package irr models the documentation sources the paper mines to build
+// its blackhole-communities dictionary (§4.1): Internet Routing Registry
+// records in RPSL syntax (RADb-style aut-num objects whose remarks
+// document BGP communities) and free-text operator web pages.
+//
+// The generator renders a documentation corpus from the synthetic
+// topology's ground truth; the parser side is exercised by package
+// dictionary, which extracts community semantics back out of the text
+// with keyword/lemma matching, never peeking at the ground truth.
+package irr
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"bgpblackholing/internal/bgp"
+	"bgpblackholing/internal/topology"
+)
+
+// Source identifies where a document was collected.
+type Source int
+
+// Document sources.
+const (
+	SourceIRR Source = iota // RADb aut-num object
+	SourceWeb               // operator web page
+)
+
+// String names the source.
+func (s Source) String() string {
+	if s == SourceWeb {
+		return "web"
+	}
+	return "irr"
+}
+
+// Document is one collected piece of operator documentation.
+type Document struct {
+	Source Source
+	// ASN is the documenting network (0 for IXP documents).
+	ASN bgp.ASN
+	// IXPID is the documenting IXP (-1 for AS documents).
+	IXPID int
+	Text  string
+}
+
+// blackholePhrases are the wordings operators actually use; the corpus
+// varies them so the dictionary's lemma matching is meaningfully tested.
+var blackholePhrases = []string{
+	"blackhole",
+	"black hole",
+	"blackholing",
+	"null route",
+	"null-route",
+	"RTBH (remotely triggered blackholing)",
+	"discard traffic (blackhole)",
+}
+
+// tePhrases label ordinary traffic-engineering/relationship communities.
+var tePhrases = []string{
+	"learned from customer",
+	"learned from peer",
+	"learned from upstream",
+	"do not announce to peers",
+	"prepend once to all peers",
+	"prepend twice to all peers",
+	"set local preference 80",
+	"set local preference 120",
+	"peering routes",
+	"backup routes only",
+	"received in Europe",
+	"received in North America",
+}
+
+// GenerateCorpus renders the full documentation corpus for the topology:
+// one IRR record and/or web page per documented blackholing provider,
+// plain routing-policy records for other transit networks (these feed
+// the non-blackhole dictionary of §4.1's Figure 2 analysis), and a page
+// or record per blackholing IXP.
+//
+// Providers whose service is documented only via private communication
+// (DocPrivate) or not at all (DocNone) produce no blackhole text, so a
+// correct extractor must not find them here.
+func GenerateCorpus(topo *topology.Topology, seed int64) []Document {
+	r := rand.New(rand.NewSource(seed))
+	var docs []Document
+
+	for _, asn := range topo.Order {
+		as := topo.ASes[asn]
+		isTransit := as.Kind() == topology.KindTransitAccess
+		hasDocumentedBH := as.Blackholing != nil &&
+			(as.Blackholing.Doc == topology.DocIRR || as.Blackholing.Doc == topology.DocWeb)
+		if !isTransit && !hasDocumentedBH {
+			continue
+		}
+
+		teComms := as.RoutingCommunities
+		switch {
+		case hasDocumentedBH && as.Blackholing.Doc == topology.DocIRR:
+			docs = append(docs, Document{
+				Source: SourceIRR, ASN: asn, IXPID: -1,
+				Text: renderRPSL(as, teComms, true, r),
+			})
+		case hasDocumentedBH && as.Blackholing.Doc == topology.DocWeb:
+			docs = append(docs, Document{
+				Source: SourceWeb, ASN: asn, IXPID: -1,
+				Text: renderWebPage(as, r),
+			})
+			// Web-documented providers usually still keep a plain IRR
+			// record (without the blackhole community).
+			docs = append(docs, Document{
+				Source: SourceIRR, ASN: asn, IXPID: -1,
+				Text: renderRPSL(as, teComms, false, r),
+			})
+		default:
+			// Plain routing policy only.
+			docs = append(docs, Document{
+				Source: SourceIRR, ASN: asn, IXPID: -1,
+				Text: renderRPSL(as, teComms, false, r),
+			})
+		}
+	}
+
+	for _, x := range topo.IXPs {
+		if x.Blackholing == nil {
+			continue
+		}
+		docs = append(docs, Document{
+			Source: SourceWeb, ASN: 0, IXPID: x.ID,
+			Text: renderIXPPage(x, r),
+		})
+	}
+	return docs
+}
+
+func renderRPSL(as *topology.AS, teComms []bgp.Community, withBlackhole bool, r *rand.Rand) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "aut-num:        AS%d\n", as.ASN)
+	fmt.Fprintf(&b, "as-name:        NET-%d\n", as.ASN)
+	fmt.Fprintf(&b, "descr:          Autonomous network %d\n", as.ASN)
+	fmt.Fprintf(&b, "country:        %s\n", as.Country)
+	b.WriteString("remarks:        ---- BGP communities ----\n")
+	for i, c := range teComms {
+		fmt.Fprintf(&b, "remarks:        %s  %s\n", c, tePhrases[i%len(tePhrases)])
+	}
+	if withBlackhole && as.Blackholing != nil {
+		svc := as.Blackholing
+		phrase := blackholePhrases[r.Intn(len(blackholePhrases))]
+		fmt.Fprintf(&b, "remarks:        %s  %s\n", svc.Communities[0], phrase)
+		for i, rc := range svc.Communities[1:] {
+			scope := "regional"
+			if i < len(svc.RegionalScopes) {
+				scope = svc.RegionalScopes[i]
+			}
+			fmt.Fprintf(&b, "remarks:        %s  blackhole in %s only\n", rc, scope)
+		}
+		if svc.Shared && len(svc.Communities) > 1 {
+			// Shared legacy communities are mentioned too.
+			fmt.Fprintf(&b, "remarks:        %s  legacy null-route community (shared)\n",
+				svc.Communities[len(svc.Communities)-1])
+		}
+		for _, lc := range svc.LargeCommunities {
+			fmt.Fprintf(&b, "remarks:        %s  blackhole (large community format)\n", lc)
+		}
+		fmt.Fprintf(&b, "remarks:        blackhole announcements accepted up to /%d\n", svc.MaxPrefixLen)
+		if svc.RequiresIRRRegistration {
+			b.WriteString("remarks:        prefix must be registered in an IRR\n")
+		}
+	}
+	fmt.Fprintf(&b, "mnt-by:         MAINT-AS%d\n", as.ASN)
+	b.WriteString("source:         RADB\n")
+	return b.String()
+}
+
+func renderWebPage(as *topology.AS, r *rand.Rand) string {
+	svc := as.Blackholing
+	phrase := blackholePhrases[r.Intn(len(blackholePhrases))]
+	var b strings.Builder
+	fmt.Fprintf(&b, "AS%d Customer BGP Guide\n\n", as.ASN)
+	fmt.Fprintf(&b, "We offer a %s service to our BGP customers. ", phrase)
+	fmt.Fprintf(&b, "To drop traffic towards a destination under attack, announce the prefix tagged with community %s. ", svc.Communities[0])
+	fmt.Fprintf(&b, "Announcements more specific than /24 up to /%d are accepted when tagged.\n", svc.MaxPrefixLen)
+	for i, rc := range svc.Communities[1:] {
+		scope := "selected regions"
+		if i < len(svc.RegionalScopes) {
+			scope = svc.RegionalScopes[i]
+		}
+		fmt.Fprintf(&b, "Use %s to blackhole in %s only.\n", rc, scope)
+	}
+	for _, lc := range svc.LargeCommunities {
+		fmt.Fprintf(&b, "Networks with 32-bit ASNs may use the large community %s for blackholing.\n", lc)
+	}
+	if svc.RequiresIRRRegistration {
+		b.WriteString("The announced prefix must be covered by a valid IRR route object.\n")
+	}
+	b.WriteString("\nFor peering information see our PeeringDB record.\n")
+	return b.String()
+}
+
+func renderIXPPage(x *topology.IXP, r *rand.Rand) string {
+	svc := x.Blackholing
+	phrase := blackholePhrases[r.Intn(len(blackholePhrases))]
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s Route Server Services\n\n", x.Name)
+	fmt.Fprintf(&b, "Members connected to the %s route server (AS%d) can use our %s service free of charge. ",
+		x.Name, x.RouteServerASN, phrase)
+	fmt.Fprintf(&b, "Announce the victim prefix to the route server with the community %s. ", svc.Communities[0])
+	fmt.Fprintf(&b, "Traffic will be redirected to the blackholing next-hop %s (IPv6: %s) and discarded.\n",
+		x.BlackholingIPv4, x.BlackholingIPv6)
+	fmt.Fprintf(&b, "Host routes up to /%d are accepted when tagged with the blackhole community.\n", svc.MaxPrefixLen)
+	if svc.RequiresIRRRegistration {
+		b.WriteString("Announcements are filtered against IRR route objects.\n")
+	}
+	return b.String()
+}
+
+// ParseRPSL splits an RPSL object into attribute/value lines, preserving
+// repeated attributes such as remarks in order.
+func ParseRPSL(text string) []Attribute {
+	var out []Attribute
+	for _, line := range strings.Split(text, "\n") {
+		name, value, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		out = append(out, Attribute{
+			Name:  strings.TrimSpace(strings.ToLower(name)),
+			Value: strings.TrimSpace(value),
+		})
+	}
+	return out
+}
+
+// Attribute is one RPSL attribute line.
+type Attribute struct {
+	Name  string
+	Value string
+}

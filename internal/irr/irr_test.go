@@ -1,0 +1,110 @@
+package irr
+
+import (
+	"strings"
+	"testing"
+
+	"bgpblackholing/internal/topology"
+)
+
+func corpusWorld(t *testing.T) *topology.Topology {
+	t.Helper()
+	topo, err := topology.Generate(topology.DefaultConfig().Scaled(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestGenerateCorpusCoversDocumentedProviders(t *testing.T) {
+	topo := corpusWorld(t)
+	docs := GenerateCorpus(topo, 1)
+	byAS := map[int64][]Document{}
+	for _, d := range docs {
+		byAS[int64(d.ASN)] = append(byAS[int64(d.ASN)], d)
+	}
+	for _, asn := range topo.Order {
+		as := topo.ASes[asn]
+		if as.Blackholing == nil {
+			continue
+		}
+		docsFor := byAS[int64(asn)]
+		switch as.Blackholing.Doc {
+		case topology.DocIRR, topology.DocWeb:
+			if len(docsFor) == 0 {
+				t.Fatalf("documented provider AS%d has no corpus document", asn)
+			}
+			found := false
+			for _, d := range docsFor {
+				if strings.Contains(d.Text, as.Blackholing.Communities[0].String()) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("AS%d corpus misses its blackhole community", asn)
+			}
+		case topology.DocNone, topology.DocPrivate:
+			for _, d := range docsFor {
+				if strings.Contains(strings.ToLower(d.Text), "blackhol") &&
+					strings.Contains(d.Text, as.Blackholing.Communities[0].String()) {
+					t.Fatalf("undocumented provider AS%d leaked into corpus", asn)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateCorpusIXPPages(t *testing.T) {
+	topo := corpusWorld(t)
+	docs := GenerateCorpus(topo, 1)
+	nIXP := 0
+	for _, d := range docs {
+		if d.IXPID >= 0 && d.ASN == 0 {
+			nIXP++
+			x := topo.IXPs[d.IXPID]
+			if !strings.Contains(d.Text, x.Blackholing.Communities[0].String()) {
+				t.Fatalf("IXP %s page misses community", x.Name)
+			}
+			if !strings.Contains(d.Text, x.BlackholingIPv4.String()) {
+				t.Fatalf("IXP %s page misses blackholing IP", x.Name)
+			}
+		}
+	}
+	if nIXP != len(topo.BlackholingIXPs()) {
+		t.Fatalf("got %d IXP pages, want %d", nIXP, len(topo.BlackholingIXPs()))
+	}
+}
+
+func TestGenerateCorpusDeterministic(t *testing.T) {
+	topo := corpusWorld(t)
+	a := GenerateCorpus(topo, 7)
+	b := GenerateCorpus(topo, 7)
+	if len(a) != len(b) {
+		t.Fatal("corpus sizes differ")
+	}
+	for i := range a {
+		if a[i].Text != b[i].Text {
+			t.Fatalf("document %d differs between runs", i)
+		}
+	}
+}
+
+func TestParseRPSL(t *testing.T) {
+	text := "aut-num:   AS65001\nremarks:   65001:666  blackhole\nremarks:   65001:100  learned from customer\nsource: RADB\n"
+	attrs := ParseRPSL(text)
+	if len(attrs) != 4 {
+		t.Fatalf("got %d attributes", len(attrs))
+	}
+	if attrs[0].Name != "aut-num" || attrs[0].Value != "AS65001" {
+		t.Fatalf("attr[0] = %+v", attrs[0])
+	}
+	if attrs[1].Name != "remarks" || !strings.Contains(attrs[1].Value, "65001:666") {
+		t.Fatalf("attr[1] = %+v", attrs[1])
+	}
+}
+
+func TestSourceString(t *testing.T) {
+	if SourceIRR.String() != "irr" || SourceWeb.String() != "web" {
+		t.Fatal("source strings wrong")
+	}
+}

@@ -1,0 +1,249 @@
+// Package lookingglass substitutes for the Periscope looking-glass
+// platform of §3: it answers "show ip bgp <prefix>"-style queries from
+// inside an arbitrary AS, revealing routing state that never reaches any
+// route collector. §5.2's Cogent case is the motivating example: a
+// provider blackholes prefixes through a customer web portal, invisible
+// in all BGP feeds, but visible by querying a looking glass inside that
+// provider.
+//
+// About 30 of the paper's ~150 looking glasses support full-table or
+// community queries; the simulated deployment mirrors that split.
+package lookingglass
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"bgpblackholing/internal/bgp"
+	"bgpblackholing/internal/collector"
+	"bgpblackholing/internal/topology"
+)
+
+// Capability describes what a looking glass lets researchers query.
+type Capability int
+
+// Looking-glass capabilities (§3: of ~150 glasses, 30 support full
+// dumps or community queries; the rest only per-prefix queries).
+const (
+	CapPrefixOnly Capability = iota // "show ip bgp <prefix>"
+	CapCommunity                    // filter the table by community
+	CapFullTable                    // full table dumps
+)
+
+// String names the capability.
+func (c Capability) String() string {
+	switch c {
+	case CapCommunity:
+		return "community"
+	case CapFullTable:
+		return "full-table"
+	}
+	return "prefix-only"
+}
+
+// Entry is one RIB line of a looking-glass response.
+type Entry struct {
+	Prefix      netip.Prefix
+	Path        bgp.Path
+	NextHop     netip.Addr
+	Communities []bgp.Community
+	// Blackholed marks routes pointing at a null interface.
+	Blackholed bool
+}
+
+// Glass is one looking glass: a query interface into one AS's RIB.
+type Glass struct {
+	AS         bgp.ASN
+	Capability Capability
+
+	topo *topology.Topology
+	// blackholed tracks prefixes this AS currently null-routes,
+	// including ones triggered out-of-band (web portals) that never
+	// appear in BGP.
+	blackholed map[netip.Prefix][]bgp.Community
+}
+
+// Deployment is the set of available looking glasses.
+type Deployment struct {
+	topo    *topology.Topology
+	glasses map[bgp.ASN]*Glass
+}
+
+// Deploy places looking glasses inside every nth AS, mirroring the
+// partial coverage of Periscope. Every blackholing provider gets one
+// (those are the networks researchers query for validation).
+func Deploy(topo *topology.Topology) *Deployment {
+	d := &Deployment{topo: topo, glasses: map[bgp.ASN]*Glass{}}
+	for i, asn := range topo.Order {
+		as := topo.AS(asn)
+		if as.Blackholing == nil && i%5 != 0 {
+			continue
+		}
+		cap := CapPrefixOnly
+		switch i % 5 {
+		case 0:
+			cap = CapFullTable
+		case 1, 2:
+			cap = CapCommunity
+		}
+		d.glasses[asn] = &Glass{
+			AS:         asn,
+			Capability: cap,
+			topo:       topo,
+			blackholed: map[netip.Prefix][]bgp.Community{},
+		}
+	}
+	return d
+}
+
+// Glasses returns the deployed glasses sorted by ASN.
+func (d *Deployment) Glasses() []*Glass {
+	var out []*Glass
+	for _, g := range d.glasses {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AS < out[j].AS })
+	return out
+}
+
+// Glass returns the looking glass inside an AS, or nil when the AS
+// offers none.
+func (d *Deployment) Glass(asn bgp.ASN) *Glass { return d.glasses[asn] }
+
+// RecordBlackhole installs a null route in one AS's RIB, as a BGP
+// propagation or an out-of-band portal request (§5.2) would.
+func (d *Deployment) RecordBlackhole(asn bgp.ASN, prefix netip.Prefix, comms []bgp.Community) {
+	if g := d.glasses[asn]; g != nil {
+		g.blackholed[prefix] = append([]bgp.Community(nil), comms...)
+	}
+}
+
+// RecordResult ingests a propagation result: every dropping AS with a
+// glass shows the null route.
+func (d *Deployment) RecordResult(res *collector.Result, comms []bgp.Community) {
+	var drops []bgp.ASN
+	for asn := range res.DroppingASes {
+		drops = append(drops, asn)
+	}
+	topology.SortASNs(drops)
+	for _, asn := range drops {
+		d.RecordBlackhole(asn, res.Prefix, comms)
+	}
+}
+
+// ClearBlackhole removes a null route (the blackholing ended).
+func (d *Deployment) ClearBlackhole(asn bgp.ASN, prefix netip.Prefix) {
+	if g := d.glasses[asn]; g != nil {
+		delete(g.blackholed, prefix)
+	}
+}
+
+// errCapability is returned when a query exceeds the glass's capability.
+type errCapability struct {
+	have, want Capability
+}
+
+func (e errCapability) Error() string {
+	return fmt.Sprintf("lookingglass: query requires %s capability, glass offers %s", e.want, e.have)
+}
+
+// QueryPrefix answers "show ip bgp <prefix>": the AS's best route toward
+// the covering aggregate, plus any null route for the exact prefix. A
+// nil slice means the prefix is unknown.
+func (g *Glass) QueryPrefix(p netip.Prefix) []Entry {
+	var out []Entry
+	if comms, ok := g.blackholed[p]; ok {
+		out = append(out, Entry{
+			Prefix:      p,
+			Path:        bgp.NewPath(g.AS),
+			NextHop:     nullNextHop(g.topo.AS(g.AS)),
+			Communities: comms,
+			Blackholed:  true,
+		})
+	}
+	origin := g.topo.OriginOf(p)
+	if origin == 0 {
+		return out
+	}
+	asPath := g.topo.PathBetween(g.AS, origin)
+	if asPath == nil {
+		return out
+	}
+	// The covering aggregate route.
+	var agg netip.Prefix
+	for _, pf := range g.topo.AS(origin).Prefixes {
+		if pf.Addr().Is4() == p.Addr().Is4() && pf.Contains(p.Addr()) {
+			agg = pf
+			break
+		}
+	}
+	if agg.IsValid() {
+		out = append(out, Entry{
+			Prefix:  agg,
+			Path:    bgp.NewPath(asPath...),
+			NextHop: nullNextHop(nil),
+		})
+	}
+	return out
+}
+
+// QueryCommunity lists the glass AS's routes carrying the community;
+// requires CapCommunity or better.
+func (g *Glass) QueryCommunity(c bgp.Community) ([]Entry, error) {
+	if g.Capability < CapCommunity {
+		return nil, errCapability{g.Capability, CapCommunity}
+	}
+	var out []Entry
+	var prefixes []netip.Prefix
+	for p := range g.blackholed {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].String() < prefixes[j].String() })
+	for _, p := range prefixes {
+		for _, pc := range g.blackholed[p] {
+			if pc == c {
+				out = append(out, Entry{
+					Prefix:      p,
+					Path:        bgp.NewPath(g.AS),
+					NextHop:     nullNextHop(g.topo.AS(g.AS)),
+					Communities: g.blackholed[p],
+					Blackholed:  true,
+				})
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// FullTable dumps every blackholed route; requires CapFullTable.
+func (g *Glass) FullTable() ([]Entry, error) {
+	if g.Capability < CapFullTable {
+		return nil, errCapability{g.Capability, CapFullTable}
+	}
+	var prefixes []netip.Prefix
+	for p := range g.blackholed {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].String() < prefixes[j].String() })
+	out := make([]Entry, 0, len(prefixes))
+	for _, p := range prefixes {
+		out = append(out, Entry{
+			Prefix:      p,
+			Path:        bgp.NewPath(g.AS),
+			NextHop:     nullNextHop(g.topo.AS(g.AS)),
+			Communities: g.blackholed[p],
+			Blackholed:  true,
+		})
+	}
+	return out, nil
+}
+
+func nullNextHop(as *topology.AS) netip.Addr {
+	if as == nil || len(as.Prefixes) == 0 {
+		return netip.AddrFrom4([4]byte{192, 0, 2, 1}) // conventional null
+	}
+	b := as.Prefixes[0].Addr().As4()
+	return netip.AddrFrom4([4]byte{b[0], b[1], 255, 1})
+}

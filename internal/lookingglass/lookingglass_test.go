@@ -1,0 +1,171 @@
+package lookingglass
+
+import (
+	"net/netip"
+	"testing"
+
+	"bgpblackholing/internal/bgp"
+	"bgpblackholing/internal/collector"
+	"bgpblackholing/internal/topology"
+)
+
+func glassWorld(t *testing.T) (*topology.Topology, *Deployment) {
+	t.Helper()
+	topo, err := topology.Generate(topology.DefaultConfig().Scaled(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, Deploy(topo)
+}
+
+func TestDeployCoversAllProviders(t *testing.T) {
+	topo, d := glassWorld(t)
+	for _, as := range topo.BlackholingProviders() {
+		if d.Glass(as.ASN) == nil {
+			t.Fatalf("provider AS%d has no looking glass", as.ASN)
+		}
+	}
+	if len(d.Glasses()) == 0 {
+		t.Fatal("no glasses deployed")
+	}
+}
+
+func TestHiddenBlackholingVisibleViaGlass(t *testing.T) {
+	// The Cogent case (§5.2): a provider blackholes a prefix via a web
+	// portal; no BGP collector sees anything, but the looking glass
+	// inside the provider shows the null route.
+	topo, d := glassWorld(t)
+	provider := topo.BlackholingProviders()[0]
+	victim := netip.MustParsePrefix("198.41.0.4/32")
+	comms := provider.Blackholing.Communities[:1]
+
+	g := d.Glass(provider.ASN)
+	if entries := g.QueryPrefix(victim); len(entries) != 0 && entries[0].Blackholed {
+		t.Fatal("blackhole visible before it exists")
+	}
+	d.RecordBlackhole(provider.ASN, victim, comms)
+	entries := g.QueryPrefix(victim)
+	if len(entries) == 0 || !entries[0].Blackholed {
+		t.Fatalf("glass misses the null route: %+v", entries)
+	}
+	if entries[0].Communities[0] != comms[0] {
+		t.Fatal("community lost")
+	}
+	d.ClearBlackhole(provider.ASN, victim)
+	entries = g.QueryPrefix(victim)
+	for _, e := range entries {
+		if e.Blackholed {
+			t.Fatal("null route survived clearing")
+		}
+	}
+}
+
+func TestQueryPrefixIncludesCoveringAggregate(t *testing.T) {
+	topo, d := glassWorld(t)
+	// Pick any glass and any other AS's prefix.
+	g := d.Glasses()[0]
+	var target netip.Prefix
+	for _, asn := range topo.Order {
+		if asn != g.AS && len(topo.AS(asn).Prefixes) > 0 && topo.AS(asn).Prefixes[0].Addr().Is4() {
+			target = topo.AS(asn).Prefixes[0]
+			break
+		}
+	}
+	host := netip.PrefixFrom(target.Addr().Next(), 32)
+	entries := g.QueryPrefix(host)
+	found := false
+	for _, e := range entries {
+		if e.Prefix == target && !e.Blackholed {
+			found = true
+			if flat := e.Path.Flatten(); len(flat) == 0 || flat[0] != g.AS {
+				t.Fatalf("path should start at the glass AS: %v", e.Path)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("covering aggregate %v missing from %v", target, entries)
+	}
+}
+
+func TestCapabilityGating(t *testing.T) {
+	topo, d := glassWorld(t)
+	var prefixOnly, community, full *Glass
+	for _, g := range d.Glasses() {
+		switch g.Capability {
+		case CapPrefixOnly:
+			prefixOnly = g
+		case CapCommunity:
+			community = g
+		case CapFullTable:
+			full = g
+		}
+	}
+	if prefixOnly == nil || community == nil || full == nil {
+		t.Skip("capability mix not present at this scale")
+	}
+	if _, err := prefixOnly.QueryCommunity(bgp.CommunityBlackhole); err == nil {
+		t.Fatal("prefix-only glass answered a community query")
+	}
+	if _, err := community.FullTable(); err == nil {
+		t.Fatal("community glass answered a full-table query")
+	}
+	if _, err := full.FullTable(); err != nil {
+		t.Fatalf("full-table glass refused: %v", err)
+	}
+	_ = topo
+}
+
+func TestQueryCommunityAndFullTable(t *testing.T) {
+	topo, d := glassWorld(t)
+	var g *Glass
+	for _, cand := range d.Glasses() {
+		if cand.Capability == CapFullTable && topo.AS(cand.AS).Blackholing != nil {
+			g = cand
+			break
+		}
+	}
+	if g == nil {
+		t.Skip("no full-table provider glass")
+	}
+	comm := topo.AS(g.AS).Blackholing.Communities[0]
+	p1 := netip.MustParsePrefix("198.41.0.4/32")
+	p2 := netip.MustParsePrefix("198.41.0.5/32")
+	d.RecordBlackhole(g.AS, p1, []bgp.Community{comm})
+	d.RecordBlackhole(g.AS, p2, []bgp.Community{bgp.CommunityBlackhole})
+
+	byComm, err := g.QueryCommunity(comm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byComm) != 1 || byComm[0].Prefix != p1 {
+		t.Fatalf("community query = %+v", byComm)
+	}
+	all, err := g.FullTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("full table = %d entries", len(all))
+	}
+}
+
+func TestRecordResult(t *testing.T) {
+	topo, d := glassWorld(t)
+	provider := topo.BlackholingProviders()[0]
+	victim := netip.MustParsePrefix("198.41.0.9/32")
+	res := &collector.Result{
+		Prefix:       victim,
+		DroppingASes: map[bgp.ASN]bool{provider.ASN: true},
+	}
+	d.RecordResult(res, provider.Blackholing.Communities[:1])
+	entries := d.Glass(provider.ASN).QueryPrefix(victim)
+	if len(entries) == 0 || !entries[0].Blackholed {
+		t.Fatal("RecordResult did not install the null route")
+	}
+}
+
+func TestCapabilityStrings(t *testing.T) {
+	if CapPrefixOnly.String() != "prefix-only" || CapCommunity.String() != "community" || CapFullTable.String() != "full-table" {
+		t.Fatal("capability strings")
+	}
+}

@@ -1,0 +1,514 @@
+// Package mrt implements the Multi-Threaded Routing Toolkit (MRT) export
+// format of RFC 6396, the archive format published by RIPE RIS, Route
+// Views and PCH and consumed by BGPStream-style pipelines.
+//
+// Two record families are supported, the two that matter for BGP
+// measurement studies:
+//
+//   - BGP4MP / BGP4MP_MESSAGE_AS4 — archived BGP UPDATE messages,
+//     carrying the full RFC 4271 wire message plus peer metadata.
+//   - TABLE_DUMP_V2 — periodic RIB snapshots: a PEER_INDEX_TABLE record
+//     followed by RIB_IPV4_UNICAST / RIB_IPV6_UNICAST records.
+//
+// A Writer produces archives byte-compatible with this package's Reader,
+// following RFC 6396 framing: a 12-byte common header (timestamp, type,
+// subtype, length) followed by the type-specific body.
+package mrt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"bgpblackholing/internal/bgp"
+)
+
+// MRT record types and subtypes (RFC 6396 §4).
+const (
+	TypeTableDumpV2 = 13
+	TypeBGP4MP      = 16
+
+	SubtypePeerIndexTable = 1
+	SubtypeRIBIPv4Unicast = 2
+	SubtypeRIBIPv6Unicast = 4
+
+	SubtypeBGP4MPMessageAS4 = 4
+)
+
+// Errors returned by the decoder.
+var (
+	ErrTruncated      = errors.New("mrt: truncated record")
+	ErrUnknownType    = errors.New("mrt: unknown record type")
+	ErrNoPeerIndex    = errors.New("mrt: RIB record before PEER_INDEX_TABLE")
+	ErrBadPeerIndex   = errors.New("mrt: peer index out of range")
+	ErrRecordTooLarge = errors.New("mrt: record exceeds size limit")
+)
+
+// maxRecordLen bounds a single MRT record body, protecting the reader
+// against corrupt length fields.
+const maxRecordLen = 16 << 20
+
+// Record is any decoded MRT record.
+type Record interface {
+	// Timestamp is the MRT common-header time of the record.
+	Timestamp() time.Time
+}
+
+// BGP4MPMessage is an archived BGP message exchange (subtype
+// BGP4MP_MESSAGE_AS4): the raw UPDATE plus the peer that sent it.
+type BGP4MPMessage struct {
+	Time    time.Time
+	PeerAS  bgp.ASN
+	LocalAS bgp.ASN
+	PeerIP  netip.Addr
+	LocalIP netip.Addr
+	// Update is the decoded BGP UPDATE carried by the record, stamped
+	// with the record time and peer metadata.
+	Update *bgp.Update
+}
+
+// Timestamp implements Record.
+func (m *BGP4MPMessage) Timestamp() time.Time { return m.Time }
+
+// Peer is one entry of a TABLE_DUMP_V2 PEER_INDEX_TABLE.
+type Peer struct {
+	BGPID netip.Addr
+	IP    netip.Addr
+	AS    bgp.ASN
+}
+
+// PeerIndexTable is the TABLE_DUMP_V2 PEER_INDEX_TABLE record that maps
+// the peer indexes used by subsequent RIB records.
+type PeerIndexTable struct {
+	Time        time.Time
+	CollectorID netip.Addr
+	ViewName    string
+	Peers       []Peer
+}
+
+// Timestamp implements Record.
+func (p *PeerIndexTable) Timestamp() time.Time { return p.Time }
+
+// RIBEntry is one per-peer route of a RIB record.
+type RIBEntry struct {
+	PeerIndex      uint16
+	OriginatedTime time.Time
+	// Attrs holds the decoded path attributes; its prefix lists are empty.
+	Attrs *bgp.Update
+}
+
+// RIB is a TABLE_DUMP_V2 RIB_IPVx_UNICAST record: one prefix with the
+// routes every peer contributed for it.
+type RIB struct {
+	Time     time.Time
+	Sequence uint32
+	Prefix   netip.Prefix
+	Entries  []RIBEntry
+}
+
+// Timestamp implements Record.
+func (r *RIB) Timestamp() time.Time { return r.Time }
+
+// header is the 12-byte MRT common header.
+func appendHeader(dst []byte, t time.Time, typ, subtype uint16, bodyLen int) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(t.Unix()))
+	dst = binary.BigEndian.AppendUint16(dst, typ)
+	dst = binary.BigEndian.AppendUint16(dst, subtype)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(bodyLen))
+	return dst
+}
+
+// Writer emits MRT records to an underlying io.Writer.
+type Writer struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewWriter returns a Writer archiving to w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+func (w *Writer) emit(t time.Time, typ, subtype uint16, body []byte) error {
+	w.buf = w.buf[:0]
+	w.buf = appendHeader(w.buf, t, typ, subtype, len(body))
+	w.buf = append(w.buf, body...)
+	_, err := w.w.Write(w.buf)
+	return err
+}
+
+// WriteUpdate archives a BGP UPDATE as a BGP4MP_MESSAGE_AS4 record using
+// the update's own timestamp and peer metadata. The local side is the
+// collector; pass its address and AS.
+func (w *Writer) WriteUpdate(u *bgp.Update, localIP netip.Addr, localAS bgp.ASN) error {
+	msg, err := bgp.MarshalUpdate(u)
+	if err != nil {
+		return err
+	}
+	v6 := u.PeerIP.Is6()
+	body := make([]byte, 0, 40+len(msg))
+	body = binary.BigEndian.AppendUint32(body, uint32(u.PeerAS))
+	body = binary.BigEndian.AppendUint32(body, uint32(localAS))
+	body = binary.BigEndian.AppendUint16(body, 0) // interface index
+	if v6 {
+		body = binary.BigEndian.AppendUint16(body, 2) // AFI IPv6
+		p := u.PeerIP.As16()
+		body = append(body, p[:]...)
+		l := addr16(localIP)
+		body = append(body, l[:]...)
+	} else {
+		body = binary.BigEndian.AppendUint16(body, 1) // AFI IPv4
+		p := u.PeerIP.As4()
+		body = append(body, p[:]...)
+		l := addr4(localIP)
+		body = append(body, l[:]...)
+	}
+	body = append(body, msg...)
+	return w.emit(u.Time, TypeBGP4MP, SubtypeBGP4MPMessageAS4, body)
+}
+
+// WritePeerIndexTable archives the peer index for subsequent RIB records.
+func (w *Writer) WritePeerIndexTable(p *PeerIndexTable) error {
+	body := make([]byte, 0, 16+32*len(p.Peers))
+	id := addr4(p.CollectorID)
+	body = append(body, id[:]...)
+	body = binary.BigEndian.AppendUint16(body, uint16(len(p.ViewName)))
+	body = append(body, p.ViewName...)
+	body = binary.BigEndian.AppendUint16(body, uint16(len(p.Peers)))
+	for _, peer := range p.Peers {
+		// Peer type: bit 0 set = IPv6 address, bit 1 set = 4-byte AS.
+		var pt byte = 0x02
+		if peer.IP.Is6() {
+			pt |= 0x01
+		}
+		body = append(body, pt)
+		bid := addr4(peer.BGPID)
+		body = append(body, bid[:]...)
+		if peer.IP.Is6() {
+			a := peer.IP.As16()
+			body = append(body, a[:]...)
+		} else {
+			a := peer.IP.As4()
+			body = append(body, a[:]...)
+		}
+		body = binary.BigEndian.AppendUint32(body, uint32(peer.AS))
+	}
+	return w.emit(p.Time, TypeTableDumpV2, SubtypePeerIndexTable, body)
+}
+
+// WriteRIB archives one RIB record. The subtype follows the prefix
+// address family.
+func (w *Writer) WriteRIB(r *RIB) error {
+	subtype := uint16(SubtypeRIBIPv4Unicast)
+	if r.Prefix.Addr().Is6() {
+		subtype = SubtypeRIBIPv6Unicast
+	}
+	body := make([]byte, 0, 64)
+	body = binary.BigEndian.AppendUint32(body, r.Sequence)
+	body = appendNLRIPrefix(body, r.Prefix)
+	body = binary.BigEndian.AppendUint16(body, uint16(len(r.Entries)))
+	for _, e := range r.Entries {
+		body = binary.BigEndian.AppendUint16(body, e.PeerIndex)
+		body = binary.BigEndian.AppendUint32(body, uint32(e.OriginatedTime.Unix()))
+		attrs := bgp.MarshalPathAttributes(e.Attrs)
+		body = binary.BigEndian.AppendUint16(body, uint16(len(attrs)))
+		body = append(body, attrs...)
+	}
+	return w.emit(r.Time, TypeTableDumpV2, subtype, body)
+}
+
+// Reader decodes MRT records from an underlying io.Reader. RIB records
+// are resolved against the most recent PEER_INDEX_TABLE, so that the
+// caller receives fully populated peer metadata.
+type Reader struct {
+	r     io.Reader
+	peers *PeerIndexTable
+	hdr   [12]byte
+}
+
+// NewReader returns a Reader decoding from r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Next decodes and returns the next record, or io.EOF at end of archive.
+// Unknown record types are skipped transparently.
+func (r *Reader) Next() (Record, error) {
+	for {
+		if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil, ErrTruncated
+			}
+			return nil, err
+		}
+		ts := time.Unix(int64(binary.BigEndian.Uint32(r.hdr[0:4])), 0).UTC()
+		typ := binary.BigEndian.Uint16(r.hdr[4:6])
+		subtype := binary.BigEndian.Uint16(r.hdr[6:8])
+		blen := int(binary.BigEndian.Uint32(r.hdr[8:12]))
+		if blen > maxRecordLen {
+			return nil, fmt.Errorf("%w: %d bytes", ErrRecordTooLarge, blen)
+		}
+		body := make([]byte, blen)
+		if _, err := io.ReadFull(r.r, body); err != nil {
+			return nil, ErrTruncated
+		}
+
+		switch {
+		case typ == TypeBGP4MP && subtype == SubtypeBGP4MPMessageAS4:
+			return parseBGP4MP(ts, body)
+		case typ == TypeTableDumpV2 && subtype == SubtypePeerIndexTable:
+			pit, err := parsePeerIndexTable(ts, body)
+			if err != nil {
+				return nil, err
+			}
+			r.peers = pit
+			return pit, nil
+		case typ == TypeTableDumpV2 && (subtype == SubtypeRIBIPv4Unicast || subtype == SubtypeRIBIPv6Unicast):
+			return parseRIB(ts, subtype, body)
+		default:
+			// Skip unknown record types, as BGPStream does.
+			continue
+		}
+	}
+}
+
+// ReadAll decodes every remaining record in the archive.
+func (r *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// PeerIndex returns the most recently decoded PEER_INDEX_TABLE, or nil.
+func (r *Reader) PeerIndex() *PeerIndexTable { return r.peers }
+
+// ResolveRIB converts a RIB record into per-peer bgp.RIBEntry values
+// using the reader's current peer index table.
+func (r *Reader) ResolveRIB(rib *RIB) ([]bgp.RIBEntry, error) {
+	if r.peers == nil {
+		return nil, ErrNoPeerIndex
+	}
+	out := make([]bgp.RIBEntry, 0, len(rib.Entries))
+	for _, e := range rib.Entries {
+		if int(e.PeerIndex) >= len(r.peers.Peers) {
+			return nil, fmt.Errorf("%w: %d of %d", ErrBadPeerIndex, e.PeerIndex, len(r.peers.Peers))
+		}
+		p := r.peers.Peers[e.PeerIndex]
+		out = append(out, bgp.RIBEntry{
+			Prefix:              rib.Prefix,
+			PeerIP:              p.IP,
+			PeerAS:              p.AS,
+			OriginatedAt:        e.OriginatedTime,
+			Origin:              e.Attrs.Origin,
+			Path:                e.Attrs.Path,
+			NextHop:             e.Attrs.NextHop,
+			Communities:         e.Attrs.Communities,
+			LargeCommunities:    e.Attrs.LargeCommunities,
+			ExtendedCommunities: e.Attrs.ExtendedCommunities,
+		})
+	}
+	return out, nil
+}
+
+func parseBGP4MP(ts time.Time, body []byte) (*BGP4MPMessage, error) {
+	if len(body) < 12 {
+		return nil, ErrTruncated
+	}
+	m := &BGP4MPMessage{Time: ts}
+	m.PeerAS = bgp.ASN(binary.BigEndian.Uint32(body[0:4]))
+	m.LocalAS = bgp.ASN(binary.BigEndian.Uint32(body[4:8]))
+	afi := binary.BigEndian.Uint16(body[10:12])
+	body = body[12:]
+	switch afi {
+	case 1:
+		if len(body) < 8 {
+			return nil, ErrTruncated
+		}
+		m.PeerIP = netip.AddrFrom4([4]byte(body[0:4]))
+		m.LocalIP = netip.AddrFrom4([4]byte(body[4:8]))
+		body = body[8:]
+	case 2:
+		if len(body) < 32 {
+			return nil, ErrTruncated
+		}
+		m.PeerIP = netip.AddrFrom16([16]byte(body[0:16]))
+		m.LocalIP = netip.AddrFrom16([16]byte(body[16:32]))
+		body = body[32:]
+	default:
+		return nil, fmt.Errorf("mrt: BGP4MP AFI %d unsupported", afi)
+	}
+	u, err := bgp.UnmarshalUpdate(body)
+	if err != nil {
+		return nil, fmt.Errorf("mrt: inner BGP message: %w", err)
+	}
+	u.Time = ts
+	u.PeerIP = m.PeerIP
+	u.PeerAS = m.PeerAS
+	m.Update = u
+	return m, nil
+}
+
+func parsePeerIndexTable(ts time.Time, body []byte) (*PeerIndexTable, error) {
+	if len(body) < 8 {
+		return nil, ErrTruncated
+	}
+	pit := &PeerIndexTable{Time: ts, CollectorID: netip.AddrFrom4([4]byte(body[0:4]))}
+	nameLen := int(binary.BigEndian.Uint16(body[4:6]))
+	body = body[6:]
+	if len(body) < nameLen+2 {
+		return nil, ErrTruncated
+	}
+	pit.ViewName = string(body[:nameLen])
+	body = body[nameLen:]
+	n := int(binary.BigEndian.Uint16(body[0:2]))
+	body = body[2:]
+	pit.Peers = make([]Peer, 0, n)
+	for i := 0; i < n; i++ {
+		if len(body) < 5 {
+			return nil, ErrTruncated
+		}
+		pt := body[0]
+		var peer Peer
+		peer.BGPID = netip.AddrFrom4([4]byte(body[1:5]))
+		body = body[5:]
+		if pt&0x01 != 0 {
+			if len(body) < 16 {
+				return nil, ErrTruncated
+			}
+			peer.IP = netip.AddrFrom16([16]byte(body[0:16]))
+			body = body[16:]
+		} else {
+			if len(body) < 4 {
+				return nil, ErrTruncated
+			}
+			peer.IP = netip.AddrFrom4([4]byte(body[0:4]))
+			body = body[4:]
+		}
+		if pt&0x02 != 0 {
+			if len(body) < 4 {
+				return nil, ErrTruncated
+			}
+			peer.AS = bgp.ASN(binary.BigEndian.Uint32(body[0:4]))
+			body = body[4:]
+		} else {
+			if len(body) < 2 {
+				return nil, ErrTruncated
+			}
+			peer.AS = bgp.ASN(binary.BigEndian.Uint16(body[0:2]))
+			body = body[2:]
+		}
+		pit.Peers = append(pit.Peers, peer)
+	}
+	return pit, nil
+}
+
+func parseRIB(ts time.Time, subtype uint16, body []byte) (*RIB, error) {
+	if len(body) < 5 {
+		return nil, ErrTruncated
+	}
+	rib := &RIB{Time: ts, Sequence: binary.BigEndian.Uint32(body[0:4])}
+	body = body[4:]
+	v6 := subtype == SubtypeRIBIPv6Unicast
+	prefix, rest, err := parseNLRIPrefix(body, v6)
+	if err != nil {
+		return nil, err
+	}
+	rib.Prefix = prefix
+	body = rest
+	if len(body) < 2 {
+		return nil, ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint16(body[0:2]))
+	body = body[2:]
+	rib.Entries = make([]RIBEntry, 0, n)
+	for i := 0; i < n; i++ {
+		if len(body) < 8 {
+			return nil, ErrTruncated
+		}
+		var e RIBEntry
+		e.PeerIndex = binary.BigEndian.Uint16(body[0:2])
+		e.OriginatedTime = time.Unix(int64(binary.BigEndian.Uint32(body[2:6])), 0).UTC()
+		alen := int(binary.BigEndian.Uint16(body[6:8]))
+		body = body[8:]
+		if len(body) < alen {
+			return nil, ErrTruncated
+		}
+		attrs, err := bgp.UnmarshalPathAttributes(body[:alen])
+		if err != nil {
+			return nil, fmt.Errorf("mrt: RIB entry attributes: %w", err)
+		}
+		e.Attrs = attrs
+		body = body[alen:]
+		rib.Entries = append(rib.Entries, e)
+	}
+	return rib, nil
+}
+
+func appendNLRIPrefix(dst []byte, p netip.Prefix) []byte {
+	bits := p.Bits()
+	dst = append(dst, byte(bits))
+	nb := (bits + 7) / 8
+	if p.Addr().Is4() {
+		a := p.Addr().As4()
+		dst = append(dst, a[:nb]...)
+	} else {
+		a := p.Addr().As16()
+		dst = append(dst, a[:nb]...)
+	}
+	return dst
+}
+
+func parseNLRIPrefix(b []byte, v6 bool) (netip.Prefix, []byte, error) {
+	if len(b) < 1 {
+		return netip.Prefix{}, nil, ErrTruncated
+	}
+	bits := int(b[0])
+	b = b[1:]
+	maxBits := 32
+	if v6 {
+		maxBits = 128
+	}
+	if bits > maxBits {
+		return netip.Prefix{}, nil, fmt.Errorf("mrt: prefix length %d", bits)
+	}
+	nb := (bits + 7) / 8
+	if len(b) < nb {
+		return netip.Prefix{}, nil, ErrTruncated
+	}
+	var addr netip.Addr
+	if v6 {
+		var a [16]byte
+		copy(a[:], b[:nb])
+		addr = netip.AddrFrom16(a)
+	} else {
+		var a [4]byte
+		copy(a[:], b[:nb])
+		addr = netip.AddrFrom4(a)
+	}
+	p, err := addr.Prefix(bits)
+	if err != nil {
+		return netip.Prefix{}, nil, err
+	}
+	return p, b[nb:], nil
+}
+
+func addr4(a netip.Addr) [4]byte {
+	if a.IsValid() && a.Is4() {
+		return a.As4()
+	}
+	return [4]byte{}
+}
+
+func addr16(a netip.Addr) [16]byte {
+	if a.IsValid() && a.Is6() {
+		return a.As16()
+	}
+	return [16]byte{}
+}

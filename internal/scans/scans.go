@@ -1,0 +1,228 @@
+// Package scans substitutes for the Internet-wide scan datasets of §8
+// (scans.io TCP/UDP scans, Alexa top-1M DNS mappings, DNSDB and the
+// CDN's proprietary reputation feeds): it deterministically profiles the
+// services running on any IP address and the suspicious activity
+// originating from it, with aggregate distributions matching the
+// paper's findings (HTTP dominant, mail-protocol bundles, tarpits, a
+// small Alexa overlap, and ~2% of blackholed prefixes showing malicious
+// source behaviour).
+package scans
+
+import (
+	"net/netip"
+)
+
+// Service is one scanned protocol.
+type Service string
+
+// The scanned protocols of Figure 7(a).
+const (
+	HTTP   Service = "HTTP"
+	HTTPS  Service = "HTTPS"
+	SSH    Service = "SSH"
+	FTP    Service = "FTP"
+	Telnet Service = "Telnet"
+	DNS    Service = "DNS"
+	NTP    Service = "NTP"
+	SMTP   Service = "SMTP"
+	SMTPS  Service = "SMTPS"
+	POP3   Service = "POP3"
+	POP3S  Service = "POP3S"
+	IMAP   Service = "IMAP"
+	IMAPS  Service = "IMAPS"
+)
+
+// Services lists all scanned protocols in figure order.
+func Services() []Service {
+	return []Service{HTTP, HTTPS, SSH, FTP, Telnet, DNS, NTP, SMTP, SMTPS, POP3, POP3S, IMAP, IMAPS}
+}
+
+// mailServices are the six mail-related protocols.
+var mailServices = []Service{SMTP, SMTPS, POP3, POP3S, IMAP, IMAPS}
+
+// HostProfile describes the services offered by one host.
+type HostProfile struct {
+	// Open lists the host's accepting services.
+	Open map[Service]bool
+	// Tarpit marks hosts accepting connections on every tested port.
+	Tarpit bool
+	// RespondsHTTP reports whether an HTTP GET receives a response
+	// (61% of blackholed hosts vs ~90% generally, §8).
+	RespondsHTTP bool
+	// AlexaRank is the Alexa top-1M rank of a site hosted here
+	// (0 when none; about 3% of blackholed HTTP hosts).
+	AlexaRank int
+	// TLD is the dominant hosted domain's top-level domain.
+	TLD string
+}
+
+// HasAnyService reports whether any port is open.
+func (h *HostProfile) HasAnyService() bool { return len(h.Open) > 0 }
+
+// AllMail reports whether all six mail protocols are open.
+func (h *HostProfile) AllMail() bool {
+	for _, s := range mailServices {
+		if !h.Open[s] {
+			return false
+		}
+	}
+	return true
+}
+
+func mix(addr netip.Addr, salt uint64) uint64 {
+	h := salt*0x9E3779B97F4A7C15 + 0x243F6A8885A308D3
+	for _, b := range addr.As16() {
+		h = (h ^ uint64(b)) * 0x100000001B3
+	}
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return h
+}
+
+func chance(addr netip.Addr, salt uint64, permille uint64) bool {
+	return mix(addr, salt)%1000 < permille
+}
+
+// tlds weights the observed TLD distribution (§8: .com 38%, .ru 16%,
+// .org 12%, .net 6%, .se 3%, long tail).
+var tlds = []struct {
+	tld    string
+	weight int
+}{
+	{"com", 380}, {"ru", 160}, {"org", 119}, {"net", 60}, {"se", 30},
+	{"de", 28}, {"pl", 25}, {"br", 24}, {"ua", 22}, {"io", 20},
+	{"cn", 18}, {"info", 16}, {"biz", 14}, {"fr", 14}, {"nl", 12},
+	{"uk", 12}, {"jp", 10}, {"it", 10}, {"es", 8}, {"other", 18},
+}
+
+// Profile deterministically derives the host profile of one address.
+// The same address always yields the same profile (the scan snapshot is
+// a fixed point in time, like a scans.io dump).
+func Profile(addr netip.Addr, seed int64) HostProfile {
+	s := uint64(seed)
+	p := HostProfile{Open: map[Service]bool{}}
+
+	// 40% of blackholed prefixes expose no scanned service (§8 finds
+	// services for "more than 60%").
+	if chance(addr, s^1, 385) {
+		return p
+	}
+
+	// Tarpits: ~4% accept on everything.
+	if chance(addr, s^2, 42) {
+		p.Tarpit = true
+		for _, svc := range Services() {
+			p.Open[svc] = true
+		}
+		p.RespondsHTTP = chance(addr, s^3, 300)
+		p.TLD = pickTLD(addr, s)
+		return p
+	}
+
+	// HTTP dominates: ~85% of service-bearing prefixes (53% of all).
+	hasHTTP := chance(addr, s^4, 860)
+	if hasHTTP {
+		p.Open[HTTP] = true
+		if chance(addr, s^5, 550) {
+			p.Open[HTTPS] = true
+		}
+	}
+	// FTP: 90% co-located with HTTP (preconfigured virtual web hosts).
+	if chance(addr, s^6, 280) {
+		if hasHTTP || chance(addr, s^7, 100) {
+			p.Open[FTP] = true
+		}
+	}
+	// SSH: 79% co-located with HTTP.
+	if chance(addr, s^8, 420) {
+		if hasHTTP || chance(addr, s^9, 210) {
+			p.Open[SSH] = true
+		}
+	}
+	if chance(addr, s^10, 80) {
+		p.Open[Telnet] = true
+	}
+	if chance(addr, s^11, 110) {
+		p.Open[DNS] = true
+	}
+	if chance(addr, s^12, 60) {
+		p.Open[NTP] = true
+	}
+	// Mail: ~16% of service-bearing prefixes run the full mail stack
+	// (10% of all blackholed prefixes offer all six, §8); others run
+	// partial mail.
+	if chance(addr, s^13, 170) {
+		for _, svc := range mailServices {
+			p.Open[svc] = true
+		}
+	} else if chance(addr, s^14, 140) {
+		p.Open[SMTP] = true
+		if chance(addr, s^15, 500) {
+			p.Open[IMAP] = true
+		}
+	}
+
+	if p.Open[HTTP] {
+		// 61% of blackholed HTTP hosts answer a GET (vs ~90% generally).
+		p.RespondsHTTP = chance(addr, s^16, 610)
+		// ~3% host an Alexa top-1M site.
+		if chance(addr, s^17, 30) {
+			p.AlexaRank = 1 + int(mix(addr, s^18)%1000000)
+		}
+		p.TLD = pickTLD(addr, s)
+	}
+	return p
+}
+
+func pickTLD(addr netip.Addr, s uint64) string {
+	total := 0
+	for _, t := range tlds {
+		total += t.weight
+	}
+	x := int(mix(addr, s^19) % uint64(total))
+	for _, t := range tlds {
+		x -= t.weight
+		if x < 0 {
+			return t.tld
+		}
+	}
+	return "com"
+}
+
+// Activity is the suspicious source behaviour of one address on one day
+// (the CDN reputation feeds of §8).
+type Activity struct {
+	// Prober scans multiple CDN servers for a specific port.
+	Prober bool
+	// Scanner port-scans CDN infrastructure.
+	Scanner bool
+	// LoginAttempts marks repeated login attempts against CDN customers.
+	LoginAttempts bool
+}
+
+// Suspicious reports any malicious behaviour.
+func (a Activity) Suspicious() bool { return a.Prober || a.Scanner || a.LoginAttempts }
+
+// ActivityFor returns the deterministic daily reputation record for an
+// address. Across a blackholed-prefix population, roughly 2% of
+// prefixes exhibit activity; of the prober/scanner matches over 90% are
+// probers and about 2% are both (§8).
+func ActivityFor(addr netip.Addr, day int, seed int64) Activity {
+	s := uint64(seed) + uint64(day)*0xD6E8FEB86659FD93
+	var a Activity
+	if !chance(addr, s^100, 20) {
+		return a // 98% of prefixes: no malicious behaviour
+	}
+	roll := mix(addr, s^101) % 100
+	switch {
+	case roll < 90:
+		a.Prober = true
+	case roll < 98:
+		a.Scanner = true
+	default:
+		a.Prober, a.Scanner = true, true
+	}
+	a.LoginAttempts = chance(addr, s^102, 600)
+	return a
+}

@@ -1,0 +1,173 @@
+package scans
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func addrs(n int) []netip.Addr {
+	out := make([]netip.Addr, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, netip.AddrFrom4([4]byte{byte(30 + i%100), byte(i >> 8), byte(i), byte(1 + i%250)}))
+	}
+	return out
+}
+
+func TestProfileDeterministic(t *testing.T) {
+	a := netip.MustParseAddr("31.2.3.4")
+	p1 := Profile(a, 42)
+	p2 := Profile(a, 42)
+	if len(p1.Open) != len(p2.Open) || p1.Tarpit != p2.Tarpit || p1.AlexaRank != p2.AlexaRank {
+		t.Fatal("profile not deterministic")
+	}
+}
+
+func TestProfileAggregateDistribution(t *testing.T) {
+	const n = 20000
+	var withService, withHTTP, tarpits, allMail, alexa, httpHosts, respond int
+	ftpTotal, ftpWithHTTP := 0, 0
+	for _, a := range addrs(n) {
+		p := Profile(a, 42)
+		if p.HasAnyService() {
+			withService++
+		}
+		if p.Open[HTTP] {
+			withHTTP++
+			httpHosts++
+			if p.RespondsHTTP {
+				respond++
+			}
+			if p.AlexaRank > 0 {
+				alexa++
+			}
+		}
+		if p.Tarpit {
+			tarpits++
+		}
+		if p.AllMail() {
+			allMail++
+		}
+		if p.Open[FTP] {
+			ftpTotal++
+			if p.Open[HTTP] {
+				ftpWithHTTP++
+			}
+		}
+	}
+	frac := func(x int) float64 { return float64(x) / n }
+	// >60% of prefixes expose at least one service.
+	if f := frac(withService); f < 0.55 || f > 0.70 {
+		t.Fatalf("service fraction = %.2f, want ~0.61", f)
+	}
+	// HTTP on ~53% of all prefixes.
+	if f := frac(withHTTP); f < 0.45 || f > 0.62 {
+		t.Fatalf("HTTP fraction = %.2f, want ~0.53", f)
+	}
+	// ~4% tarpits.
+	if f := frac(tarpits); f < 0.015 || f > 0.06 {
+		t.Fatalf("tarpit fraction = %.3f, want ~0.04", f)
+	}
+	// ~10% all-mail.
+	if f := frac(allMail); f < 0.06 || f > 0.18 {
+		t.Fatalf("all-mail fraction = %.2f, want ~0.10", f)
+	}
+	// 90% of FTP co-located with HTTP.
+	if ftpTotal > 0 {
+		if f := float64(ftpWithHTTP) / float64(ftpTotal); f < 0.80 {
+			t.Fatalf("FTP-with-HTTP = %.2f, want ~0.9", f)
+		}
+	}
+	// 61% of HTTP hosts respond to GET.
+	if f := float64(respond) / float64(httpHosts); f < 0.52 || f > 0.70 {
+		t.Fatalf("HTTP response rate = %.2f, want ~0.61", f)
+	}
+	// ~3% of HTTP hosts in Alexa top 1M.
+	if f := float64(alexa) / float64(httpHosts); f < 0.01 || f > 0.06 {
+		t.Fatalf("Alexa fraction = %.3f, want ~0.03", f)
+	}
+}
+
+func TestTLDDistribution(t *testing.T) {
+	counts := map[string]int{}
+	total := 0
+	for _, a := range addrs(30000) {
+		p := Profile(a, 42)
+		if p.TLD != "" {
+			counts[p.TLD]++
+			total++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no TLDs assigned")
+	}
+	com := float64(counts["com"]) / float64(total)
+	ru := float64(counts["ru"]) / float64(total)
+	if com < 0.30 || com > 0.46 {
+		t.Fatalf(".com share = %.2f, want ~0.38", com)
+	}
+	if ru < 0.10 || ru > 0.22 {
+		t.Fatalf(".ru share = %.2f, want ~0.16", ru)
+	}
+	if counts["com"] < counts["ru"] || counts["ru"] < counts["net"] {
+		t.Fatal("TLD ordering wrong")
+	}
+}
+
+func TestActivityDistribution(t *testing.T) {
+	const n = 50000
+	var suspicious, probers, scanners, both int
+	for _, a := range addrs(n) {
+		act := ActivityFor(a, 100, 42)
+		if !act.Suspicious() {
+			continue
+		}
+		suspicious++
+		switch {
+		case act.Prober && act.Scanner:
+			both++
+		case act.Prober:
+			probers++
+		case act.Scanner:
+			scanners++
+		}
+	}
+	if f := float64(suspicious) / n; f < 0.01 || f > 0.04 {
+		t.Fatalf("suspicious fraction = %.3f, want ~0.02", f)
+	}
+	matches := probers + scanners + both
+	if matches == 0 {
+		t.Fatal("no prober/scanner matches")
+	}
+	if f := float64(probers+both) / float64(matches); f < 0.85 {
+		t.Fatalf("prober share = %.2f, want > 0.9", f)
+	}
+	if f := float64(both) / float64(matches); f > 0.06 {
+		t.Fatalf("both share = %.2f, want ~0.02", f)
+	}
+}
+
+func TestActivityVariesByDay(t *testing.T) {
+	diff := false
+	for _, a := range addrs(2000) {
+		if ActivityFor(a, 1, 42).Suspicious() != ActivityFor(a, 200, 42).Suspicious() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("activity identical across days")
+	}
+}
+
+func TestServicesList(t *testing.T) {
+	if len(Services()) != 13 {
+		t.Fatalf("services = %d, want 13", len(Services()))
+	}
+}
+
+func TestAllMailRequiresAllSix(t *testing.T) {
+	p := HostProfile{Open: map[Service]bool{SMTP: true, IMAP: true}}
+	if p.AllMail() {
+		t.Fatal("partial mail stack reported as full")
+	}
+}

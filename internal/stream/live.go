@@ -1,0 +1,84 @@
+package stream
+
+import (
+	"io"
+	"sync"
+	"time"
+
+	"bgpblackholing/internal/bgp"
+	"bgpblackholing/internal/collector"
+)
+
+// Live is a channel-backed stream for near-real-time consumption, the
+// BGPStream "live mode" the paper's §10 measurement campaign runs on:
+// producers push elements as collectors observe them; a consumer drains
+// them through the ordinary Stream interface. Closing the live stream
+// ends the consumer with io.EOF after the buffer drains.
+type Live struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []*Elem
+	closed bool
+}
+
+// NewLive returns an open live stream.
+func NewLive() *Live {
+	l := &Live{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Publish appends one element. Publishing to a closed stream is a
+// no-op (late producers during shutdown are tolerated).
+func (l *Live) Publish(e *Elem) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.buf = append(l.buf, e)
+	l.cond.Signal()
+}
+
+// PublishObservation converts and publishes a collector observation.
+func (l *Live) PublishObservation(o collector.Observation) {
+	l.Publish(&Elem{Collector: o.Collector.Name, Platform: o.Collector.Platform, Update: o.Update})
+}
+
+// Close ends the stream; pending elements still drain.
+func (l *Live) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	l.cond.Broadcast()
+}
+
+// Next blocks until an element is available or the stream is closed and
+// drained.
+func (l *Live) Next() (*Elem, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.buf) == 0 && !l.closed {
+		l.cond.Wait()
+	}
+	if len(l.buf) == 0 {
+		return nil, io.EOF
+	}
+	e := l.buf[0]
+	l.buf = l.buf[1:]
+	return e, nil
+}
+
+// Pending reports the buffered element count (monitoring hook).
+func (l *Live) Pending() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buf)
+}
+
+// Tick is a convenience for tests and examples: it publishes a minimal
+// keepalive-like element with only a timestamp, letting consumers
+// observe time progress on otherwise quiet feeds.
+func (l *Live) Tick(name string, platform collector.Platform, t time.Time) {
+	l.Publish(&Elem{Collector: name, Platform: platform, Update: &bgp.Update{Time: t}})
+}

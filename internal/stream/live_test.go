@@ -1,0 +1,133 @@
+package stream
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"bgpblackholing/internal/collector"
+)
+
+func TestLivePublishConsume(t *testing.T) {
+	l := NewLive()
+	go func() {
+		for i := 0; i < 5; i++ {
+			l.Publish(elem("live", collector.PlatformRIS, time.Duration(i)*time.Second, "31.0.0.1/32"))
+		}
+		l.Close()
+	}()
+	got, err := Collect(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %d elements", len(got))
+	}
+}
+
+func TestLiveCloseDrains(t *testing.T) {
+	l := NewLive()
+	l.Publish(elem("live", collector.PlatformRIS, 0, "31.0.0.1/32"))
+	l.Close()
+	if _, err := l.Next(); err != nil {
+		t.Fatal("buffered element should drain after close")
+	}
+	if _, err := l.Next(); !errors.Is(err, io.EOF) {
+		t.Fatal("want EOF after drain")
+	}
+	// Publishing after close is a tolerated no-op.
+	l.Publish(elem("live", collector.PlatformRIS, 0, "31.0.0.2/32"))
+	if l.Pending() != 0 {
+		t.Fatal("closed stream accepted an element")
+	}
+}
+
+func TestLiveBlocksUntilPublish(t *testing.T) {
+	l := NewLive()
+	done := make(chan *Elem, 1)
+	go func() {
+		e, _ := l.Next()
+		done <- e
+	}()
+	select {
+	case <-done:
+		t.Fatal("Next returned without data")
+	case <-time.After(20 * time.Millisecond):
+	}
+	l.Publish(elem("live", collector.PlatformRV, 0, "31.0.0.1/32"))
+	select {
+	case e := <-done:
+		if e == nil {
+			t.Fatal("nil element")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("consumer never woke")
+	}
+}
+
+func TestLiveConcurrentProducers(t *testing.T) {
+	l := NewLive()
+	const producers, per = 8, 50
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Publish(elem("live", collector.PlatformCDN, time.Duration(i)*time.Millisecond, "31.0.0.1/32"))
+			}
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		l.Close()
+	}()
+	got, err := Collect(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != producers*per {
+		t.Fatalf("got %d, want %d", len(got), producers*per)
+	}
+}
+
+// Property: merging any partition of a time-sorted element list
+// reproduces a time-sorted list of the same length.
+func TestMergePreservesOrderProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%60 + 2
+		var elems []*Elem
+		for i := 0; i < n; i++ {
+			elems = append(elems, elem("x", collector.PlatformRIS, time.Duration(i)*time.Second, "31.0.0.1/32"))
+		}
+		// Partition round-robin by a seed-dependent stride into k children.
+		k := int(seed%3+2) ^ 0
+		if k < 2 {
+			k = 2
+		}
+		parts := make([][]*Elem, k)
+		for i, e := range elems {
+			parts[i%k] = append(parts[i%k], e)
+		}
+		var streams []Stream
+		for _, p := range parts {
+			streams = append(streams, FromElems(p))
+		}
+		got, err := Collect(Merge(streams...))
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Update.Time.Before(got[i-1].Update.Time) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,216 @@
+// Package stream provides a BGPStream-like abstraction (§3, [54]): a
+// time-ordered stream of BGP updates merged across many collectors, with
+// composable filters and replay from MRT archives. The inference engine
+// consumes one merged stream exactly as the paper's pipeline consumes
+// BGPStream elements.
+package stream
+
+import (
+	"errors"
+	"io"
+	"net/netip"
+	"sort"
+	"time"
+
+	"bgpblackholing/internal/bgp"
+	"bgpblackholing/internal/collector"
+	"bgpblackholing/internal/mrt"
+)
+
+// Elem is one stream element: an update plus its collection context.
+type Elem struct {
+	Collector string
+	Platform  collector.Platform
+	Update    *bgp.Update
+}
+
+// Stream yields elements in non-decreasing time order.
+type Stream interface {
+	// Next returns the next element, or nil, io.EOF at end of stream.
+	Next() (*Elem, error)
+}
+
+// sliceStream replays a pre-sorted slice.
+type sliceStream struct {
+	elems []*Elem
+	pos   int
+}
+
+func (s *sliceStream) Next() (*Elem, error) {
+	if s.pos >= len(s.elems) {
+		return nil, io.EOF
+	}
+	e := s.elems[s.pos]
+	s.pos++
+	return e, nil
+}
+
+// FromObservations builds a stream from collector observations, sorted
+// by time (stable for equal timestamps).
+func FromObservations(obs []collector.Observation) Stream {
+	elems := make([]*Elem, len(obs))
+	for i, o := range obs {
+		elems[i] = &Elem{Collector: o.Collector.Name, Platform: o.Collector.Platform, Update: o.Update}
+	}
+	sort.SliceStable(elems, func(i, j int) bool { return elems[i].Update.Time.Before(elems[j].Update.Time) })
+	return &sliceStream{elems: elems}
+}
+
+// FromElems builds a stream from elements, sorting them by time.
+func FromElems(elems []*Elem) Stream {
+	out := append([]*Elem(nil), elems...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Update.Time.Before(out[j].Update.Time) })
+	return &sliceStream{elems: out}
+}
+
+// mergeStream k-way merges child streams by element time.
+type mergeStream struct {
+	heads []*Elem
+	srcs  []Stream
+}
+
+// Merge combines streams into one time-ordered stream. Children must
+// themselves be time-ordered.
+func Merge(srcs ...Stream) Stream {
+	m := &mergeStream{srcs: srcs, heads: make([]*Elem, len(srcs))}
+	return m
+}
+
+func (m *mergeStream) Next() (*Elem, error) {
+	best := -1
+	for i, src := range m.srcs {
+		if m.heads[i] == nil && src != nil {
+			e, err := src.Next()
+			if errors.Is(err, io.EOF) {
+				m.srcs[i] = nil
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			m.heads[i] = e
+		}
+		if m.heads[i] != nil {
+			if best == -1 || m.heads[i].Update.Time.Before(m.heads[best].Update.Time) {
+				best = i
+			}
+		}
+	}
+	if best == -1 {
+		return nil, io.EOF
+	}
+	e := m.heads[best]
+	m.heads[best] = nil
+	return e, nil
+}
+
+// filterStream drops elements not matching the predicate.
+type filterStream struct {
+	src  Stream
+	pred func(*Elem) bool
+}
+
+func (f *filterStream) Next() (*Elem, error) {
+	for {
+		e, err := f.src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if f.pred(e) {
+			return e, nil
+		}
+	}
+}
+
+// Filter wraps a stream with a predicate.
+func Filter(src Stream, pred func(*Elem) bool) Stream {
+	return &filterStream{src: src, pred: pred}
+}
+
+// ByPlatform keeps only elements from one platform.
+func ByPlatform(src Stream, p collector.Platform) Stream {
+	return Filter(src, func(e *Elem) bool { return e.Platform == p })
+}
+
+// ByTimeWindow keeps elements with from <= t < to.
+func ByTimeWindow(src Stream, from, to time.Time) Stream {
+	return Filter(src, func(e *Elem) bool {
+		t := e.Update.Time
+		return !t.Before(from) && t.Before(to)
+	})
+}
+
+// ByPrefix keeps elements announcing or withdrawing prefixes covered by p.
+func ByPrefix(src Stream, p netip.Prefix) Stream {
+	return Filter(src, func(e *Elem) bool {
+		for _, x := range e.Update.Announced {
+			if p.Overlaps(x) {
+				return true
+			}
+		}
+		for _, x := range e.Update.Withdrawn {
+			if p.Overlaps(x) {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// FromMRT replays a single MRT archive as a stream. RIB records are
+// expanded into one announcement per entry (stamped with the record
+// time); BGP4MP records yield their inner update.
+func FromMRT(r *mrt.Reader, collectorName string, platform collector.Platform) Stream {
+	return &mrtStream{r: r, name: collectorName, platform: platform}
+}
+
+type mrtStream struct {
+	r        *mrt.Reader
+	name     string
+	platform collector.Platform
+	pending  []*Elem
+}
+
+func (m *mrtStream) Next() (*Elem, error) {
+	for {
+		if len(m.pending) > 0 {
+			e := m.pending[0]
+			m.pending = m.pending[1:]
+			return e, nil
+		}
+		rec, err := m.r.Next()
+		if err != nil {
+			return nil, err
+		}
+		switch rec := rec.(type) {
+		case *mrt.BGP4MPMessage:
+			return &Elem{Collector: m.name, Platform: m.platform, Update: rec.Update}, nil
+		case *mrt.RIB:
+			entries, err := m.r.ResolveRIB(rec)
+			if err != nil {
+				return nil, err
+			}
+			for i := range entries {
+				u := entries[i].ToUpdate(rec.Time)
+				m.pending = append(m.pending, &Elem{Collector: m.name, Platform: m.platform, Update: u})
+			}
+		case *mrt.PeerIndexTable:
+			// Consumed by the reader for RIB resolution.
+		}
+	}
+}
+
+// Collect drains a stream into a slice (for tests and small replays).
+func Collect(s Stream) ([]*Elem, error) {
+	var out []*Elem
+	for {
+		e, err := s.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+}

@@ -1,0 +1,182 @@
+package stream
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"time"
+
+	"bgpblackholing/internal/bgp"
+	"bgpblackholing/internal/collector"
+	"bgpblackholing/internal/mrt"
+)
+
+var t0 = time.Date(2017, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func elem(name string, p collector.Platform, offset time.Duration, prefix string) *Elem {
+	return &Elem{
+		Collector: name,
+		Platform:  p,
+		Update: &bgp.Update{
+			Time:      t0.Add(offset),
+			Announced: []netip.Prefix{netip.MustParsePrefix(prefix)},
+			Path:      bgp.NewPath(100, 200),
+		},
+	}
+}
+
+func TestFromElemsSortsByTime(t *testing.T) {
+	s := FromElems([]*Elem{
+		elem("a", collector.PlatformRIS, 3*time.Second, "31.0.0.1/32"),
+		elem("a", collector.PlatformRIS, 1*time.Second, "31.0.0.2/32"),
+		elem("a", collector.PlatformRIS, 2*time.Second, "31.0.0.3/32"),
+	})
+	got, err := Collect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Update.Time.Before(got[i-1].Update.Time) {
+			t.Fatal("not time ordered")
+		}
+	}
+}
+
+func TestMergeInterleavesStreams(t *testing.T) {
+	a := FromElems([]*Elem{
+		elem("ris", collector.PlatformRIS, 1*time.Second, "31.0.0.1/32"),
+		elem("ris", collector.PlatformRIS, 4*time.Second, "31.0.0.1/32"),
+	})
+	b := FromElems([]*Elem{
+		elem("rv", collector.PlatformRV, 2*time.Second, "31.0.0.2/32"),
+		elem("rv", collector.PlatformRV, 3*time.Second, "31.0.0.2/32"),
+	})
+	got, err := Collect(Merge(a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("len = %d", len(got))
+	}
+	wantOrder := []string{"ris", "rv", "rv", "ris"}
+	for i, w := range wantOrder {
+		if got[i].Collector != w {
+			t.Fatalf("pos %d = %s, want %s", i, got[i].Collector, w)
+		}
+	}
+}
+
+func TestFilters(t *testing.T) {
+	elems := []*Elem{
+		elem("ris", collector.PlatformRIS, 1*time.Second, "31.0.0.1/32"),
+		elem("rv", collector.PlatformRV, 2*time.Second, "32.0.0.1/32"),
+		elem("ris", collector.PlatformRIS, 10*time.Minute, "31.0.0.2/32"),
+	}
+	got, err := Collect(ByPlatform(FromElems(elems), collector.PlatformRIS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("ByPlatform len = %d", len(got))
+	}
+
+	got, err = Collect(ByTimeWindow(FromElems(elems), t0, t0.Add(time.Minute)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("ByTimeWindow len = %d", len(got))
+	}
+
+	got, err = Collect(ByPrefix(FromElems(elems), netip.MustParsePrefix("31.0.0.0/16")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("ByPrefix len = %d", len(got))
+	}
+}
+
+func TestByPrefixMatchesWithdrawals(t *testing.T) {
+	w := &Elem{Collector: "x", Update: &bgp.Update{
+		Time:      t0,
+		Withdrawn: []netip.Prefix{netip.MustParsePrefix("31.0.0.1/32")},
+	}}
+	got, err := Collect(ByPrefix(FromElems([]*Elem{w}), netip.MustParsePrefix("31.0.0.0/16")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatal("withdrawal not matched")
+	}
+}
+
+func TestFromMRTReplaysUpdatesAndRIBs(t *testing.T) {
+	var buf bytes.Buffer
+	w := mrt.NewWriter(&buf)
+	pit := &mrt.PeerIndexTable{
+		Time:        t0,
+		CollectorID: netip.MustParseAddr("22.0.0.1"),
+		Peers:       []mrt.Peer{{BGPID: netip.MustParseAddr("22.0.1.1"), IP: netip.MustParseAddr("22.0.1.1"), AS: 100}},
+	}
+	if err := w.WritePeerIndexTable(pit); err != nil {
+		t.Fatal(err)
+	}
+	rib := &mrt.RIB{
+		Time:   t0,
+		Prefix: netip.MustParsePrefix("31.0.0.1/32"),
+		Entries: []mrt.RIBEntry{{
+			PeerIndex:      0,
+			OriginatedTime: t0.Add(-time.Hour),
+			Attrs: &bgp.Update{
+				Origin:      bgp.OriginIGP,
+				Path:        bgp.NewPath(100, 200),
+				NextHop:     netip.MustParseAddr("22.0.1.2"),
+				Communities: []bgp.Community{bgp.MakeCommunity(100, 666)},
+			},
+		}},
+	}
+	if err := w.WriteRIB(rib); err != nil {
+		t.Fatal(err)
+	}
+	u := &bgp.Update{
+		Time:      t0.Add(time.Minute),
+		PeerIP:    netip.MustParseAddr("22.0.1.1"),
+		PeerAS:    100,
+		Announced: []netip.Prefix{netip.MustParsePrefix("31.0.0.2/32")},
+		Origin:    bgp.OriginIGP,
+		Path:      bgp.NewPath(100, 200),
+		NextHop:   netip.MustParseAddr("22.0.1.2"),
+	}
+	if err := w.WriteUpdate(u, netip.MustParseAddr("22.0.0.1"), 64900); err != nil {
+		t.Fatal(err)
+	}
+
+	s := FromMRT(mrt.NewReader(&buf), "rrc00", collector.PlatformRIS)
+	got, err := Collect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("len = %d, want RIB entry + update", len(got))
+	}
+	if got[0].Update.PeerAS != 100 || !got[0].Update.HasCommunity(bgp.MakeCommunity(100, 666)) {
+		t.Fatalf("RIB elem = %+v", got[0].Update)
+	}
+	if got[1].Update.Announced[0].String() != "31.0.0.2/32" {
+		t.Fatalf("update elem = %+v", got[1].Update)
+	}
+}
+
+func TestMergeEmptyStreams(t *testing.T) {
+	got, err := Collect(Merge(FromElems(nil), FromElems(nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatal("expected empty merge")
+	}
+}

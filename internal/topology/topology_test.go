@@ -1,0 +1,276 @@
+package topology
+
+import (
+	"net/netip"
+	"testing"
+
+	"bgpblackholing/internal/bgp"
+)
+
+// smallWorld returns a scaled-down deterministic topology for tests.
+func smallWorld(t testing.TB) *Topology {
+	t.Helper()
+	cfg := DefaultConfig().Scaled(0.15)
+	topo, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return topo
+}
+
+func TestGenerateValidates(t *testing.T) {
+	topo := smallWorld(t)
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Order) == 0 || len(topo.IXPs) == 0 {
+		t.Fatal("empty world")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig().Scaled(0.1)
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Order) != len(b.Order) {
+		t.Fatalf("AS counts differ: %d vs %d", len(a.Order), len(b.Order))
+	}
+	for i := range a.Order {
+		if a.Order[i] != b.Order[i] {
+			t.Fatalf("order diverges at %d: %d vs %d", i, a.Order[i], b.Order[i])
+		}
+	}
+	for _, asn := range a.Order {
+		x, y := a.ASes[asn], b.ASes[asn]
+		if x.Country != y.Country || x.Kind() != y.Kind() || len(x.Providers) != len(y.Providers) {
+			t.Fatalf("AS %d differs between runs", asn)
+		}
+	}
+}
+
+func TestBlackholingProviderCounts(t *testing.T) {
+	cfg := DefaultConfig()
+	topo, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	providers := topo.BlackholingProviders()
+	wantTotal := 0
+	for _, n := range cfg.DocBlackholing {
+		wantTotal += n
+	}
+	for _, n := range cfg.UndocBlackholing {
+		wantTotal += n
+	}
+	// The "Level3 case" may add one provider that was already counted,
+	// so allow a small tolerance.
+	if len(providers) < wantTotal-5 || len(providers) > wantTotal+5 {
+		t.Fatalf("got %d AS blackholing providers, want about %d", len(providers), wantTotal)
+	}
+	ixps := topo.BlackholingIXPs()
+	if len(ixps) != cfg.NBlackholingIXPs {
+		t.Fatalf("got %d blackholing IXPs, want %d", len(ixps), cfg.NBlackholingIXPs)
+	}
+	// RFC 7999 adoption: all but two IXPs use 65535:666.
+	n7999 := 0
+	for _, x := range ixps {
+		if x.Blackholing.HasCommunity(bgp.CommunityBlackhole) {
+			n7999++
+		}
+		if !x.BlackholingIPv4.IsValid() {
+			t.Errorf("IXP %s missing blackholing IP", x.Name)
+		}
+	}
+	if n7999 != cfg.NRFC7999IXPs {
+		t.Fatalf("RFC7999 IXPs = %d, want %d", n7999, cfg.NRFC7999IXPs)
+	}
+}
+
+func TestTier1AllOfferBlackholing(t *testing.T) {
+	topo, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nTier1BH := 0
+	for _, asn := range topo.Order {
+		as := topo.ASes[asn]
+		if as.Tier1 && as.OffersBlackholing() {
+			nTier1BH++
+		}
+	}
+	if nTier1BH < 10 {
+		t.Fatalf("only %d Tier-1 blackholing providers, want most of 13", nTier1BH)
+	}
+}
+
+func TestKindResolution(t *testing.T) {
+	as := &AS{DeclaredKind: KindContent, CAIDAKind: KindTransitAccess}
+	if as.Kind() != KindContent {
+		t.Fatal("PeeringDB declaration should win")
+	}
+	as.DeclaredKind = KindUnknown
+	if as.Kind() != KindTransitAccess {
+		t.Fatal("CAIDA fallback should apply")
+	}
+}
+
+func TestCustomerConeContainsSelfAndCustomers(t *testing.T) {
+	topo := smallWorld(t)
+	for _, asn := range topo.Order[:10] {
+		as := topo.ASes[asn]
+		cone := topo.CustomerCone(asn)
+		if !cone[asn] {
+			t.Fatalf("cone of %d misses itself", asn)
+		}
+		for _, c := range as.Customers {
+			if !cone[c] {
+				t.Fatalf("cone of %d misses direct customer %d", asn, c)
+			}
+		}
+	}
+}
+
+func TestUpstreamConeExcludesSelf(t *testing.T) {
+	topo := smallWorld(t)
+	for _, asn := range topo.Order {
+		as := topo.ASes[asn]
+		if len(as.Providers) == 0 {
+			continue
+		}
+		up := topo.UpstreamCone(asn)
+		if up[asn] {
+			t.Fatalf("upstream cone of %d contains itself", asn)
+		}
+		for _, p := range as.Providers {
+			if !up[p] {
+				t.Fatalf("upstream cone of %d misses provider %d", asn, p)
+			}
+		}
+		break
+	}
+}
+
+func TestRelSymmetry(t *testing.T) {
+	topo := smallWorld(t)
+	for _, asn := range topo.Order {
+		as := topo.ASes[asn]
+		for _, p := range as.Providers {
+			if topo.Rel(asn, p) != RelProvider {
+				t.Fatalf("Rel(%d,%d) != provider", asn, p)
+			}
+			if topo.Rel(p, asn) != RelCustomer {
+				t.Fatalf("Rel(%d,%d) != customer", p, asn)
+			}
+		}
+		for _, p := range as.Peers {
+			if topo.Rel(asn, p) != RelPeer {
+				t.Fatalf("Rel(%d,%d) != peer", asn, p)
+			}
+		}
+	}
+}
+
+func TestIXPLookup(t *testing.T) {
+	topo := smallWorld(t)
+	x := topo.IXPs[0]
+	if got := topo.IXPByRouteServer(x.RouteServerASN); got != x {
+		t.Fatal("IXPByRouteServer miss")
+	}
+	if got := topo.IXPByRouteServer(1); got != nil {
+		t.Fatal("IXPByRouteServer false positive")
+	}
+	if len(x.Members) == 0 {
+		t.Fatal("IXP has no members")
+	}
+	ip := x.MemberIP(x.Members[0])
+	if !x.PeeringLAN.Contains(ip) {
+		t.Fatalf("member IP %v outside LAN %v", ip, x.PeeringLAN)
+	}
+	if got := topo.IXPByPeerIP(ip); got != x {
+		t.Fatal("IXPByPeerIP miss")
+	}
+	if got := x.MemberIP(9999999); got.IsValid() {
+		t.Fatal("MemberIP for non-member should be invalid")
+	}
+	// The blackholing IP (.66) must never collide with a member IP.
+	for i, m := range x.Members {
+		if x.MemberIP(m).As4()[3] == 66 && x.MemberIP(m).As4()[2] == 0 {
+			t.Fatalf("member %d assigned the blackholing IP", i)
+		}
+	}
+}
+
+func TestOriginOfCoveringPrefix(t *testing.T) {
+	topo := smallWorld(t)
+	asn := topo.Order[0]
+	primary := topo.ASes[asn].Prefixes[0]
+	if got := topo.OriginOf(primary); got != asn {
+		t.Fatalf("OriginOf(%v) = %d, want %d", primary, got, asn)
+	}
+	// A /32 inside the aggregate must resolve to the same origin.
+	host := netip.PrefixFrom(primary.Addr().Next(), 32)
+	if got := topo.OriginOf(host); got != asn {
+		t.Fatalf("OriginOf(%v) = %d, want %d", host, got, asn)
+	}
+}
+
+func TestPrefixesAreClean(t *testing.T) {
+	topo := smallWorld(t)
+	for _, asn := range topo.Order {
+		for _, p := range topo.ASes[asn].Prefixes {
+			if !p.IsValid() || p.Bits() < 8 {
+				t.Fatalf("AS %d has bad prefix %v", asn, p)
+			}
+			if p.Addr().Is6() {
+				continue
+			}
+			first := p.Addr().As4()[0]
+			if skipOctets[int(first)] || first >= 224 || first < 24 {
+				t.Fatalf("AS %d prefix %v in reserved space", asn, p)
+			}
+		}
+	}
+}
+
+func TestCountryCounts(t *testing.T) {
+	topo := smallWorld(t)
+	counts := CountryCounts(topo.BlackholingProviders())
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != len(topo.BlackholingProviders()) {
+		t.Fatal("country counts do not sum to provider count")
+	}
+}
+
+func TestDocSourceStrings(t *testing.T) {
+	if DocIRR.String() != "IRR" || DocWeb.String() != "Web" || DocPrivate.String() != "Private" || DocNone.String() != "None" {
+		t.Fatal("DocSource strings wrong")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindTransitAccess:        "Transit/Access",
+		KindIXP:                  "IXP",
+		KindContent:              "Content",
+		KindEducationResearchNfP: "Education/Research/NfP",
+		KindEnterprise:           "Enterprise",
+		KindUnknown:              "Unknown",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if len(Kinds()) != 6 {
+		t.Fatal("Kinds() should list all six types")
+	}
+}

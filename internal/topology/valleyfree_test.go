@@ -1,0 +1,129 @@
+package topology
+
+// Property tests of the routing engine over generated worlds: every
+// computed path must be valley-free and consistent with the preference
+// model, regardless of topology shape.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bgpblackholing/internal/bgp"
+)
+
+// valleyFree verifies the Gao-Rexford pattern along a path from src to
+// dst: viewed from the traffic direction (src→dst), the path must climb
+// customer→provider links, cross at most one peer link, then descend
+// provider→customer links.
+func valleyFree(topo *Topology, path []bgp.ASN) bool {
+	// Phases: 0 = climbing, 1 = crossed peer, 2 = descending.
+	phase := 0
+	for i := 0; i+1 < len(path); i++ {
+		rel := topo.Rel(path[i], path[i+1])
+		switch rel {
+		case RelProvider: // climbing
+			if phase != 0 {
+				return false
+			}
+		case RelPeer:
+			if phase >= 1 {
+				return false
+			}
+			phase = 1
+		case RelCustomer: // descending
+			phase = 2
+		default:
+			return false // non-adjacent hop
+		}
+	}
+	return true
+}
+
+func TestGeneratedPathsAreValleyFree(t *testing.T) {
+	topo := smallWorld(t)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := topo.Order[r.Intn(len(topo.Order))]
+		dst := topo.Order[r.Intn(len(topo.Order))]
+		path := topo.PathBetween(src, dst)
+		if path == nil {
+			return true // unreachable is allowed
+		}
+		if path[0] != src || path[len(path)-1] != dst {
+			return false
+		}
+		return valleyFree(topo, path)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathsHaveNoLoops(t *testing.T) {
+	topo := smallWorld(t)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := topo.Order[r.Intn(len(topo.Order))]
+		dst := topo.Order[r.Intn(len(topo.Order))]
+		path := topo.PathBetween(src, dst)
+		seen := map[bgp.ASN]bool{}
+		for _, a := range path {
+			if seen[a] {
+				return false
+			}
+			seen[a] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteTypeConsistentWithFirstHop(t *testing.T) {
+	topo := smallWorld(t)
+	dst := topo.Order[0]
+	rt := topo.RoutesTo(dst)
+	for _, src := range topo.Order {
+		if src == dst {
+			continue
+		}
+		r, ok := rt.Route(src)
+		if !ok {
+			continue
+		}
+		switch topo.Rel(src, r.NextHop) {
+		case RelCustomer:
+			if r.Type != RouteCustomer {
+				t.Fatalf("route via customer typed %v", r.Type)
+			}
+		case RelPeer:
+			if r.Type != RoutePeer {
+				t.Fatalf("route via peer typed %v", r.Type)
+			}
+		case RelProvider:
+			if r.Type != RouteProvider {
+				t.Fatalf("route via provider typed %v", r.Type)
+			}
+		default:
+			t.Fatalf("next hop %v not adjacent to %v", r.NextHop, src)
+		}
+	}
+}
+
+func TestPathLengthMatchesRouteLen(t *testing.T) {
+	topo := smallWorld(t)
+	dst := topo.Order[len(topo.Order)/2]
+	rt := topo.RoutesTo(dst)
+	for _, src := range topo.Order[:50] {
+		r, ok := rt.Route(src)
+		if !ok {
+			continue
+		}
+		path := rt.Path(src)
+		if len(path) != r.Len+1 {
+			t.Fatalf("path %v length %d != Len %d + 1", path, len(path), r.Len)
+		}
+	}
+}

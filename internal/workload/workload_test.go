@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"bgpblackholing/internal/collector"
+	"bgpblackholing/internal/topology"
+)
+
+func scenarioWorld(t testing.TB) (*topology.Topology, *Scenario) {
+	t.Helper()
+	topo, err := topology.Generate(topology.DefaultConfig().Scaled(0.15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, NewScenario(topo, DefaultConfig())
+}
+
+func TestScenarioHasUsers(t *testing.T) {
+	_, s := scenarioWorld(t)
+	if s.Users() == 0 {
+		t.Fatal("no potential users")
+	}
+}
+
+func TestIntentsDeterministic(t *testing.T) {
+	_, s := scenarioWorld(t)
+	a := s.IntentsForDay(100)
+	b := s.IntentsForDay(100)
+	if len(a) != len(b) {
+		t.Fatal("intent counts differ")
+	}
+	for i := range a {
+		if a[i].User != b[i].User || a[i].Prefix != b[i].Prefix || a[i].Start != b[i].Start {
+			t.Fatalf("intent %d differs", i)
+		}
+	}
+}
+
+func TestGrowthOverTimeline(t *testing.T) {
+	_, s := scenarioWorld(t)
+	early := s.dailyRate(10)
+	late := s.dailyRate(s.Cfg.Days - 10)
+	if late < early*4 {
+		t.Fatalf("late rate %.1f not clearly above early %.1f", late, early)
+	}
+}
+
+func TestSpikesRaiseRate(t *testing.T) {
+	_, s := scenarioWorld(t)
+	base := s.dailyRate(dayKrebs - 5)
+	spike := s.dailyRate(dayKrebs)
+	if spike < base*2 {
+		t.Fatalf("Krebs spike %.1f vs base %.1f", spike, base)
+	}
+}
+
+func TestIntentShape(t *testing.T) {
+	topo, s := scenarioWorld(t)
+	n32, n24, nV6, nOther, total := 0, 0, 0, 0, 0
+	multi := 0
+	for day := 700; day < 720; day++ {
+		for _, in := range s.IntentsForDay(day) {
+			if !in.Prefix.IsValid() {
+				continue
+			}
+			total++
+			switch {
+			case in.Prefix.Addr().Is6():
+				nV6++
+			case in.Prefix.Bits() == 32:
+				n32++
+			case in.Prefix.Bits() == 24:
+				n24++
+			default:
+				nOther++
+			}
+			if len(in.Providers)+len(in.IXPs) == 0 {
+				t.Fatal("intent without services")
+			}
+			if len(in.Providers)+len(in.IXPs) > 1 {
+				multi++
+			}
+			if len(in.Pattern) == 0 {
+				t.Fatal("intent without pattern")
+			}
+			// The victim prefix must belong to the user.
+			if in.Prefix.Addr().Is4() {
+				if got := topo.OriginOf(in.Prefix); got != in.User {
+					t.Fatalf("prefix %v origin %d != user %d", in.Prefix, got, in.User)
+				}
+			}
+		}
+	}
+	if total < 100 {
+		t.Fatalf("only %d intents in 20 late days", total)
+	}
+	if frac := float64(n32) / float64(total); frac < 0.9 {
+		t.Fatalf("/32 fraction = %.2f, want ~0.97", frac)
+	}
+	if multi == 0 {
+		t.Fatal("no multi-provider events")
+	}
+}
+
+func TestMisconfigSpikeDay(t *testing.T) {
+	_, s := scenarioWorld(t)
+	intents := s.IntentsForDay(dayMisconfigA)
+	short := 0
+	for _, in := range intents {
+		if len(in.Pattern) == 1 && in.Pattern[0].On < 2*time.Minute {
+			short++
+		}
+	}
+	if short < 30 {
+		t.Fatalf("misconfig day has only %d sub-2-minute intents", short)
+	}
+}
+
+func TestCommunitiesDerivation(t *testing.T) {
+	topo, s := scenarioWorld(t)
+	for _, in := range s.IntentsForDay(500) {
+		comms := in.Communities(topo)
+		if in.Misconfigured {
+			continue
+		}
+		if len(comms) != len(in.Providers)+len(in.IXPs) {
+			t.Fatalf("communities %d for %d services", len(comms), len(in.Providers)+len(in.IXPs))
+		}
+		for i, p := range in.Providers {
+			if comms[i] != topo.AS(p).Blackholing.Communities[0] {
+				t.Fatal("community mismatch")
+			}
+		}
+	}
+}
+
+func TestMaterializeProducesObservationsAndWithdrawals(t *testing.T) {
+	topo, s := scenarioWorld(t)
+	d := collector.Deploy(topo, collector.DefaultConfig().Scaled(0.15))
+	intents := s.IntentsForDay(800)
+	obs, results := Materialize(d, topo, intents, 1)
+	if len(obs) == 0 {
+		t.Fatal("no observations")
+	}
+	if len(results) == 0 {
+		t.Fatal("no propagation results")
+	}
+	nAnn, nEnd := 0, 0
+	for _, o := range obs {
+		if o.Update.IsAnnouncement() && len(o.Update.Communities) > 0 {
+			nAnn++
+		}
+		if o.Update.IsWithdrawal() || (o.Update.IsAnnouncement() && len(o.Update.Communities) == 0) {
+			nEnd++
+		}
+	}
+	if nAnn == 0 || nEnd == 0 {
+		t.Fatalf("announcements=%d endings=%d", nAnn, nEnd)
+	}
+}
+
+func TestMaterializeDeterministic(t *testing.T) {
+	topo, s := scenarioWorld(t)
+	d := collector.Deploy(topo, collector.DefaultConfig().Scaled(0.15))
+	intents := s.IntentsForDay(800)
+	a, _ := Materialize(d, topo, intents, 1)
+	b, _ := Materialize(d, topo, intents, 1)
+	if len(a) != len(b) {
+		t.Fatalf("observation counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Update.Time.Equal(b[i].Update.Time) || a[i].Update.PeerAS != b[i].Update.PeerAS {
+			t.Fatalf("observation %d differs", i)
+		}
+	}
+}
+
+func TestAdoptionLimitsEarlyDays(t *testing.T) {
+	_, s := scenarioWorld(t)
+	// Count distinct providers used in a week early vs late.
+	used := func(fromDay int) map[string]bool {
+		out := map[string]bool{}
+		for d := fromDay; d < fromDay+7; d++ {
+			for _, in := range s.IntentsForDay(d) {
+				for _, p := range in.Providers {
+					out["AS"+p.String()] = true
+				}
+				for _, x := range in.IXPs {
+					out["ixp"+string(rune('0'+x%10))+string(rune('0'+x/10))] = true
+				}
+			}
+		}
+		return out
+	}
+	early := used(5)
+	late := used(s.Cfg.Days - 12)
+	if len(late) <= len(early) {
+		t.Fatalf("provider usage early=%d late=%d, want growth", len(early), len(late))
+	}
+}
