@@ -32,6 +32,9 @@ package bgpblackholing
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"bgpblackholing/internal/analysis"
@@ -60,6 +63,13 @@ type Options struct {
 	EventScale float64
 	// Days is the timeline length (850 ≈ Dec 2014 – Mar 2017).
 	Days int
+	// Workers sizes the RunWindow materialization pool: each worker
+	// generates and propagates whole days independently, and the per-day
+	// observation batches are then merged in day order into a single
+	// deterministic inference pass. Results are identical for every
+	// worker count and every Seed. Zero (the default) means
+	// runtime.GOMAXPROCS(0); 1 forces the serial path.
+	Workers int
 }
 
 // DefaultOptions is the paper-scale configuration.
@@ -138,10 +148,25 @@ type RunResult struct {
 	WindowStart, WindowEnd time.Time
 }
 
+// dayBatch is one day's materialized replay input: the time-sorted
+// observation stream plus the propagation results retained for
+// data-plane experiments.
+type dayBatch struct {
+	elems   []*stream.Elem
+	results []*collector.Result
+	intents []workload.Intent
+}
+
 // RunWindow replays days [fromDay, toDay) of the scenario: it generates
 // each day's intents, propagates them to the collectors, feeds the
 // merged update stream through the inference engine and the
 // dictionary-extension collector, and returns the closed events.
+//
+// Materialization and propagation — the dominant cost — are day-sharded
+// across Options.Workers goroutines; the per-day batches are then merged
+// back in strict day order into the single-threaded inference pass, so
+// Events and InferStats are identical for every worker count at a given
+// Seed.
 func (p *Pipeline) RunWindow(fromDay, toDay int) *RunResult {
 	engine := core.NewEngine(p.Dict, p.Topo)
 	inferCol := dictionary.NewCollector(p.Dict)
@@ -157,23 +182,90 @@ func (p *Pipeline) RunWindow(fromDay, toDay int) *RunResult {
 		inferCol.Observe(o.Update)
 	}
 
-	for day := fromDay; day < toDay; day++ {
+	nDays := toDay - fromDay
+	if nDays <= 0 {
+		engine.Flush(res.WindowEnd)
+		res.Events = engine.Events()
+		res.InferStats = inferCol.Infer()
+		return res
+	}
+	workers := p.Opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nDays {
+		workers = nDays
+	}
+
+	fill := func(i int) dayBatch {
+		day := fromDay + i
 		intents := p.Scenario.IntentsForDay(day)
 		obs, results := workload.Materialize(p.Deploy, p.Topo, intents, p.Opts.Seed)
+		b := dayBatch{elems: stream.SortedElems(obs)}
 		if day >= toDay-7 {
-			res.LastDayResults = append(res.LastDayResults, results...)
-			res.LastDayIntents = append(res.LastDayIntents, intents...)
+			b.results, b.intents = results, intents
 		}
-		s := stream.FromObservations(obs)
-		for {
-			el, err := s.Next()
-			if err != nil {
-				break
-			}
+		return b
+	}
+	consume := func(b dayBatch) {
+		// fill retains results/intents only for the window's last week;
+		// earlier days carry nil slices and append is a no-op.
+		res.LastDayResults = append(res.LastDayResults, b.results...)
+		res.LastDayIntents = append(res.LastDayIntents, b.intents...)
+		for _, el := range b.elems {
 			engine.Process(el)
 			inferCol.Observe(el.Update)
 		}
 	}
+
+	if workers == 1 {
+		for i := 0; i < nDays; i++ {
+			consume(fill(i))
+		}
+	} else {
+		// Bounded pipeline: workers claim days through an atomic cursor
+		// — but only after acquiring an in-flight ticket, which caps the
+		// number of unconsumed batches held in memory and guarantees the
+		// merge cursor's day is always being worked on.
+		batches := make([]dayBatch, nDays)
+		ready := make([]chan struct{}, nDays)
+		for i := range ready {
+			ready[i] = make(chan struct{})
+		}
+		inFlight := 2 * workers
+		if inFlight > nDays {
+			inFlight = nDays
+		}
+		tickets := make(chan struct{}, inFlight)
+		for i := 0; i < inFlight; i++ {
+			tickets <- struct{}{}
+		}
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for range tickets {
+					i := int(cursor.Add(1)) - 1
+					if i >= nDays {
+						return
+					}
+					batches[i] = fill(i)
+					close(ready[i])
+				}
+			}()
+		}
+		for i := 0; i < nDays; i++ {
+			<-ready[i]
+			consume(batches[i])
+			batches[i] = dayBatch{} // release the day's memory promptly
+			tickets <- struct{}{}
+		}
+		close(tickets)
+		wg.Wait()
+	}
+
 	engine.Flush(res.WindowEnd)
 	res.Events = engine.Events()
 	res.InferStats = inferCol.Infer()

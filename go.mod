@@ -1,0 +1,3 @@
+module bgpblackholing
+
+go 1.24.0

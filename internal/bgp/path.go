@@ -69,14 +69,22 @@ func (p Path) Flatten() []ASN {
 // AS numbers collapsed, removing AS-path prepending. The paper removes
 // prepending before locating the blackholing user on the path (§4.2).
 func (p Path) WithoutPrepending() []ASN {
-	flat := p.Flatten()
-	out := flat[:0:0]
-	for i, a := range flat {
-		if i == 0 || flat[i-1] != a {
-			out = append(out, a)
+	return p.AppendFlattenNoPrepend(nil)
+}
+
+// AppendFlattenNoPrepend appends the prepending-free flattened path to
+// dst and returns it. Hot paths pass a reused buffer to classify updates
+// without a per-call allocation.
+func (p Path) AppendFlattenNoPrepend(dst []ASN) []ASN {
+	start := len(dst)
+	for _, s := range p.Segments {
+		for _, a := range s.ASNs {
+			if len(dst) == start || dst[len(dst)-1] != a {
+				dst = append(dst, a)
+			}
 		}
 	}
-	return out
+	return dst
 }
 
 // Origin returns the originating AS (last AS of the path) and true, or

@@ -75,12 +75,20 @@ func Acceptable(p netip.Prefix) bool {
 	return p.IsValid() && !IsBogon(p) && !TooCoarse(p)
 }
 
-// CleanUpdate returns a copy of the update with unacceptable prefixes
-// removed from both the announced and withdrawn lists, or nil when
-// nothing routable remains. Updates carrying no prefixes at all are
-// passed through unchanged (they may still carry attribute state).
+// CleanUpdate returns the update with unacceptable prefixes removed
+// from both the announced and withdrawn lists, or nil when nothing
+// routable remains. An already-clean update is returned as-is (not
+// copied); only an update that actually loses prefixes is deep-cloned.
+// Callers must therefore treat the result as read-only — replay
+// observations share their prefix and path slices across vantage
+// points.
 func CleanUpdate(u *bgp.Update) *bgp.Update {
 	if len(u.Announced) == 0 && len(u.Withdrawn) == 0 {
+		return u
+	}
+	// Fast path: a fully clean update (the overwhelmingly common case on
+	// the replay hot path) is returned as-is, avoiding the deep clone.
+	if allAcceptable(u.Announced) && allAcceptable(u.Withdrawn) {
 		return u
 	}
 	out := u.Clone()
@@ -90,6 +98,15 @@ func CleanUpdate(u *bgp.Update) *bgp.Update {
 		return nil
 	}
 	return out
+}
+
+func allAcceptable(ps []netip.Prefix) bool {
+	for _, p := range ps {
+		if !Acceptable(p) {
+			return false
+		}
+	}
+	return true
 }
 
 func filterPrefixes(ps []netip.Prefix) []netip.Prefix {

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"net/netip"
 	"sort"
+	"sync"
 
 	"bgpblackholing/internal/bgp"
 	"bgpblackholing/internal/topology"
@@ -111,6 +112,10 @@ type Deployment struct {
 	sessionsByAS map[bgp.ASN][]sessionRef
 	// rsSessions maps IXP ID -> sessions with that IXP's route server.
 	rsSessionsByIXP map[int][]sessionRef
+
+	// scratch pools per-propagation dense working sets, so concurrent
+	// Propagate calls stay allocation-lean.
+	scratch sync.Pool
 }
 
 type sessionRef struct {

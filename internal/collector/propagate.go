@@ -2,6 +2,7 @@ package collector
 
 import (
 	"net/netip"
+	"sort"
 	"time"
 
 	"bgpblackholing/internal/bgp"
@@ -68,17 +69,35 @@ type Result struct {
 	// Rejections lists route-server refusals.
 	Rejections []IXPReject
 
-	// observers records which sessions saw the route, so that a
-	// withdrawal reaches exactly the same vantage points.
-	observers []observerState
 	// dropStates tracks the route state at each dropping AS, feeding
 	// the inter-provider escalation pass.
 	dropStates map[bgp.ASN]routeState
+
+	// announced is the single-prefix NLRI slice shared by every update
+	// of this propagation (and by the matching withdrawal, which reuses
+	// it as its Withdrawn list). Treated as read-only downstream.
+	announced []netip.Prefix
+	// arena block-allocates the observation updates.
+	arena updateArena
 }
 
-type observerState struct {
-	ref    sessionRef
-	update *bgp.Update
+// updateArena hands out updates from fixed-size blocks, so a propagation
+// touching hundreds of collector sessions costs a handful of allocations
+// instead of one per observation. Pointers stay valid because blocks are
+// never grown, only consumed front to back.
+type updateArena struct {
+	block []bgp.Update
+}
+
+const arenaBlockSize = 64
+
+func (a *updateArena) next() *bgp.Update {
+	if len(a.block) == 0 {
+		a.block = make([]bgp.Update, arenaBlockSize)
+	}
+	u := &a.block[0]
+	a.block = a.block[1:]
+	return u
 }
 
 // routeState tracks the route as held by one AS during propagation.
@@ -132,9 +151,41 @@ func providerBlackholeNextHop(as *topology.AS) netip.Addr {
 	return netip.AddrFrom4([4]byte{b[0], b[1], 0, 66})
 }
 
+// propScratch holds the dense per-propagation working state, pooled on
+// the Deployment so concurrent Propagate calls (day-sharded replay) each
+// get their own buffers without per-call map allocation.
+type propScratch struct {
+	visited []bool // keyed by topology dense index
+	seenT   []bool // initial-target dedup, same keying
+	queue   []routeState
+	initial []bgp.ASN
+	xids    []int
+}
+
+func (d *Deployment) getScratch(n int) *propScratch {
+	sc, _ := d.scratch.Get().(*propScratch)
+	if sc == nil {
+		sc = &propScratch{}
+	}
+	if cap(sc.visited) < n {
+		sc.visited = make([]bool, n)
+		sc.seenT = make([]bool, n)
+	} else {
+		sc.visited = sc.visited[:n]
+		sc.seenT = sc.seenT[:n]
+		clear(sc.visited)
+		clear(sc.seenT)
+	}
+	sc.queue = sc.queue[:0]
+	sc.initial = sc.initial[:0]
+	sc.xids = sc.xids[:0]
+	return sc
+}
+
 // Propagate pushes the announcement through the topology under
 // valley-free and prefix-length policies and returns everything the
 // collectors observed plus the resulting data-plane drop set.
+// It is safe to call concurrently.
 func (d *Deployment) Propagate(a Announcement) *Result {
 	res := &Result{
 		Prefix:             a.Prefix,
@@ -142,12 +193,15 @@ func (d *Deployment) Propagate(a Announcement) *Result {
 		DroppingASes:       map[bgp.ASN]bool{},
 		DroppingIXPMembers: map[int]map[bgp.ASN]bool{},
 		dropStates:         map[bgp.ASN]routeState{},
+		announced:          []netip.Prefix{a.Prefix},
 	}
 	topo := d.Topo
 	user := topo.AS(a.User)
 	if user == nil {
 		return res
 	}
+	sc := d.getScratch(topo.NumIndexed())
+	defer d.scratch.Put(sc)
 
 	comms := append([]bgp.Community(nil), a.Communities...)
 	if a.NoExport {
@@ -170,21 +224,21 @@ func (d *Deployment) Propagate(a Announcement) *Result {
 		d.observe(res, a, origin)
 	}
 
-	// Initial AS-level recipients.
-	type target struct {
-		as bgp.ASN
-	}
-	var initial []bgp.ASN
-	seenT := map[bgp.ASN]bool{}
+	// Initial AS-level recipients, deduplicated through the dense index.
 	addT := func(asn bgp.ASN) {
-		if asn != a.User && !seenT[asn] && topo.AS(asn) != nil {
-			seenT[asn] = true
-			initial = append(initial, asn)
+		if asn == a.User {
+			return
+		}
+		if i := topo.Index(asn); i >= 0 && !sc.seenT[i] {
+			sc.seenT[i] = true
+			sc.initial = append(sc.initial, asn)
 		}
 	}
-	ixpTargets := map[int]bool{}
+	addXID := func(xid int) {
+		sc.xids = append(sc.xids, xid)
+	}
 	for _, x := range a.TargetIXPs {
-		ixpTargets[x] = true
+		addXID(x)
 	}
 	if a.Bundled {
 		for _, n := range topo.Neighbors(a.User) {
@@ -199,7 +253,7 @@ func (d *Deployment) Propagate(a Announcement) *Result {
 			x := topo.IXPs[xid]
 			if x.Blackholing != nil && usesRouteServer(a.User, xid) &&
 				matchesService(x.Blackholing, comms, a.LargeCommunities) {
-				ixpTargets[xid] = true
+				addXID(xid)
 			}
 		}
 	} else {
@@ -208,29 +262,37 @@ func (d *Deployment) Propagate(a Announcement) *Result {
 		}
 	}
 
-	// BFS propagation among ASes.
-	visited := map[bgp.ASN]bool{a.User: true}
-	queue := make([]routeState, 0, len(initial))
-	for _, n := range initial {
+	// BFS propagation among ASes: dense visited set, index-head queue
+	// (no per-pop reslicing).
+	visited := sc.visited
+	if i := topo.Index(a.User); i >= 0 {
+		visited[i] = true
+	}
+	queue := sc.queue
+	for _, n := range sc.initial {
 		queue = append(queue, d.receive(res, a, origin, n))
 	}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if cur.as == 0 || visited[cur.as] {
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		if cur.as == 0 {
 			continue
 		}
-		visited[cur.as] = true
+		ci := topo.Index(cur.as)
+		if ci < 0 || visited[ci] {
+			continue
+		}
+		visited[ci] = true
 		d.observe(res, a, cur)
 		if len(cur.path) > maxPropagationHops {
 			continue
 		}
 		for _, next := range d.exportTargets(cur, a) {
-			if !visited[next] {
+			if ni := topo.Index(next); ni >= 0 && !visited[ni] {
 				queue = append(queue, d.receive(res, a, cur, next))
 			}
 		}
 	}
+	sc.queue = queue // return grown buffer to the pool
 
 	// Inter-provider RTBH escalation: a provider that accepted a
 	// customer blackhole request commonly forwards it to its own
@@ -239,13 +301,12 @@ func (d *Deployment) Propagate(a Announcement) *Result {
 	// the data-plane drop point 2-4 AS hops away from the victim (§10).
 	d.escalate(res, a)
 
-	// IXP route-server handling.
-	var xids []int
-	for xid := range ixpTargets {
-		xids = append(xids, xid)
-	}
-	sortInts(xids)
-	for _, xid := range xids {
+	// IXP route-server handling, in deterministic deduplicated order.
+	sort.Ints(sc.xids)
+	for i, xid := range sc.xids {
+		if i > 0 && xid == sc.xids[i-1] {
+			continue
+		}
 		d.propagateViaRouteServer(res, a, comms, xid)
 	}
 
@@ -271,6 +332,9 @@ func (d *Deployment) escalate(res *Result, a Announcement) {
 		var next []routeState
 		for _, cur := range frontier {
 			as := topo.AS(cur.as)
+			if as == nil {
+				continue
+			}
 			for _, q := range as.Providers {
 				qa := topo.AS(q)
 				if qa == nil || qa.Blackholing == nil || res.DroppingASes[q] {
@@ -302,6 +366,9 @@ func (d *Deployment) escalate(res *Result, a Announcement) {
 func (d *Deployment) receive(res *Result, a Announcement, from routeState, to bgp.ASN) routeState {
 	topo := d.Topo
 	recv := topo.AS(to)
+	if recv == nil {
+		return routeState{}
+	}
 	rel := topo.Rel(to, from.as) // from's role seen from to
 	out := routeState{
 		as:           to,
@@ -310,7 +377,7 @@ func (d *Deployment) receive(res *Result, a Announcement, from routeState, to bg
 		large:        from.large,
 		fromCustomer: rel == topology.RelCustomer,
 	}
-	if topo.AS(from.as) != nil && topo.AS(from.as).StripsCommunities {
+	if fromAS := topo.AS(from.as); fromAS != nil && fromAS.StripsCommunities {
 		out.comms = nil
 		out.large = nil
 	}
@@ -369,6 +436,9 @@ func matchesService(svc *topology.BlackholeService, comms []bgp.Community, large
 func (d *Deployment) exportTargets(cur routeState, a Announcement) []bgp.ASN {
 	topo := d.Topo
 	as := topo.AS(cur.as)
+	if as == nil {
+		return nil
+	}
 	for _, c := range cur.comms {
 		if c == bgp.CommunityNoExport {
 			return nil
@@ -405,7 +475,15 @@ func (d *Deployment) observe(res *Result, a Announcement, st routeState) {
 			return
 		}
 	}
-	for _, ref := range d.sessionsByAS[st.as] {
+	refs := d.sessionsByAS[st.as]
+	if len(refs) == 0 {
+		return
+	}
+	// One AS_PATH shared by every session observation of this holder:
+	// st.path is freshly built per routeState and never mutated after,
+	// so the path can reference it without cloning.
+	path := bgp.Path{Segments: []bgp.Segment{{Type: bgp.SegmentSequence, ASNs: st.path}}}
+	for _, ref := range refs {
 		s := ref.col.Sessions[ref.idx]
 		if s.RouteServer {
 			continue // RS sessions are fed by propagateViaRouteServer
@@ -420,19 +498,19 @@ func (d *Deployment) observe(res *Result, a Announcement, st routeState) {
 				continue
 			}
 		}
-		u := &bgp.Update{
+		u := res.arena.next()
+		*u = bgp.Update{
 			Time:             a.Time,
 			PeerIP:           s.IP,
 			PeerAS:           st.as,
-			Announced:        []netip.Prefix{a.Prefix},
+			Announced:        res.announced,
 			Origin:           bgp.OriginIGP,
-			Path:             bgp.NewPath(st.path...),
+			Path:             path,
 			NextHop:          s.IP,
 			Communities:      st.comms,
 			LargeCommunities: st.large,
 		}
 		res.Observations = append(res.Observations, Observation{Collector: ref.col, Session: s, Update: u})
-		res.observers = append(res.observers, observerState{ref: ref, update: u})
 	}
 }
 
@@ -488,11 +566,12 @@ func (d *Deployment) propagateViaRouteServer(res *Result, a Announcement, comms 
 		} else {
 			path = bgp.NewPath(a.User)
 		}
-		u := &bgp.Update{
+		u := res.arena.next()
+		*u = bgp.Update{
 			Time:             a.Time,
 			PeerIP:           peerIP,
 			PeerAS:           peerAS,
-			Announced:        []netip.Prefix{a.Prefix},
+			Announced:        res.announced,
 			Origin:           bgp.OriginIGP,
 			Path:             path,
 			NextHop:          x.BlackholingIPv4,
@@ -500,40 +579,42 @@ func (d *Deployment) propagateViaRouteServer(res *Result, a Announcement, comms 
 			LargeCommunities: a.LargeCommunities,
 		}
 		res.Observations = append(res.Observations, Observation{Collector: ref.col, Session: s, Update: u})
-		res.observers = append(res.observers, observerState{ref: ref, update: u})
 	}
 }
 
 // Withdraw produces the withdrawal observations matching a previous
 // propagation: every session that saw the announcement sees an explicit
-// withdrawal at time t.
+// withdrawal at time t. The withdrawn prefix list is shared across all
+// observers (and with the original announcement) instead of cloned per
+// observer; it is treated as read-only downstream.
 func (d *Deployment) Withdraw(prev *Result, t time.Time) []Observation {
-	out := make([]Observation, 0, len(prev.observers))
-	for _, o := range prev.observers {
-		s := o.ref.col.Sessions[o.ref.idx]
-		u := &bgp.Update{
-			Time:      t,
-			PeerIP:    o.update.PeerIP,
-			PeerAS:    o.update.PeerAS,
-			Withdrawn: append([]netip.Prefix(nil), o.update.Announced...),
-		}
-		out = append(out, Observation{Collector: o.ref.col, Session: s, Update: u})
+	out := make([]Observation, 0, len(prev.Observations))
+	ups := make([]bgp.Update, len(prev.Observations))
+	for i, o := range prev.Observations {
+		u := &ups[i]
+		u.Time = t
+		u.PeerIP = o.Update.PeerIP
+		u.PeerAS = o.Update.PeerAS
+		u.Withdrawn = o.Update.Announced
+		out = append(out, Observation{Collector: o.Collector, Session: o.Session, Update: u})
 	}
 	return out
 }
 
 // ReannounceWithout produces announcement observations for the same
 // prefix without blackhole communities (an implicit withdrawal of the
-// blackholing, §4.2) at every session that saw the original.
+// blackholing, §4.2) at every session that saw the original. The
+// updates share the original announcement's prefix and path slices.
 func (d *Deployment) ReannounceWithout(prev *Result, t time.Time) []Observation {
-	out := make([]Observation, 0, len(prev.observers))
-	for _, o := range prev.observers {
-		s := o.ref.col.Sessions[o.ref.idx]
-		u := o.update.Clone()
+	out := make([]Observation, 0, len(prev.Observations))
+	ups := make([]bgp.Update, len(prev.Observations))
+	for i, o := range prev.Observations {
+		u := &ups[i]
+		*u = *o.Update
 		u.Time = t
 		u.Communities = nil
 		u.LargeCommunities = nil
-		out = append(out, Observation{Collector: o.ref.col, Session: s, Update: u})
+		out = append(out, Observation{Collector: o.Collector, Session: o.Session, Update: u})
 	}
 	return out
 }
@@ -554,12 +635,4 @@ func prefixHash(p netip.Prefix) uint64 {
 		h = h*31 + uint64(x)
 	}
 	return h
-}
-
-func sortInts(s []int) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }

@@ -1,0 +1,87 @@
+package collector
+
+import (
+	"net/netip"
+	"testing"
+
+	"bgpblackholing/internal/bgp"
+)
+
+// vantagePoints collects the (collector, session IP) identities of a set
+// of observations.
+func vantagePoints(obs []Observation) map[string]bool {
+	out := map[string]bool{}
+	for _, o := range obs {
+		out[o.Collector.Name+"|"+o.Session.IP.String()] = true
+	}
+	return out
+}
+
+// TestWithdrawReachesAnnouncementVantagePoints is the regression guard
+// for the shared-Announced-slice optimization: an explicit withdrawal
+// must reach exactly the sessions that saw the announcement, withdrawing
+// exactly the announced prefix.
+func TestWithdrawReachesAnnouncementVantagePoints(t *testing.T) {
+	topo, d := escalationWorld(t)
+	topo.ASes[100].FiltersMoreSpecifics = false
+
+	ris := &Collector{Platform: PlatformRIS, Name: "rrc00", IXPID: -1,
+		IP: netip.MustParseAddr("22.0.0.1"), ASN: 64900}
+	ris.Sessions = []PeerSession{
+		{AS: 100, IP: netip.MustParseAddr("22.0.1.1"), Feed: FeedFull, IXPID: -1},
+		{AS: 200, IP: netip.MustParseAddr("22.0.1.2"), Feed: FeedFull, IXPID: -1},
+	}
+	d.Collectors = append(d.Collectors, ris)
+	d.sessionsByAS[100] = []sessionRef{{ris, 0}}
+	d.sessionsByAS[200] = []sessionRef{{ris, 1}}
+
+	prefix := netip.MustParsePrefix("31.0.7.1/32")
+	res := d.Propagate(Announcement{
+		User:        200,
+		Prefix:      prefix,
+		Communities: []bgp.Community{bgp.MakeCommunity(100, 666)},
+		Bundled:     true,
+	})
+	if len(res.Observations) == 0 {
+		t.Fatal("announcement saw no collector sessions")
+	}
+
+	wd := d.Withdraw(res, res.Observations[0].Update.Time.Add(60e9))
+	if len(wd) != len(res.Observations) {
+		t.Fatalf("withdrawal count %d != observation count %d", len(wd), len(res.Observations))
+	}
+	annVP, wdVP := vantagePoints(res.Observations), vantagePoints(wd)
+	for vp := range annVP {
+		if !wdVP[vp] {
+			t.Errorf("vantage point %s saw announcement but no withdrawal", vp)
+		}
+	}
+	for vp := range wdVP {
+		if !annVP[vp] {
+			t.Errorf("vantage point %s saw withdrawal without announcement", vp)
+		}
+	}
+	for _, o := range wd {
+		if len(o.Update.Withdrawn) != 1 || o.Update.Withdrawn[0] != prefix {
+			t.Fatalf("withdrawal carries %v, want [%s]", o.Update.Withdrawn, prefix)
+		}
+		if len(o.Update.Announced) != 0 {
+			t.Fatalf("withdrawal announces %v", o.Update.Announced)
+		}
+	}
+
+	// The implicit variant must hit the same vantage points too, with
+	// communities stripped and the prefix re-announced.
+	re := d.ReannounceWithout(res, res.Observations[0].Update.Time.Add(120e9))
+	if len(re) != len(res.Observations) {
+		t.Fatalf("reannounce count %d != observation count %d", len(re), len(res.Observations))
+	}
+	for _, o := range re {
+		if len(o.Update.Communities) != 0 || len(o.Update.LargeCommunities) != 0 {
+			t.Fatal("reannouncement still carries communities")
+		}
+		if len(o.Update.Announced) != 1 || o.Update.Announced[0] != prefix {
+			t.Fatalf("reannouncement announces %v, want [%s]", o.Update.Announced, prefix)
+		}
+	}
+}

@@ -185,6 +185,11 @@ type Engine struct {
 	Clean bool
 
 	metrics Metrics
+
+	// Per-update classification scratch, reused across process calls so
+	// the hot path stays allocation-free (an Engine is single-goroutine).
+	scratchInfs []ProviderInference
+	scratchFlat []bgp.ASN
 }
 
 // Metrics returns a snapshot of the engine's counters.
@@ -220,14 +225,44 @@ func NewEngine(dict *dictionary.Dictionary, topo *topology.Topology) *Engine {
 }
 
 // Classify inspects one update and returns the blackholing detection, or
-// nil when the update carries no resolvable blackhole community. It is
-// stateless; event tracking happens in Process.
+// nil when the update carries no resolvable blackhole community. Event
+// tracking happens in Process. Like every Engine method, Classify is
+// single-goroutine: it shares the engine's internal scratch buffers
+// (the returned Detection owns its memory and stays valid).
 func (e *Engine) Classify(u *bgp.Update) *Detection {
+	infs := e.classify(u)
+	if len(infs) == 0 {
+		return nil
+	}
+	return &Detection{
+		Time:      u.Time,
+		PeerIP:    u.PeerIP,
+		PeerAS:    u.PeerAS,
+		Providers: append([]ProviderInference(nil), infs...),
+	}
+}
+
+// providerLess orders inferences for deterministic deduplication.
+func providerLess(a, b ProviderRef) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.ASN != b.ASN {
+		return a.ASN < b.ASN
+	}
+	return a.IXPID < b.IXPID
+}
+
+// classify is the allocation-lean core of Classify: it writes into the
+// engine's reusable scratch buffers and returns a slice that is only
+// valid until the next classify call.
+func (e *Engine) classify(u *bgp.Update) []ProviderInference {
 	if len(u.Announced) == 0 || (len(u.Communities) == 0 && len(u.LargeCommunities) == 0) {
 		return nil
 	}
-	var infs []ProviderInference
-	flat := u.Path.WithoutPrepending()
+	infs := e.scratchInfs[:0]
+	e.scratchFlat = u.Path.AppendFlattenNoPrepend(e.scratchFlat[:0])
+	flat := e.scratchFlat
 	origin, hasOrigin := u.Path.Origin()
 
 	addAS := func(p bgp.ASN, c bgp.Community, shared bool) {
@@ -257,10 +292,12 @@ func (e *Engine) Classify(u *bgp.Update) *Detection {
 			})
 			return
 		}
-		user, ok := u.Path.HopBefore(p)
-		if !ok {
-			// Provider is the path origin: it blackholes its own prefix.
-			user = p
+		// The blackholing user is the hop before the provider on the
+		// prepending-free path; a provider at the origin blackholes its
+		// own prefix.
+		user := p
+		if idx+1 < len(flat) {
+			user = flat[idx+1]
 		}
 		infs = append(infs, ProviderInference{
 			Provider:   ProviderRef{Kind: ProviderAS, ASN: p},
@@ -276,14 +313,16 @@ func (e *Engine) Classify(u *bgp.Update) *Detection {
 		}
 		x := e.topo.IXPs[xid]
 		// Check 1: the route server's ASN appears on the path.
-		if u.Path.Contains(x.RouteServerASN) {
-			user, ok := u.Path.HopBefore(x.RouteServerASN)
-			if !ok {
+		for i, a := range flat {
+			if a != x.RouteServerASN {
+				continue
+			}
+			if i+1 >= len(flat) {
 				return
 			}
 			infs = append(infs, ProviderInference{
 				Provider:   ProviderRef{Kind: ProviderIXP, IXPID: xid},
-				User:       user,
+				User:       flat[i+1],
 				Community:  c,
 				ASDistance: 0,
 			})
@@ -325,33 +364,25 @@ func (e *Engine) Classify(u *bgp.Update) *Detection {
 			addAS(p, bgp.MakeCommunity(uint16(lc.Global), uint16(lc.Local1)), len(entry.Providers) > 1)
 		}
 	}
+	e.scratchInfs = infs
 	if len(infs) == 0 {
 		return nil
 	}
 	// Deduplicate providers (one community may be matched per provider
-	// from several sources).
-	sort.Slice(infs, func(i, j int) bool {
-		a, b := infs[i].Provider, infs[j].Provider
-		if a.Kind != b.Kind {
-			return a.Kind < b.Kind
+	// from several sources). Inference lists are tiny, so a closure-free
+	// insertion sort beats sort.Slice here.
+	for i := 1; i < len(infs); i++ {
+		for j := i; j > 0 && providerLess(infs[j].Provider, infs[j-1].Provider); j-- {
+			infs[j], infs[j-1] = infs[j-1], infs[j]
 		}
-		if a.ASN != b.ASN {
-			return a.ASN < b.ASN
-		}
-		return a.IXPID < b.IXPID
-	})
+	}
 	dedup := infs[:0]
 	for i, inf := range infs {
 		if i == 0 || inf.Provider != infs[i-1].Provider {
 			dedup = append(dedup, inf)
 		}
 	}
-	return &Detection{
-		Time:      u.Time,
-		PeerIP:    u.PeerIP,
-		PeerAS:    u.PeerAS,
-		Providers: dedup,
-	}
+	return dedup
 }
 
 // InitFromRIB seeds the engine from a table dump (§4.2 "Initialization
@@ -394,7 +425,13 @@ func (e *Engine) process(u *bgp.Update, collectorName string, platform collector
 		return
 	}
 
-	det := e.Classify(u)
+	infs := e.classify(u)
+	var det *Detection
+	var detVal Detection
+	if len(infs) > 0 {
+		detVal = Detection{Time: u.Time, PeerIP: u.PeerIP, PeerAS: u.PeerAS, Providers: infs}
+		det = &detVal
+	}
 	for _, p := range u.Announced {
 		key := peerKey{p, u.PeerIP}
 		if det == nil {

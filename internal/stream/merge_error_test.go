@@ -1,0 +1,86 @@
+package stream
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"bgpblackholing/internal/bgp"
+)
+
+// errAfterStream yields its elements, then a non-EOF error.
+type errAfterStream struct {
+	elems []*Elem
+	err   error
+}
+
+func (s *errAfterStream) Next() (*Elem, error) {
+	if len(s.elems) == 0 {
+		return nil, s.err
+	}
+	e := s.elems[0]
+	s.elems = s.elems[1:]
+	return e, nil
+}
+
+// TestMergeDeliversElementBeforeSourceError guards the heap merge's
+// error path: an element already selected must be delivered before a
+// refill error from its source surfaces.
+func TestMergeDeliversElementBeforeSourceError(t *testing.T) {
+	t0 := time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC)
+	parseErr := errors.New("corrupt MRT record")
+	bad := &errAfterStream{
+		elems: []*Elem{{Collector: "bad", Update: &bgp.Update{Time: t0}}},
+		err:   parseErr,
+	}
+	good := &sliceStream{elems: []*Elem{{Collector: "good", Update: &bgp.Update{Time: t0.Add(time.Hour)}}}}
+
+	m := Merge(bad, good)
+	e, err := m.Next()
+	if err != nil || e == nil || e.Collector != "bad" {
+		t.Fatalf("first Next = (%v, %v), want the bad source's element", e, err)
+	}
+	if _, err := m.Next(); !errors.Is(err, parseErr) {
+		t.Fatalf("second Next err = %v, want the deferred source error", err)
+	}
+	// After the error is consumed, the merge continues with the
+	// remaining healthy sources.
+	e, err = m.Next()
+	if err != nil || e == nil || e.Collector != "good" {
+		t.Fatalf("third Next = (%v, %v), want the good source's element", e, err)
+	}
+	if _, err := m.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("final Next err = %v, want io.EOF", err)
+	}
+}
+
+// TestMergePrimingErrorKeepsHealthySources guards the priming path: a
+// source failing on its very first Next must not abandon the sources
+// after it — the error surfaces first, then the merge continues.
+func TestMergePrimingErrorKeepsHealthySources(t *testing.T) {
+	t0 := time.Date(2017, 1, 1, 0, 0, 0, 0, time.UTC)
+	primeErr := errors.New("unreadable archive")
+	a := &sliceStream{elems: []*Elem{{Collector: "a", Update: &bgp.Update{Time: t0}}}}
+	bad := &errAfterStream{err: primeErr}
+	c := &sliceStream{elems: []*Elem{{Collector: "c", Update: &bgp.Update{Time: t0.Add(time.Minute)}}}}
+
+	m := Merge(a, bad, c)
+	if _, err := m.Next(); !errors.Is(err, primeErr) {
+		t.Fatalf("first Next err = %v, want priming error", err)
+	}
+	var got []string
+	for {
+		e, err := m.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("unexpected err after priming error: %v", err)
+		}
+		got = append(got, e.Collector)
+	}
+	if len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Fatalf("surviving elements = %v, want [a c]", got)
+	}
+}

@@ -45,63 +45,172 @@ func (s *sliceStream) Next() (*Elem, error) {
 	return e, nil
 }
 
+// elemTimeSorter stably sorts elements by cached int64 UnixNano keys —
+// much cheaper than calling time.Time.Before through a closure for every
+// comparison on the stream-assembly hot path.
+type elemTimeSorter struct {
+	keys  []int64
+	elems []*Elem
+}
+
+func (s *elemTimeSorter) Len() int           { return len(s.elems) }
+func (s *elemTimeSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *elemTimeSorter) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.elems[i], s.elems[j] = s.elems[j], s.elems[i]
+}
+
+func sortElemsByTime(elems []*Elem) {
+	keys := make([]int64, len(elems))
+	for i, e := range elems {
+		keys[i] = e.Update.Time.UnixNano()
+	}
+	sort.Stable(&elemTimeSorter{keys: keys, elems: elems})
+}
+
+// SortedElems converts collector observations into a time-sorted element
+// slice (stable for equal timestamps). The parallel replay pipeline uses
+// it to materialize per-day batches without the Stream indirection.
+func SortedElems(obs []collector.Observation) []*Elem {
+	elems := make([]*Elem, len(obs))
+	backing := make([]Elem, len(obs))
+	for i, o := range obs {
+		backing[i] = Elem{Collector: o.Collector.Name, Platform: o.Collector.Platform, Update: o.Update}
+		elems[i] = &backing[i]
+	}
+	sortElemsByTime(elems)
+	return elems
+}
+
 // FromObservations builds a stream from collector observations, sorted
 // by time (stable for equal timestamps).
 func FromObservations(obs []collector.Observation) Stream {
-	elems := make([]*Elem, len(obs))
-	for i, o := range obs {
-		elems[i] = &Elem{Collector: o.Collector.Name, Platform: o.Collector.Platform, Update: o.Update}
-	}
-	sort.SliceStable(elems, func(i, j int) bool { return elems[i].Update.Time.Before(elems[j].Update.Time) })
-	return &sliceStream{elems: elems}
+	return &sliceStream{elems: SortedElems(obs)}
 }
 
 // FromElems builds a stream from elements, sorting them by time.
 func FromElems(elems []*Elem) Stream {
 	out := append([]*Elem(nil), elems...)
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Update.Time.Before(out[j].Update.Time) })
+	sortElemsByTime(out)
 	return &sliceStream{elems: out}
 }
 
-// mergeStream k-way merges child streams by element time.
+// mergeStream k-way merges child streams with a binary min-heap keyed by
+// (UnixNano, source index), replacing the O(k) scan per Next. The
+// source-index tie-break preserves the historical ordering: on equal
+// timestamps the lowest-numbered source wins.
 type mergeStream struct {
-	heads []*Elem
-	srcs  []Stream
+	srcs   []Stream
+	heap   []mergeEntry
+	primed bool
+	// err is a deferred source error: a refill failure is surfaced on
+	// the Next call after the already-popped element is delivered.
+	err error
+}
+
+type mergeEntry struct {
+	key  int64
+	src  int
+	elem *Elem
 }
 
 // Merge combines streams into one time-ordered stream. Children must
 // themselves be time-ordered.
 func Merge(srcs ...Stream) Stream {
-	m := &mergeStream{srcs: srcs, heads: make([]*Elem, len(srcs))}
-	return m
+	return &mergeStream{srcs: srcs}
+}
+
+func (m *mergeStream) less(a, b mergeEntry) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.src < b.src
+}
+
+func (m *mergeStream) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !m.less(m.heap[i], m.heap[parent]) {
+			return
+		}
+		m.heap[i], m.heap[parent] = m.heap[parent], m.heap[i]
+		i = parent
+	}
+}
+
+func (m *mergeStream) siftDown(i int) {
+	n := len(m.heap)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && m.less(m.heap[left], m.heap[smallest]) {
+			smallest = left
+		}
+		if right < n && m.less(m.heap[right], m.heap[smallest]) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		m.heap[i], m.heap[smallest] = m.heap[smallest], m.heap[i]
+		i = smallest
+	}
+}
+
+// pull reads the next element of source i onto the heap.
+func (m *mergeStream) pull(i int) error {
+	e, err := m.srcs[i].Next()
+	if errors.Is(err, io.EOF) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	m.heap = append(m.heap, mergeEntry{key: e.Update.Time.UnixNano(), src: i, elem: e})
+	m.siftUp(len(m.heap) - 1)
+	return nil
 }
 
 func (m *mergeStream) Next() (*Elem, error) {
-	best := -1
-	for i, src := range m.srcs {
-		if m.heads[i] == nil && src != nil {
-			e, err := src.Next()
-			if errors.Is(err, io.EOF) {
-				m.srcs[i] = nil
+	if m.err != nil {
+		err := m.err
+		m.err = nil
+		return nil, err
+	}
+	if !m.primed {
+		m.primed = true
+		m.heap = make([]mergeEntry, 0, len(m.srcs))
+		// Prime every source even if one errors, so a caller that
+		// continues past the error still merges the healthy sources;
+		// the first priming error surfaces immediately.
+		for i, src := range m.srcs {
+			if src == nil {
 				continue
 			}
-			if err != nil {
-				return nil, err
+			if err := m.pull(i); err != nil && m.err == nil {
+				m.err = err
 			}
-			m.heads[i] = e
 		}
-		if m.heads[i] != nil {
-			if best == -1 || m.heads[i].Update.Time.Before(m.heads[best].Update.Time) {
-				best = i
-			}
+		if m.err != nil {
+			err := m.err
+			m.err = nil
+			return nil, err
 		}
 	}
-	if best == -1 {
+	if len(m.heap) == 0 {
 		return nil, io.EOF
 	}
-	e := m.heads[best]
-	m.heads[best] = nil
-	return e, nil
+	root := m.heap[0]
+	last := len(m.heap) - 1
+	m.heap[0] = m.heap[last]
+	m.heap = m.heap[:last]
+	if last > 0 {
+		m.siftDown(0)
+	}
+	// A refill failure must not swallow the element already popped:
+	// deliver it now and surface the error on the following call.
+	m.err = m.pull(root.src)
+	return root.elem, nil
 }
 
 // filterStream drops elements not matching the predicate.

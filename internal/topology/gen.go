@@ -402,6 +402,10 @@ func Generate(cfg Config) (*Topology, error) {
 		l3.RoutingCommunities = append(l3.RoutingCommunities, bgp.MakeCommunity(uint16(l3.ASN), 666))
 	}
 
+	// Freeze the dense AS index now that the AS population is final, so
+	// the propagation hot path never pays the lazy build.
+	t.buildIndex()
+
 	return t, t.Validate()
 }
 

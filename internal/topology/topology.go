@@ -16,6 +16,7 @@ import (
 	"net/netip"
 	"slices"
 	"sort"
+	"sync"
 
 	"bgpblackholing/internal/bgp"
 )
@@ -236,7 +237,66 @@ type Topology struct {
 	routeServerOf map[bgp.ASN]*IXP
 	// originOf maps each originated prefix to its AS.
 	originOf map[netip.Prefix]bgp.ASN
-	cones    map[bgp.ASN]map[bgp.ASN]bool
+
+	conesMu sync.Mutex
+	cones   map[bgp.ASN]map[bgp.ASN]bool
+
+	// indexOnce lazily builds the dense AS index used by hot paths
+	// (propagation visited sets) in place of per-call hash maps.
+	indexOnce sync.Once
+	indexOf   map[bgp.ASN]int
+	indexed   []bgp.ASN
+}
+
+// buildIndex assigns each AS a dense index in deterministic order:
+// Order first, then any ASes registered outside Order (hand-assembled
+// test topologies sometimes have them) in ascending ASN order. The
+// topology must not gain ASes after the first Index/NumIndexed call.
+func (t *Topology) buildIndex() {
+	t.indexOnce.Do(func() {
+		t.indexOf = make(map[bgp.ASN]int, len(t.ASes))
+		indexed := make([]bgp.ASN, 0, len(t.ASes))
+		add := func(a bgp.ASN) {
+			if _, ok := t.indexOf[a]; !ok {
+				t.indexOf[a] = len(indexed)
+				indexed = append(indexed, a)
+			}
+		}
+		for _, a := range t.Order {
+			add(a)
+		}
+		if len(indexed) < len(t.ASes) {
+			extra := make([]bgp.ASN, 0, len(t.ASes)-len(indexed))
+			for a := range t.ASes {
+				if _, ok := t.indexOf[a]; !ok {
+					extra = append(extra, a)
+				}
+			}
+			SortASNs(extra)
+			for _, a := range extra {
+				add(a)
+			}
+		}
+		t.indexed = indexed
+	})
+}
+
+// Index returns the dense index of the AS (stable for the topology's
+// lifetime), or -1 when the AS is unknown. Hot paths use it to key
+// []bool visited sets instead of allocating maps.
+func (t *Topology) Index(a bgp.ASN) int {
+	t.buildIndex()
+	if i, ok := t.indexOf[a]; ok {
+		return i
+	}
+	return -1
+}
+
+// NumIndexed returns the number of densely indexed ASes (the required
+// length of Index-keyed slices).
+func (t *Topology) NumIndexed() int {
+	t.buildIndex()
+	return len(t.indexed)
 }
 
 // ASByNumber returns the AS record, or nil.
@@ -319,8 +379,12 @@ func (t *Topology) Rel(a, b bgp.ASN) Relationship {
 
 // CustomerCone returns the set of ASes in a's customer cone (a itself
 // included), computed over the c2p hierarchy as CAIDA does. Results are
-// cached; the topology must not be mutated afterwards.
+// cached; the topology must not be mutated afterwards. Safe for
+// concurrent use (parallel day-sharded propagation hits it from many
+// goroutines).
 func (t *Topology) CustomerCone(a bgp.ASN) map[bgp.ASN]bool {
+	t.conesMu.Lock()
+	defer t.conesMu.Unlock()
 	if t.cones == nil {
 		t.cones = make(map[bgp.ASN]map[bgp.ASN]bool)
 	}

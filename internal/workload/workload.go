@@ -514,8 +514,15 @@ func (s *Scenario) misconfigFullTable(r *rand.Rand, dayStart time.Time) []Intent
 // communities). Observations are returned unsorted; feed them through
 // package stream for time ordering.
 func Materialize(d *collector.Deployment, topo *topology.Topology, intents []Intent, seed int64) ([]collector.Observation, []*collector.Result) {
-	var obs []collector.Observation
-	var results []*collector.Result
+	// Pre-size for the common shape: a few ON phases per intent, each
+	// producing an announcement plus a matching withdrawal batch. The
+	// estimate only seeds capacity; append grows past it as needed.
+	nPhases := 0
+	for i := range intents {
+		nPhases += len(intents[i].Pattern)
+	}
+	obs := make([]collector.Observation, 0, 16*nPhases)
+	results := make([]*collector.Result, 0, nPhases)
 	for idx, in := range intents {
 		if !in.Prefix.IsValid() {
 			continue

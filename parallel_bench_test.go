@@ -1,0 +1,60 @@
+package bgpblackholing
+
+// Benchmarks for the day-sharded parallel replay pipeline. Run with
+//
+//	go test -run '^$' -bench BenchmarkRunWindowParallel -benchmem
+//
+// and compare the workers=1 row (the serial baseline) against the
+// multi-worker rows; scripts/bench.sh records the results in
+// BENCH_<date>.json.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+var parallelBench struct {
+	once sync.Once
+	p    *Pipeline
+}
+
+func parallelBenchPipeline(b *testing.B) *Pipeline {
+	b.Helper()
+	parallelBench.once.Do(func() {
+		p, err := NewPipeline(SmallOptions())
+		if err != nil {
+			panic(err)
+		}
+		// Warm the lazy caches (customer cones, dense AS index) so every
+		// worker-count variant benchmarks the same steady state.
+		p.Opts.Workers = 1
+		p.RunWindow(windowFrom, windowFrom+2)
+		parallelBench.p = p
+	})
+	return parallelBench.p
+}
+
+// BenchmarkRunWindowParallel replays the Aug 2016 – Mar 2017 analysis
+// window at SmallOptions across worker counts. Identical Events are
+// produced at every worker count; only the wall clock changes.
+func BenchmarkRunWindowParallel(b *testing.B) {
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p := parallelBenchPipeline(b)
+			p.Opts.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := p.RunWindow(windowFrom, windowTo)
+				if len(res.Events) == 0 {
+					b.Fatal("no events")
+				}
+			}
+		})
+	}
+}

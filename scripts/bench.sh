@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# bench.sh — run the perf-tracking benchmarks and record the results in
+# BENCH_<date>.json at the repository root.
+#
+# Usage:
+#   scripts/bench.sh                 # default: -benchtime=2x
+#   BENCHTIME=10x scripts/bench.sh   # longer, steadier numbers
+#   BENCH_FILTER='BenchmarkEngineThroughput$' scripts/bench.sh
+#
+# The tracked benchmarks are the two named in the perf methodology
+# (README.md): BenchmarkEngineThroughput (single-core inference hot
+# path; watch ns/op and allocs/op) and BenchmarkRunWindowParallel
+# (day-sharded replay; compare workers=1 against the multi-worker rows).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-2x}"
+FILTER="${BENCH_FILTER:-BenchmarkEngineThroughput\$|BenchmarkRunWindowParallel}"
+OUT="BENCH_$(date +%Y%m%d).json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench "$FILTER" -benchmem -benchtime="$BENCHTIME" . | tee "$RAW"
+
+{
+  printf '{\n'
+  printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  printf '  "go": "%s",\n' "$(go version | sed 's/"/\\"/g')"
+  printf '  "cpus": %s,\n' "$(nproc)"
+  printf '  "benchtime": "%s",\n' "$BENCHTIME"
+  if [ -n "${BENCH_NOTES:-}" ]; then
+    printf '  "notes": "%s",\n' "$(printf '%s' "$BENCH_NOTES" | sed 's/"/\\"/g')"
+  fi
+  printf '  "benchmarks": [\n'
+  awk '
+    /^Benchmark/ {
+      name = $1; iters = $2; ns = ""; bytes = ""; allocs = ""
+      for (i = 3; i <= NF; i++) {
+        if ($(i) == "ns/op")     ns = $(i-1)
+        if ($(i) == "B/op")      bytes = $(i-1)
+        if ($(i) == "allocs/op") allocs = $(i-1)
+      }
+      if (ns == "") next
+      if (n++) printf ",\n"
+      printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
+      if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+      if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+      printf "}"
+    }
+    END { if (n) printf "\n" }
+  ' "$RAW"
+  printf '  ]\n'
+  printf '}\n'
+} > "$OUT"
+
+echo "wrote $OUT"
