@@ -1,0 +1,168 @@
+package bgpblackholing
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"bgpblackholing/internal/collector"
+	"bgpblackholing/internal/mrt"
+	"bgpblackholing/internal/stream"
+	"bgpblackholing/internal/workload"
+)
+
+// ArchiveSummary describes one WriteMRTArchives run.
+type ArchiveSummary struct {
+	// Collectors is the number of update archives written (one per
+	// collector that observed anything in the window).
+	Collectors int
+	// Dumps is the number of TABLE_DUMP_V2 seed archives written.
+	Dumps int
+	// Updates is the total number of archived updates.
+	Updates int
+}
+
+// WriteMRTArchives archives days [fromDay, toDay) of the scenario's
+// blackholing activity as MRT files (RFC 6396) in dir, one
+// <collector>.mrt per route collector — the same artefacts RIPE RIS,
+// Route Views and PCH publish. Blackholings that started before the
+// window and are still active at its start additionally seed
+// <collector>.dump.mrt TABLE_DUMP_V2 snapshots (§4.2 initialisation),
+// the dictionary is dumped as dictionary.json (LoadDictionary reads it
+// back), and world.txt summarises the world for humans. Identical
+// pipelines and windows produce byte-identical archives; bhdetect — or
+// any MRTSource + Detector combination — can then re-infer the events
+// from the archives alone.
+func (p *Pipeline) WriteMRTArchives(dir string, fromDay, toDay int) (*ArchiveSummary, error) {
+	if toDay <= fromDay {
+		return nil, fmt.Errorf("empty window [%d,%d)", fromDay, toDay)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	sum := &ArchiveSummary{}
+
+	colByName := map[string]*collector.Collector{}
+	for _, c := range p.Deploy.Collectors {
+		colByName[c.Name] = c
+	}
+
+	// Table dumps: blackholings that started before the window and are
+	// still active at its start seed the archives as TABLE_DUMP_V2
+	// snapshots (§4.2 initialisation).
+	windowStart := workload.TimelineStart.Add(time.Duration(fromDay) * 24 * time.Hour)
+	dumpObs := map[string][]collector.Observation{}
+	for day := fromDay - 45; day < fromDay; day++ {
+		if day < 0 {
+			continue
+		}
+		for _, in := range p.Scenario.IntentsForDay(day) {
+			if !in.Prefix.IsValid() || len(in.Pattern) != 1 {
+				continue
+			}
+			if !in.Start.Add(in.Pattern[0].On).After(windowStart) {
+				continue // ended before the window
+			}
+			ann := collector.Announcement{
+				Time:            in.Start,
+				User:            in.User,
+				Prefix:          in.Prefix,
+				Communities:     in.Communities(p.Topo),
+				NoExport:        in.NoExport,
+				TargetProviders: in.Providers,
+				TargetIXPs:      in.IXPs,
+				Bundled:         in.Bundled,
+			}
+			for _, o := range p.Deploy.Propagate(ann).Observations {
+				dumpObs[o.Collector.Name] = append(dumpObs[o.Collector.Name], o)
+			}
+		}
+	}
+	var dumpNames []string
+	for name := range dumpObs {
+		dumpNames = append(dumpNames, name)
+	}
+	sort.Strings(dumpNames)
+	for _, name := range dumpNames {
+		f, err := os.Create(filepath.Join(dir, name+".dump.mrt"))
+		if err != nil {
+			return nil, err
+		}
+		if err := collector.WriteTableDump(f, colByName[name], dumpObs[name], windowStart); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		sum.Dumps++
+	}
+
+	// Collect observations per collector across the window.
+	perCollector := map[string][]collector.Observation{}
+	for day := fromDay; day < toDay; day++ {
+		intents := p.Scenario.IntentsForDay(day)
+		obs, _ := workload.Materialize(p.Deploy, p.Topo, intents, p.Opts.Seed)
+		for _, o := range obs {
+			perCollector[o.Collector.Name] = append(perCollector[o.Collector.Name], o)
+			sum.Updates++
+		}
+	}
+
+	var names []string
+	for name := range perCollector {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		col := colByName[name]
+		// Time-order within the archive.
+		elems := stream.SortedElems(perCollector[name])
+		f, err := os.Create(filepath.Join(dir, name+".mrt"))
+		if err != nil {
+			return nil, err
+		}
+		w := mrt.NewWriter(f)
+		for _, el := range elems {
+			if err := w.WriteUpdate(el.Update, col.IP, col.ASN); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("write %s: %w", name, err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+	}
+	sum.Collectors = len(names)
+
+	// Dictionary dump: bhdetect (and humans) can load this instead of
+	// re-deriving the corpus.
+	df, err := os.Create(filepath.Join(dir, "dictionary.json"))
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Dict.Save(df); err != nil {
+		df.Close()
+		return nil, err
+	}
+	if err := df.Close(); err != nil {
+		return nil, err
+	}
+
+	// World summary for humans.
+	sf, err := os.Create(filepath.Join(dir, "world.txt"))
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(sf, "seed=%d scale=%.3f window=[%d,%d)\n", p.Opts.Seed, p.Opts.TopoScale, fromDay, toDay)
+	fmt.Fprintf(sf, "ASes: %d  IXPs: %d  blackholing providers: %d  blackholing IXPs: %d\n",
+		len(p.Topo.Order), len(p.Topo.IXPs),
+		len(p.Topo.BlackholingProviders()), len(p.Topo.BlackholingIXPs()))
+	fmt.Fprintf(sf, "collectors: %d  archived updates: %d\n", sum.Collectors, sum.Updates)
+	if err := sf.Close(); err != nil {
+		return nil, err
+	}
+	return sum, nil
+}

@@ -7,7 +7,37 @@
 // over the observed BGP updates, and regenerates every table and figure
 // of the paper's evaluation.
 //
-// The package is a facade over the internal building blocks:
+// # The streaming detection API
+//
+// The batch longitudinal replay (§6) and the near-real-time measurement
+// campaign (§10) are the same inference process over different update
+// feeds, and the API treats them that way. A Source produces
+// timestamped observations; a Detector drains one through the inference
+// engine with context cancellation and incremental event delivery:
+//
+//	p, err := bgpblackholing.NewPipeline(bgpblackholing.SmallOptions())
+//	if err != nil { ... }
+//	det := p.NewDetector()
+//	events := det.Stream() // or det.Subscribe(); register before Run
+//	go func() {
+//		for ev := range events {
+//			fmt.Println(ev.Prefix, ev.Duration()) // events as they close
+//		}
+//	}()
+//	res, err := det.Run(ctx, p.Replay(800, 810))
+//	fmt.Println(len(res.Events), "blackholing events inferred")
+//
+// Three sources cover the paper's feeds — swap them freely under the
+// same Run call:
+//
+//   - Pipeline.Replay   — the day-sharded parallel batch replay (§6)
+//   - LiveSource        — near-real-time feeds, including real TCP BGP
+//     sessions via ServeBGP (§10)
+//   - MRTSource         — RFC 6396 archives, merged with MergeSources
+//
+// The package is a facade over the internal building blocks, and
+// re-exports the stable types (Event, Detection, Update, Elem, Metrics,
+// ...) so downstream code never imports them directly:
 //
 //   - internal/bgp        — BGP model + RFC 4271 wire format
 //   - internal/mrt        — RFC 6396 MRT archives
@@ -21,20 +51,11 @@
 //   - internal/dataplane  — traceroute + IXP IPFIX simulation (§10)
 //   - internal/scans      — scans.io-like host profiling (§8)
 //   - internal/analysis   — every table and figure
-//
-// Quickstart:
-//
-//	p, err := bgpblackholing.NewPipeline(bgpblackholing.SmallOptions())
-//	if err != nil { ... }
-//	res := p.RunWindow(800, 810)
-//	fmt.Println(len(res.Events), "blackholing events inferred")
 package bgpblackholing
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"bgpblackholing/internal/analysis"
@@ -43,7 +64,6 @@ import (
 	"bgpblackholing/internal/dictionary"
 	"bgpblackholing/internal/irr"
 	"bgpblackholing/internal/rpki"
-	"bgpblackholing/internal/stream"
 	"bgpblackholing/internal/topology"
 	"bgpblackholing/internal/workload"
 )
@@ -63,7 +83,7 @@ type Options struct {
 	EventScale float64
 	// Days is the timeline length (850 ≈ Dec 2014 – Mar 2017).
 	Days int
-	// Workers sizes the RunWindow materialization pool: each worker
+	// Workers sizes the replay materialization pool: each worker
 	// generates and propagates whole days independently, and the per-day
 	// observation batches are then merged in day order into a single
 	// deterministic inference pass. Results are identical for every
@@ -129,8 +149,8 @@ func NewPipeline(opts Options) (*Pipeline, error) {
 	}, nil
 }
 
-// RunResult is the outcome of replaying a timeline window through the
-// inference engine.
+// RunResult is the outcome of draining a Source through the inference
+// engine.
 type RunResult struct {
 	// Events are the closed prefix-level blackholing events.
 	Events []*core.Event
@@ -138,137 +158,35 @@ type RunResult struct {
 	// during the run (Figure 2 raw material) and the inferred
 	// undocumented communities.
 	InferStats *dictionary.InferenceResult
-	// LastDayResults holds the propagation results of the window's last
-	// week, for data-plane experiments.
+	// Metrics snapshots the engine counters at the end of the run.
+	Metrics Metrics
+	// LastDayResults holds the propagation results of a replayed
+	// window's last week, for data-plane experiments (nil for live and
+	// MRT sources).
 	LastDayResults []*collector.Result
-	// LastDayIntents are the intents behind LastDayResults (index-aligned
-	// is not guaranteed; use prefixes to match).
+	// LastDayIntents are the intents behind LastDayResults
+	// (index-aligned is not guaranteed; use prefixes to match).
 	LastDayIntents []workload.Intent
-	// WindowStart and WindowEnd delimit the replayed wall-clock window.
+	// WindowStart and WindowEnd delimit the replayed wall-clock window
+	// (zero for non-replay sources).
 	WindowStart, WindowEnd time.Time
 }
 
-// dayBatch is one day's materialized replay input: the time-sorted
-// observation stream plus the propagation results retained for
-// data-plane experiments.
-type dayBatch struct {
-	elems   []*stream.Elem
-	results []*collector.Result
-	intents []workload.Intent
-}
-
-// RunWindow replays days [fromDay, toDay) of the scenario: it generates
-// each day's intents, propagates them to the collectors, feeds the
-// merged update stream through the inference engine and the
-// dictionary-extension collector, and returns the closed events.
+// RunWindow replays days [fromDay, toDay) of the scenario through the
+// inference engine and returns the closed events.
 //
-// Materialization and propagation — the dominant cost — are day-sharded
-// across Options.Workers goroutines; the per-day batches are then merged
-// back in strict day order into the single-threaded inference pass, so
-// Events and InferStats are identical for every worker count at a given
-// Seed.
+// Deprecated: RunWindow is the pre-streaming batch entry point, kept as
+// a thin wrapper producing byte-identical results. New code should use
+// the cancellable, incrementally-delivering form directly:
+//
+//	det := p.NewDetector()
+//	res, err := det.Run(ctx, p.Replay(fromDay, toDay))
 func (p *Pipeline) RunWindow(fromDay, toDay int) *RunResult {
-	engine := core.NewEngine(p.Dict, p.Topo)
-	inferCol := dictionary.NewCollector(p.Dict)
-	res := &RunResult{
-		WindowStart: workload.TimelineStart.Add(time.Duration(fromDay) * 24 * time.Hour),
-		WindowEnd:   workload.TimelineStart.Add(time.Duration(toDay) * 24 * time.Hour),
+	res, err := p.NewDetector().Run(context.Background(), p.Replay(fromDay, toDay))
+	if err != nil {
+		// Unreachable: a background-context replay has no error paths.
+		panic(fmt.Sprintf("bgpblackholing: RunWindow: %v", err))
 	}
-
-	// Background churn once per window so the Figure 2 statistics see
-	// ordinary TE communities alongside blackhole communities.
-	ordinary := p.Deploy.OrdinaryUpdates(res.WindowStart, 5000)
-	for _, o := range ordinary {
-		inferCol.Observe(o.Update)
-	}
-
-	nDays := toDay - fromDay
-	if nDays <= 0 {
-		engine.Flush(res.WindowEnd)
-		res.Events = engine.Events()
-		res.InferStats = inferCol.Infer()
-		return res
-	}
-	workers := p.Opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > nDays {
-		workers = nDays
-	}
-
-	fill := func(i int) dayBatch {
-		day := fromDay + i
-		intents := p.Scenario.IntentsForDay(day)
-		obs, results := workload.Materialize(p.Deploy, p.Topo, intents, p.Opts.Seed)
-		b := dayBatch{elems: stream.SortedElems(obs)}
-		if day >= toDay-7 {
-			b.results, b.intents = results, intents
-		}
-		return b
-	}
-	consume := func(b dayBatch) {
-		// fill retains results/intents only for the window's last week;
-		// earlier days carry nil slices and append is a no-op.
-		res.LastDayResults = append(res.LastDayResults, b.results...)
-		res.LastDayIntents = append(res.LastDayIntents, b.intents...)
-		for _, el := range b.elems {
-			engine.Process(el)
-			inferCol.Observe(el.Update)
-		}
-	}
-
-	if workers == 1 {
-		for i := 0; i < nDays; i++ {
-			consume(fill(i))
-		}
-	} else {
-		// Bounded pipeline: workers claim days through an atomic cursor
-		// — but only after acquiring an in-flight ticket, which caps the
-		// number of unconsumed batches held in memory and guarantees the
-		// merge cursor's day is always being worked on.
-		batches := make([]dayBatch, nDays)
-		ready := make([]chan struct{}, nDays)
-		for i := range ready {
-			ready[i] = make(chan struct{})
-		}
-		inFlight := 2 * workers
-		if inFlight > nDays {
-			inFlight = nDays
-		}
-		tickets := make(chan struct{}, inFlight)
-		for i := 0; i < inFlight; i++ {
-			tickets <- struct{}{}
-		}
-		var cursor atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for range tickets {
-					i := int(cursor.Add(1)) - 1
-					if i >= nDays {
-						return
-					}
-					batches[i] = fill(i)
-					close(ready[i])
-				}
-			}()
-		}
-		for i := 0; i < nDays; i++ {
-			<-ready[i]
-			consume(batches[i])
-			batches[i] = dayBatch{} // release the day's memory promptly
-			tickets <- struct{}{}
-		}
-		close(tickets)
-		wg.Wait()
-	}
-
-	engine.Flush(res.WindowEnd)
-	res.Events = engine.Events()
-	res.InferStats = inferCol.Infer()
 	return res
 }
 

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,11 +26,6 @@ import (
 	"time"
 
 	"bgpblackholing"
-	"bgpblackholing/internal/collector"
-	"bgpblackholing/internal/core"
-	"bgpblackholing/internal/dictionary"
-	"bgpblackholing/internal/mrt"
-	"bgpblackholing/internal/stream"
 )
 
 func main() {
@@ -47,16 +43,16 @@ func main() {
 }
 
 // platformOf infers the collection platform from the archive name.
-func platformOf(name string) collector.Platform {
+func platformOf(name string) bgpblackholing.Platform {
 	switch {
 	case strings.HasPrefix(name, "rrc"):
-		return collector.PlatformRIS
+		return bgpblackholing.PlatformRIS
 	case strings.HasPrefix(name, "route-views"):
-		return collector.PlatformRV
+		return bgpblackholing.PlatformRV
 	case strings.HasPrefix(name, "pch"):
-		return collector.PlatformPCH
+		return bgpblackholing.PlatformPCH
 	}
-	return collector.PlatformCDN
+	return bgpblackholing.PlatformCDN
 }
 
 func run(in string, scale float64, seed int64, format string) error {
@@ -73,7 +69,7 @@ func run(in string, scale float64, seed int64, format string) error {
 	// IXP route-server and peering-LAN lookups.
 	dict := p.Dict
 	if f, err := os.Open(filepath.Join(in, "dictionary.json")); err == nil {
-		loaded, lerr := dictionary.Load(f)
+		loaded, lerr := bgpblackholing.LoadDictionary(f)
 		f.Close()
 		if lerr != nil {
 			return fmt.Errorf("load dictionary.json: %w", lerr)
@@ -91,7 +87,7 @@ func run(in string, scale float64, seed int64, format string) error {
 	}
 	sort.Strings(matches)
 
-	engine := core.NewEngine(dict, p.Topo)
+	det := bgpblackholing.NewDetector(dict, p.Topo)
 
 	// Pass 1: table dumps seed the engine (§4.2 initialisation; events
 	// found here have unknown start times).
@@ -100,68 +96,50 @@ func run(in string, scale float64, seed int64, format string) error {
 			continue
 		}
 		name := strings.TrimSuffix(filepath.Base(m), ".dump.mrt")
-		if err := seedFromDump(engine, m, name, platformOf(name)); err != nil {
+		f, err := os.Open(m)
+		if err != nil {
+			return err
+		}
+		err = det.SeedFromRIBDump(f, name, platformOf(name))
+		f.Close()
+		if err != nil {
 			return fmt.Errorf("seed %s: %w", m, err)
 		}
 	}
 
 	// Pass 2: the update archives, merged in time order.
-	var streams []stream.Stream
-	var files []*os.File
+	var srcs []bgpblackholing.Source
+	var toClose []*bgpblackholing.MRTSource
 	defer func() {
-		for _, f := range files {
-			f.Close()
+		for _, s := range toClose {
+			s.Close()
 		}
 	}()
 	for _, m := range matches {
 		if strings.HasSuffix(m, ".dump.mrt") {
 			continue
 		}
-		f, err := os.Open(m)
+		name := strings.TrimSuffix(filepath.Base(m), ".mrt")
+		src, err := bgpblackholing.OpenMRTSource(m, name, platformOf(name))
 		if err != nil {
 			return err
 		}
-		files = append(files, f)
-		name := strings.TrimSuffix(filepath.Base(m), ".mrt")
-		streams = append(streams, stream.FromMRT(mrt.NewReader(f), name, platformOf(name)))
+		toClose = append(toClose, src)
+		srcs = append(srcs, src)
 	}
-	if err := engine.Run(stream.Merge(streams...)); err != nil {
+	res, err := det.Run(context.Background(), bgpblackholing.MergeSources(srcs...),
+		bgpblackholing.WithFlushAt(time.Date(2017, 4, 1, 0, 0, 0, 0, time.UTC)))
+	if err != nil {
 		return fmt.Errorf("replay: %w", err)
 	}
-	engine.Flush(time.Date(2017, 4, 1, 0, 0, 0, 0, time.UTC))
-	events := engine.Events()
 
 	switch format {
 	case "json":
-		return writeJSON(os.Stdout, events)
+		return writeJSON(os.Stdout, res.Events)
 	case "csv":
-		return writeCSV(os.Stdout, events)
+		return writeCSV(os.Stdout, res.Events)
 	}
 	return fmt.Errorf("unknown format %q", format)
-}
-
-// seedFromDump replays one TABLE_DUMP_V2 archive into the engine's
-// initialisation path.
-func seedFromDump(engine *core.Engine, path, name string, platform collector.Platform) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	r := mrt.NewReader(f)
-	for {
-		rec, err := r.Next()
-		if err != nil {
-			return nil // EOF or truncated tail ends the dump
-		}
-		if rib, ok := rec.(*mrt.RIB); ok {
-			entries, err := r.ResolveRIB(rib)
-			if err != nil {
-				return err
-			}
-			engine.InitFromRIB(entries, rib.Time, name, platform)
-		}
-	}
 }
 
 // eventRecord is the serialised form of one event.
@@ -178,7 +156,7 @@ type eventRecord struct {
 	Detections   int      `json:"detections"`
 }
 
-func toRecord(ev *core.Event) eventRecord {
+func toRecord(ev *bgpblackholing.Event) eventRecord {
 	rec := eventRecord{
 		Prefix:       ev.Prefix.String(),
 		Start:        ev.Start.UTC().Format(time.RFC3339),
@@ -206,7 +184,7 @@ func toRecord(ev *core.Event) eventRecord {
 	return rec
 }
 
-func writeJSON(w *os.File, events []*core.Event) error {
+func writeJSON(w *os.File, events []*bgpblackholing.Event) error {
 	enc := json.NewEncoder(w)
 	for _, ev := range events {
 		if err := enc.Encode(toRecord(ev)); err != nil {
@@ -217,7 +195,7 @@ func writeJSON(w *os.File, events []*core.Event) error {
 	return nil
 }
 
-func writeCSV(w *os.File, events []*core.Event) error {
+func writeCSV(w *os.File, events []*bgpblackholing.Event) error {
 	fmt.Fprintln(w, "prefix,start,end,duration_sec,providers,users,communities,platforms,detections")
 	for _, ev := range events {
 		rec := toRecord(ev)

@@ -17,15 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
-	"sort"
-	"time"
 
 	"bgpblackholing"
-	"bgpblackholing/internal/collector"
-	"bgpblackholing/internal/mrt"
-	"bgpblackholing/internal/stream"
-	"bgpblackholing/internal/workload"
 )
 
 func main() {
@@ -44,9 +37,6 @@ func main() {
 }
 
 func run(out string, scale float64, seed int64, from, to int) error {
-	if to <= from {
-		return fmt.Errorf("empty window [%d,%d)", from, to)
-	}
 	opts := bgpblackholing.Options{
 		Seed: seed, TopoScale: scale, CollectorScale: scale,
 		EventScale: scale * 2, Days: 850,
@@ -55,132 +45,10 @@ func run(out string, scale float64, seed int64, from, to int) error {
 	if err != nil {
 		return err
 	}
-	if err := os.MkdirAll(out, 0o755); err != nil {
-		return err
-	}
-
-	colByName := map[string]*collector.Collector{}
-	for _, c := range p.Deploy.Collectors {
-		colByName[c.Name] = c
-	}
-
-	// Table dumps: blackholings that started before the window and are
-	// still active at its start seed the archives as TABLE_DUMP_V2
-	// snapshots (§4.2 initialisation).
-	windowStart := workload.TimelineStart.Add(time.Duration(from) * 24 * time.Hour)
-	dumpObs := map[string][]collector.Observation{}
-	for day := from - 45; day < from; day++ {
-		if day < 0 {
-			continue
-		}
-		for _, in := range p.Scenario.IntentsForDay(day) {
-			if !in.Prefix.IsValid() || len(in.Pattern) != 1 {
-				continue
-			}
-			if !in.Start.Add(in.Pattern[0].On).After(windowStart) {
-				continue // ended before the window
-			}
-			ann := collector.Announcement{
-				Time:            in.Start,
-				User:            in.User,
-				Prefix:          in.Prefix,
-				Communities:     in.Communities(p.Topo),
-				NoExport:        in.NoExport,
-				TargetProviders: in.Providers,
-				TargetIXPs:      in.IXPs,
-				Bundled:         in.Bundled,
-			}
-			for _, o := range p.Deploy.Propagate(ann).Observations {
-				dumpObs[o.Collector.Name] = append(dumpObs[o.Collector.Name], o)
-			}
-		}
-	}
-	var dumpNames []string
-	for name := range dumpObs {
-		dumpNames = append(dumpNames, name)
-	}
-	sort.Strings(dumpNames)
-	for _, name := range dumpNames {
-		f, err := os.Create(filepath.Join(out, name+".dump.mrt"))
-		if err != nil {
-			return err
-		}
-		if err := collector.WriteTableDump(f, colByName[name], dumpObs[name], windowStart); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-	}
-
-	// Collect observations per collector across the window.
-	perCollector := map[string][]collector.Observation{}
-	total := 0
-	for day := from; day < to; day++ {
-		intents := p.Scenario.IntentsForDay(day)
-		obs, _ := workload.Materialize(p.Deploy, p.Topo, intents, seed)
-		for _, o := range obs {
-			perCollector[o.Collector.Name] = append(perCollector[o.Collector.Name], o)
-			total++
-		}
-	}
-
-	var names []string
-	for name := range perCollector {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		obs := perCollector[name]
-		col := colByName[name]
-		// Time-order within the archive.
-		s := stream.FromObservations(obs)
-		f, err := os.Create(filepath.Join(out, name+".mrt"))
-		if err != nil {
-			return err
-		}
-		w := mrt.NewWriter(f)
-		for {
-			el, err := s.Next()
-			if err != nil {
-				break
-			}
-			if err := w.WriteUpdate(el.Update, col.IP, col.ASN); err != nil {
-				f.Close()
-				return fmt.Errorf("write %s: %w", name, err)
-			}
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-	}
-
-	// Dictionary dump: bhdetect (and humans) can load this instead of
-	// re-deriving the corpus.
-	df, err := os.Create(filepath.Join(out, "dictionary.json"))
+	sum, err := p.WriteMRTArchives(out, from, to)
 	if err != nil {
 		return err
 	}
-	if err := p.Dict.Save(df); err != nil {
-		df.Close()
-		return err
-	}
-	if err := df.Close(); err != nil {
-		return err
-	}
-
-	// World summary for humans.
-	sum, err := os.Create(filepath.Join(out, "world.txt"))
-	if err != nil {
-		return err
-	}
-	defer sum.Close()
-	fmt.Fprintf(sum, "seed=%d scale=%.3f window=[%d,%d)\n", seed, scale, from, to)
-	fmt.Fprintf(sum, "ASes: %d  IXPs: %d  blackholing providers: %d  blackholing IXPs: %d\n",
-		len(p.Topo.Order), len(p.Topo.IXPs),
-		len(p.Topo.BlackholingProviders()), len(p.Topo.BlackholingIXPs()))
-	fmt.Fprintf(sum, "collectors: %d  archived updates: %d\n", len(names), total)
-	fmt.Printf("bhgen: wrote %d archives (%d updates) to %s\n", len(names), total, out)
+	fmt.Printf("bhgen: wrote %d archives (%d updates) to %s\n", sum.Collectors, sum.Updates, out)
 	return nil
 }

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -24,14 +25,6 @@ import (
 	"time"
 
 	"bgpblackholing"
-	"bgpblackholing/internal/analysis"
-	"bgpblackholing/internal/bgp"
-	"bgpblackholing/internal/compliance"
-	"bgpblackholing/internal/core"
-	"bgpblackholing/internal/dataplane"
-	"bgpblackholing/internal/scans"
-	"bgpblackholing/internal/topology"
-	"bgpblackholing/internal/workload"
 )
 
 func main() {
@@ -66,31 +59,31 @@ func writeCSVs(dir string, res *bgpblackholing.RunResult, full bool) error {
 		return fh.Close()
 	}
 	if full {
-		series := analysis.Figure4(res.Events, workload.TimelineStart, 850)
+		series := bgpblackholing.Figure4(res.Events, bgpblackholing.TimelineStart, 850)
 		if err := save("figure4_daily.csv", func(w *os.File) error {
-			return analysis.WriteFigure4CSV(w, series)
+			return bgpblackholing.WriteFigure4CSV(w, series)
 		}); err != nil {
 			return err
 		}
 	}
-	ungrouped, grouped := analysis.Figure8(res.Events, core.DefaultGroupTimeout)
+	ungrouped, grouped := bgpblackholing.Figure8(res.Events, bgpblackholing.DefaultGroupTimeout)
 	if err := save("figure8_durations.csv", func(w *os.File) error {
-		return analysis.WriteDurationsCSV(w, ungrouped, grouped)
+		return bgpblackholing.WriteDurationsCSV(w, ungrouped, grouped)
 	}); err != nil {
 		return err
 	}
 	if err := save("figure7b_providers_per_event.csv", func(w *os.File) error {
-		return analysis.WriteHistogramCSV(w, "providers", analysis.Figure7b(res.Events))
+		return bgpblackholing.WriteHistogramCSV(w, "providers", bgpblackholing.Figure7b(res.Events))
 	}); err != nil {
 		return err
 	}
 	if err := save("figure7c_as_distance.csv", func(w *os.File) error {
-		return analysis.WriteHistogramCSV(w, "distance", analysis.Figure7c(res.Events))
+		return bgpblackholing.WriteHistogramCSV(w, "distance", bgpblackholing.Figure7c(res.Events))
 	}); err != nil {
 		return err
 	}
 	return save("events.csv", func(w *os.File) error {
-		return analysis.WriteEventsCSV(w, res.Events)
+		return bgpblackholing.WriteEventsCSV(w, res.Events)
 	})
 }
 
@@ -115,23 +108,26 @@ func run(scale, events float64, seed int64, full bool, csvDir string) error {
 		from = 0
 	}
 	fmt.Printf("replaying timeline days [%d,%d)...\n", from, to)
-	res := p.RunWindow(from, to)
+	res, err := p.NewDetector().Run(context.Background(), p.Replay(from, to))
+	if err != nil {
+		return err
+	}
 	fmt.Printf("inferred %d blackholing events\n", len(res.Events))
 
 	section("Table 1: BGP dataset overview (March 2017)")
-	fmt.Print(analysis.FormatTable1(p.Table1()))
+	fmt.Print(bgpblackholing.FormatTable1(p.Table1()))
 
 	section("Table 2: blackhole communities dictionary")
-	fmt.Print(analysis.FormatTable2(p.Table2(res.InferStats)))
+	fmt.Print(bgpblackholing.FormatTable2(p.Table2(res.InferStats)))
 
 	section("Table 3: blackhole dataset overview")
-	fmt.Print(analysis.FormatTable3(p.Table3(res.Events)))
+	fmt.Print(bgpblackholing.FormatTable3(p.Table3(res.Events)))
 
 	section("Table 4: blackhole visibility by provider type")
-	fmt.Print(analysis.FormatTable4(p.Table4(res.Events)))
+	fmt.Print(bgpblackholing.FormatTable4(p.Table4(res.Events)))
 
 	section("Figure 2: community prefix-length profile")
-	for _, r := range analysis.SummarizeFigure2(res.InferStats.Stats, p.Dict) {
+	for _, r := range bgpblackholing.SummarizeFigure2(res.InferStats.Stats, p.Dict) {
 		label := "non-blackhole"
 		if r.IsBlackhole {
 			label = "blackhole"
@@ -143,50 +139,46 @@ func run(scale, events float64, seed int64, full bool, csvDir string) error {
 
 	if full {
 		section("Figure 4: longitudinal growth (sampled)")
-		series := analysis.Figure4(res.Events, workload.TimelineStart, 850)
-		fmt.Print(analysis.FormatFigure4(series, 60))
+		series := bgpblackholing.Figure4(res.Events, bgpblackholing.TimelineStart, 850)
+		fmt.Print(bgpblackholing.FormatFigure4(series, 60))
 	}
 
 	section("Figure 5: blackholed prefixes per provider / user type")
-	transit, ixp := analysis.Figure5a(res.Events, p.Topo)
-	tc, xc := analysis.NewCDFInts(transit), analysis.NewCDFInts(ixp)
+	transit, ixp := bgpblackholing.Figure5a(res.Events, p.Topo)
+	tc, xc := bgpblackholing.NewCDFInts(transit), bgpblackholing.NewCDFInts(ixp)
 	fmt.Printf("transit/access providers: n=%d median=%.0f p90=%.0f max=%.0f\n",
 		tc.Len(), tc.Quantile(0.5), tc.Quantile(0.9), tc.Quantile(1))
 	fmt.Printf("IXPs:                     n=%d median=%.0f p90=%.0f max=%.0f\n",
 		xc.Len(), xc.Quantile(0.5), xc.Quantile(0.9), xc.Quantile(1))
-	for k, counts := range map[string][]int{} {
-		_ = k
-		_ = counts
-	}
-	byKind := analysis.Figure5b(res.Events, p.Topo)
-	for _, k := range topology.Kinds() {
+	byKind := bgpblackholing.Figure5b(res.Events, p.Topo)
+	for _, k := range bgpblackholing.Kinds() {
 		if len(byKind[k]) == 0 {
 			continue
 		}
-		c := analysis.NewCDFInts(byKind[k])
+		c := bgpblackholing.NewCDFInts(byKind[k])
 		fmt.Printf("users %-22s n=%-5d median=%.0f p90=%.0f\n", k, c.Len(), c.Quantile(0.5), c.Quantile(0.9))
 	}
 
 	section("Figure 6: per-country distribution")
-	provs, users := analysis.Figure6(res.Events, p.Topo)
+	provs, users := bgpblackholing.Figure6(res.Events, p.Topo)
 	fmt.Print("top provider countries: ")
-	for _, c := range analysis.TopCountries(provs, 6) {
+	for _, c := range bgpblackholing.TopCountries(provs, 6) {
 		fmt.Printf("%s=%d ", c.Country, c.Count)
 	}
 	fmt.Print("\ntop user countries:     ")
-	for _, c := range analysis.TopCountries(users, 6) {
+	for _, c := range bgpblackholing.TopCountries(users, 6) {
 		fmt.Printf("%s=%d ", c.Country, c.Count)
 	}
 	fmt.Println()
 
 	section("Figure 7a: services on blackholed prefixes")
-	svcCounts := analysis.Figure7a(res.Events, seed)
+	svcCounts := bgpblackholing.Figure7a(res.Events, seed)
 	for _, svc := range []string{"HTTP", "HTTPS", "SSH", "FTP", "Telnet", "DNS", "NTP", "SMTP", "IMAP", "NONE"} {
-		fmt.Printf("%-7s %d\n", svc, svcCounts[scans.Service(svc)])
+		fmt.Printf("%-7s %d\n", svc, svcCounts[bgpblackholing.Service(svc)])
 	}
 
 	section("Figure 7b: providers per blackholing event")
-	h := analysis.Figure7b(res.Events)
+	h := bgpblackholing.Figure7b(res.Events)
 	multi := 0.0
 	for _, k := range h.Keys() {
 		if k > 1 {
@@ -197,26 +189,26 @@ func run(scale, events float64, seed int64, full bool, csvDir string) error {
 		100*h.Fraction(1), 100*multi, h.Keys()[len(h.Keys())-1])
 
 	section("Figure 7c: collector-provider AS distance")
-	hc := analysis.Figure7c(res.Events)
+	hc := bgpblackholing.Figure7c(res.Events)
 	for _, k := range hc.Keys() {
 		label := fmt.Sprint(k)
-		if k == core.NoPath {
+		if k == bgpblackholing.NoPath {
 			label = "no-path"
 		}
 		fmt.Printf("%-8s %.1f%%\n", label, 100*hc.Fraction(k))
 	}
 
 	section("Figure 8: blackholing durations")
-	ungrouped, grouped := analysis.Figure8(res.Events, core.DefaultGroupTimeout)
-	cu, cg := analysis.NewCDFDurations(ungrouped), analysis.NewCDFDurations(grouped)
+	ungrouped, grouped := bgpblackholing.Figure8(res.Events, bgpblackholing.DefaultGroupTimeout)
+	cu, cg := bgpblackholing.NewCDFDurations(ungrouped), bgpblackholing.NewCDFDurations(grouped)
 	fmt.Printf("ungrouped: n=%d  <=1min: %.0f%%\n", cu.Len(), 100*cu.FractionAtOrBelow(60))
 	fmt.Printf("grouped:   n=%d  <=1min: %.0f%%  >16h: %.0f%%\n",
 		cg.Len(), 100*cg.FractionAtOrBelow(60), 100*(1-cg.FractionAtOrBelow(16*3600)))
 
 	section("Figure 9a/9b: data-plane efficacy (traceroute campaign)")
-	sim := &dataplane.Simulator{Topo: p.Topo}
+	sim := &bgpblackholing.TraceSimulator{Topo: p.Topo}
 	r := rand.New(rand.NewSource(seed))
-	var ms []dataplane.PathMeasurement
+	var ms []bgpblackholing.PathMeasurement
 	n := 0
 	for _, pr := range res.LastDayResults {
 		if n >= 60 || !pr.Prefix.IsValid() || !pr.Prefix.Addr().Is4() {
@@ -225,53 +217,53 @@ func run(scale, events float64, seed int64, full bool, csvDir string) error {
 		if len(pr.DroppingASes) == 0 {
 			continue
 		}
-		bh := &dataplane.BlackholeState{
+		bh := &bgpblackholing.BlackholeState{
 			Prefix: pr.Prefix, DroppingASes: pr.DroppingASes,
 			DroppingIXPMembers: pr.DroppingIXPMembers,
 		}
 		ms = append(ms, sim.MeasureEvent(pr.User, pr.Prefix, bh, r, 4)...)
 		n++
 	}
-	sample := analysis.Figure9ab(ms)
-	ci := analysis.NewCDFInts(sample.IPDiffs)
-	ca := analysis.NewCDFInts(sample.ASDiffs)
+	sample := bgpblackholing.Figure9ab(ms)
+	ci := bgpblackholing.NewCDFInts(sample.IPDiffs)
+	ca := bgpblackholing.NewCDFInts(sample.ASDiffs)
 	fmt.Printf("paths: n=%d  mean IP shortening=%.1f hops  shorter-during=%.0f%%  mean AS shortening=%.1f\n",
 		ci.Len(), ci.Mean(), 100*(1-ci.FractionAtOrBelow(0)), ca.Mean())
 
 	section("Figure 9c: IXP traffic to blackholed prefixes (one week)")
-	var x *topology.IXP
+	var x *bgpblackholing.IXP
 	for _, cand := range p.Topo.BlackholingIXPs() {
 		if x == nil || len(cand.Members) > len(x.Members) {
 			x = cand
 		}
 	}
 	if x != nil {
-		var victims []dataplane.VictimSpec
+		var victims []bgpblackholing.VictimSpec
 		seen := map[netip.Prefix]bool{}
 		for _, pr := range res.LastDayResults {
 			if drops, ok := pr.DroppingIXPMembers[x.ID]; ok && !seen[pr.Prefix] && len(victims) < 3 {
 				seen[pr.Prefix] = true
-				victims = append(victims, dataplane.VictimSpec{Prefix: pr.Prefix, Honoring: drops})
+				victims = append(victims, bgpblackholing.VictimSpec{Prefix: pr.Prefix, Honoring: drops})
 			}
 		}
 		start := time.Date(2017, 3, 20, 0, 0, 0, 0, time.UTC)
-		series := dataplane.SimulateIXPTraffic(x, victims, start, 7*24*time.Hour, dataplane.DefaultIPFIXConfig())
+		series := bgpblackholing.SimulateIXPTraffic(x, victims, start, 7*24*time.Hour, bgpblackholing.DefaultIPFIXConfig())
 		for i, s := range series {
-			fmt.Printf("prefix %-18s drop fraction: %.0f%%\n", victims[i].Prefix, 100*dataplane.DropFraction(s))
+			fmt.Printf("prefix %-18s drop fraction: %.0f%%\n", victims[i].Prefix, 100*bgpblackholing.DropFraction(s))
 		}
 	}
 	section("RFC 7999 / RFC 5635 compliance scorecard (§11)")
-	fmt.Print(compliance.AuditEvents(res.Events).Format())
+	fmt.Print(bgpblackholing.AuditCompliance(res.Events).Format())
 
 	section("Validation against ground truth (§10 passive validation)")
 	cutoff := res.WindowEnd.AddDate(0, 0, -7)
-	var weekEvents []*core.Event
+	var weekEvents []*bgpblackholing.Event
 	for _, ev := range res.Events {
 		if !ev.Start.Before(cutoff) {
 			weekEvents = append(weekEvents, ev)
 		}
 	}
-	v := analysis.Validate(weekEvents, res.LastDayIntents)
+	v := bgpblackholing.Validate(weekEvents, res.LastDayIntents)
 	fmt.Printf("last-week intents: %d  detected: %d (recall %.0f%%)\n",
 		v.Intents, v.DetectedPrefixOnsets, 100*v.Recall())
 	fmt.Printf("route-server intents: %d  detected: %d (recall %.0f%%; paper confirms 99.5%% RS visibility)\n",
@@ -283,7 +275,5 @@ func run(scale, events float64, seed int64, full bool, csvDir string) error {
 		}
 		fmt.Printf("\nwrote figure CSVs to %s\n", csvDir)
 	}
-
-	_ = bgp.ASN(0)
 	return nil
 }

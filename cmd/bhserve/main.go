@@ -14,24 +14,17 @@
 package main
 
 import (
-	"errors"
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"net"
 	"net/netip"
 	"os"
 	"os/signal"
 	"sort"
-	"sync"
 	"time"
 
 	"bgpblackholing"
-	"bgpblackholing/internal/bgp"
-	"bgpblackholing/internal/bgpd"
-	"bgpblackholing/internal/collector"
-	"bgpblackholing/internal/core"
-	"bgpblackholing/internal/stream"
 )
 
 func main() {
@@ -63,99 +56,75 @@ func run(listen string, scale float64, seed int64, asn uint32) error {
 	fmt.Printf("bhserve: dictionary with %d communities, listening on %s (AS%d)\n",
 		len(p.Dict.Entries()), ln.Addr(), asn)
 
-	live := stream.NewLive()
-	var wg sync.WaitGroup
-
-	// Acceptor.
-	wg.Add(1)
+	// The live feed: every accepted BGP session publishes its updates
+	// into the source the detector drains.
+	live := bgpblackholing.NewLiveSource()
+	serveRes := make(chan error, 1)
 	go func() {
-		defer wg.Done()
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				live.Close()
-				return
-			}
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				serveSession(conn, asn, live)
-			}()
+		// ServeBGP closes the feed on return, so Run below still drains
+		// and reports; the error is re-checked after Run so a listener
+		// death does not pass as a clean exit-0 shutdown.
+		serveRes <- live.ServeBGP(ln, serveCfg(asn))
+	}()
+
+	// Events print the moment they close, not at shutdown.
+	det := p.NewDetector()
+	printed := make(chan struct{})
+	sub := det.Subscribe()
+	go func() {
+		defer close(printed)
+		for ev := range sub {
+			printEvent(ev)
 		}
 	}()
 
-	// Engine loop with periodic event reporting.
-	engine := core.NewEngine(p.Dict, p.Topo)
-	reported := 0
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		for {
-			el, err := live.Next()
-			if err != nil {
-				return
-			}
-			engine.Process(el)
-			for _, ev := range engine.Events()[reported:] {
-				printEvent(ev)
-				reported++
-			}
-		}
-	}()
-
-	// SIGINT: stop accepting, flush, report.
+	// SIGINT: stop accepting and close the feed; Run drains what is
+	// buffered, flushes open events (they stream to the subscriber) and
+	// returns.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
-	<-sig
-	fmt.Println("\nbhserve: shutting down")
-	ln.Close()
-	live.Close()
-	<-done
-	engine.Flush(time.Now().UTC())
-	for _, ev := range engine.Events()[reported:] {
-		printEvent(ev)
+	go func() {
+		<-sig
+		fmt.Println("\nbhserve: shutting down")
+		ln.Close()
+		live.Close()
+	}()
+
+	res, err := det.Run(context.Background(), live)
+	if err != nil {
+		return err
 	}
-	m := engine.Metrics()
+	<-printed
+	m := res.Metrics
 	fmt.Printf("bhserve: %d updates (%d cleaned), %d detections, %d events (%d explicit / %d implicit ends)\n",
 		m.UpdatesProcessed, m.UpdatesCleaned, m.Detections, m.EventsClosed, m.ExplicitEnds, m.ImplicitEnds)
+	// A listener that died on its own (not via the SIGINT ln.Close) is a
+	// failed run. ServeBGP may still be waiting on sessions lingering
+	// past SIGINT, so don't block on it for long.
+	select {
+	case serr := <-serveRes:
+		if serr != nil {
+			return fmt.Errorf("listener failed: %w", serr)
+		}
+	case <-time.After(time.Second):
+	}
 	return nil
 }
 
-func serveSession(conn net.Conn, asn uint32, live *stream.Live) {
-	sess, err := bgpd.Establish(conn, bgpd.Config{
-		ASN:      bgp.ASN(asn),
-		BGPID:    netip.MustParseAddr("10.255.0.1"),
-		HoldTime: 90 * time.Second,
-	})
-	if err != nil {
-		fmt.Printf("bhserve: handshake failed from %s: %v\n", conn.RemoteAddr(), err)
-		return
-	}
-	defer sess.Close()
-	fmt.Printf("bhserve: session up with AS%s (%s)\n", sess.Peer().ASN, conn.RemoteAddr())
-	peerIP := peerAddr(conn)
-	for {
-		u, err := sess.ReadUpdate()
-		if err != nil {
-			if !errors.Is(err, io.EOF) {
-				fmt.Printf("bhserve: session with AS%s ended: %v\n", sess.Peer().ASN, err)
-			}
-			return
-		}
-		u.PeerAS = sess.Peer().ASN
-		u.PeerIP = peerIP
-		live.Publish(&stream.Elem{Collector: "bhserve", Platform: collector.PlatformRIS, Update: u})
+func serveCfg(asn uint32) bgpblackholing.BGPServerConfig {
+	return bgpblackholing.BGPServerConfig{
+		ASN:           bgpblackholing.ASN(asn),
+		BGPID:         netip.MustParseAddr("10.255.0.1"),
+		HoldTime:      90 * time.Second,
+		CollectorName: "bhserve",
+		Platform:      bgpblackholing.PlatformRIS,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("bhserve: "+format+"\n", args...)
+		},
 	}
 }
 
-func peerAddr(conn net.Conn) netip.Addr {
-	if ap, err := netip.ParseAddrPort(conn.RemoteAddr().String()); err == nil {
-		return ap.Addr()
-	}
-	return netip.Addr{}
-}
-
-func printEvent(ev *core.Event) {
+func printEvent(ev *bgpblackholing.Event) {
 	var provs []string
 	for pr := range ev.Providers {
 		provs = append(provs, pr.String())

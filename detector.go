@@ -1,0 +1,395 @@
+package bgpblackholing
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"iter"
+	"sync"
+	"time"
+
+	"bgpblackholing/internal/core"
+	"bgpblackholing/internal/dictionary"
+	"bgpblackholing/internal/mrt"
+)
+
+// Detector runs the paper's inference engine (§4.2) over any Source,
+// with context cancellation and incremental event delivery: events
+// stream to Subscribe / Stream subscribers the moment they close,
+// instead of appearing only after the final flush. One Detector holds
+// one engine's state; sequential Run calls accumulate (a live deployment
+// can alternate replay catch-up and live feeds), but only one Run may be
+// active at a time.
+type Detector struct {
+	engine   *core.Engine
+	inferCol *dictionary.Collector
+
+	mu      sync.Mutex
+	subs    []*subscriber
+	running bool
+}
+
+// NewDetector builds a detector inferring against the given dictionary,
+// with the topology standing in for the paper's PeeringDB lookups (IXP
+// route-server ASNs and peering LANs).
+func NewDetector(dict *Dictionary, topo *Topology) *Detector {
+	d := &Detector{
+		engine:   core.NewEngine(dict, topo),
+		inferCol: dictionary.NewCollector(dict),
+	}
+	d.engine.OnEventClose = d.fanout
+	return d
+}
+
+// NewDetector builds a detector over the pipeline's dictionary and
+// topology.
+func (p *Pipeline) NewDetector() *Detector { return NewDetector(p.Dict, p.Topo) }
+
+// SetClean toggles §3 data cleaning (bogon and coarse-prefix removal);
+// it is on by default.
+func (d *Detector) SetClean(clean bool) { d.engine.Clean = clean }
+
+// Metrics returns a snapshot of the engine's counters; safe to call
+// after Run returns (live deployments report them on shutdown).
+func (d *Detector) Metrics() Metrics { return d.engine.Metrics() }
+
+// ActiveCount reports how many prefixes are currently blackholed.
+func (d *Detector) ActiveCount() int { return d.engine.ActiveCount() }
+
+// Events returns all events closed so far, in closing order. The slice
+// is a copy owned by the caller.
+func (d *Detector) Events() []*Event { return d.engine.Events() }
+
+// SeedFromRIBDump seeds the detector from an MRT TABLE_DUMP_V2 archive
+// (§4.2 "Initialization Based on BGP Table Dump"): blackholed prefixes
+// found in the dump start events whose true start time is unknown. Call
+// it before Run. A truncated archive tail ends the dump silently, as
+// collector dumps commonly do; any other read or parse failure is
+// returned, since it would leave the initialization silently partial.
+func (d *Detector) SeedFromRIBDump(r io.Reader, collectorName string, platform Platform) error {
+	reader := mrt.NewReader(r)
+	for {
+		rec, err := reader.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, mrt.ErrTruncated) {
+				return nil // end of archive, or the usual truncated tail
+			}
+			return err
+		}
+		if rib, ok := rec.(*mrt.RIB); ok {
+			entries, err := reader.ResolveRIB(rib)
+			if err != nil {
+				return err
+			}
+			d.engine.InitFromRIB(entries, rib.Time, collectorName, platform)
+		}
+	}
+}
+
+// runConfig collects RunOption state.
+type runConfig struct {
+	flushAt time.Time
+	noFlush bool
+}
+
+// RunOption adjusts one Run call.
+type RunOption func(*runConfig)
+
+// WithFlushAt sets the timestamp at which still-open events are closed
+// when the source is exhausted (end of monitoring). The default is the
+// window end for a ReplaySource and the current wall-clock time for
+// other sources.
+func WithFlushAt(t time.Time) RunOption {
+	return func(c *runConfig) { c.flushAt = t }
+}
+
+// WithoutFlush leaves events still active at end-of-source open, so a
+// later Run on the same Detector can resume them — the replay-then-live
+// handover pattern.
+func WithoutFlush() RunOption {
+	return func(c *runConfig) { c.noFlush = true }
+}
+
+// ErrDetectorBusy is returned by Run when another Run is already active
+// on the same Detector.
+var ErrDetectorBusy = errors.New("bgpblackholing: detector already running")
+
+// Run drains the source through the inference engine until io.EOF,
+// then closes still-open events and returns the accumulated result.
+// Closed events are delivered incrementally to Subscribe / Stream
+// subscribers while Run is in flight; the subscriptions end when Run
+// returns.
+//
+// Cancellation is prompt: when ctx is canceled, Run unblocks the
+// source (including a ReplaySource's materialization workers and a
+// LiveSource consumer parked waiting for input), skips the final flush
+// — the events still active are not fabricated ends — and returns the
+// partial result alongside ctx.Err(). The partial result carries every
+// event closed before the cancellation and the Metrics counted so far.
+//
+// A ReplaySource — bare or wrapped in MapSource/FilterSource — also
+// populates the result's window metadata and last-week propagation
+// results, and defaults the flush time to the window end. A replay
+// inside MergeSources contributes elements only.
+func (d *Detector) Run(ctx context.Context, src Source, opts ...RunOption) (*RunResult, error) {
+	d.mu.Lock()
+	if d.running {
+		d.mu.Unlock()
+		return nil, ErrDetectorBusy
+	}
+	d.running = true
+	d.mu.Unlock()
+	defer func() {
+		d.mu.Lock()
+		d.running = false
+		d.mu.Unlock()
+	}()
+
+	var cfg runConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+
+	res := &RunResult{}
+	rs := replayOf(src)
+	isReplay := rs != nil
+	if isReplay {
+		res.WindowStart, res.WindowEnd = rs.windowStart, rs.windowEnd
+		if cfg.flushAt.IsZero() {
+			cfg.flushAt = rs.windowEnd
+		}
+		// Background churn once per window so the Figure 2 statistics see
+		// ordinary TE communities alongside blackhole communities.
+		for _, o := range rs.ordinary() {
+			d.inferCol.Observe(o.Update)
+		}
+	}
+
+	runDone := make(chan struct{})
+	defer close(runDone)
+	if ra, ok := src.(runAware); ok {
+		ra.attach(ctx, runDone)
+	}
+	defer d.closeSubs()
+
+	var runErr error
+	done := ctx.Done()
+	for n := 0; ; n++ {
+		if done != nil && n&127 == 0 {
+			select {
+			case <-done:
+				runErr = ctx.Err()
+			default:
+			}
+			if runErr != nil {
+				break
+			}
+		}
+		el, err := src.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			// A source unblocked by cancellation reports its own sentinel;
+			// surface the context's error for uniformity.
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				runErr = ctxErr
+			} else {
+				runErr = fmt.Errorf("source: %w", err)
+			}
+			break
+		}
+		d.engine.Process(el)
+		d.inferCol.Observe(el.Update)
+	}
+
+	if runErr == nil && !cfg.noFlush {
+		flushAt := cfg.flushAt
+		if flushAt.IsZero() {
+			flushAt = time.Now().UTC()
+		}
+		d.engine.Flush(flushAt)
+	}
+	if isReplay {
+		rs.Close()
+		res.LastDayResults, res.LastDayIntents = rs.takeResults()
+	}
+	res.Events = d.engine.Events()
+	res.InferStats = d.inferCol.Infer()
+	res.Metrics = d.engine.Metrics()
+	return res, runErr
+}
+
+// ---------------------------------------------------------------------
+// Incremental event delivery.
+
+// subscriber decouples the engine's single processing goroutine from a
+// consumer: the fanout path only appends to an unbounded queue (never
+// blocking inference), and a pump goroutine forwards events to the
+// subscriber's channel.
+type subscriber struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []*Event
+	done  bool          // producer side finished (Run returned)
+	stop  chan struct{} // consumer side abandoned (Stream break)
+	ch    chan *Event
+}
+
+func newSubscriber() *subscriber {
+	s := &subscriber{
+		stop: make(chan struct{}),
+		ch:   make(chan *Event, 16),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	go s.pump()
+	return s
+}
+
+func (s *subscriber) push(ev *Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return
+	}
+	s.queue = append(s.queue, ev)
+	s.cond.Signal()
+}
+
+// finish marks the producer side complete; the pump closes the channel
+// after the queue drains.
+func (s *subscriber) finish() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.done = true
+	s.cond.Broadcast()
+}
+
+// cancel abandons the subscription from the consumer side: the pump
+// exits, and fanout stops queueing events for it (done doubles as the
+// drop flag in push).
+func (s *subscriber) cancel() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.done = true
+	s.queue = nil
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	s.cond.Broadcast()
+}
+
+func (s *subscriber) pump() {
+	defer close(s.ch)
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.done {
+			select {
+			case <-s.stop:
+				s.mu.Unlock()
+				return
+			default:
+			}
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 && s.done {
+			s.mu.Unlock()
+			return
+		}
+		ev := s.queue[0]
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+		select {
+		case s.ch <- ev:
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// fanout is the engine's OnEventClose hook: it hands the closed event
+// to every live subscriber without blocking the inference hot path.
+func (d *Detector) fanout(ev *Event) {
+	d.mu.Lock()
+	subs := d.subs
+	d.mu.Unlock()
+	for _, s := range subs {
+		s.push(ev)
+	}
+}
+
+// closeSubs ends every subscription: pending events still drain, then
+// the channels close. Called when Run returns.
+func (d *Detector) closeSubs() {
+	d.mu.Lock()
+	subs := d.subs
+	d.subs = nil
+	d.mu.Unlock()
+	for _, s := range subs {
+		s.finish()
+	}
+}
+
+func (d *Detector) subscribe() *subscriber {
+	s := newSubscriber()
+	d.mu.Lock()
+	d.subs = append(d.subs, s)
+	d.mu.Unlock()
+	return s
+}
+
+// unsubscribe removes a canceled subscriber so fanout stops visiting it.
+func (d *Detector) unsubscribe(s *subscriber) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, x := range d.subs {
+		if x == s {
+			d.subs = append(d.subs[:i], d.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Subscribe returns a channel delivering each event as it closes during
+// the current (or next) Run — from withdrawals, implicit withdrawals
+// and the final flush alike. Subscribe before starting Run to observe
+// every event; events closed earlier in an already-running Run are not
+// replayed. The channel closes when the Run returns, after every
+// pending event has been delivered; drain it until then. The queue
+// behind the channel is unbounded, so a slow subscriber never blocks
+// or reorders inference — but a subscription abandoned without
+// draining pins its queued events and delivery goroutine until the
+// process exits. A consumer that may stop early should use Stream
+// instead, whose loop exit cancels the subscription.
+func (d *Detector) Subscribe() <-chan *Event {
+	return d.subscribe().ch
+}
+
+// Stream returns the subscription as an iterator: ranging over it
+// yields each event as it closes, ending when the current (or next)
+// Run returns. Breaking out of the range cancels the subscription.
+// The subscription registers when Stream is called, so call it before
+// starting Run to observe every event:
+//
+//	events := det.Stream()
+//	go det.Run(ctx, src)
+//	for ev := range events {
+//		fmt.Println(ev.Prefix, ev.Duration())
+//	}
+func (d *Detector) Stream() iter.Seq[*Event] {
+	s := d.subscribe()
+	return func(yield func(*Event) bool) {
+		defer func() {
+			d.unsubscribe(s)
+			s.cancel()
+		}()
+		for ev := range s.ch {
+			if !yield(ev) {
+				return
+			}
+		}
+	}
+}

@@ -8,12 +8,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"bgpblackholing"
-	"bgpblackholing/internal/analysis"
-	"bgpblackholing/internal/workload"
 )
 
 func main() {
@@ -27,8 +26,11 @@ func main() {
 	// Replay the attack-heavy half of the timeline.
 	from, to := 480, 720
 	fmt.Printf("monitoring timeline days [%d,%d)...\n", from, to)
-	res := p.RunWindow(from, to)
-	series := analysis.Figure4(res.Events, workload.TimelineStart, to)
+	res, err := p.NewDetector().Run(context.Background(), p.Replay(from, to))
+	if err != nil {
+		log.Fatal(err)
+	}
+	series := bgpblackholing.Figure4(res.Events, bgpblackholing.TimelineStart, to)
 
 	// Spike detection: a day is anomalous when its blackholed-prefix
 	// count exceeds 2x the trailing 14-day median.
@@ -44,15 +46,15 @@ func main() {
 	}
 
 	fmt.Println("\nknown attack days in this window:")
-	for _, sp := range workload.DefaultSpikes() {
+	for _, sp := range bgpblackholing.DefaultSpikes() {
 		if sp.Day >= from && sp.Day < to {
 			fmt.Printf("  day %d (%s): %s\n", sp.Day,
-				workload.TimelineStart.AddDate(0, 0, sp.Day).Format("2006-01-02"), sp.Name)
+				bgpblackholing.TimelineStart.AddDate(0, 0, sp.Day).Format("2006-01-02"), sp.Name)
 		}
 	}
 }
 
-func trailingMedian(series []analysis.DailyPoint, day, window int) int {
+func trailingMedian(series []bgpblackholing.DailyPoint, day, window int) int {
 	vals := make([]int, 0, window)
 	for d := day - window; d < day; d++ {
 		vals = append(vals, series[d].Prefixes)
@@ -66,7 +68,7 @@ func trailingMedian(series []analysis.DailyPoint, day, window int) int {
 }
 
 func annotation(day int) string {
-	for _, sp := range workload.DefaultSpikes() {
+	for _, sp := range bgpblackholing.DefaultSpikes() {
 		if day >= sp.Day && day < sp.Day+sp.Days {
 			return "  <- " + sp.Name
 		}

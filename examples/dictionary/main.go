@@ -7,13 +7,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"bgpblackholing"
-	"bgpblackholing/internal/bgp"
-	"bgpblackholing/internal/irr"
-	"bgpblackholing/internal/topology"
 )
 
 func main() {
@@ -25,7 +23,7 @@ func main() {
 
 	nIRR, nWeb := 0, 0
 	for _, d := range p.Corpus {
-		if d.Source == irr.SourceIRR {
+		if d.Source == bgpblackholing.SourceIRR {
 			nIRR++
 		} else {
 			nWeb++
@@ -38,7 +36,7 @@ func main() {
 	// Score against ground truth: the extractor must find every IRR/web
 	// documented provider and none of the undocumented ones.
 	var truthDoc, truthUndoc, foundDoc, falsePos int
-	inDict := map[bgp.ASN]bool{}
+	inDict := map[bgpblackholing.ASN]bool{}
 	for _, asn := range dict.Providers() {
 		inDict[asn] = true
 	}
@@ -48,12 +46,12 @@ func main() {
 			continue
 		}
 		switch as.Blackholing.Doc {
-		case topology.DocIRR, topology.DocWeb, topology.DocPrivate:
+		case bgpblackholing.DocIRR, bgpblackholing.DocWeb, bgpblackholing.DocPrivate:
 			truthDoc++
 			if inDict[asn] {
 				foundDoc++
 			}
-		case topology.DocNone:
+		case bgpblackholing.DocNone:
 			truthUndoc++
 			if inDict[asn] {
 				falsePos++
@@ -80,7 +78,10 @@ func main() {
 
 	// Extension: replay a week of updates and infer undocumented
 	// communities from their prefix-length profile (Figure 2 method).
-	res := p.RunWindow(843, 850)
+	res, err := p.NewDetector().Run(context.Background(), p.Replay(843, 850))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\ninference extension over one week of updates:\n")
 	fmt.Printf("  %d communities profiled, %d inferred as undocumented blackhole communities\n",
 		len(res.InferStats.Stats), len(res.InferStats.Inferred))

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -15,10 +16,6 @@ import (
 	"time"
 
 	"bgpblackholing"
-	"bgpblackholing/internal/analysis"
-	"bgpblackholing/internal/bgp"
-	"bgpblackholing/internal/dataplane"
-	"bgpblackholing/internal/topology"
 )
 
 func main() {
@@ -26,18 +23,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res := p.RunWindow(843, 850)
-	sim := &dataplane.Simulator{Topo: p.Topo}
+	res, err := p.NewDetector().Run(context.Background(), p.Replay(843, 850))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim := &bgpblackholing.TraceSimulator{Topo: p.Topo}
 	r := rand.New(rand.NewSource(7))
 
 	// Traceroute campaign over the week's events.
-	var ms []dataplane.PathMeasurement
+	var ms []bgpblackholing.PathMeasurement
 	n := 0
 	for _, pr := range res.LastDayResults {
 		if n >= 40 || !pr.Prefix.IsValid() || !pr.Prefix.Addr().Is4() || len(pr.DroppingASes) == 0 {
 			continue
 		}
-		bh := &dataplane.BlackholeState{
+		bh := &bgpblackholing.BlackholeState{
 			Prefix:             pr.Prefix,
 			DroppingASes:       pr.DroppingASes,
 			DroppingIXPMembers: pr.DroppingIXPMembers,
@@ -45,16 +45,16 @@ func main() {
 		ms = append(ms, sim.MeasureEvent(pr.User, pr.Prefix, bh, r, 4)...)
 		n++
 	}
-	sample := analysis.Figure9ab(ms)
-	ip := analysis.NewCDFInts(sample.IPDiffs)
-	as := analysis.NewCDFInts(sample.ASDiffs)
+	sample := bgpblackholing.Figure9ab(ms)
+	ip := bgpblackholing.NewCDFInts(sample.IPDiffs)
+	as := bgpblackholing.NewCDFInts(sample.ASDiffs)
 	fmt.Printf("traceroute campaign: %d events, %d path triples\n", n, ip.Len())
 	fmt.Printf("  IP-level:  mean shortening %.1f hops, %0.f%% of paths shorter during blackholing\n",
 		ip.Mean(), 100*(1-ip.FractionAtOrBelow(0)))
 	fmt.Printf("  AS-level:  mean shortening %.1f AS hops\n", as.Mean())
 
 	// IPFIX week on the biggest blackholing IXP.
-	var x *topology.IXP
+	var x *bgpblackholing.IXP
 	for _, cand := range p.Topo.BlackholingIXPs() {
 		if x == nil || len(cand.Members) > len(x.Members) {
 			x = cand
@@ -63,22 +63,22 @@ func main() {
 	if x == nil {
 		log.Fatal("no blackholing IXP in world")
 	}
-	var victims []dataplane.VictimSpec
+	var victims []bgpblackholing.VictimSpec
 	seen := map[netip.Prefix]bool{}
 	for _, pr := range res.LastDayResults {
 		if drops, ok := pr.DroppingIXPMembers[x.ID]; ok && !seen[pr.Prefix] && len(victims) < 4 {
 			seen[pr.Prefix] = true
-			victims = append(victims, dataplane.VictimSpec{Prefix: pr.Prefix, Honoring: drops})
+			victims = append(victims, bgpblackholing.VictimSpec{Prefix: pr.Prefix, Honoring: drops})
 		}
 	}
 	// One misconfigured victim: blackholed on the control plane only.
-	victims = append(victims, dataplane.VictimSpec{
+	victims = append(victims, bgpblackholing.VictimSpec{
 		Prefix:           netip.MustParsePrefix("31.255.0.9/32"),
 		ControlPlaneOnly: true,
 	})
 
 	start := time.Date(2017, 3, 20, 0, 0, 0, 0, time.UTC)
-	series := dataplane.SimulateIXPTraffic(x, victims, start, 7*24*time.Hour, dataplane.DefaultIPFIXConfig())
+	series := bgpblackholing.SimulateIXPTraffic(x, victims, start, 7*24*time.Hour, bgpblackholing.DefaultIPFIXConfig())
 	fmt.Printf("\nIPFIX week at %s (%d members):\n", x.Name, len(x.Members))
 	for i, s := range series {
 		kind := "blackholed"
@@ -86,12 +86,12 @@ func main() {
 			kind = "misconfigured"
 		}
 		fmt.Printf("  %-18s [%s] drop fraction %.0f%%\n",
-			victims[i].Prefix, kind, 100*dataplane.DropFraction(s))
+			victims[i].Prefix, kind, 100*bgpblackholing.DropFraction(s))
 	}
 
 	// Who keeps forwarding? (§10: 80% of leaked traffic from <10 members.)
 	if len(victims) > 1 {
-		top := dataplane.TopForwarders(x, victims[0], dataplane.DefaultIPFIXConfig())
+		top := bgpblackholing.TopForwarders(x, victims[0], bgpblackholing.DefaultIPFIXConfig())
 		var total, top10 int64
 		for i, c := range top {
 			total += c.Bytes
@@ -106,7 +106,7 @@ func main() {
 				if i >= 3 {
 					break
 				}
-				fmt.Printf("  AS%s\n", bgp.ASN(c.Member).String())
+				fmt.Printf("  AS%s\n", bgpblackholing.ASN(c.Member).String())
 			}
 		}
 	}

@@ -2,28 +2,23 @@
 // collector listens on localhost TCP, a victim's router connects,
 // announces a blackholed /32 (RFC 7999 community + NO_EXPORT), probes
 // the attack twice with the ON/OFF practice, and withdraws. The
-// inference engine consumes the session through a live stream and
+// inference engine consumes the session through a LiveSource and
 // reports the events — §10's near-real-time workflow end to end, over
-// actual sockets.
+// actual sockets and through the same Detector.Run call the batch
+// replay uses.
 //
 //	go run ./examples/livefeed
 package main
 
 import (
-	"errors"
+	"context"
 	"fmt"
-	"io"
 	"log"
 	"net"
 	"net/netip"
 	"time"
 
 	"bgpblackholing"
-	"bgpblackholing/internal/bgp"
-	"bgpblackholing/internal/bgpd"
-	"bgpblackholing/internal/collector"
-	"bgpblackholing/internal/core"
-	"bgpblackholing/internal/stream"
 )
 
 func main() {
@@ -32,7 +27,7 @@ func main() {
 		log.Fatal(err)
 	}
 	// The victim: an IXP member with the RFC 7999 service available.
-	var victimAS bgp.ASN
+	var victimAS bgpblackholing.ASN
 	var victim netip.Prefix
 	for _, x := range p.Topo.BlackholingIXPs() {
 		victimAS = x.Members[0]
@@ -48,66 +43,50 @@ func main() {
 	defer ln.Close()
 	fmt.Printf("collector listening on %s\n", ln.Addr())
 
-	live := stream.NewLive()
-
-	// Collector side: accept the session and publish every update into
-	// the live stream.
+	// Collector side: accept sessions and publish every update into the
+	// live source.
+	live := bgpblackholing.NewLiveSource()
 	go func() {
-		conn, err := ln.Accept()
-		if err != nil {
-			return
-		}
-		sess, err := bgpd.Establish(conn, bgpd.Config{
-			ASN: 64900, BGPID: netip.MustParseAddr("10.255.0.1"), HoldTime: 30 * time.Second,
+		err := live.ServeBGP(ln, bgpblackholing.BGPServerConfig{
+			ASN:           64900,
+			BGPID:         netip.MustParseAddr("10.255.0.1"),
+			HoldTime:      30 * time.Second,
+			CollectorName: "live-rrc",
+			Platform:      bgpblackholing.PlatformRIS,
+			Logf: func(format string, args ...any) {
+				fmt.Printf("collector: "+format+"\n", args...)
+			},
 		})
 		if err != nil {
-			log.Printf("collector handshake: %v", err)
-			live.Close()
-			return
-		}
-		fmt.Printf("collector: session established with AS%s\n", sess.Peer().ASN)
-		for {
-			u, err := sess.ReadUpdate()
-			if err != nil {
-				if !errors.Is(err, io.EOF) && !errors.Is(err, bgpd.ErrNotification) {
-					log.Printf("collector read: %v", err)
-				}
-				live.Close()
-				return
-			}
-			u.PeerAS = sess.Peer().ASN
-			u.PeerIP = netip.MustParseAddr("10.0.0.9")
-			live.Publish(&stream.Elem{Collector: "live-rrc", Platform: collector.PlatformRIS, Update: u})
+			log.Printf("collector listener failed: %v", err)
 		}
 	}()
 
-	// Router side: connect and run two ON/OFF probing rounds.
+	// Router side: connect and run two ON/OFF probing rounds, then hang
+	// up — the listener closes, ServeBGP closes the source, Run drains.
 	go func() {
-		conn, err := net.Dial("tcp", ln.Addr().String())
-		if err != nil {
-			log.Fatal(err)
-		}
-		sess, err := bgpd.Establish(conn, bgpd.Config{
+		sess, err := bgpblackholing.DialBGP(ln.Addr().String(), bgpblackholing.BGPConfig{
 			ASN: victimAS, BGPID: netip.MustParseAddr("10.0.0.9"), HoldTime: 30 * time.Second,
 		})
 		if err != nil {
 			log.Fatalf("router handshake: %v", err)
 		}
+		defer ln.Close()
 		defer sess.Close()
 		for round := 0; round < 2; round++ {
 			fmt.Printf("router: announcing blackhole for %s (round %d)\n", victim, round+1)
-			if err := sess.SendUpdate(&bgp.Update{
+			if err := sess.SendUpdate(&bgpblackholing.Update{
 				Announced:   []netip.Prefix{victim},
-				Origin:      bgp.OriginIGP,
-				Path:        bgp.NewPath(victimAS),
+				Origin:      bgpblackholing.OriginIGP,
+				Path:        bgpblackholing.NewPath(victimAS),
 				NextHop:     netip.MustParseAddr("10.0.0.9"),
-				Communities: []bgp.Community{bgp.CommunityBlackhole, bgp.CommunityNoExport},
+				Communities: []bgpblackholing.Community{bgpblackholing.CommunityBlackhole, bgpblackholing.CommunityNoExport},
 			}); err != nil {
 				log.Fatal(err)
 			}
 			time.Sleep(60 * time.Millisecond)
 			fmt.Println("router: withdrawing (checking whether the attack stopped)")
-			if err := sess.SendUpdate(&bgp.Update{
+			if err := sess.SendUpdate(&bgpblackholing.Update{
 				Withdrawn: []netip.Prefix{victim},
 			}); err != nil {
 				log.Fatal(err)
@@ -116,38 +95,45 @@ func main() {
 		}
 	}()
 
-	// The engine consumes the live stream. The victim's peer IP is in no
-	// IXP LAN here (direct session), so detection rides on the path
-	// check against the IXP's transparent route server... use the
-	// simplest confirmable form: the peer IP placed inside the IXP LAN.
-	engine := core.NewEngine(p.Dict, p.Topo)
+	// The engine consumes the live feed through the standard Run call.
+	// The victim's peer IP is in no IXP LAN here (direct session), so
+	// detection rides on the §4.2 peer-ip check: stamp the peer IP into
+	// the victim's IXP peering LAN, as a PCH collector at the exchange
+	// would see it.
+	x := p.Topo.IXPs[p.Topo.AS(victimAS).IXPs[0]]
 	nUpdates := 0
-	for {
-		el, err := live.Next()
-		if err != nil {
-			break
-		}
-		// Stamp the peer IP into the victim's IXP peering LAN so the
-		// §4.2 peer-ip check confirms the IXP provider, as it would on a
-		// PCH collector at the exchange.
-		x := p.Topo.IXPs[p.Topo.AS(victimAS).IXPs[0]]
+	src := bgpblackholing.MapSource(live, func(el *bgpblackholing.Elem) *bgpblackholing.Elem {
 		el.Update.PeerIP = x.MemberIP(victimAS)
 		el.Update.PeerAS = victimAS
 		nUpdates++
-		engine.Process(el)
+		return el
+	})
+
+	// Events print the moment they close — while the session is live.
+	det := p.NewDetector()
+	printed := make(chan struct{})
+	sub := det.Subscribe()
+	go func() {
+		defer close(printed)
+		for ev := range sub {
+			var provs []string
+			for pr := range ev.Providers {
+				provs = append(provs, pr.String())
+			}
+			fmt.Printf("  EVENT %s  %v  providers=%v\n",
+				ev.Prefix, ev.Duration().Truncate(time.Millisecond), provs)
+		}
+	}()
+
+	res, err := det.Run(context.Background(), src,
+		bgpblackholing.WithFlushAt(time.Now().UTC().Add(time.Hour)))
+	if err != nil {
+		log.Fatal(err)
 	}
-	engine.Flush(time.Now().UTC().Add(time.Hour))
+	<-printed
 
 	fmt.Printf("\nprocessed %d live updates\n", nUpdates)
-	events := engine.Events()
-	fmt.Printf("inferred %d blackholing events:\n", len(events))
-	for _, ev := range events {
-		var provs []string
-		for pr := range ev.Providers {
-			provs = append(provs, pr.String())
-		}
-		fmt.Printf("  %s  %v  providers=%v\n", ev.Prefix, ev.Duration().Truncate(time.Millisecond), provs)
-	}
-	periods := core.Group(events, core.DefaultGroupTimeout)
+	fmt.Printf("inferred %d blackholing events\n", len(res.Events))
+	periods := bgpblackholing.Group(res.Events, bgpblackholing.DefaultGroupTimeout)
 	fmt.Printf("grouped into %d period(s) — the ON/OFF probing practice\n", len(periods))
 }

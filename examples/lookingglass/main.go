@@ -8,16 +8,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/netip"
 
 	"bgpblackholing"
-	"bgpblackholing/internal/bgp"
-	"bgpblackholing/internal/core"
-	"bgpblackholing/internal/lookingglass"
-	"bgpblackholing/internal/stream"
-	"bgpblackholing/internal/workload"
 )
 
 func main() {
@@ -25,29 +21,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	glasses := lookingglass.Deploy(p.Topo)
+	glasses := bgpblackholing.DeployLookingGlasses(p.Topo)
 	fmt.Printf("deployed %d looking glasses\n\n", len(glasses.Glasses()))
 
-	// Replay one day, mirroring each propagation's drop set into the
-	// glasses (their RIBs) while the collectors observe BGP.
+	// Replay one day; the run returns the day's propagation results,
+	// which mirror each blackholing's drop set into the glasses (their
+	// RIBs) while the collectors observe BGP.
 	day := 848
-	engine := core.NewEngine(p.Dict, p.Topo)
-	intents := p.Scenario.IntentsForDay(day)
-	obs, results := workload.Materialize(p.Deploy, p.Topo, intents, p.Opts.Seed)
-	for _, res := range results {
-		glasses.RecordResult(res, nil)
+	res, err := p.NewDetector().Run(context.Background(), p.Replay(day, day+1),
+		bgpblackholing.WithFlushAt(bgpblackholing.TimelineStart.AddDate(0, 0, day+2)))
+	if err != nil {
+		log.Fatal(err)
 	}
-	s := stream.FromObservations(obs)
-	for {
-		el, err := s.Next()
-		if err != nil {
-			break
-		}
-		engine.Process(el)
+	for _, pr := range res.LastDayResults {
+		glasses.RecordResult(pr, nil)
 	}
 	bgpVisible := map[netip.Prefix]bool{}
-	engine.Flush(workload.TimelineStart.AddDate(0, 0, day+2))
-	for _, ev := range engine.Events() {
+	for _, ev := range res.Events {
 		bgpVisible[ev.Prefix] = true
 	}
 
@@ -55,7 +45,8 @@ func main() {
 	// announcement at all.
 	provider := p.Topo.BlackholingProviders()[0]
 	hidden := netip.MustParsePrefix("198.41.128.4/32")
-	glasses.RecordBlackhole(provider.ASN, hidden, []bgp.Community{provider.Blackholing.Communities[0]})
+	glasses.RecordBlackhole(provider.ASN, hidden,
+		[]bgpblackholing.Community{provider.Blackholing.Communities[0]})
 
 	fmt.Printf("BGP-visible blackholed prefixes today: %d\n", len(bgpVisible))
 	fmt.Printf("portal-blackholed prefix %s visible in BGP: %v\n", hidden, bgpVisible[hidden])
@@ -70,7 +61,7 @@ func main() {
 	}
 
 	// Community-capable glasses can enumerate a provider's blackholing.
-	if g.Capability >= lookingglass.CapCommunity {
+	if g.Capability >= bgpblackholing.CapCommunity {
 		list, err := g.QueryCommunity(provider.Blackholing.Communities[0])
 		if err == nil {
 			fmt.Printf("\nAS%d currently null-routes %d prefixes (via community query):\n",

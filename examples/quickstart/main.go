@@ -1,17 +1,18 @@
 // Quickstart: build a small synthetic Internet, replay five days of BGP
 // through the simulated route collectors, and print the blackholing
-// events the inference engine detects.
+// events the inference engine detects — streamed as they close, then
+// summarised from the final result.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
 
 	"bgpblackholing"
-	"bgpblackholing/internal/core"
 )
 
 func main() {
@@ -28,12 +29,28 @@ func main() {
 		len(p.Dict.Entries()), len(p.Dict.Providers()), len(p.Dict.IXPs()))
 
 	// Replay five days near the end of the timeline (high activity).
-	res := p.RunWindow(845, 850)
-	fmt.Printf("replayed days 845-849 (%s to %s): %d blackholing events\n\n",
-		res.WindowStart.Format("2006-01-02"), res.WindowEnd.Format("2006-01-02"), len(res.Events))
+	// Events stream to subscribers the moment they close — a monitoring
+	// loop sees them long before the replay finishes.
+	det := p.NewDetector()
+	closing := det.Stream() // subscribe before Run so no close is missed
+	streamed := make(chan int, 1)
+	go func() {
+		n := 0
+		for range closing {
+			n++
+		}
+		streamed <- n
+	}()
+	res, err := det.Run(context.Background(), p.Replay(845, 850))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replayed days 845-849 (%s to %s): %d blackholing events (%d streamed to the subscriber)\n\n",
+		res.WindowStart.Format("2006-01-02"), res.WindowEnd.Format("2006-01-02"),
+		len(res.Events), <-streamed)
 
 	// Show the five longest events.
-	events := append([]*core.Event(nil), res.Events...)
+	events := append([]*bgpblackholing.Event(nil), res.Events...)
 	sort.Slice(events, func(i, j int) bool { return events[i].Duration() > events[j].Duration() })
 	fmt.Println("longest events:")
 	for i, ev := range events {
@@ -51,7 +68,7 @@ func main() {
 
 	// The ON/OFF probing practice: grouping with the paper's 5-minute
 	// timeout collapses probing bursts into operator-level periods.
-	periods := core.Group(res.Events, core.DefaultGroupTimeout)
+	periods := bgpblackholing.Group(res.Events, bgpblackholing.DefaultGroupTimeout)
 	fmt.Printf("\n%d raw events group into %d blackholing periods (5-minute timeout)\n",
 		len(res.Events), len(periods))
 }

@@ -1,0 +1,168 @@
+package bgpblackholing
+
+import (
+	"io"
+	"time"
+
+	"bgpblackholing/internal/bgp"
+	"bgpblackholing/internal/collector"
+	"bgpblackholing/internal/core"
+	"bgpblackholing/internal/dictionary"
+	"bgpblackholing/internal/irr"
+	"bgpblackholing/internal/stream"
+	"bgpblackholing/internal/topology"
+	"bgpblackholing/internal/workload"
+)
+
+// This file re-exports the stable types of the detection API, so that
+// commands, examples and downstream users never import the internal
+// packages: the root package is the facade. The aliases are identities
+// — a *core.Event and a *bgpblackholing.Event are the same type — so
+// values flow freely between the facade and the building blocks.
+
+// Stable detection types.
+type (
+	// Event is one correlated prefix-level blackholing event: the span
+	// during which at least one BGP peer observed the prefix blackholed.
+	Event = core.Event
+	// Detection is one update classified as a blackholing announcement.
+	Detection = core.Detection
+	// ProviderRef identifies one inferred blackholing provider.
+	ProviderRef = core.ProviderRef
+	// ProviderInference is one provider identified on one update.
+	ProviderInference = core.ProviderInference
+	// Metrics counts what the engine has processed, for live-deployment
+	// observability.
+	Metrics = core.Metrics
+	// Period is a group of events for the same prefix with gaps at most
+	// the grouping timeout (the paper's 5-minute aggregation).
+	Period = core.Period
+	// Update is one BGP UPDATE message in the internal model.
+	Update = bgp.Update
+	// Elem is one stream element: an update plus its collection context.
+	Elem = stream.Elem
+)
+
+// BGP model types.
+type (
+	// ASN is an autonomous system number.
+	ASN = bgp.ASN
+	// Community is an RFC 1997 BGP community.
+	Community = bgp.Community
+	// LargeCommunity is an RFC 8092 BGP large community.
+	LargeCommunity = bgp.LargeCommunity
+	// Path is a BGP AS path (sequences and sets, with prepending).
+	Path = bgp.Path
+	// Origin is the BGP origin attribute.
+	Origin = bgp.Origin
+	// RIBEntry is one routing-table entry from a table dump.
+	RIBEntry = bgp.RIBEntry
+)
+
+// World types surfaced by Pipeline fields and results.
+type (
+	// Platform identifies a collection platform (RIS, Route Views, PCH,
+	// CDN).
+	Platform = collector.Platform
+	// Observation is one update observed at one collector.
+	Observation = collector.Observation
+	// PropagationResult describes how one blackholing announcement
+	// propagated: which ASes and IXP members dropped traffic.
+	PropagationResult = collector.Result
+	// Dictionary is the blackhole-communities dictionary (§4.1).
+	Dictionary = dictionary.Dictionary
+	// DictionaryEntry is one documented community in the dictionary.
+	DictionaryEntry = dictionary.Entry
+	// CommunityStats is the per-community prefix-length profile feeding
+	// the Figure 2 inference.
+	CommunityStats = dictionary.CommunityStats
+	// InferenceResult carries the prefix-length statistics and the
+	// inferred undocumented communities.
+	InferenceResult = dictionary.InferenceResult
+	// Topology is the synthetic AS-level Internet.
+	Topology = topology.Topology
+	// AS is one autonomous system of the topology.
+	AS = topology.AS
+	// IXP is one Internet exchange point of the topology.
+	IXP = topology.IXP
+	// Kind classifies an AS (transit, content, access, ...).
+	Kind = topology.Kind
+	// DocSource records where a blackholing service is documented.
+	DocSource = topology.DocSource
+	// Intent is one scenario blackholing intent (ground truth).
+	Intent = workload.Intent
+	// Spike is one headline DDoS attack of the longitudinal scenario.
+	Spike = workload.Spike
+	// IRRDocument is one collected piece of operator documentation.
+	IRRDocument = irr.Document
+	// IRRSource distinguishes IRR records from operator web pages.
+	IRRSource = irr.Source
+)
+
+// Provider kinds (ProviderRef.Kind).
+const (
+	ProviderAS  = core.ProviderAS
+	ProviderIXP = core.ProviderIXP
+)
+
+// NoPath is the AS-distance value recorded when the provider does not
+// appear on the AS path at all (community bundling, Fig 7c "No-path").
+const NoPath = core.NoPath
+
+// DefaultGroupTimeout is the paper's 5-minute event-grouping window.
+const DefaultGroupTimeout = core.DefaultGroupTimeout
+
+// Collection platforms.
+const (
+	PlatformRIS = collector.PlatformRIS
+	PlatformRV  = collector.PlatformRV
+	PlatformPCH = collector.PlatformPCH
+	PlatformCDN = collector.PlatformCDN
+)
+
+// Well-known communities and origins.
+const (
+	// CommunityBlackhole is the RFC 7999 BLACKHOLE community (65535:666).
+	CommunityBlackhole = bgp.CommunityBlackhole
+	// CommunityNoExport is the RFC 1997 NO_EXPORT well-known community.
+	CommunityNoExport = bgp.CommunityNoExport
+	// OriginIGP is the IGP origin attribute value.
+	OriginIGP = bgp.OriginIGP
+)
+
+// Documentation sources (DocSource values and IRRDocument.Source).
+const (
+	DocNone    = topology.DocNone
+	DocIRR     = topology.DocIRR
+	DocWeb     = topology.DocWeb
+	DocPrivate = topology.DocPrivate
+
+	SourceIRR = irr.SourceIRR
+	SourceWeb = irr.SourceWeb
+)
+
+// TimelineStart is day 0 of the longitudinal scenario (2014-12-01).
+var TimelineStart = workload.TimelineStart
+
+// NewPath builds an AS path of one sequence segment.
+func NewPath(asns ...ASN) Path { return bgp.NewPath(asns...) }
+
+// MakeCommunity packs an (asn, value) pair into an RFC 1997 community.
+func MakeCommunity(asn uint16, value uint16) Community { return bgp.MakeCommunity(asn, value) }
+
+// Group merges per-prefix events with inter-event gaps of at most
+// timeout into periods — the paper's 5-minute aggregation that turns
+// the ON/OFF probing practice into operator-level blackholing periods.
+func Group(events []*Event, timeout time.Duration) []*Period {
+	return core.Group(events, timeout)
+}
+
+// LoadDictionary reads a dictionary saved with Dictionary.Save (bhgen
+// archives one next to its MRT files).
+func LoadDictionary(r io.Reader) (*Dictionary, error) { return dictionary.Load(r) }
+
+// Kinds lists the AS kinds in canonical order.
+func Kinds() []Kind { return topology.Kinds() }
+
+// DefaultSpikes lists the scenario's headline DDoS attacks.
+func DefaultSpikes() []Spike { return workload.DefaultSpikes() }

@@ -184,6 +184,15 @@ type Engine struct {
 	// Clean enables §3 data cleaning (bogon and coarse-prefix removal).
 	Clean bool
 
+	// OnEventClose, when non-nil, is invoked synchronously each time a
+	// prefix-level event closes — from a withdrawal, an implicit
+	// withdrawal, or Flush — before the event is appended to the closed
+	// list. It lets callers stream events incrementally instead of
+	// polling Events() after Flush. The callback runs on the engine's
+	// (single) processing goroutine and must not call back into the
+	// engine.
+	OnEventClose func(*Event)
+
 	metrics Metrics
 
 	// Per-update classification scratch, reused across process calls so
@@ -546,8 +555,7 @@ func (e *Engine) endPeer(key peerKey, t time.Time) bool {
 	}
 	if len(st.activePeers) == 0 {
 		// All peers agree the blackholing is over: close the event.
-		e.closed = append(e.closed, st.event)
-		e.metrics.EventsClosed++
+		e.closeEvent(st.event)
 		st.event = nil
 		st.lastEnd = t
 	}
@@ -568,11 +576,19 @@ func (e *Engine) Flush(t time.Time) {
 		if t.After(st.event.End) {
 			st.event.End = t
 		}
-		e.closed = append(e.closed, st.event)
-		e.metrics.EventsClosed++
+		e.closeEvent(st.event)
 		st.event = nil
 	}
 	e.perPeer = map[peerKey]*peerState{}
+}
+
+// closeEvent records a closed event and notifies the OnEventClose hook.
+func (e *Engine) closeEvent(ev *Event) {
+	if e.OnEventClose != nil {
+		e.OnEventClose(ev)
+	}
+	e.closed = append(e.closed, ev)
+	e.metrics.EventsClosed++
 }
 
 // Run drains a stream through the engine.
@@ -589,8 +605,17 @@ func (e *Engine) Run(s stream.Stream) error {
 	}
 }
 
-// Events returns all closed events in closing order.
-func (e *Engine) Events() []*Event { return e.closed }
+// Events returns all closed events in closing order. The returned slice
+// is a copy: appending to it (or re-slicing and overwriting) cannot
+// corrupt the engine's internal closed list, so callers may take
+// ownership of it freely. The *Event values themselves are shared — the
+// engine never mutates an event after closing it.
+func (e *Engine) Events() []*Event {
+	if len(e.closed) == 0 {
+		return nil
+	}
+	return append(make([]*Event, 0, len(e.closed)), e.closed...)
+}
 
 // ActiveCount reports how many prefixes are currently blackholed.
 func (e *Engine) ActiveCount() int {

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"bgpblackholing/internal/bgp"
+	"bgpblackholing/internal/collector"
+)
+
+// TestEventsReturnsCopy is the aliasing regression test: Events used to
+// return the engine's internal closed slice, so a caller appending to
+// the truncated result could overwrite events the engine closes
+// afterwards (and mutating the slice corrupted engine state).
+func TestEventsReturnsCopy(t *testing.T) {
+	topo, dict := testWorld()
+	e := NewEngine(dict, topo)
+	bh := bgp.MakeCommunity(100, 666)
+
+	e.ProcessUpdate(announce("22.0.1.1", 100, 0, "31.0.0.1/32", []bgp.ASN{100, 200}, bh), "rrc00", collector.PlatformRIS)
+	e.ProcessUpdate(withdraw("22.0.1.1", 100, 10*time.Minute, "31.0.0.1/32"), "rrc00", collector.PlatformRIS)
+	got := e.Events()
+	if len(got) != 1 {
+		t.Fatalf("events = %d, want 1", len(got))
+	}
+	first := got[0]
+
+	// Stomp on the returned slice: truncate and append a poisoned
+	// element into the backing array slot the engine would use next.
+	poison := &Event{}
+	_ = append(got[:0], poison)
+
+	// Close a second event; with the aliasing bug the engine's closed
+	// list would now start with the poisoned element.
+	e.ProcessUpdate(announce("22.0.1.1", 100, 20*time.Minute, "31.0.0.2/32", []bgp.ASN{100, 200}, bh), "rrc00", collector.PlatformRIS)
+	e.ProcessUpdate(withdraw("22.0.1.1", 100, 30*time.Minute, "31.0.0.2/32"), "rrc00", collector.PlatformRIS)
+
+	again := e.Events()
+	if len(again) != 2 {
+		t.Fatalf("events = %d, want 2", len(again))
+	}
+	if again[0] != first {
+		t.Fatal("caller mutation of the Events() slice corrupted engine state")
+	}
+	for _, ev := range again {
+		if ev == poison {
+			t.Fatal("poisoned element reached the engine's closed list")
+		}
+	}
+}
+
+// TestOnEventCloseHook checks the incremental-delivery hook: every
+// closed event — from explicit withdrawals, implicit withdrawals, and
+// Flush — is reported to OnEventClose at close time, in closing order,
+// and the hook sees exactly the events Events() later returns.
+func TestOnEventCloseHook(t *testing.T) {
+	topo, dict := testWorld()
+	e := NewEngine(dict, topo)
+	var hooked []*Event
+	e.OnEventClose = func(ev *Event) { hooked = append(hooked, ev) }
+	bh := bgp.MakeCommunity(100, 666)
+
+	// Explicit withdrawal close.
+	e.ProcessUpdate(announce("22.0.1.1", 100, 0, "31.0.0.1/32", []bgp.ASN{100, 200}, bh), "rrc00", collector.PlatformRIS)
+	e.ProcessUpdate(withdraw("22.0.1.1", 100, 10*time.Minute, "31.0.0.1/32"), "rrc00", collector.PlatformRIS)
+	if len(hooked) != 1 {
+		t.Fatalf("after explicit withdrawal: hook saw %d events, want 1", len(hooked))
+	}
+
+	// Implicit withdrawal close.
+	e.ProcessUpdate(announce("22.0.1.1", 100, 20*time.Minute, "31.0.0.2/32", []bgp.ASN{100, 200}, bh), "rrc00", collector.PlatformRIS)
+	e.ProcessUpdate(announce("22.0.1.1", 100, 25*time.Minute, "31.0.0.2/32", []bgp.ASN{100, 200}), "rrc00", collector.PlatformRIS)
+	if len(hooked) != 2 {
+		t.Fatalf("after implicit withdrawal: hook saw %d events, want 2", len(hooked))
+	}
+
+	// Flush close.
+	e.ProcessUpdate(announce("22.0.1.1", 100, 30*time.Minute, "31.0.0.3/32", []bgp.ASN{100, 200}, bh), "rrc00", collector.PlatformRIS)
+	e.Flush(t0.Add(time.Hour))
+	if len(hooked) != 3 {
+		t.Fatalf("after flush: hook saw %d events, want 3", len(hooked))
+	}
+
+	evs := e.Events()
+	if len(evs) != len(hooked) {
+		t.Fatalf("hook saw %d events, Events() has %d", len(hooked), len(evs))
+	}
+	for i := range evs {
+		if evs[i] != hooked[i] {
+			t.Fatalf("hook order mismatch at %d", i)
+		}
+	}
+}

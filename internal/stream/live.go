@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"errors"
 	"io"
 	"sync"
 	"time"
@@ -9,16 +10,25 @@ import (
 	"bgpblackholing/internal/collector"
 )
 
+// ErrInterrupted is returned by Live.Next after Interrupt: the consumer
+// was unblocked without waiting for the buffer to drain (cancellation),
+// in contrast to the graceful Close/io.EOF path. An interrupt is
+// consumed by the Next call that reports it — the stream itself stays
+// usable, so a later consumer (a fresh run over the same feed) can
+// pick up where the canceled one stopped.
+var ErrInterrupted = errors.New("stream: live stream interrupted")
+
 // Live is a channel-backed stream for near-real-time consumption, the
 // BGPStream "live mode" the paper's §10 measurement campaign runs on:
 // producers push elements as collectors observe them; a consumer drains
 // them through the ordinary Stream interface. Closing the live stream
 // ends the consumer with io.EOF after the buffer drains.
 type Live struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	buf    []*Elem
-	closed bool
+	mu          sync.Mutex
+	cond        *sync.Cond
+	buf         []*Elem
+	closed      bool
+	interrupted bool
 }
 
 // NewLive returns an open live stream.
@@ -53,13 +63,38 @@ func (l *Live) Close() {
 	l.cond.Broadcast()
 }
 
+// Interrupt unblocks the consumer immediately: the next Next call
+// (pending or future) returns ErrInterrupted without draining the
+// buffer, and the interrupt is consumed by that call. Cancellation
+// paths use it to abort a consumer parked in Next; use Close for a
+// graceful drain-then-EOF shutdown instead.
+func (l *Live) Interrupt() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.interrupted = true
+	l.cond.Broadcast()
+}
+
+// ClearInterrupt discards a pending interrupt that no consumer
+// observed — a canceled run that exited without a final Next call
+// leaves one behind; the next run clears it before consuming.
+func (l *Live) ClearInterrupt() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.interrupted = false
+}
+
 // Next blocks until an element is available or the stream is closed and
 // drained.
 func (l *Live) Next() (*Elem, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	for len(l.buf) == 0 && !l.closed {
+	for len(l.buf) == 0 && !l.closed && !l.interrupted {
 		l.cond.Wait()
+	}
+	if l.interrupted {
+		l.interrupted = false
+		return nil, ErrInterrupted
 	}
 	if len(l.buf) == 0 {
 		return nil, io.EOF

@@ -1,0 +1,127 @@
+package stream
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"bgpblackholing/internal/bgp"
+	"bgpblackholing/internal/collector"
+)
+
+// TestLiveConcurrentPublishCloseNext races many producers, a consumer
+// and an asynchronous Close against each other; run with -race (the CI
+// race job does). The consumer must observe every element published
+// before Close won the race, then a clean io.EOF, and never a nil
+// element.
+func TestLiveConcurrentPublishCloseNext(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		l := NewLive()
+		const producers = 8
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					l.Publish(&Elem{Collector: "c", Update: &bgp.Update{Time: time.Unix(int64(p*1000+i), 0)}})
+				}
+			}(p)
+		}
+		// Even rounds close after the last publish (nothing may be
+		// lost); odd rounds race Close against the publishers (late
+		// publishes are dropped, so only an upper bound holds).
+		racingClose := round%2 == 1
+		closed := make(chan struct{})
+		go func() {
+			defer close(closed)
+			if !racingClose {
+				wg.Wait()
+			}
+			l.Close()
+		}()
+
+		n := 0
+		for {
+			e, err := l.Next()
+			if err != nil {
+				if !errors.Is(err, io.EOF) {
+					t.Fatalf("round %d: Next: %v", round, err)
+				}
+				break
+			}
+			if e == nil {
+				t.Fatalf("round %d: nil element without error", round)
+			}
+			n++
+		}
+		wg.Wait()
+		<-closed
+		if n > producers*50 {
+			t.Fatalf("round %d: consumed %d elements, published at most %d", round, n, producers*50)
+		}
+		if !racingClose && n != producers*50 {
+			t.Fatalf("round %d: consumed %d of %d elements", round, n, producers*50)
+		}
+		// Publishing after close is a tolerated no-op.
+		l.Publish(&Elem{Update: &bgp.Update{}})
+		if l.Pending() != 0 {
+			t.Fatalf("round %d: publish after close buffered an element", round)
+		}
+	}
+}
+
+// TestLiveInterruptUnblocksNext parks a consumer in Next and interrupts
+// it: Next must return ErrInterrupted promptly, without waiting for the
+// buffer to drain. The interrupt is consumed by that call — the stream
+// stays usable, so a later run over the same feed can resume it.
+func TestLiveInterruptUnblocksNext(t *testing.T) {
+	l := NewLive()
+	got := make(chan error, 1)
+	go func() {
+		_, err := l.Next()
+		got <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the consumer park
+	l.Interrupt()
+	select {
+	case err := <-got:
+		if !errors.Is(err, ErrInterrupted) {
+			t.Fatalf("Next = %v, want ErrInterrupted", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next did not unblock after Interrupt")
+	}
+
+	// Interrupt preempts buffered elements: cancellation is prompt, not
+	// drain-then-stop.
+	l.Publish(&Elem{Update: &bgp.Update{}})
+	l.Interrupt()
+	if _, err := l.Next(); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("Next after Interrupt = %v, want ErrInterrupted", err)
+	}
+
+	// The interrupt was consumed: the buffered element is still there
+	// for the next consumer (the canceled-run-then-resume pattern).
+	e, err := l.Next()
+	if err != nil || e == nil {
+		t.Fatalf("Next after consumed interrupt = %v, %v; want the buffered element", e, err)
+	}
+}
+
+// TestLiveTickKeepsPlatformContext pins the Tick convenience: the
+// published element carries the collection context and timestamp.
+func TestLiveTickKeepsPlatformContext(t *testing.T) {
+	l := NewLive()
+	at := time.Date(2017, 3, 1, 12, 0, 0, 0, time.UTC)
+	l.Tick("rrc00", collector.PlatformRIS, at)
+	e, err := l.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Collector != "rrc00" || e.Platform != collector.PlatformRIS || !e.Update.Time.Equal(at) {
+		t.Fatalf("tick element = %+v", e)
+	}
+}

@@ -9,6 +9,7 @@ package bgpblackholing
 // BENCH_<date>.json.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -53,6 +54,45 @@ func BenchmarkRunWindowParallel(b *testing.B) {
 				res := p.RunWindow(windowFrom, windowTo)
 				if len(res.Events) == 0 {
 					b.Fatal("no events")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunStreaming replays the same window through the streaming
+// API — Detector.Run over a ReplaySource, with the per-event close hook
+// live and one subscriber draining the event channel. Comparing against
+// the matching BenchmarkRunWindowParallel row bounds the cost of the
+// event-hook indirection and the subscriber fanout (it must be noise:
+// the hot path is materialization + inference, not delivery).
+func BenchmarkRunStreaming(b *testing.B) {
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p := parallelBenchPipeline(b)
+			p.Opts.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				det := p.NewDetector()
+				drained := make(chan int, 1)
+				sub := det.Subscribe()
+				go func() {
+					n := 0
+					for range sub {
+						n++
+					}
+					drained <- n
+				}()
+				res, err := det.Run(context.Background(), p.Replay(windowFrom, windowTo))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n := <-drained; n == 0 || n != len(res.Events) {
+					b.Fatalf("subscriber drained %d events, result has %d", n, len(res.Events))
 				}
 			}
 		})

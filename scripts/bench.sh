@@ -9,14 +9,16 @@
 #
 # The tracked benchmarks are the two named in the perf methodology
 # (README.md): BenchmarkEngineThroughput (single-core inference hot
-# path; watch ns/op and allocs/op) and BenchmarkRunWindowParallel
-# (day-sharded replay; compare workers=1 against the multi-worker rows).
+# path; watch ns/op and allocs/op), BenchmarkRunWindowParallel
+# (day-sharded replay; compare workers=1 against the multi-worker rows)
+# and BenchmarkRunStreaming (the same window through Detector.Run with a
+# live subscriber; must match BenchmarkRunWindowParallel row for row).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-2x}"
-FILTER="${BENCH_FILTER:-BenchmarkEngineThroughput\$|BenchmarkRunWindowParallel}"
+FILTER="${BENCH_FILTER:-BenchmarkEngineThroughput\$|BenchmarkRunWindowParallel|BenchmarkRunStreaming}"
 OUT="BENCH_$(date +%Y%m%d).json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT

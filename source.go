@@ -1,0 +1,445 @@
+package bgpblackholing
+
+import (
+	"context"
+	"errors"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bgpblackholing/internal/collector"
+	"bgpblackholing/internal/mrt"
+	"bgpblackholing/internal/stream"
+	"bgpblackholing/internal/workload"
+)
+
+// Source produces timestamped BGP observations in non-decreasing time
+// order, ending with io.EOF. It is the single feed abstraction the
+// Detector consumes: the batch longitudinal replay (ReplaySource), a
+// near-real-time feed of TCP BGP sessions (LiveSource) and RFC 6396
+// MRT archives (MRTSource) all implement it, and callers can supply
+// their own implementations — any type with a
+// Next() (*Elem, error) method qualifies.
+type Source interface {
+	// Next returns the next element, or nil, io.EOF at end of feed.
+	Next() (*Elem, error)
+}
+
+// runAware is implemented by the built-in sources that need run-scoped
+// cancellation wiring: Detector.Run calls attach before consuming, with
+// the run's context and a channel closed when Run returns.
+type runAware interface {
+	attach(ctx context.Context, runDone <-chan struct{})
+}
+
+// unwrappable lets Run discover a ReplaySource behind the package's
+// element-level combinators (MapSource, FilterSource), so the replay's
+// window metadata, flush default and retained last-week results survive
+// wrapping. MergeSources does not unwrap: a merged feed has no single
+// replay window.
+type unwrappable interface {
+	unwrap() Source
+}
+
+// replayOf walks combinator wrappers down to a ReplaySource, or nil.
+func replayOf(src Source) *ReplaySource {
+	for {
+		if rs, ok := src.(*ReplaySource); ok {
+			return rs
+		}
+		u, ok := src.(unwrappable)
+		if !ok {
+			return nil
+		}
+		src = u.unwrap()
+	}
+}
+
+// ErrSourceClosed is returned by a source whose Close was called while
+// a consumer was still reading.
+var ErrSourceClosed = errors.New("bgpblackholing: source closed")
+
+// ---------------------------------------------------------------------
+// ReplaySource — the batch longitudinal replay (§6).
+
+// dayBatch is one day's materialized replay input: the time-sorted
+// observation stream plus the propagation results retained for
+// data-plane experiments.
+type dayBatch struct {
+	elems   []*stream.Elem
+	results []*collector.Result
+	intents []workload.Intent
+}
+
+// ReplaySource materializes a window of the pipeline's longitudinal
+// scenario as a Source: each day's intents are generated and propagated
+// to the collectors, and the per-day observation batches are delivered
+// in strict day order. Materialization and propagation — the dominant
+// cost — are day-sharded across Options.Workers goroutines feeding the
+// consumer through a ticket-bounded pipeline, so elements stream out
+// identically for every worker count at a given Seed.
+//
+// A ReplaySource is single-consumer and single-use. Close releases the
+// worker goroutines early; it is called automatically when the source
+// is drained or its attached run is canceled.
+type ReplaySource struct {
+	p              *Pipeline
+	fromDay, toDay int
+	windowStart    time.Time
+	windowEnd      time.Time
+	ctx            context.Context
+	started        bool
+	stop           chan struct{}
+	stopOnce       sync.Once
+	wg             sync.WaitGroup
+	batches        []dayBatch
+	ready          []chan struct{}
+	tickets        chan struct{}
+	cur            []*stream.Elem
+	pos            int
+	day            int
+	results        []*collector.Result
+	intents        []workload.Intent
+}
+
+// Replay returns a ReplaySource over days [fromDay, toDay) of the
+// pipeline's scenario, ready to be passed to Detector.Run.
+func (p *Pipeline) Replay(fromDay, toDay int) *ReplaySource {
+	return &ReplaySource{
+		p:           p,
+		fromDay:     fromDay,
+		toDay:       toDay,
+		windowStart: workload.TimelineStart.Add(time.Duration(fromDay) * 24 * time.Hour),
+		windowEnd:   workload.TimelineStart.Add(time.Duration(toDay) * 24 * time.Hour),
+		ctx:         context.Background(),
+		stop:        make(chan struct{}),
+	}
+}
+
+// WindowStart returns the wall-clock start of the replayed window.
+func (r *ReplaySource) WindowStart() time.Time { return r.windowStart }
+
+// WindowEnd returns the wall-clock end of the replayed window.
+func (r *ReplaySource) WindowEnd() time.Time { return r.windowEnd }
+
+// ordinary returns the window's background churn, observed by the
+// dictionary-inference collector before the replay so the Figure 2
+// statistics see ordinary TE communities alongside blackhole ones.
+func (r *ReplaySource) ordinary() []collector.Observation {
+	return r.p.Deploy.OrdinaryUpdates(r.windowStart, 5000)
+}
+
+// attach wires run-scoped cancellation: the workers observe the run
+// context, and the source shuts down when the run returns.
+func (r *ReplaySource) attach(ctx context.Context, runDone <-chan struct{}) {
+	r.ctx = ctx
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-runDone:
+		}
+		r.halt()
+	}()
+}
+
+// halt releases the worker goroutines without waiting for them.
+func (r *ReplaySource) halt() {
+	r.stopOnce.Do(func() { close(r.stop) })
+}
+
+// Close releases the worker goroutines and waits for them to exit. It
+// is safe to call multiple times and after the source is drained.
+func (r *ReplaySource) Close() error {
+	r.halt()
+	r.wg.Wait()
+	return nil
+}
+
+// start launches the day-sharded materialization pipeline: workers
+// claim days through an atomic cursor — but only after acquiring an
+// in-flight ticket, which caps the number of unconsumed batches held in
+// memory and guarantees the merge cursor's day is always being worked
+// on.
+func (r *ReplaySource) start() {
+	r.started = true
+	nDays := r.toDay - r.fromDay
+	if nDays <= 0 {
+		return
+	}
+	workers := r.p.Opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nDays {
+		workers = nDays
+	}
+	r.batches = make([]dayBatch, nDays)
+	r.ready = make([]chan struct{}, nDays)
+	for i := range r.ready {
+		r.ready[i] = make(chan struct{})
+	}
+	inFlight := 2 * workers
+	if inFlight > nDays {
+		inFlight = nDays
+	}
+	r.tickets = make(chan struct{}, inFlight)
+	for i := 0; i < inFlight; i++ {
+		r.tickets <- struct{}{}
+	}
+	fill := func(i int) dayBatch {
+		day := r.fromDay + i
+		intents := r.p.Scenario.IntentsForDay(day)
+		obs, results := workload.Materialize(r.p.Deploy, r.p.Topo, intents, r.p.Opts.Seed)
+		b := dayBatch{elems: stream.SortedElems(obs)}
+		if day >= r.toDay-7 {
+			// Only the window's last week is retained for the data-plane
+			// experiments; earlier days carry nil slices.
+			b.results, b.intents = results, intents
+		}
+		return b
+	}
+	var cursor atomic.Int64
+	done := r.ctx.Done()
+	for w := 0; w < workers; w++ {
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			for {
+				select {
+				case <-r.tickets:
+				case <-r.stop:
+					return
+				case <-done:
+					return
+				}
+				i := int(cursor.Add(1)) - 1
+				if i >= nDays {
+					return
+				}
+				r.batches[i] = fill(i)
+				close(r.ready[i])
+			}
+		}()
+	}
+}
+
+// Next returns the window's observations one element at a time, in the
+// same global order for every worker count.
+func (r *ReplaySource) Next() (*Elem, error) {
+	if !r.started {
+		r.start()
+	}
+	for r.pos >= len(r.cur) {
+		nDays := r.toDay - r.fromDay
+		if r.day >= nDays {
+			r.halt()
+			return nil, io.EOF
+		}
+		select {
+		case <-r.ready[r.day]:
+		case <-r.stop:
+			return nil, r.abortErr()
+		case <-r.ctx.Done():
+			return nil, r.ctx.Err()
+		}
+		b := r.batches[r.day]
+		r.batches[r.day] = dayBatch{} // release the day's memory promptly
+		r.results = append(r.results, b.results...)
+		r.intents = append(r.intents, b.intents...)
+		r.cur, r.pos = b.elems, 0
+		r.day++
+		r.tickets <- struct{}{}
+	}
+	el := r.cur[r.pos]
+	r.pos++
+	return el, nil
+}
+
+func (r *ReplaySource) abortErr() error {
+	if err := r.ctx.Err(); err != nil {
+		return err
+	}
+	return ErrSourceClosed
+}
+
+// takeResults hands the retained last-week propagation results and
+// intents to the run result.
+func (r *ReplaySource) takeResults() ([]*collector.Result, []workload.Intent) {
+	res, in := r.results, r.intents
+	r.results, r.intents = nil, nil
+	return res, in
+}
+
+// ---------------------------------------------------------------------
+// LiveSource — near-real-time feeds (§10).
+
+// LiveSource is a channel-backed Source for near-real-time consumption,
+// the BGPStream "live mode" the paper's §10 measurement campaign runs
+// on: producers push elements as collectors observe them — by hand via
+// Publish, or from real TCP BGP sessions via ServeBGP — and the
+// Detector drains them as they arrive. Close ends the feed gracefully:
+// the consumer sees every pending element, then io.EOF.
+type LiveSource struct {
+	live *stream.Live
+}
+
+// NewLiveSource returns an open live source.
+func NewLiveSource() *LiveSource {
+	return &LiveSource{live: stream.NewLive()}
+}
+
+// Publish appends one element. Publishing to a closed source is a
+// no-op (late producers during shutdown are tolerated).
+func (l *LiveSource) Publish(e *Elem) { l.live.Publish(e) }
+
+// PublishUpdate wraps a raw update in its collection context and
+// publishes it.
+func (l *LiveSource) PublishUpdate(u *Update, collectorName string, platform Platform) {
+	l.live.Publish(&stream.Elem{Collector: collectorName, Platform: platform, Update: u})
+}
+
+// Close ends the feed; pending elements still drain, then the consumer
+// receives io.EOF.
+func (l *LiveSource) Close() { l.live.Close() }
+
+// Pending reports the buffered element count (monitoring hook).
+func (l *LiveSource) Pending() int { return l.live.Pending() }
+
+// Next blocks until an element is available or the source is closed and
+// drained.
+func (l *LiveSource) Next() (*Elem, error) { return l.live.Next() }
+
+// attach unblocks a consumer parked in Next when the run's context is
+// canceled; Detector.Run translates the resulting ErrInterrupted into
+// the context's error. A stale interrupt left behind by a previously
+// canceled run is cleared first, so the new run resumes the feed.
+func (l *LiveSource) attach(ctx context.Context, runDone <-chan struct{}) {
+	l.live.ClearInterrupt()
+	done := ctx.Done()
+	if done == nil {
+		return
+	}
+	go func() {
+		select {
+		case <-done:
+			l.live.Interrupt()
+		case <-runDone:
+		}
+	}()
+}
+
+// ---------------------------------------------------------------------
+// MRTSource — RFC 6396 archives.
+
+// MRTSource replays one MRT archive as a Source: BGP4MP records yield
+// their inner update, RIB records are expanded into one announcement
+// per entry (stamped with the record time). Combine several archives
+// with MergeSources. Close releases the underlying file when the
+// source was opened with OpenMRTSource.
+type MRTSource struct {
+	s stream.Stream
+	c io.Closer
+}
+
+// NewMRTSource replays an MRT archive from r, labeling every element
+// with the given collector name and platform.
+func NewMRTSource(r io.Reader, collectorName string, platform Platform) *MRTSource {
+	return &MRTSource{s: stream.FromMRT(mrt.NewReader(r), collectorName, platform)}
+}
+
+// OpenMRTSource opens an MRT archive file; Close releases it.
+func OpenMRTSource(path, collectorName string, platform Platform) (*MRTSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &MRTSource{s: stream.FromMRT(mrt.NewReader(f), collectorName, platform), c: f}, nil
+}
+
+// Next returns the archive's next update.
+func (m *MRTSource) Next() (*Elem, error) { return m.s.Next() }
+
+// Close releases the underlying file, if any.
+func (m *MRTSource) Close() error {
+	if m.c == nil {
+		return nil
+	}
+	return m.c.Close()
+}
+
+// ---------------------------------------------------------------------
+// Source combinators.
+
+// MergeSources k-way merges time-ordered sources into one time-ordered
+// Source (on equal timestamps the lowest-numbered source wins) —
+// exactly how the paper's pipeline merges per-collector archives into
+// a single BGPStream feed. Cancellation wiring passes through to every
+// child source.
+func MergeSources(srcs ...Source) Source {
+	ss := make([]stream.Stream, len(srcs))
+	for i, s := range srcs {
+		ss[i] = s
+	}
+	return &mergedSource{s: stream.Merge(ss...), srcs: srcs}
+}
+
+type mergedSource struct {
+	s    stream.Stream
+	srcs []Source
+}
+
+func (m *mergedSource) Next() (*Elem, error) { return m.s.Next() }
+
+func (m *mergedSource) attach(ctx context.Context, runDone <-chan struct{}) {
+	for _, s := range m.srcs {
+		if ra, ok := s.(runAware); ok {
+			ra.attach(ctx, runDone)
+		}
+	}
+}
+
+// FilterSource keeps only the elements matching pred. Cancellation
+// wiring passes through to the underlying source.
+func FilterSource(src Source, pred func(*Elem) bool) Source {
+	return MapSource(src, func(e *Elem) *Elem {
+		if pred(e) {
+			return e
+		}
+		return nil
+	})
+}
+
+// MapSource rewrites each element with f before delivery. Returning nil
+// drops the element. Cancellation wiring passes through to the
+// underlying source.
+func MapSource(src Source, f func(*Elem) *Elem) Source {
+	return &mapSource{src: src, f: f}
+}
+
+type mapSource struct {
+	src Source
+	f   func(*Elem) *Elem
+}
+
+func (m *mapSource) Next() (*Elem, error) {
+	for {
+		e, err := m.src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if e = m.f(e); e != nil {
+			return e, nil
+		}
+	}
+}
+
+func (m *mapSource) attach(ctx context.Context, runDone <-chan struct{}) {
+	if ra, ok := m.src.(runAware); ok {
+		ra.attach(ctx, runDone)
+	}
+}
+
+func (m *mapSource) unwrap() Source { return m.src }

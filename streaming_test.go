@@ -1,0 +1,480 @@
+package bgpblackholing
+
+// Tests for the streaming detection API: Run over a Source must match
+// the legacy batch path byte for byte, cancellation must be prompt and
+// leak-free, and closed events must reach subscribers incrementally.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/netip"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// archiveGlob lists a directory's update archives (not table dumps).
+func archiveGlob(dir string) ([]struct{ path, name string }, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.mrt"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches)
+	var out []struct{ path, name string }
+	for _, m := range matches {
+		if strings.HasSuffix(m, ".dump.mrt") {
+			continue
+		}
+		out = append(out, struct{ path, name string }{m, strings.TrimSuffix(filepath.Base(m), ".mrt")})
+	}
+	return out, nil
+}
+
+// TestRunReplayMatchesRunWindow is the API-redesign contract: Run over
+// a ReplaySource produces byte-identical Events and InferStats to the
+// batch RunWindow entry point, for every worker count.
+func TestRunReplayMatchesRunWindow(t *testing.T) {
+	const fromDay, toDay = 820, 850
+	var want string
+	for i, workers := range []int{1, 2, 8} {
+		opts := SmallOptions()
+		opts.Workers = workers
+		p, err := NewPipeline(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy := p.RunWindow(fromDay, toDay)
+		if i == 0 {
+			want = canonicalEvents(legacy)
+			if len(legacy.Events) == 0 {
+				t.Fatal("no events")
+			}
+		}
+		if got := canonicalEvents(legacy); got != want {
+			t.Fatalf("workers=%d: RunWindow checksum %s, want %s", workers, got, want)
+		}
+
+		// A fresh pipeline (the engine accumulates), same window via the
+		// streaming API.
+		p2, err := NewPipeline(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p2.NewDetector().Run(context.Background(), p2.Replay(fromDay, toDay))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := canonicalEvents(res); got != want {
+			t.Fatalf("workers=%d: Run checksum %s, want RunWindow's %s", workers, got, want)
+		}
+		if res.WindowStart != legacy.WindowStart || res.WindowEnd != legacy.WindowEnd {
+			t.Fatalf("window = [%v,%v), want [%v,%v)", res.WindowStart, res.WindowEnd, legacy.WindowStart, legacy.WindowEnd)
+		}
+		if res.Metrics.EventsClosed != uint64(len(res.Events)) {
+			t.Fatalf("metrics.EventsClosed=%d, events=%d", res.Metrics.EventsClosed, len(res.Events))
+		}
+	}
+}
+
+// TestRunCancellation checks cancellation hygiene: a Run aborted
+// mid-window returns promptly with ctx.Err(), reports the partial
+// Metrics accumulated so far, and leaks no materialization workers.
+func TestRunCancellation(t *testing.T) {
+	p := smallPipeline(t)
+	full := p.RunWindow(700, 850)
+	if len(full.Events) < 10 {
+		t.Fatalf("reference window too quiet: %d events", len(full.Events))
+	}
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	det := p.NewDetector()
+	sub := det.Subscribe()
+	go func() {
+		// Cancel as soon as the first event closes — mid-window, with
+		// materialization workers still running ahead of the consumer.
+		if _, ok := <-sub; ok {
+			cancel()
+		}
+		for range sub {
+		}
+	}()
+
+	start := time.Now()
+	res, err := det.Run(ctx, p.Replay(700, 850))
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run = %v, want context.Canceled", err)
+	}
+	if elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	if res == nil {
+		t.Fatal("canceled Run returned nil result")
+	}
+	if res.Metrics.UpdatesProcessed == 0 || len(res.Events) == 0 {
+		t.Fatalf("partial result empty: %d updates, %d events", res.Metrics.UpdatesProcessed, len(res.Events))
+	}
+	// Canceling right after the first closed event must leave most of
+	// the window unprocessed — and must not fabricate flush ends for
+	// events that were still open.
+	if len(res.Events) >= len(full.Events) {
+		t.Fatalf("canceled Run closed %d events, full window closes %d", len(res.Events), len(full.Events))
+	}
+	if res.Metrics.UpdatesProcessed >= full.Metrics.UpdatesProcessed {
+		t.Fatalf("canceled Run processed %d updates, full window processes %d",
+			res.Metrics.UpdatesProcessed, full.Metrics.UpdatesProcessed)
+	}
+
+	// Leak check: every worker and watcher goroutine must exit.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before Run, %d after cancellation", before, runtime.NumGoroutine())
+}
+
+// TestSubscribeDeliversIncrementally checks that subscribers receive
+// events while the run is still in flight — not only after the final
+// flush — and that the subscription sees exactly the events of the
+// final result, in closing order, before the channel closes.
+func TestSubscribeDeliversIncrementally(t *testing.T) {
+	p := smallPipeline(t)
+	det := p.NewDetector()
+	sub := det.Subscribe()
+
+	var running atomic.Bool
+	running.Store(true)
+	type rcv struct {
+		ev    *Event
+		inRun bool
+	}
+	collected := make(chan []rcv, 1)
+	go func() {
+		var got []rcv
+		for ev := range sub {
+			got = append(got, rcv{ev, running.Load()})
+		}
+		collected <- got
+	}()
+
+	res, err := det.Run(context.Background(), p.Replay(845, 850))
+	running.Store(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := <-collected
+
+	if len(got) != len(res.Events) {
+		t.Fatalf("subscriber saw %d events, result has %d", len(got), len(res.Events))
+	}
+	inFlight := 0
+	for i, g := range got {
+		if g.ev != res.Events[i] {
+			t.Fatalf("subscriber order mismatch at %d", i)
+		}
+		if g.inRun {
+			inFlight++
+		}
+	}
+	if inFlight == 0 {
+		t.Fatal("no event was delivered while the run was in flight")
+	}
+}
+
+// TestStreamEarlyBreak ensures breaking out of the iterator view cancels
+// the subscription without stalling the run or leaking the pump.
+func TestStreamEarlyBreak(t *testing.T) {
+	p := smallPipeline(t)
+	det := p.NewDetector()
+	seq := det.Stream()
+
+	done := make(chan *RunResult, 1)
+	go func() {
+		res, err := det.Run(context.Background(), p.Replay(845, 850))
+		if err != nil {
+			t.Error(err)
+		}
+		done <- res
+	}()
+
+	n := 0
+	for range seq {
+		if n++; n >= 3 {
+			break
+		}
+	}
+	select {
+	case res := <-done:
+		if len(res.Events) < n {
+			t.Fatalf("run saw %d events, subscriber consumed %d", len(res.Events), n)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("run stalled after subscriber break")
+	}
+}
+
+// TestLiveSourceEOFAfterDrain checks the LiveSource adapter contract:
+// after Close, buffered elements still drain, then Next reports io.EOF
+// — and a Run over the source terminates cleanly on it.
+func TestLiveSourceEOFAfterDrain(t *testing.T) {
+	p := smallPipeline(t)
+	live := NewLiveSource()
+	obs := p.Deploy.OrdinaryUpdates(TimelineStart, 40)
+	for _, o := range obs {
+		live.Publish(&Elem{Collector: o.Collector.Name, Platform: o.Collector.Platform, Update: o.Update})
+	}
+	live.Close()
+	live.Publish(&Elem{Update: &Update{}}) // dropped: already closed
+
+	for i := 0; i < len(obs); i++ {
+		if _, err := live.Next(); err != nil {
+			t.Fatalf("element %d: %v", i, err)
+		}
+	}
+	if _, err := live.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("after drain: %v, want io.EOF", err)
+	}
+
+	// And through Run: a fresh closed-after-publish source terminates.
+	live2 := NewLiveSource()
+	for _, o := range obs {
+		live2.PublishUpdate(o.Update, o.Collector.Name, o.Collector.Platform)
+	}
+	live2.Close()
+	res, err := p.NewDetector().Run(context.Background(), live2, WithFlushAt(TimelineStart.AddDate(0, 0, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.UpdatesProcessed+res.Metrics.UpdatesCleaned == 0 {
+		t.Fatal("run consumed nothing")
+	}
+}
+
+// TestWithoutFlushHandover checks the feed handover: a Run with
+// WithoutFlush leaves still-active events open, and a second Run on the
+// same Detector ends them with the event spanning both feeds.
+func TestWithoutFlushHandover(t *testing.T) {
+	p := smallPipeline(t)
+	provider := p.Topo.BlackholingProviders()[0]
+	bh := provider.Blackholing.Communities[0]
+	b := provider.Prefixes[0].Addr().As4()
+	victim := netip.PrefixFrom(netip.AddrFrom4([4]byte{b[0], b[1], 9, 9}), 32)
+	peerIP := netip.MustParseAddr("22.7.7.7")
+	at := TimelineStart.AddDate(0, 0, 100)
+
+	det := p.NewDetector()
+
+	// Leg 1: the announcement arrives, the feed ends without a flush.
+	feed1 := NewLiveSource()
+	feed1.PublishUpdate(&Update{
+		Time: at, PeerIP: peerIP, PeerAS: provider.ASN,
+		Announced:   []netip.Prefix{victim},
+		Path:        NewPath(provider.ASN, 1200),
+		Communities: []Community{bh},
+	}, "rrc00", PlatformRIS)
+	feed1.Close()
+	res1, err := det.Run(context.Background(), feed1, WithoutFlush())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1.Events) != 0 || det.ActiveCount() != 1 {
+		t.Fatalf("after leg 1: %d closed, %d active; want 0 closed, 1 active",
+			len(res1.Events), det.ActiveCount())
+	}
+
+	// Leg 2: a later feed carries the withdrawal; the event closes with
+	// a duration spanning both legs.
+	feed2 := NewLiveSource()
+	feed2.PublishUpdate(&Update{
+		Time: at.Add(90 * time.Minute), PeerIP: peerIP, PeerAS: provider.ASN,
+		Withdrawn: []netip.Prefix{victim},
+	}, "rrc00", PlatformRIS)
+	feed2.Close()
+	res2, err := det.Run(context.Background(), feed2, WithFlushAt(at.Add(2*time.Hour)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Events) != 1 || det.ActiveCount() != 0 {
+		t.Fatalf("after leg 2: %d closed, %d active; want 1 closed, 0 active",
+			len(res2.Events), det.ActiveCount())
+	}
+	if d := res2.Events[0].Duration(); d != 90*time.Minute {
+		t.Fatalf("event duration = %v, want 90m spanning both feeds", d)
+	}
+}
+
+// TestWrappedReplayKeepsWindow is the combinator regression: a
+// ReplaySource behind FilterSource/MapSource must still populate the
+// window metadata, default the flush to the window end (not wall-clock
+// now), and hand over the retained last-week propagation results.
+func TestWrappedReplayKeepsWindow(t *testing.T) {
+	p := smallPipeline(t)
+	src := FilterSource(MapSource(p.Replay(848, 850), func(e *Elem) *Elem { return e }),
+		func(*Elem) bool { return true })
+	res, err := p.NewDetector().Run(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := p.NewDetector().Run(context.Background(), p.Replay(848, 850))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WindowStart != bare.WindowStart || res.WindowEnd != bare.WindowEnd {
+		t.Fatalf("wrapped window = [%v,%v), bare = [%v,%v)", res.WindowStart, res.WindowEnd, bare.WindowStart, bare.WindowEnd)
+	}
+	if canonicalEvents(res) != canonicalEvents(bare) {
+		t.Fatal("wrapped replay diverged from bare replay")
+	}
+	if len(res.LastDayResults) == 0 || len(res.LastDayResults) != len(bare.LastDayResults) {
+		t.Fatalf("wrapped LastDayResults = %d, bare = %d", len(res.LastDayResults), len(bare.LastDayResults))
+	}
+	// Flush defaulted to the window end, not time.Now: intents may
+	// withdraw days after the window, but nothing can reach the present.
+	// (The checksum equality above already pins the exact times.)
+	horizon := TimelineStart.AddDate(1, 0, 850)
+	for _, ev := range res.Events {
+		if ev.End.After(horizon) {
+			t.Fatalf("event %s ends %v — flushed at wall clock instead of the window end", ev.Prefix, ev.End)
+		}
+	}
+}
+
+// TestLiveSourceCancelThenResume is the canceled-campaign regression:
+// a Run aborted by ctx must not poison the LiveSource — a later Run on
+// the same feed resumes it and sees the elements published since.
+func TestLiveSourceCancelThenResume(t *testing.T) {
+	p := smallPipeline(t)
+	live := NewLiveSource()
+	det := p.NewDetector()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := det.Run(ctx, live, WithoutFlush())
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // park the consumer in Next
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("first Run = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled Run did not return with the consumer parked in Next")
+	}
+
+	// The feed is still alive: publish, close, and run to completion.
+	obs := p.Deploy.OrdinaryUpdates(TimelineStart, 20)
+	for _, o := range obs {
+		live.PublishUpdate(o.Update, o.Collector.Name, o.Collector.Platform)
+	}
+	live.Close()
+	res, err := det.Run(context.Background(), live, WithFlushAt(TimelineStart.AddDate(0, 0, 1)))
+	if err != nil {
+		t.Fatalf("resumed Run = %v (stale interrupt leaked through)", err)
+	}
+	if res.Metrics.UpdatesProcessed+res.Metrics.UpdatesCleaned == 0 {
+		t.Fatal("resumed Run consumed nothing")
+	}
+}
+
+// TestMergeSourcesCancellation checks that cancellation wiring passes
+// through MergeSources to the child sources: a Run over merged live
+// feeds parked in Next must unblock when the context is canceled.
+func TestMergeSourcesCancellation(t *testing.T) {
+	p := smallPipeline(t)
+	a, b := NewLiveSource(), NewLiveSource()
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := p.NewDetector().Run(ctx, MergeSources(a, b))
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // park the merge priming in Next
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run over MergeSources did not unblock on cancellation")
+	}
+}
+
+// TestRunBusy pins the single-active-run guard.
+func TestRunBusy(t *testing.T) {
+	p := smallPipeline(t)
+	det := p.NewDetector()
+	live := NewLiveSource()
+	started := make(chan struct{})
+	finished := make(chan error, 1)
+	go func() {
+		close(started)
+		_, err := det.Run(context.Background(), live, WithFlushAt(TimelineStart))
+		finished <- err
+	}()
+	<-started
+	time.Sleep(10 * time.Millisecond)
+	if _, err := det.Run(context.Background(), NewLiveSource()); !errors.Is(err, ErrDetectorBusy) {
+		t.Fatalf("second Run = %v, want ErrDetectorBusy", err)
+	}
+	live.Close()
+	if err := <-finished; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMRTSourceRoundTrip archives a window with WriteMRTArchives and
+// re-infers it through MRTSource + MergeSources: the facade-only path
+// every external consumer of bhgen/bhdetect uses.
+func TestMRTSourceRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("archive round trip")
+	}
+	p := smallPipeline(t)
+	dir := t.TempDir()
+	sum, err := p.WriteMRTArchives(dir, 848, 850)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Collectors == 0 || sum.Updates == 0 {
+		t.Fatalf("empty archive summary: %+v", sum)
+	}
+
+	matches, err := archiveGlob(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var srcs []Source
+	for _, m := range matches {
+		src, err := OpenMRTSource(m.path, m.name, PlatformRIS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer src.Close()
+		srcs = append(srcs, src)
+	}
+	res, err := p.NewDetector().Run(context.Background(), MergeSources(srcs...),
+		WithFlushAt(TimelineStart.AddDate(0, 0, 852)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) == 0 {
+		t.Fatal("no events re-inferred from the archives")
+	}
+	if res.Metrics.UpdatesProcessed == 0 {
+		t.Fatal("no updates consumed from the archives")
+	}
+}
