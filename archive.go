@@ -1,7 +1,9 @@
 package bgpblackholing
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -12,6 +14,52 @@ import (
 	"bgpblackholing/internal/stream"
 	"bgpblackholing/internal/workload"
 )
+
+// writeFileAtomic writes path through a temp file in the same
+// directory, fsyncs it, and commits with an atomic rename — the same
+// durability discipline as the event store's segments. A crash at any
+// point leaves either the old file or the complete new one, never a
+// torn archive; fsync and close errors surface instead of being
+// dropped.
+func writeFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(f.Name())
+		}
+	}()
+	if err = write(f); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(f.Name(), path); err != nil {
+		return err
+	}
+	// Make the rename itself durable. Some filesystems refuse fsync on
+	// directories; the rename there is as durable as it gets.
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	if errors.Is(serr, os.ErrInvalid) {
+		serr = nil
+	}
+	return serr
+}
 
 // ArchiveSummary describes one WriteMRTArchives run.
 type ArchiveSummary struct {
@@ -86,15 +134,10 @@ func (p *Pipeline) WriteMRTArchives(dir string, fromDay, toDay int) (*ArchiveSum
 	}
 	sort.Strings(dumpNames)
 	for _, name := range dumpNames {
-		f, err := os.Create(filepath.Join(dir, name+".dump.mrt"))
+		err := writeFileAtomic(filepath.Join(dir, name+".dump.mrt"), func(w io.Writer) error {
+			return collector.WriteTableDump(w, colByName[name], dumpObs[name], windowStart)
+		})
 		if err != nil {
-			return nil, err
-		}
-		if err := collector.WriteTableDump(f, colByName[name], dumpObs[name], windowStart); err != nil {
-			f.Close()
-			return nil, err
-		}
-		if err := f.Close(); err != nil {
 			return nil, err
 		}
 		sum.Dumps++
@@ -120,18 +163,16 @@ func (p *Pipeline) WriteMRTArchives(dir string, fromDay, toDay int) (*ArchiveSum
 		col := colByName[name]
 		// Time-order within the archive.
 		elems := stream.SortedElems(perCollector[name])
-		f, err := os.Create(filepath.Join(dir, name+".mrt"))
-		if err != nil {
-			return nil, err
-		}
-		w := mrt.NewWriter(f)
-		for _, el := range elems {
-			if err := w.WriteUpdate(el.Update, col.IP, col.ASN); err != nil {
-				f.Close()
-				return nil, fmt.Errorf("write %s: %w", name, err)
+		err := writeFileAtomic(filepath.Join(dir, name+".mrt"), func(fw io.Writer) error {
+			w := mrt.NewWriter(fw)
+			for _, el := range elems {
+				if err := w.WriteUpdate(el.Update, col.IP, col.ASN); err != nil {
+					return fmt.Errorf("write %s: %w", name, err)
+				}
 			}
-		}
-		if err := f.Close(); err != nil {
+			return nil
+		})
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -139,29 +180,27 @@ func (p *Pipeline) WriteMRTArchives(dir string, fromDay, toDay int) (*ArchiveSum
 
 	// Dictionary dump: bhdetect (and humans) can load this instead of
 	// re-deriving the corpus.
-	df, err := os.Create(filepath.Join(dir, "dictionary.json"))
+	err := writeFileAtomic(filepath.Join(dir, "dictionary.json"), func(w io.Writer) error {
+		return p.Dict.Save(w)
+	})
 	if err != nil {
-		return nil, err
-	}
-	if err := p.Dict.Save(df); err != nil {
-		df.Close()
-		return nil, err
-	}
-	if err := df.Close(); err != nil {
 		return nil, err
 	}
 
 	// World summary for humans.
-	sf, err := os.Create(filepath.Join(dir, "world.txt"))
+	err = writeFileAtomic(filepath.Join(dir, "world.txt"), func(w io.Writer) error {
+		if _, err := fmt.Fprintf(w, "seed=%d scale=%.3f window=[%d,%d)\n", p.Opts.Seed, p.Opts.TopoScale, fromDay, toDay); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "ASes: %d  IXPs: %d  blackholing providers: %d  blackholing IXPs: %d\n",
+			len(p.Topo.Order), len(p.Topo.IXPs),
+			len(p.Topo.BlackholingProviders()), len(p.Topo.BlackholingIXPs())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "collectors: %d  archived updates: %d\n", sum.Collectors, sum.Updates)
+		return err
+	})
 	if err != nil {
-		return nil, err
-	}
-	fmt.Fprintf(sf, "seed=%d scale=%.3f window=[%d,%d)\n", p.Opts.Seed, p.Opts.TopoScale, fromDay, toDay)
-	fmt.Fprintf(sf, "ASes: %d  IXPs: %d  blackholing providers: %d  blackholing IXPs: %d\n",
-		len(p.Topo.Order), len(p.Topo.IXPs),
-		len(p.Topo.BlackholingProviders()), len(p.Topo.BlackholingIXPs()))
-	fmt.Fprintf(sf, "collectors: %d  archived updates: %d\n", sum.Collectors, sum.Updates)
-	if err := sf.Close(); err != nil {
 		return nil, err
 	}
 	return sum, nil

@@ -35,6 +35,12 @@
 //     sessions via ServeBGP (§10)
 //   - MRTSource         — RFC 6396 archives, merged with MergeSources
 //
+// Closed events persist in a Store (Detector.SinkToStore): a crash-safe
+// segmented log with indexes answering the paper's longitudinal queries
+// — prefix LPM/covered, time range, origin ASN, duration, community —
+// without replaying raw data, served over HTTP by NewStoreHandler /
+// cmd/bhserve and queried by cmd/bhquery.
+//
 // The package is a facade over the internal building blocks, and
 // re-exports the stable types (Event, Detection, Update, Elem, Metrics,
 // ...) so downstream code never imports them directly:
@@ -47,6 +53,7 @@
 //   - internal/collector  — route collectors + announcement propagation
 //   - internal/stream     — BGPStream-like merged update streams
 //   - internal/core       — the inference engine (§4.2)
+//   - internal/store      — the persistent, indexed event store
 //   - internal/workload   — the longitudinal activity scenario (§6)
 //   - internal/dataplane  — traceroute + IXP IPFIX simulation (§10)
 //   - internal/scans      — scans.io-like host profiling (§8)

@@ -1,0 +1,308 @@
+// Command bhquery answers longitudinal blackholing queries from a
+// persistent event store — either by opening a store directory
+// read-only, or by talking to a running bhserve's HTTP API. No BGP
+// data is replayed: answers come from the store's indexes.
+//
+//	bhquery -store ./bhstore                          # all events, table
+//	bhquery -store ./bhstore -prefix 10.1.2.3 -mode lpm
+//	bhquery -store ./bhstore -prefix 10.1.0.0/16 -mode covered -format csv
+//	bhquery -store ./bhstore -origin 65001 -min-duration 1h
+//	bhquery -store ./bhstore -community 3356:9999 -from 2015-03-01T00:00:00Z
+//	bhquery -store ./bhstore -stats
+//	bhquery -store ./bhstore -figure4 -every 30
+//	bhquery -server http://127.0.0.1:8080 -provider AS3356 -format ndjson
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/netip"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+
+	"bgpblackholing"
+)
+
+func main() {
+	var (
+		storeDir = flag.String("store", "", "open this store directory (read-only)")
+		server   = flag.String("server", "", "query a running bhserve at this base URL instead")
+
+		from      = flag.String("from", "", "events overlapping at/after this RFC 3339 time")
+		to        = flag.String("to", "", "events overlapping at/before this RFC 3339 time")
+		prefix    = flag.String("prefix", "", "IP prefix or address to match")
+		mode      = flag.String("mode", "exact", "prefix match mode: exact, lpm, covered, covering")
+		origin    = flag.Uint("origin", 0, "blackholing user (origin) ASN")
+		provider  = flag.String("provider", "", "provider (AS3356 or ixp:4)")
+		community = flag.String("community", "", "dictionary community (high:low)")
+		minDur    = flag.Duration("min-duration", 0, "minimum event duration")
+		maxDur    = flag.Duration("max-duration", 0, "maximum event duration")
+		limit     = flag.Int("limit", 0, "cap returned events (0 = all)")
+
+		format  = flag.String("format", "table", "output: table, json, ndjson, csv")
+		stats   = flag.Bool("stats", false, "print store statistics instead of events")
+		figure4 = flag.Bool("figure4", false, "print the daily longitudinal series (Figure 4)")
+		every   = flag.Int("every", 30, "sample the figure4 series every N days")
+	)
+	flag.Parse()
+	if err := run(&config{
+		storeDir: *storeDir, server: *server,
+		from: *from, to: *to, prefix: *prefix, mode: *mode,
+		origin: uint32(*origin), provider: *provider, community: *community,
+		minDur: *minDur, maxDur: *maxDur, limit: *limit,
+		format: *format, stats: *stats, figure4: *figure4, every: *every,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "bhquery:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	storeDir, server       string
+	from, to, prefix, mode string
+	origin                 uint32
+	provider, community    string
+	minDur, maxDur         time.Duration
+	limit                  int
+	format                 string
+	stats, figure4         bool
+	every                  int
+}
+
+func run(c *config) error {
+	if (c.storeDir == "") == (c.server == "") {
+		return fmt.Errorf("exactly one of -store or -server is required")
+	}
+	if c.server != "" {
+		return runServer(c)
+	}
+	return runDirect(c)
+}
+
+// ---------------------------------------------------------------------
+// Direct mode: open the store read-only.
+
+func runDirect(c *config) error {
+	st, err := bgpblackholing.OpenStoreReadOnly(c.storeDir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	if c.stats {
+		return printJSON(os.Stdout, st.Stats())
+	}
+	if c.figure4 {
+		s := st.Stats()
+		if s.Events == 0 {
+			fmt.Println("(empty store)")
+			return nil
+		}
+		start := s.MinStart.UTC().Truncate(24 * time.Hour)
+		days := int(s.MaxEnd.Sub(start).Hours()/24) + 1
+		series := st.Figure4(start, days)
+		fmt.Print(bgpblackholing.FormatFigure4(series, max(1, c.every)))
+		return nil
+	}
+
+	q, err := buildQuery(c)
+	if err != nil {
+		return err
+	}
+	res := st.Query(q)
+	records := make([]bgpblackholing.EventRecord, len(res.Events))
+	for i, ev := range res.Events {
+		records[i] = bgpblackholing.NewEventRecord(ev)
+	}
+	fmt.Fprintf(os.Stderr, "bhquery: %d matches (%d returned), %d candidates scanned, %s\n",
+		res.Total, len(records), res.Scanned, res.Elapsed)
+	return render(os.Stdout, c.format, records)
+}
+
+func buildQuery(c *config) (bgpblackholing.Query, error) {
+	var q bgpblackholing.Query
+	var err error
+	if c.from != "" {
+		if q.From, err = time.Parse(time.RFC3339, c.from); err != nil {
+			return q, fmt.Errorf("-from: %v", err)
+		}
+	}
+	if c.to != "" {
+		if q.To, err = time.Parse(time.RFC3339, c.to); err != nil {
+			return q, fmt.Errorf("-to: %v", err)
+		}
+	}
+	if c.prefix != "" {
+		p, perr := netip.ParsePrefix(c.prefix)
+		if perr != nil {
+			a, aerr := netip.ParseAddr(c.prefix)
+			if aerr != nil {
+				return q, fmt.Errorf("-prefix: %v", perr)
+			}
+			p = netip.PrefixFrom(a, a.BitLen())
+		}
+		q.Prefix = p
+	}
+	if q.Mode, err = bgpblackholing.ParsePrefixMode(c.mode); err != nil {
+		return q, err
+	}
+	q.OriginASN = bgpblackholing.ASN(c.origin)
+	if c.provider != "" {
+		pr, err := bgpblackholing.ParseProviderRef(c.provider)
+		if err != nil {
+			return q, err
+		}
+		q.Provider = &pr
+	}
+	if c.community != "" {
+		if q.Community, err = bgpblackholing.ParseCommunity(c.community); err != nil {
+			return q, err
+		}
+	}
+	q.MinDuration, q.MaxDuration, q.Limit = c.minDur, c.maxDur, c.limit
+	return q, nil
+}
+
+// ---------------------------------------------------------------------
+// Server mode: talk to bhserve's HTTP API.
+
+func runServer(c *config) error {
+	base := strings.TrimSuffix(c.server, "/")
+	if c.stats {
+		return pipeGET(base + "/stats")
+	}
+	if c.figure4 {
+		return pipeGET(fmt.Sprintf("%s/figure4?every=%d", base, max(1, c.every)))
+	}
+
+	params := url.Values{}
+	set := func(k, v string) {
+		if v != "" {
+			params.Set(k, v)
+		}
+	}
+	set("from", c.from)
+	set("to", c.to)
+	set("prefix", c.prefix)
+	if c.prefix != "" {
+		set("mode", c.mode)
+	}
+	if c.origin != 0 {
+		set("origin", fmt.Sprint(c.origin))
+	}
+	set("provider", c.provider)
+	set("community", c.community)
+	if c.minDur > 0 {
+		set("min_duration", c.minDur.String())
+	}
+	if c.maxDur > 0 {
+		set("max_duration", c.maxDur.String())
+	}
+	if c.limit > 0 {
+		set("limit", fmt.Sprint(c.limit))
+	}
+	if c.format == "ndjson" {
+		set("format", "ndjson")
+		return pipeGET(base + "/events?" + params.Encode())
+	}
+
+	resp, err := http.Get(base + "/events?" + params.Encode())
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var payload struct {
+		Total     int                          `json:"total"`
+		Returned  int                          `json:"returned"`
+		Scanned   int                          `json:"scanned"`
+		ElapsedUS int64                        `json:"elapsed_us"`
+		Events    []bgpblackholing.EventRecord `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bhquery: %d matches (%d returned), %d candidates scanned, %dµs server-side\n",
+		payload.Total, payload.Returned, payload.Scanned, payload.ElapsedUS)
+	return render(os.Stdout, c.format, payload.Events)
+}
+
+// pipeGET streams a response body straight through.
+func pipeGET(u string) error {
+	resp, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+// ---------------------------------------------------------------------
+// Rendering.
+
+func render(w io.Writer, format string, records []bgpblackholing.EventRecord) error {
+	switch format {
+	case "json":
+		return printJSON(w, records)
+	case "ndjson":
+		enc := json.NewEncoder(w)
+		for _, r := range records {
+			if err := enc.Encode(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "csv":
+		fmt.Fprintln(w, "prefix,start,end,duration_seconds,providers,users,communities,platforms,detections")
+		for _, r := range records {
+			var users []string
+			for _, u := range r.Users {
+				users = append(users, fmt.Sprint(u))
+			}
+			fmt.Fprintf(w, "%s,%s,%s,%.0f,%s,%s,%s,%s,%d\n",
+				r.Prefix, r.Start.Format(time.RFC3339), r.End.Format(time.RFC3339),
+				r.DurationSeconds,
+				strings.Join(r.Providers, ";"), strings.Join(users, ";"),
+				strings.Join(r.Communities, ";"), strings.Join(r.Platforms, ";"),
+				r.Detections)
+		}
+		return nil
+	case "table":
+		fmt.Fprintf(w, "%-20s %-20s %-12s %-28s %-6s %s\n",
+			"PREFIX", "START", "DURATION", "PROVIDERS", "USERS", "PLATFORMS")
+		for _, r := range records {
+			dur := (time.Duration(r.DurationSeconds) * time.Second).String()
+			if r.StartUnknown {
+				dur = ">" + dur
+			}
+			provs := strings.Join(r.Providers, ",")
+			if len(provs) > 27 {
+				provs = provs[:24] + "..."
+			}
+			fmt.Fprintf(w, "%-20s %-20s %-12s %-28s %-6d %s\n",
+				r.Prefix, r.Start.Format("2006-01-02T15:04:05Z"), dur,
+				provs, len(r.Users), strings.Join(r.Platforms, ","))
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown format %q (want table, json, ndjson or csv)", format)
+}
+
+func printJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

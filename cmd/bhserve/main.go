@@ -3,14 +3,22 @@
 // received UPDATE through the inference engine, and prints blackholing
 // events as they close — the §10 near-real-time workflow as a daemon.
 //
-// Usage:
+// With -store, every closed event also lands in the persistent event
+// store (crash-safe segmented log, background-compacted), and -http
+// serves the store's longitudinal query API (JSON + NDJSON) while the
+// detector runs. -ingest pre-loads a replay window into the store at
+// startup, so the query API has history before the first live session:
 //
-//	bhserve -listen 127.0.0.1:1790 -scale 0.15 -seed 42
+//	bhserve -listen 127.0.0.1:1790 -scale 0.15 -seed 42 \
+//	        -store ./bhstore -http 127.0.0.1:8080 -ingest 800:810
 //
 // Point any RFC 4271 speaker at it (examples/livefeed shows a client);
 // updates tagged with dictionary communities start events, withdrawals
 // and untagged re-announcements close them. SIGINT flushes open events
-// and exits.
+// and exits. Query the store while it runs:
+//
+//	curl 'http://127.0.0.1:8080/events?prefix=10.1.2.3&mode=lpm'
+//	bhquery -server http://127.0.0.1:8080 -origin 65001
 package main
 
 import (
@@ -18,10 +26,13 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"net/netip"
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"bgpblackholing"
@@ -29,25 +40,61 @@ import (
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:1790", "listen address for BGP sessions")
-		scale  = flag.Float64("scale", 0.15, "world scale (dictionary + topology)")
-		seed   = flag.Int64("seed", 42, "deterministic seed")
-		asn    = flag.Uint("asn", 64900, "local AS number")
+		listen   = flag.String("listen", "127.0.0.1:1790", "listen address for BGP sessions")
+		scale    = flag.Float64("scale", 0.15, "world scale (dictionary + topology)")
+		seed     = flag.Int64("seed", 42, "deterministic seed")
+		asn      = flag.Uint("asn", 64900, "local AS number")
+		storeDir = flag.String("store", "", "persist events to this store directory")
+		httpAddr = flag.String("http", "", "serve the store's query API on this address (requires -store)")
+		ingest   = flag.String("ingest", "", "replay days FROM:TO into the store at startup (requires -store)")
 	)
 	flag.Parse()
-	if err := run(*listen, *scale, *seed, uint32(*asn)); err != nil {
+	if err := run(*listen, *scale, *seed, uint32(*asn), *storeDir, *httpAddr, *ingest); err != nil {
 		fmt.Fprintln(os.Stderr, "bhserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, scale float64, seed int64, asn uint32) error {
+func run(listen string, scale float64, seed int64, asn uint32, storeDir, httpAddr, ingest string) error {
+	if storeDir == "" && (httpAddr != "" || ingest != "") {
+		return fmt.Errorf("-http and -ingest require -store")
+	}
 	p, err := bgpblackholing.NewPipeline(bgpblackholing.Options{
 		Seed: seed, TopoScale: scale, CollectorScale: scale, EventScale: scale, Days: 850,
 	})
 	if err != nil {
 		return err
 	}
+
+	// The store outlives individual runs; sealed segments compact in
+	// the background.
+	var st *bgpblackholing.Store
+	if storeDir != "" {
+		st, err = bgpblackholing.OpenStoreWith(storeDir, bgpblackholing.StoreOptions{CompactSegments: 8})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		fmt.Printf("bhserve: store %s holds %d events\n", storeDir, st.Len())
+	}
+
+	if ingest != "" {
+		if err := ingestWindow(p, st, ingest); err != nil {
+			return fmt.Errorf("ingest: %w", err)
+		}
+	}
+
+	if httpAddr != "" {
+		hln, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: bgpblackholing.NewStoreHandler(st, p)}
+		go srv.Serve(hln)
+		defer srv.Close()
+		fmt.Printf("bhserve: query API on http://%s (events, stats, figure4, figure8, table3, table4)\n", hln.Addr())
+	}
+
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
@@ -67,8 +114,13 @@ func run(listen string, scale float64, seed int64, asn uint32) error {
 		serveRes <- live.ServeBGP(ln, serveCfg(asn))
 	}()
 
-	// Events print the moment they close, not at shutdown.
+	// Events print the moment they close, not at shutdown; with a store
+	// they persist through the sink the same moment.
 	det := p.NewDetector()
+	waitSink := func() error { return nil }
+	if st != nil {
+		waitSink = det.SinkToStore(st)
+	}
 	printed := make(chan struct{})
 	sub := det.Subscribe()
 	go func() {
@@ -79,8 +131,8 @@ func run(listen string, scale float64, seed int64, asn uint32) error {
 	}()
 
 	// SIGINT: stop accepting and close the feed; Run drains what is
-	// buffered, flushes open events (they stream to the subscriber) and
-	// returns.
+	// buffered, flushes open events (they stream to the subscriber and
+	// the store sink) and returns.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	go func() {
@@ -95,9 +147,17 @@ func run(listen string, scale float64, seed int64, asn uint32) error {
 		return err
 	}
 	<-printed
+	if err := waitSink(); err != nil {
+		return fmt.Errorf("store sink: %w", err)
+	}
 	m := res.Metrics
 	fmt.Printf("bhserve: %d updates (%d cleaned), %d detections, %d events (%d explicit / %d implicit ends)\n",
 		m.UpdatesProcessed, m.UpdatesCleaned, m.Detections, m.EventsClosed, m.ExplicitEnds, m.ImplicitEnds)
+	if st != nil {
+		s := st.Stats()
+		fmt.Printf("bhserve: store now holds %d events over %d prefixes in %d segments (%d bytes)\n",
+			s.Events, s.Prefixes, s.Segments, s.Bytes)
+	}
 	// A listener that died on its own (not via the SIGINT ln.Close) is a
 	// failed run. ServeBGP may still be waiting on sessions lingering
 	// past SIGINT, so don't block on it for long.
@@ -108,6 +168,32 @@ func run(listen string, scale float64, seed int64, asn uint32) error {
 		}
 	case <-time.After(time.Second):
 	}
+	return nil
+}
+
+// ingestWindow replays days "FROM:TO" of the scenario into the store,
+// so the query API starts with longitudinal history.
+func ingestWindow(p *bgpblackholing.Pipeline, st *bgpblackholing.Store, window string) error {
+	head, tail, ok := strings.Cut(window, ":")
+	if !ok {
+		return fmt.Errorf("bad window %q (want FROM:TO)", window)
+	}
+	from, err1 := strconv.Atoi(head)
+	to, err2 := strconv.Atoi(tail)
+	if err1 != nil || err2 != nil || to <= from {
+		return fmt.Errorf("bad window %q (want FROM:TO with TO > FROM)", window)
+	}
+	fmt.Printf("bhserve: ingesting replay days [%d,%d) into the store\n", from, to)
+	det := p.NewDetector()
+	wait := det.SinkToStore(st)
+	res, err := det.Run(context.Background(), p.Replay(from, to))
+	if err != nil {
+		return err
+	}
+	if err := wait(); err != nil {
+		return err
+	}
+	fmt.Printf("bhserve: ingested %d events\n", len(res.Events))
 	return nil
 }
 

@@ -368,6 +368,36 @@ func (d *Detector) Subscribe() <-chan *Event {
 	return d.subscribe().ch
 }
 
+// SinkToStore attaches st as a persistence sink for the current (or
+// next) Run: every event is appended to the store in closing order the
+// moment it closes, through the same unbounded-queue plumbing as
+// Subscribe — a slow disk never blocks or reorders inference. The
+// returned wait function blocks until the Run has returned, every
+// closed event has been appended, and the store has been synced; it
+// returns the first append or sync error. Call it after Run:
+//
+//	wait := det.SinkToStore(st)
+//	res, err := det.Run(ctx, src)
+//	if err := wait(); err != nil { ... }
+func (d *Detector) SinkToStore(st *Store) (wait func() error) {
+	s := d.subscribe()
+	done := make(chan error, 1)
+	go func() {
+		var sinkErr error
+		for ev := range s.ch {
+			if sinkErr != nil {
+				continue // drain so Run's finish isn't blocked
+			}
+			sinkErr = st.Append(ev)
+		}
+		if sinkErr == nil {
+			sinkErr = st.Sync()
+		}
+		done <- sinkErr
+	}()
+	return func() error { return <-done }
+}
+
 // Stream returns the subscription as an iterator: ranging over it
 // yields each event as it closes, ending when the current (or next)
 // Run returns. Breaking out of the range cancels the subscription.

@@ -1,0 +1,310 @@
+package bgpblackholing
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/netip"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// NewStoreHandler serves a Store over HTTP: longitudinal blackholing
+// queries as JSON or NDJSON, plus store-backed reproductions of the
+// paper's aggregations. p may be nil; the table endpoints, which need
+// the deployment and topology, then answer 503.
+//
+// Routes (all GET):
+//
+//	/healthz                       liveness + event count
+//	/stats                         store shape (segments, span, indexes)
+//	/events                        query; filters via parameters:
+//	    from, to          RFC 3339 timestamps (span overlap)
+//	    prefix            IP prefix or address
+//	    mode              exact | lpm | covered | covering
+//	    origin            blackholing user ASN
+//	    provider          AS3356 | ixp:4
+//	    community         dictionary community ("3356:9999")
+//	    min_duration,
+//	    max_duration      Go durations ("90s", "1h30m")
+//	    limit             max events returned (JSON responses default
+//	                      to 10000; pass an explicit limit to raise it)
+//	    format            json (default) | ndjson (streaming, uncapped;
+//	                      also via the Accept: application/x-ndjson
+//	                      header)
+//	/figure4?start=&days=&every=   daily longitudinal series
+//	/figure8?timeout=              duration distributions (raw/grouped)
+//	/table3                        visibility overview (needs pipeline)
+//	/table4                        visibility by provider type (needs pipeline)
+func NewStoreHandler(st *Store, p *Pipeline) http.Handler {
+	h := &storeHandler{st: st, p: p}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", h.healthz)
+	mux.HandleFunc("GET /stats", h.stats)
+	mux.HandleFunc("GET /events", h.events)
+	mux.HandleFunc("GET /figure4", h.figure4)
+	mux.HandleFunc("GET /figure8", h.figure8)
+	mux.HandleFunc("GET /table3", h.table3)
+	mux.HandleFunc("GET /table4", h.table4)
+	return mux
+}
+
+type storeHandler struct {
+	st *Store
+	p  *Pipeline
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (h *storeHandler) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"status": "ok", "events": h.st.Len()})
+}
+
+func (h *storeHandler) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, h.st.Stats())
+}
+
+// parseQuery builds a Query from request parameters.
+func parseQuery(r *http.Request) (Query, error) {
+	var q Query
+	get := r.URL.Query().Get
+	if s := get("from"); s != "" {
+		t, err := time.Parse(time.RFC3339, s)
+		if err != nil {
+			return q, fmt.Errorf("from: %v", err)
+		}
+		q.From = t
+	}
+	if s := get("to"); s != "" {
+		t, err := time.Parse(time.RFC3339, s)
+		if err != nil {
+			return q, fmt.Errorf("to: %v", err)
+		}
+		q.To = t
+	}
+	if s := get("prefix"); s != "" {
+		p, err := netip.ParsePrefix(s)
+		if err != nil {
+			// A bare address means its host prefix — the point-lookup shape.
+			a, aerr := netip.ParseAddr(s)
+			if aerr != nil {
+				return q, fmt.Errorf("prefix: %v", err)
+			}
+			p = netip.PrefixFrom(a, a.BitLen())
+		}
+		q.Prefix = p
+	}
+	if s := get("mode"); s != "" {
+		m, err := ParsePrefixMode(s)
+		if err != nil {
+			return q, err
+		}
+		q.Mode = m
+	}
+	if s := get("origin"); s != "" {
+		asn, err := strconv.ParseUint(s, 10, 32)
+		if err != nil {
+			return q, fmt.Errorf("origin: %v", err)
+		}
+		q.OriginASN = ASN(asn)
+	}
+	if s := get("provider"); s != "" {
+		pr, err := ParseProviderRef(s)
+		if err != nil {
+			return q, err
+		}
+		q.Provider = &pr
+	}
+	if s := get("community"); s != "" {
+		c, err := ParseCommunity(s)
+		if err != nil {
+			return q, err
+		}
+		q.Community = c
+	}
+	if s := get("min_duration"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return q, fmt.Errorf("min_duration: %v", err)
+		}
+		q.MinDuration = d
+	}
+	if s := get("max_duration"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return q, fmt.Errorf("max_duration: %v", err)
+		}
+		q.MaxDuration = d
+	}
+	if s := get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			return q, fmt.Errorf("limit: bad value %q", s)
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+// defaultJSONLimit caps an /events JSON response when the client sets
+// no limit: the whole result materializes as one indented document, so
+// an uncapped query over a production-scale store would balloon the
+// server. NDJSON has no default cap — records stream one per line;
+// pass an explicit limit to raise the JSON cap.
+const defaultJSONLimit = 10000
+
+func (h *storeHandler) events(w http.ResponseWriter, r *http.Request) {
+	q, err := parseQuery(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ndjson := r.URL.Query().Get("format") == "ndjson" ||
+		strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+	if !ndjson && q.Limit <= 0 {
+		q.Limit = defaultJSONLimit
+	}
+	res := h.st.Query(q)
+	if ndjson {
+		h.streamNDJSON(w, res)
+		return
+	}
+	records := make([]EventRecord, len(res.Events))
+	for i, ev := range res.Events {
+		records[i] = NewEventRecord(ev)
+	}
+	writeJSON(w, map[string]any{
+		"total":      res.Total,
+		"returned":   len(records),
+		"scanned":    res.Scanned,
+		"elapsed_us": res.Elapsed.Microseconds(),
+		"events":     records,
+	})
+}
+
+// streamNDJSON writes one event record per line, flushing periodically
+// so long results stream incrementally.
+func (h *storeHandler) streamNDJSON(w http.ResponseWriter, res *QueryResult) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for i, ev := range res.Events {
+		if err := enc.Encode(NewEventRecord(ev)); err != nil {
+			return // client went away
+		}
+		if flusher != nil && i%256 == 255 {
+			flusher.Flush()
+		}
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+func (h *storeHandler) figure4(w http.ResponseWriter, r *http.Request) {
+	get := r.URL.Query().Get
+	stats := h.st.Stats()
+	start := stats.MinStart
+	if s := get("start"); s != "" {
+		t, err := time.Parse(time.RFC3339, s)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "start: %v", err)
+			return
+		}
+		start = t
+	}
+	if start.IsZero() {
+		writeJSON(w, []DailyPoint{})
+		return
+	}
+	start = start.UTC().Truncate(24 * time.Hour)
+	days := int(stats.MaxEnd.Sub(start).Hours()/24) + 1
+	if s := get("days"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			httpError(w, http.StatusBadRequest, "days: bad value %q", s)
+			return
+		}
+		days = n
+	}
+	// A start past the store's span yields nothing; a start far before
+	// it would make the daily series explode — both are caller errors.
+	const maxFigure4Days = 36600
+	if days <= 0 {
+		writeJSON(w, []DailyPoint{})
+		return
+	}
+	if days > maxFigure4Days {
+		httpError(w, http.StatusBadRequest, "series of %d days exceeds the %d-day cap; pass an explicit start and days", days, maxFigure4Days)
+		return
+	}
+	series := h.st.Figure4(start, days)
+	if s := get("every"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			httpError(w, http.StatusBadRequest, "every: bad value %q", s)
+			return
+		}
+		var sampled []DailyPoint
+		for i := 0; i < len(series); i += n {
+			sampled = append(sampled, series[i])
+		}
+		series = sampled
+	}
+	writeJSON(w, series)
+}
+
+func (h *storeHandler) figure8(w http.ResponseWriter, r *http.Request) {
+	timeout := DefaultGroupTimeout
+	if s := r.URL.Query().Get("timeout"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "timeout: %v", err)
+			return
+		}
+		timeout = d
+	}
+	ungrouped, grouped := h.st.Figure8(timeout)
+	toSecs := func(ds []time.Duration) []float64 {
+		out := make([]float64, len(ds))
+		for i, d := range ds {
+			out[i] = d.Seconds()
+		}
+		return out
+	}
+	writeJSON(w, map[string]any{
+		"timeout_seconds":   timeout.Seconds(),
+		"ungrouped_seconds": toSecs(ungrouped),
+		"grouped_seconds":   toSecs(grouped),
+		"ungrouped_events":  len(ungrouped),
+		"grouped_periods":   len(grouped),
+	})
+}
+
+func (h *storeHandler) table3(w http.ResponseWriter, r *http.Request) {
+	if h.p == nil {
+		httpError(w, http.StatusServiceUnavailable, "table3 needs the pipeline's deployment; run the server with a world")
+		return
+	}
+	writeJSON(w, h.p.Table3FromStore(h.st))
+}
+
+func (h *storeHandler) table4(w http.ResponseWriter, r *http.Request) {
+	if h.p == nil {
+		httpError(w, http.StatusServiceUnavailable, "table4 needs the pipeline's topology; run the server with a world")
+		return
+	}
+	writeJSON(w, h.p.Table4FromStore(h.st))
+}

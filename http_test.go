@@ -1,0 +1,202 @@
+package bgpblackholing
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+)
+
+// storeFixture builds a store with three hand-made events: two /32s
+// under 10.1.0.0/16 (one long, one short) and one unrelated /24.
+func storeFixture(t *testing.T) *Store {
+	t.Helper()
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	base := time.Date(2015, 3, 1, 12, 0, 0, 0, time.UTC)
+	mk := func(prefix string, start time.Time, dur time.Duration, user ASN) *Event {
+		pr := ProviderRef{Kind: ProviderAS, ASN: 3356}
+		return &Event{
+			Prefix:      netip.MustParsePrefix(prefix),
+			Start:       start,
+			End:         start.Add(dur),
+			Providers:   map[ProviderRef]bool{pr: true},
+			Users:       map[ASN]bool{user: true},
+			Communities: map[Community]bool{MakeCommunity(3356, 9999): true},
+			Platforms:   map[Platform]bool{PlatformRIS: true},
+			Peers:       map[netip.Addr]bool{netip.MustParseAddr("192.0.2.1"): true},
+			Detections:  2,
+		}
+	}
+	err = st.Append(
+		mk("10.1.2.3/32", base, 3*time.Hour, 65001),
+		mk("10.1.9.9/32", base.Add(24*time.Hour), 5*time.Minute, 65002),
+		mk("172.16.5.0/24", base.Add(48*time.Hour), time.Hour, 65003),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decode: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestStoreHTTPAPI(t *testing.T) {
+	st := storeFixture(t)
+	srv := httptest.NewServer(NewStoreHandler(st, nil))
+	defer srv.Close()
+
+	var health struct {
+		Status string `json:"status"`
+		Events int    `json:"events"`
+	}
+	getJSON(t, srv.URL+"/healthz", &health)
+	if health.Status != "ok" || health.Events != 3 {
+		t.Fatalf("healthz: %+v", health)
+	}
+
+	var stats StoreStats
+	getJSON(t, srv.URL+"/stats", &stats)
+	if stats.Events != 3 || stats.Prefixes != 3 {
+		t.Fatalf("stats: %+v", stats)
+	}
+
+	type eventsResp struct {
+		Total    int           `json:"total"`
+		Returned int           `json:"returned"`
+		Scanned  int           `json:"scanned"`
+		Events   []EventRecord `json:"events"`
+	}
+
+	// Covered query: the two /32s inside 10.1.0.0/16, not the /24.
+	var covered eventsResp
+	getJSON(t, srv.URL+"/events?prefix=10.1.0.0/16&mode=covered", &covered)
+	if covered.Total != 2 || len(covered.Events) != 2 {
+		t.Fatalf("covered: %+v", covered)
+	}
+
+	// LPM point lookup by bare address.
+	var lpm eventsResp
+	getJSON(t, srv.URL+"/events?prefix=10.1.2.3&mode=lpm", &lpm)
+	if lpm.Total != 1 || lpm.Events[0].Prefix != "10.1.2.3/32" {
+		t.Fatalf("lpm: %+v", lpm)
+	}
+
+	// Origin + duration + time filters.
+	var dur eventsResp
+	getJSON(t, srv.URL+"/events?origin=65001&min_duration=1h", &dur)
+	if dur.Total != 1 || dur.Events[0].Users[0] != 65001 {
+		t.Fatalf("origin+min_duration: %+v", dur)
+	}
+	var window eventsResp
+	getJSON(t, srv.URL+"/events?from=2015-03-02T00:00:00Z&to=2015-03-02T23:59:00Z", &window)
+	if window.Total != 1 || window.Events[0].Prefix != "10.1.9.9/32" {
+		t.Fatalf("time window: %+v", window)
+	}
+
+	// Community + provider filters.
+	var comm eventsResp
+	getJSON(t, srv.URL+"/events?community=3356:9999&provider=AS3356", &comm)
+	if comm.Total != 3 {
+		t.Fatalf("community+provider: %+v", comm)
+	}
+
+	// NDJSON streaming: one record per line.
+	resp, err := http.Get(srv.URL + "/events?format=ndjson")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("ndjson content type: %s", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("ndjson: %d lines, want 3: %q", len(lines), body)
+	}
+	var rec EventRecord
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil || rec.Prefix == "" {
+		t.Fatalf("ndjson line 0: %v %q", err, lines[0])
+	}
+
+	// Aggregations.
+	var series []DailyPoint
+	getJSON(t, srv.URL+"/figure4?every=1", &series)
+	if len(series) < 3 {
+		t.Fatalf("figure4: %d points", len(series))
+	}
+	var f8 struct {
+		UngroupedEvents int `json:"ungrouped_events"`
+		GroupedPeriods  int `json:"grouped_periods"`
+	}
+	getJSON(t, srv.URL+"/figure8?timeout=5m", &f8)
+	if f8.UngroupedEvents != 3 || f8.GroupedPeriods != 3 {
+		t.Fatalf("figure8: %+v", f8)
+	}
+
+	// Figure4 bounds: a start past the store's span yields an empty
+	// series; a start far before it trips the day cap.
+	var empty []DailyPoint
+	getJSON(t, srv.URL+"/figure4?start=2030-01-01T00:00:00Z", &empty)
+	if len(empty) != 0 {
+		t.Fatalf("figure4 past the span: %d points, want 0", len(empty))
+	}
+	if resp := getJSON(t, srv.URL+"/figure4?start=1000-01-01T00:00:00Z", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("figure4 far-past start: status %d, want 400", resp.StatusCode)
+	}
+
+	// Errors: bad parameter, unknown route, missing pipeline.
+	if resp := getJSON(t, srv.URL+"/events?from=yesterday", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad from: status %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, srv.URL+"/events?prefix=not-an-ip", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad prefix: status %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, srv.URL+"/table3", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("table3 without pipeline: status %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, srv.URL+"/nope", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown route: status %d", resp.StatusCode)
+	}
+}
+
+func TestStoreHTTPTablesWithPipeline(t *testing.T) {
+	p, err := NewPipeline(SmallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := storeFixture(t)
+	srv := httptest.NewServer(NewStoreHandler(st, p))
+	defer srv.Close()
+	var rows3 []Table3Row
+	getJSON(t, srv.URL+"/table3", &rows3)
+	if len(rows3) == 0 {
+		t.Fatal("table3: no rows")
+	}
+	var rows4 []Table4Row
+	getJSON(t, srv.URL+"/table4", &rows4)
+	if len(rows4) == 0 {
+		t.Fatal("table4: no rows")
+	}
+}

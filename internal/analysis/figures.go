@@ -2,7 +2,9 @@ package analysis
 
 import (
 	"fmt"
+	"iter"
 	"net/netip"
+	"slices"
 	"sort"
 	"time"
 
@@ -119,6 +121,16 @@ type DailyPoint struct {
 // prefixes over the timeline: an event contributes to every day its
 // span overlaps.
 func Figure4(events []*core.Event, start time.Time, days int) []DailyPoint {
+	return Figure4Seq(slices.Values(events), start, days)
+}
+
+// Figure4Seq is Figure4 over an event sequence — the store-backed
+// variant: it runs in one pass without materializing the event slice,
+// so a persisted longitudinal store can stream straight into it.
+func Figure4Seq(events iter.Seq[*core.Event], start time.Time, days int) []DailyPoint {
+	if days <= 0 {
+		return nil
+	}
 	provs := make([]map[string]bool, days)
 	users := make([]map[bgp.ASN]bool, days)
 	prefixes := make([]map[netip.Prefix]bool, days)
@@ -127,7 +139,7 @@ func Figure4(events []*core.Event, start time.Time, days int) []DailyPoint {
 		users[i] = map[bgp.ASN]bool{}
 		prefixes[i] = map[netip.Prefix]bool{}
 	}
-	for _, ev := range events {
+	for ev := range events {
 		d0 := int(ev.Start.Sub(start).Hours() / 24)
 		d1 := int(ev.End.Sub(start).Hours() / 24)
 		if d0 < 0 {
@@ -296,6 +308,13 @@ func Figure7c(events []*core.Event) *Histogram {
 		}
 	}
 	return NewHistogram(samples)
+}
+
+// Figure8Seq is Figure8 over an event sequence — the store-backed
+// variant. Grouping inherently needs the full event set, so the
+// sequence is collected once internally.
+func Figure8Seq(events iter.Seq[*core.Event], timeout time.Duration) (ungrouped, grouped []time.Duration) {
+	return Figure8(slices.Collect(events), timeout)
 }
 
 // Figure8 computes the two duration distributions of Figure 8a: raw

@@ -2,7 +2,9 @@ package analysis
 
 import (
 	"fmt"
+	"iter"
 	"net/netip"
+	"slices"
 
 	"bgpblackholing/internal/bgp"
 	"bgpblackholing/internal/collector"
@@ -169,6 +171,13 @@ type Table3Row struct {
 // its collectors — when deploy is non-nil; otherwise it falls back to
 // the per-event DirectProviders evidence.
 func Table3(events []*core.Event, deploy *collector.Deployment) []Table3Row {
+	return Table3Seq(slices.Values(events), deploy)
+}
+
+// Table3Seq is Table3 over an event sequence — the store-backed
+// variant: a persisted longitudinal store streams straight into it
+// without materializing the event slice.
+func Table3Seq(events iter.Seq[*core.Event], deploy *collector.Deployment) []Table3Row {
 	platforms := collector.Platforms()
 	type sets struct {
 		providers map[core.ProviderRef]bool
@@ -197,7 +206,7 @@ func Table3(events []*core.Event, deploy *collector.Deployment) []Table3Row {
 		return deploy.HasDirectFeed(p, pr.ASN)
 	}
 
-	for _, ev := range events {
+	for ev := range events {
 		for _, p := range platforms {
 			if !ev.Platforms[p] {
 				continue
@@ -334,6 +343,12 @@ type Table4Row struct {
 // providers form their own class). When deploy is non-nil the
 // direct-feed column uses the static deployment sessions.
 func Table4(events []*core.Event, topo *topology.Topology, deploy *collector.Deployment) []Table4Row {
+	return Table4Seq(slices.Values(events), topo, deploy)
+}
+
+// Table4Seq is Table4 over an event sequence — the store-backed
+// variant.
+func Table4Seq(events iter.Seq[*core.Event], topo *topology.Topology, deploy *collector.Deployment) []Table4Row {
 	type sets struct {
 		providers map[core.ProviderRef]bool
 		users     map[bgp.ASN]bool
@@ -356,7 +371,7 @@ func Table4(events []*core.Event, topo *topology.Topology, deploy *collector.Dep
 		}
 		return deploy.HasDirectFeed(-1, pr.ASN)
 	}
-	for _, ev := range events {
+	for ev := range events {
 		for pr := range ev.Providers {
 			k := topology.KindIXP
 			if pr.Kind == core.ProviderAS {

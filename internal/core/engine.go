@@ -251,16 +251,24 @@ func (e *Engine) Classify(u *bgp.Update) *Detection {
 	}
 }
 
-// providerLess orders inferences for deterministic deduplication.
-func providerLess(a, b ProviderRef) bool {
+// ProviderRefCompare is the canonical total order over provider
+// references — AS providers before IXPs, then by ASN, then by IXP id —
+// used for deterministic dedup, serialization and display.
+func ProviderRefCompare(a, b ProviderRef) int {
 	if a.Kind != b.Kind {
-		return a.Kind < b.Kind
+		return int(a.Kind) - int(b.Kind)
 	}
 	if a.ASN != b.ASN {
-		return a.ASN < b.ASN
+		if a.ASN < b.ASN {
+			return -1
+		}
+		return 1
 	}
-	return a.IXPID < b.IXPID
+	return a.IXPID - b.IXPID
 }
+
+// providerLess orders inferences for deterministic deduplication.
+func providerLess(a, b ProviderRef) bool { return ProviderRefCompare(a, b) < 0 }
 
 // classify is the allocation-lean core of Classify: it writes into the
 // engine's reusable scratch buffers and returns a slice that is only

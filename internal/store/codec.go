@@ -1,0 +1,413 @@
+// Package store is the persistent blackholing event store: an
+// append-only, segmented, checksummed binary log of closed events with
+// atomic-rename commits and crash recovery, plus in-memory indexes —
+// a binary radix (patricia) trie over announced prefixes, time-bucket
+// postings, and per-user / per-provider / per-community postings —
+// rebuilt on open, so longitudinal queries never replay raw BGP data.
+//
+// The store is single-writer, multi-reader: one process appends (the
+// Detector sink), any number of goroutines query concurrently. A
+// compactor merges sealed segments and drops superseded flush
+// duplicates (the same blackholing closed once artificially by an
+// end-of-window flush and again, longer, by a later replay).
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"slices"
+	"sort"
+	"time"
+
+	"bgpblackholing/internal/bgp"
+	"bgpblackholing/internal/collector"
+	"bgpblackholing/internal/core"
+)
+
+// codecVersion is the record payload format version; bump on any layout
+// change. Decoding rejects unknown versions rather than guessing.
+const codecVersion = 1
+
+// EncodeEvent appends the canonical binary encoding of ev to buf and
+// returns the extended buffer. The encoding is deterministic: map keys
+// are sorted, times are UTC nanoseconds, identical events encode to
+// identical bytes (the round-trip tests compare raw encodings).
+func EncodeEvent(buf []byte, ev *core.Event) []byte {
+	buf = append(buf, codecVersion)
+	buf = appendPrefix(buf, ev.Prefix)
+	buf = binary.AppendVarint(buf, ev.Start.UTC().UnixNano())
+	buf = binary.AppendVarint(buf, ev.End.UTC().UnixNano())
+	var flags byte
+	if ev.StartUnknown {
+		flags |= 1
+	}
+	if ev.DirectFeed {
+		flags |= 2
+	}
+	if ev.SawNoExport {
+		flags |= 4
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(ev.Detections))
+
+	buf = appendProviderSet(buf, ev.Providers)
+	buf = appendASNSet(buf, ev.Users)
+	buf = appendCommunitySet(buf, ev.Communities)
+	buf = appendPlatformSet(buf, ev.Platforms)
+	buf = appendPeerSet(buf, ev.Peers)
+
+	buf = binary.AppendUvarint(buf, uint64(len(ev.ASDistances)))
+	for _, d := range ev.ASDistances {
+		buf = binary.AppendVarint(buf, int64(d))
+	}
+
+	provs := sortedProviders(ev.ProviderDistances)
+	buf = binary.AppendUvarint(buf, uint64(len(provs)))
+	for _, pr := range provs {
+		buf = appendProvider(buf, pr)
+		buf = binary.AppendVarint(buf, int64(ev.ProviderDistances[pr]))
+	}
+
+	buf = appendProviderSet(buf, ev.DirectProviders)
+
+	plats := sortedPlatformKeys(ev.ProvidersByPlatform)
+	buf = binary.AppendUvarint(buf, uint64(len(plats)))
+	for _, p := range plats {
+		buf = binary.AppendVarint(buf, int64(p))
+		buf = appendProviderSet(buf, ev.ProvidersByPlatform[p])
+	}
+
+	uplats := sortedPlatformKeys(ev.UsersByPlatform)
+	buf = binary.AppendUvarint(buf, uint64(len(uplats)))
+	for _, p := range uplats {
+		buf = binary.AppendVarint(buf, int64(p))
+		buf = appendASNSet(buf, ev.UsersByPlatform[p])
+	}
+
+	pus := sortedProviders(ev.ProviderUsers)
+	buf = binary.AppendUvarint(buf, uint64(len(pus)))
+	for _, pr := range pus {
+		buf = appendProvider(buf, pr)
+		buf = appendASNSet(buf, ev.ProviderUsers[pr])
+	}
+	return buf
+}
+
+// DecodeEvent decodes one event from data, which must hold exactly one
+// EncodeEvent payload.
+func DecodeEvent(data []byte) (*core.Event, error) {
+	d := &decoder{buf: data}
+	if v := d.byte(); v != codecVersion {
+		return nil, fmt.Errorf("store: unsupported event encoding version %d", v)
+	}
+	ev := &core.Event{}
+	ev.Prefix = d.prefix()
+	ev.Start = time.Unix(0, d.varint()).UTC()
+	ev.End = time.Unix(0, d.varint()).UTC()
+	flags := d.byte()
+	ev.StartUnknown = flags&1 != 0
+	ev.DirectFeed = flags&2 != 0
+	ev.SawNoExport = flags&4 != 0
+	ev.Detections = int(d.uvarint())
+
+	ev.Providers = d.providerSet()
+	ev.Users = d.asnSet()
+	ev.Communities = d.communitySet()
+	ev.Platforms = d.platformSet()
+	ev.Peers = d.peerSet()
+
+	if n := int(d.uvarint()); n > 0 && d.err == nil {
+		ev.ASDistances = make([]int, n)
+		for i := range ev.ASDistances {
+			ev.ASDistances[i] = int(d.varint())
+		}
+	}
+
+	ev.ProviderDistances = map[core.ProviderRef]int{}
+	for i, n := 0, int(d.uvarint()); i < n && d.err == nil; i++ {
+		pr := d.provider()
+		ev.ProviderDistances[pr] = int(d.varint())
+	}
+
+	ev.DirectProviders = d.providerSet()
+
+	ev.ProvidersByPlatform = map[collector.Platform]map[core.ProviderRef]bool{}
+	for i, n := 0, int(d.uvarint()); i < n && d.err == nil; i++ {
+		p := collector.Platform(d.varint())
+		ev.ProvidersByPlatform[p] = d.providerSet()
+	}
+	ev.UsersByPlatform = map[collector.Platform]map[bgp.ASN]bool{}
+	for i, n := 0, int(d.uvarint()); i < n && d.err == nil; i++ {
+		p := collector.Platform(d.varint())
+		ev.UsersByPlatform[p] = d.asnSet()
+	}
+	ev.ProviderUsers = map[core.ProviderRef]map[bgp.ASN]bool{}
+	for i, n := 0, int(d.uvarint()); i < n && d.err == nil; i++ {
+		pr := d.provider()
+		ev.ProviderUsers[pr] = d.asnSet()
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("store: %d trailing bytes after event record", len(d.buf))
+	}
+	return ev, nil
+}
+
+// ---------------------------------------------------------------------
+// Encoding helpers. Every set is written count-first with sorted keys.
+
+func appendPrefix(buf []byte, p netip.Prefix) []byte {
+	a := p.Addr()
+	if a.Is4() {
+		b := a.As4()
+		buf = append(buf, 4)
+		buf = append(buf, b[:]...)
+	} else {
+		b := a.As16()
+		buf = append(buf, 16)
+		buf = append(buf, b[:]...)
+	}
+	return append(buf, byte(p.Bits()))
+}
+
+func appendAddr(buf []byte, a netip.Addr) []byte {
+	if a.Is4() {
+		b := a.As4()
+		buf = append(buf, 4)
+		return append(buf, b[:]...)
+	}
+	b := a.As16()
+	buf = append(buf, 16)
+	return append(buf, b[:]...)
+}
+
+func appendProvider(buf []byte, pr core.ProviderRef) []byte {
+	buf = append(buf, byte(pr.Kind))
+	buf = binary.AppendUvarint(buf, uint64(pr.ASN))
+	return binary.AppendUvarint(buf, uint64(pr.IXPID))
+}
+
+func sortedProviders[V any](m map[core.ProviderRef]V) []core.ProviderRef {
+	out := make([]core.ProviderRef, 0, len(m))
+	for pr := range m {
+		out = append(out, pr)
+	}
+	slices.SortFunc(out, core.ProviderRefCompare)
+	return out
+}
+
+func appendProviderSet(buf []byte, m map[core.ProviderRef]bool) []byte {
+	provs := sortedProviders(m)
+	buf = binary.AppendUvarint(buf, uint64(len(provs)))
+	for _, pr := range provs {
+		buf = appendProvider(buf, pr)
+	}
+	return buf
+}
+
+func appendASNSet(buf []byte, m map[bgp.ASN]bool) []byte {
+	asns := make([]bgp.ASN, 0, len(m))
+	for a := range m {
+		asns = append(asns, a)
+	}
+	slices.Sort(asns)
+	buf = binary.AppendUvarint(buf, uint64(len(asns)))
+	for _, a := range asns {
+		buf = binary.AppendUvarint(buf, uint64(a))
+	}
+	return buf
+}
+
+func appendCommunitySet(buf []byte, m map[bgp.Community]bool) []byte {
+	cs := make([]bgp.Community, 0, len(m))
+	for c := range m {
+		cs = append(cs, c)
+	}
+	slices.Sort(cs)
+	buf = binary.AppendUvarint(buf, uint64(len(cs)))
+	for _, c := range cs {
+		buf = binary.AppendUvarint(buf, uint64(c))
+	}
+	return buf
+}
+
+func appendPlatformSet(buf []byte, m map[collector.Platform]bool) []byte {
+	ps := make([]collector.Platform, 0, len(m))
+	for p := range m {
+		ps = append(ps, p)
+	}
+	slices.Sort(ps)
+	buf = binary.AppendUvarint(buf, uint64(len(ps)))
+	for _, p := range ps {
+		buf = binary.AppendVarint(buf, int64(p))
+	}
+	return buf
+}
+
+func sortedPlatformKeys[V any](m map[collector.Platform]V) []collector.Platform {
+	ps := make([]collector.Platform, 0, len(m))
+	for p := range m {
+		ps = append(ps, p)
+	}
+	slices.Sort(ps)
+	return ps
+}
+
+func appendPeerSet(buf []byte, m map[netip.Addr]bool) []byte {
+	peers := make([]netip.Addr, 0, len(m))
+	for a := range m {
+		peers = append(peers, a)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i].Compare(peers[j]) < 0 })
+	buf = binary.AppendUvarint(buf, uint64(len(peers)))
+	for _, a := range peers {
+		buf = appendAddr(buf, a)
+	}
+	return buf
+}
+
+// ---------------------------------------------------------------------
+// Decoding. The decoder is error-latching: after the first malformed
+// field every accessor returns zero values and the error surfaces once.
+
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("store: truncated event record (%s)", what)
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil || len(d.buf) < 1 {
+		d.fail("byte")
+		return 0
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil || len(d.buf) < n {
+		d.fail("bytes")
+		return nil
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) addr() netip.Addr {
+	switch n := d.byte(); n {
+	case 4:
+		b := d.take(4)
+		if d.err != nil {
+			return netip.Addr{}
+		}
+		return netip.AddrFrom4([4]byte(b))
+	case 16:
+		b := d.take(16)
+		if d.err != nil {
+			return netip.Addr{}
+		}
+		return netip.AddrFrom16([16]byte(b))
+	default:
+		d.fail("addr family")
+		return netip.Addr{}
+	}
+}
+
+func (d *decoder) prefix() netip.Prefix {
+	a := d.addr()
+	bits := int(d.byte())
+	if d.err != nil {
+		return netip.Prefix{}
+	}
+	p := netip.PrefixFrom(a, bits)
+	if !p.IsValid() {
+		d.fail("prefix bits")
+		return netip.Prefix{}
+	}
+	return p
+}
+
+func (d *decoder) provider() core.ProviderRef {
+	return core.ProviderRef{
+		Kind:  core.ProviderKind(d.byte()),
+		ASN:   bgp.ASN(d.uvarint()),
+		IXPID: int(d.uvarint()),
+	}
+}
+
+func (d *decoder) providerSet() map[core.ProviderRef]bool {
+	m := map[core.ProviderRef]bool{}
+	for i, n := 0, int(d.uvarint()); i < n && d.err == nil; i++ {
+		m[d.provider()] = true
+	}
+	return m
+}
+
+func (d *decoder) asnSet() map[bgp.ASN]bool {
+	m := map[bgp.ASN]bool{}
+	for i, n := 0, int(d.uvarint()); i < n && d.err == nil; i++ {
+		m[bgp.ASN(d.uvarint())] = true
+	}
+	return m
+}
+
+func (d *decoder) communitySet() map[bgp.Community]bool {
+	m := map[bgp.Community]bool{}
+	for i, n := 0, int(d.uvarint()); i < n && d.err == nil; i++ {
+		m[bgp.Community(d.uvarint())] = true
+	}
+	return m
+}
+
+func (d *decoder) platformSet() map[collector.Platform]bool {
+	m := map[collector.Platform]bool{}
+	for i, n := 0, int(d.uvarint()); i < n && d.err == nil; i++ {
+		m[collector.Platform(d.varint())] = true
+	}
+	return m
+}
+
+func (d *decoder) peerSet() map[netip.Addr]bool {
+	m := map[netip.Addr]bool{}
+	for i, n := 0, int(d.uvarint()); i < n && d.err == nil; i++ {
+		m[d.addr()] = true
+	}
+	return m
+}

@@ -1,0 +1,235 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Segment file layout:
+//
+//	8-byte magic "BHSTSEG\x01"
+//	repeated records: u32le payload length | u32le CRC-32 (IEEE) | payload
+//
+// Records are appended in event-closing order. A crash can leave a
+// partial record at the tail of the newest segment only; recovery scans
+// forward and truncates at the last record whose length and checksum
+// verify. Compaction writes a merged segment to a temporary file and
+// commits it with an atomic rename, so readers never observe a
+// half-written segment under its final name.
+
+var segMagic = []byte("BHSTSEG\x01")
+
+// markerPayload is the compaction-marker record: a merged segment's
+// first record. It declares that every segment with a lower sequence
+// number is superseded, so a crash between the merged segment's
+// atomic-rename commit and the removal of the old segments cannot
+// double-index events on the next open — recovery skips (and removes)
+// the leftovers. Event payloads always start with codecVersion, so the
+// marker byte can never collide with one.
+var markerPayload = []byte{0xFF}
+
+// isMarker reports whether a record payload is the compaction marker.
+func isMarker(rec []byte) bool { return len(rec) == 1 && rec[0] == 0xFF }
+
+// maxRecordBytes bounds a single record so a corrupt length field can't
+// trigger a huge allocation during recovery.
+const maxRecordBytes = 64 << 20
+
+const recordHeaderBytes = 8
+
+// segName renders the canonical segment file name for a sequence number.
+func segName(seq uint64) string {
+	return fmt.Sprintf("seg-%08d.log", seq)
+}
+
+// parseSegName extracts the sequence number from a segment file name.
+func parseSegName(name string) (uint64, bool) {
+	rest, ok := strings.CutPrefix(name, "seg-")
+	if !ok {
+		return 0, false
+	}
+	rest, ok = strings.CutSuffix(rest, ".log")
+	if !ok {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// listSegments returns the segment files in dir in ascending sequence
+// order. Leftover temporary files (a compaction interrupted before its
+// rename) are removed unless readOnly.
+func listSegments(dir string, readOnly bool) ([]segFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segFile
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if strings.HasPrefix(name, "seg-") && strings.Contains(name, ".tmp") {
+			if !readOnly {
+				os.Remove(filepath.Join(dir, name))
+			}
+			continue
+		}
+		if seq, ok := parseSegName(name); ok {
+			segs = append(segs, segFile{seq: seq, path: filepath.Join(dir, name)})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	return segs, nil
+}
+
+type segFile struct {
+	seq  uint64
+	path string
+}
+
+// appendRecord appends one length-prefixed, checksummed record.
+func appendRecord(buf []byte, payload []byte) []byte {
+	var hdr [recordHeaderBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// scanResult is what readSegment recovered from one segment file.
+type scanResult struct {
+	// records holds each valid payload, in file order.
+	records [][]byte
+	// validLen is the byte offset just past the last valid record (or
+	// past the magic for an empty segment): the truncation point for
+	// crash recovery.
+	validLen int64
+	// truncated reports whether the file had garbage past validLen — a
+	// torn record from a crash, or corruption.
+	truncated bool
+}
+
+// errNotSegment marks a file whose magic is short or wrong — either
+// foreign data, or a newest segment torn by a crash between its
+// creation and first sync (which Open recovers from).
+var errNotSegment = errors.New("store: not a segment file (bad magic)")
+
+// readSegment reads every intact record of a segment. Malformed data —
+// short header, absurd length, checksum mismatch, torn payload — ends
+// the scan at the last valid record instead of failing the open: the
+// tail of the newest segment is exactly what a crash tears. Hard I/O
+// errors are returned as errors; a missing magic returns errNotSegment
+// so the caller can distinguish a torn newest segment from corruption.
+func readSegment(path string) (scanResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return scanResult{}, err
+	}
+	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != string(segMagic) {
+		return scanResult{}, fmt.Errorf("%w: %s", errNotSegment, path)
+	}
+	res := scanResult{validLen: int64(len(segMagic))}
+	off := len(segMagic)
+	for off < len(data) {
+		if len(data)-off < recordHeaderBytes {
+			res.truncated = true
+			break
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n > maxRecordBytes || len(data)-off-recordHeaderBytes < n {
+			res.truncated = true
+			break
+		}
+		payload := data[off+recordHeaderBytes : off+recordHeaderBytes+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			res.truncated = true
+			break
+		}
+		res.records = append(res.records, payload)
+		off += recordHeaderBytes + n
+		res.validLen = int64(off)
+	}
+	return res, nil
+}
+
+// createSegment creates a fresh segment file with its magic written and
+// synced, open for appending.
+func createSegment(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(segMagic); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return f, nil
+}
+
+// writeSegmentAtomic writes a complete segment (magic + records) to a
+// temporary file in dir, syncs it, and atomically renames it to path.
+func writeSegmentAtomic(dir, path string, payloads [][]byte) (err error) {
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err = tmp.Write(segMagic); err != nil {
+		return err
+	}
+	var buf []byte
+	for _, p := range payloads {
+		buf = appendRecord(buf[:0], p)
+		if _, err = tmp.Write(buf); err != nil {
+			return err
+		}
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames and removals are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	// Some filesystems refuse fsync on directories; renames there are
+	// as durable as they get.
+	if errors.Is(err, io.EOF) || errors.Is(err, os.ErrInvalid) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,671 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"iter"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"bgpblackholing/internal/bgp"
+	"bgpblackholing/internal/core"
+)
+
+// Options configures Open.
+type Options struct {
+	// ReadOnly opens the store for querying only: Append and Compact
+	// fail, leftover temp files stay, and a torn segment tail is skipped
+	// in memory instead of truncated on disk.
+	ReadOnly bool
+	// MaxSegmentBytes seals the active segment once it exceeds this many
+	// bytes (default 8 MiB).
+	MaxSegmentBytes int64
+	// CompactSegments, when > 0, starts a background compactor that
+	// merges sealed segments (dropping superseded flush duplicates)
+	// whenever their count reaches this threshold. Zero disables
+	// background compaction; Compact can still be called explicitly.
+	CompactSegments int
+}
+
+// ErrReadOnly is returned by mutating calls on a read-only store.
+var ErrReadOnly = errors.New("store: opened read-only")
+
+// lockName is the writer-lock file enforcing the single-writer
+// invariant: a second read-write Open of the same directory fails
+// loudly instead of interleaving appends into the same segment. The
+// file holds the owning pid; a lock left by a crashed process is
+// detected and stolen.
+const lockName = "LOCK"
+
+// acquireLock takes the exclusive writer lock for dir, returning the
+// lock file's path.
+func acquireLock(dir string) (string, error) {
+	path := filepath.Join(dir, lockName)
+	for attempt := 0; attempt < 3; attempt++ {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			if _, werr := fmt.Fprintf(f, "%d\n", os.Getpid()); werr != nil {
+				f.Close()
+				os.Remove(path)
+				return "", werr
+			}
+			if cerr := f.Close(); cerr != nil {
+				os.Remove(path)
+				return "", cerr
+			}
+			return path, nil
+		}
+		if !os.IsExist(err) {
+			return "", err
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			if os.IsNotExist(rerr) {
+				continue // released between the create and the read
+			}
+			return "", rerr
+		}
+		pid, _ := strconv.Atoi(strings.TrimSpace(string(data)))
+		if pid > 0 && processAlive(pid) {
+			return "", fmt.Errorf("store: %s is locked by running process %d (stores are single-writer; open read-only instead)", dir, pid)
+		}
+		// The owner is gone (a crash): steal the stale lock.
+		os.Remove(path)
+	}
+	return "", fmt.Errorf("store: %s: could not acquire writer lock", dir)
+}
+
+// processAlive probes a pid with the null signal.
+func processAlive(pid int) bool {
+	p, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	err = p.Signal(syscall.Signal(0))
+	// EPERM still proves the process exists.
+	return err == nil || errors.Is(err, os.ErrPermission)
+}
+
+// ErrClosed is returned by calls on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+const defaultMaxSegmentBytes = 8 << 20
+
+// Stats describes the store's current shape.
+type Stats struct {
+	// Events is the number of events held (and indexed) in memory.
+	Events int
+	// Prefixes is the number of distinct prefixes in the trie.
+	Prefixes int
+	// Segments is the number of segment files, including the active one.
+	Segments int
+	// Bytes is the total size of all segment files.
+	Bytes int64
+	// RecoveredTails counts segments whose tail was torn (crash) and
+	// skipped or truncated during open.
+	RecoveredTails int
+	// MinStart and MaxEnd bound the stored events' time span (zero when
+	// the store is empty).
+	MinStart, MaxEnd time.Time
+}
+
+// CompactStats describes one compaction.
+type CompactStats struct {
+	SegmentsBefore, SegmentsAfter int
+	EventsBefore, EventsAfter     int
+	// Dropped counts superseded flush duplicates removed: records for
+	// the same (prefix, start, start-unknown) key where a longer-ended
+	// record supersedes an earlier artificial flush close.
+	Dropped int
+}
+
+// Store is the persistent blackholing event store. See the package
+// comment for the design; all methods are safe for concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	dir  string
+	opts Options
+	lock string // writer-lock file path; empty when read-only
+
+	events []*core.Event // ordinal order = closing/append order
+	sealed []segFile     // sealed segments, ascending seq
+	active *os.File      // nil when read-only or closed
+	seq    uint64        // active segment sequence number
+	size   int64         // active segment size in bytes
+	closed bool
+
+	recoveredTails int
+	sealedBytes    int64
+
+	trie        *Trie
+	byUser      map[bgp.ASN][]int32
+	byProvider  map[core.ProviderRef][]int32
+	byCommunity map[bgp.Community][]int32
+	byDay       map[int64][]int32 // unix day → events overlapping it
+	minStart    time.Time
+	maxEnd      time.Time
+
+	scratch []byte
+
+	// compactMu serializes whole compactions; s.mu is only held for
+	// Compact's brief swap phases, never across the merge write.
+	compactMu   sync.Mutex
+	compactCh   chan struct{}
+	compactDone chan struct{}
+}
+
+// Open opens (or creates) the event store in dir, replays every segment
+// and rebuilds the in-memory indexes. A torn tail on the newest segment
+// — the signature of a crash mid-append — is truncated away; torn tails
+// on older segments are skipped. Partially written compaction temp
+// files are removed. A read-write Open takes the directory's writer
+// lock; a second concurrent writer fails loudly.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.MaxSegmentBytes <= 0 {
+		opts.MaxSegmentBytes = defaultMaxSegmentBytes
+	}
+	var lock string
+	if !opts.ReadOnly {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		var err error
+		if lock, err = acquireLock(dir); err != nil {
+			return nil, err
+		}
+	}
+	s, err := open(dir, opts)
+	if err != nil {
+		if lock != "" {
+			os.Remove(lock)
+		}
+		return nil, err
+	}
+	s.lock = lock
+	return s, nil
+}
+
+func open(dir string, opts Options) (*Store, error) {
+	s := &Store{
+		dir:         dir,
+		opts:        opts,
+		trie:        &Trie{},
+		byUser:      map[bgp.ASN][]int32{},
+		byProvider:  map[core.ProviderRef][]int32{},
+		byCommunity: map[bgp.Community][]int32{},
+		byDay:       map[int64][]int32{},
+	}
+	segs, err := listSegments(dir, opts.ReadOnly)
+	if err != nil {
+		if opts.ReadOnly && os.IsNotExist(err) {
+			return nil, fmt.Errorf("store: %s: no such store", dir)
+		}
+		return nil, err
+	}
+	// Scan every segment, then honour the newest compaction marker:
+	// segments below it are superseded leftovers of a crash between a
+	// compaction's atomic commit and its cleanup, and indexing them
+	// would double-count every event they hold.
+	scans := make([]scanResult, len(segs))
+	for i, sf := range segs {
+		if scans[i], err = readSegment(sf.path); err != nil {
+			// A crash between a segment's creation and its first sync
+			// can leave the newest file without a complete magic; treat
+			// it like a torn tail, not corruption.
+			if errors.Is(err, errNotSegment) && i == len(segs)-1 {
+				if !opts.ReadOnly {
+					if rerr := os.Remove(sf.path); rerr != nil {
+						return nil, rerr
+					}
+				}
+				segs, scans = segs[:i], scans[:i]
+				s.recoveredTails++
+				break
+			}
+			return nil, err
+		}
+	}
+	cut := 0
+	for i := range segs {
+		if len(scans[i].records) > 0 && isMarker(scans[i].records[0]) {
+			cut = i
+		}
+	}
+	if !opts.ReadOnly {
+		for i := 0; i < cut; i++ {
+			if err := os.Remove(segs[i].path); err != nil {
+				return nil, err
+			}
+		}
+	}
+	segs, scans = segs[cut:], scans[cut:]
+
+	for i, sf := range segs {
+		for _, rec := range scans[i].records {
+			if isMarker(rec) {
+				continue
+			}
+			ev, err := DecodeEvent(rec)
+			if err != nil {
+				return nil, fmt.Errorf("store: %s: %w", sf.path, err)
+			}
+			s.index(ev)
+		}
+		if scans[i].truncated {
+			s.recoveredTails++
+			if !opts.ReadOnly && i == len(segs)-1 {
+				// Crash tore the newest segment's tail: truncate so new
+				// appends start at a clean record boundary.
+				if err := os.Truncate(sf.path, scans[i].validLen); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if opts.ReadOnly {
+		s.sealed = segs
+		for _, sf := range s.sealed {
+			if fi, err := os.Stat(sf.path); err == nil {
+				s.sealedBytes += fi.Size()
+			}
+		}
+		return s, nil
+	}
+
+	// Reopen the newest segment for appending, or start the first one.
+	if len(segs) > 0 {
+		last := segs[len(segs)-1]
+		f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		s.active, s.seq, s.size = f, last.seq, fi.Size()
+		s.sealed = segs[:len(segs)-1]
+	} else {
+		if err := s.startSegment(1); err != nil {
+			return nil, err
+		}
+	}
+	for _, sf := range s.sealed {
+		if fi, err := os.Stat(sf.path); err == nil {
+			s.sealedBytes += fi.Size()
+		}
+	}
+	if opts.CompactSegments > 0 {
+		s.compactCh = make(chan struct{}, 1)
+		s.compactDone = make(chan struct{})
+		go s.compactLoop()
+	}
+	return s, nil
+}
+
+// startSegment creates segment seq and makes it the active one.
+func (s *Store) startSegment(seq uint64) error {
+	f, err := createSegment(filepath.Join(s.dir, segName(seq)))
+	if err != nil {
+		return err
+	}
+	s.active, s.seq, s.size = f, seq, int64(len(segMagic))
+	return nil
+}
+
+// index adds ev to the in-memory state under the next ordinal.
+func (s *Store) index(ev *core.Event) {
+	ord := int32(len(s.events))
+	s.events = append(s.events, ev)
+	s.trie.Insert(ev.Prefix, ord)
+	for u := range ev.Users {
+		s.byUser[u] = append(s.byUser[u], ord)
+	}
+	for pr := range ev.Providers {
+		s.byProvider[pr] = append(s.byProvider[pr], ord)
+	}
+	for c := range ev.Communities {
+		s.byCommunity[c] = append(s.byCommunity[c], ord)
+	}
+	for d := unixDay(ev.Start); d <= unixDay(ev.End); d++ {
+		s.byDay[d] = append(s.byDay[d], ord)
+	}
+	if s.minStart.IsZero() || ev.Start.Before(s.minStart) {
+		s.minStart = ev.Start
+	}
+	if ev.End.After(s.maxEnd) {
+		s.maxEnd = ev.End
+	}
+}
+
+func unixDay(t time.Time) int64 {
+	const day = 24 * 60 * 60
+	sec := t.Unix()
+	if sec < 0 {
+		return (sec - day + 1) / day
+	}
+	return sec / day
+}
+
+// Append persists the events (in order) and indexes them. The write
+// lands in the OS page cache; call Sync for durability.
+func (s *Store) Append(events ...*core.Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.closed:
+		return ErrClosed
+	case s.opts.ReadOnly:
+		return ErrReadOnly
+	}
+	for _, ev := range events {
+		payload := EncodeEvent(s.scratch[:0], ev)
+		s.scratch = payload[:0]
+		rec := appendRecord(nil, payload)
+		if _, err := s.active.Write(rec); err != nil {
+			return fmt.Errorf("store: append: %w", err)
+		}
+		s.size += int64(len(rec))
+		s.index(ev)
+		if s.size >= s.opts.MaxSegmentBytes {
+			if err := s.seal(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// seal syncs and closes the active segment and starts the next one.
+// Caller holds the write lock.
+func (s *Store) seal() error {
+	if err := s.active.Sync(); err != nil {
+		return err
+	}
+	if err := s.active.Close(); err != nil {
+		return err
+	}
+	s.sealed = append(s.sealed, segFile{seq: s.seq, path: filepath.Join(s.dir, segName(s.seq))})
+	s.sealedBytes += s.size
+	if err := s.startSegment(s.seq + 1); err != nil {
+		return err
+	}
+	if s.compactCh != nil && len(s.sealed) >= s.opts.CompactSegments {
+		select {
+		case s.compactCh <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// Sync flushes the active segment to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.active == nil {
+		return nil
+	}
+	return s.active.Sync()
+}
+
+// Close syncs and closes the store. Further calls fail with ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	compactDone := s.compactDone
+	if s.compactCh != nil {
+		close(s.compactCh)
+	}
+	var err error
+	if s.active != nil {
+		if serr := s.active.Sync(); serr != nil {
+			err = serr
+		}
+		if cerr := s.active.Close(); err == nil {
+			err = cerr
+		}
+		s.active = nil
+	}
+	lock := s.lock
+	s.lock = ""
+	s.mu.Unlock()
+	if compactDone != nil {
+		<-compactDone
+	}
+	// Release the writer lock last, after any in-flight compaction has
+	// finished touching the directory.
+	if lock != "" {
+		os.Remove(lock)
+	}
+	return err
+}
+
+// Len returns the number of events in the store.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.events)
+}
+
+// Stats snapshots the store's shape.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Events:         len(s.events),
+		Prefixes:       s.trie.Len(),
+		Segments:       len(s.sealed),
+		Bytes:          s.sealedBytes,
+		RecoveredTails: s.recoveredTails,
+		MinStart:       s.minStart,
+		MaxEnd:         s.maxEnd,
+	}
+	if s.active != nil {
+		st.Segments++
+		st.Bytes += s.size
+	}
+	return st
+}
+
+// All returns the stored events in append order, as a snapshot: events
+// appended after the call are not included.
+func (s *Store) All() iter.Seq[*core.Event] {
+	s.mu.RLock()
+	events := s.events[:len(s.events):len(s.events)]
+	s.mu.RUnlock()
+	return func(yield func(*core.Event) bool) {
+		for _, ev := range events {
+			if !yield(ev) {
+				return
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Compaction.
+
+func (s *Store) compactLoop() {
+	defer close(s.compactDone)
+	for range s.compactCh {
+		// Best-effort: a failed background compaction leaves the store
+		// exactly as it was (the rename never happened).
+		s.Compact()
+	}
+}
+
+// dupKey identifies records of the same underlying blackholing
+// occurrence: the engine serializes events per prefix, so two records
+// sharing (prefix, start, start-unknown) are the same event closed
+// twice — typically once artificially by an end-of-window flush and
+// once, longer, by a later overlapping replay.
+type dupKey struct {
+	prefix       netip.Prefix
+	start        int64
+	startUnknown bool
+}
+
+// Compact merges every segment written so far into one freshly written
+// segment, dropping superseded flush duplicates: of the records sharing
+// a dupKey, only the one with the latest End (ties: most detections,
+// then latest append) survives, at its first appearance's position.
+//
+// The merged segment opens with a compaction-marker record and is
+// committed with an atomic rename before the old segments are removed,
+// so a crash at any point leaves a consistent store: either the old
+// segment set, or the marker-led merged one (recovery then skips any
+// leftover older segments instead of double-indexing them).
+//
+// The expensive work — re-encoding every event and fsyncing the merged
+// segment — runs outside the store lock: the active segment is sealed
+// first, so queries keep answering and appends keep landing (in a
+// fresh segment the marker does not supersede) throughout.
+func (s *Store) Compact() (CompactStats, error) {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+
+	// Phase 1 (locked): decide survivors, and seal the active segment
+	// so every event of the snapshot lives below the merged sequence
+	// number while concurrent appends land above it.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return CompactStats{}, ErrClosed
+	}
+	if s.opts.ReadOnly {
+		s.mu.Unlock()
+		return CompactStats{}, ErrReadOnly
+	}
+	stats := CompactStats{
+		SegmentsBefore: len(s.sealed) + 1,
+		EventsBefore:   len(s.events),
+	}
+	snapshot := s.events[:len(s.events):len(s.events)]
+	best := map[dupKey]int{}
+	for i, ev := range snapshot {
+		k := dupKey{ev.Prefix, ev.Start.UTC().UnixNano(), ev.StartUnknown}
+		j, seen := best[k]
+		if !seen || supersedes(ev, snapshot[j]) {
+			best[k] = i
+		}
+	}
+	stats.Dropped = len(snapshot) - len(best)
+	stats.EventsAfter = len(best)
+	if stats.Dropped == 0 && len(s.sealed) == 0 {
+		// Single active segment, nothing to drop: no work.
+		stats.SegmentsAfter = stats.SegmentsBefore
+		s.mu.Unlock()
+		return stats, nil
+	}
+
+	// Seal: create the replacement active segment first, so on any
+	// error the store still holds a valid, open active segment.
+	superseded := append([]segFile(nil), s.sealed...)
+	superseded = append(superseded, segFile{seq: s.seq, path: filepath.Join(s.dir, segName(s.seq))})
+	mergedSeq := s.seq + 1
+	mergedPath := filepath.Join(s.dir, segName(mergedSeq))
+	newActive, err := createSegment(filepath.Join(s.dir, segName(mergedSeq+1)))
+	if err != nil {
+		s.mu.Unlock()
+		return stats, err
+	}
+	if err := s.active.Sync(); err != nil {
+		newActive.Close()
+		os.Remove(newActive.Name())
+		s.mu.Unlock()
+		return stats, err
+	}
+	// The old active's data is synced and about to be superseded; a
+	// close error cannot lose anything.
+	s.active.Close()
+	s.sealed = append(s.sealed, superseded[len(superseded)-1])
+	s.sealedBytes += s.size
+	s.active, s.seq, s.size = newActive, mergedSeq+1, int64(len(segMagic))
+	s.mu.Unlock()
+
+	// Phase 2 (unlocked): encode the survivors and commit the merged
+	// segment atomically. Queries and appends proceed meanwhile.
+	kept := make([]*core.Event, 0, len(best))
+	payloads := make([][]byte, 0, len(best)+1)
+	payloads = append(payloads, markerPayload)
+	emitted := make(map[dupKey]bool, len(best))
+	for _, ev := range snapshot {
+		k := dupKey{ev.Prefix, ev.Start.UTC().UnixNano(), ev.StartUnknown}
+		if emitted[k] {
+			continue // the key's survivor went out at its first position
+		}
+		emitted[k] = true
+		survivor := snapshot[best[k]]
+		kept = append(kept, survivor)
+		payloads = append(payloads, EncodeEvent(nil, survivor))
+	}
+	if err := writeSegmentAtomic(s.dir, mergedPath, payloads); err != nil {
+		// Nothing swapped: the store keeps serving from the old
+		// segments, which are all still live.
+		return stats, err
+	}
+
+	// Phase 3 (locked): swap the superseded segments for the merged
+	// one and rebuild the indexes (kept survivors + events appended
+	// since the snapshot).
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		os.Remove(mergedPath)
+		return stats, ErrClosed
+	}
+	appended := s.events[len(snapshot):]
+	s.sealed = append([]segFile{{seq: mergedSeq, path: mergedPath}}, s.sealed[len(superseded):]...)
+	s.events = nil
+	s.trie = &Trie{}
+	s.byUser = map[bgp.ASN][]int32{}
+	s.byProvider = map[core.ProviderRef][]int32{}
+	s.byCommunity = map[bgp.Community][]int32{}
+	s.byDay = map[int64][]int32{}
+	s.minStart, s.maxEnd = time.Time{}, time.Time{}
+	for _, ev := range kept {
+		s.index(ev)
+	}
+	for _, ev := range appended {
+		s.index(ev)
+	}
+	// Old segment files are harmless once the marker is committed
+	// (recovery skips them), so removal is best-effort.
+	for _, sf := range superseded {
+		os.Remove(sf.path)
+	}
+	syncDir(s.dir)
+	s.sealedBytes = 0
+	for _, sf := range s.sealed {
+		if fi, err := os.Stat(sf.path); err == nil {
+			s.sealedBytes += fi.Size()
+		}
+	}
+	stats.EventsAfter = len(s.events)
+	stats.SegmentsAfter = len(s.sealed) + 1
+	s.mu.Unlock()
+	return stats, nil
+}
+
+// supersedes reports whether a replaces b for the same dupKey.
+func supersedes(a, b *core.Event) bool {
+	if !a.End.Equal(b.End) {
+		return a.End.After(b.End)
+	}
+	return a.Detections >= b.Detections
+}

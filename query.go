@@ -1,0 +1,293 @@
+package bgpblackholing
+
+import (
+	"fmt"
+	"net/netip"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"bgpblackholing/internal/analysis"
+	"bgpblackholing/internal/core"
+	"bgpblackholing/internal/store"
+)
+
+// This file is the facade over the persistent event store
+// (internal/store): detection results land once in a durable, indexed,
+// segmented log and longitudinal queries — by prefix (exact, longest
+// -prefix-match, covered, covering), time range, origin ASN, provider,
+// duration and dictionary community — are answered from in-memory
+// indexes in microseconds, without replaying raw BGP data. The paper's
+// tables and figures regenerate directly from the store.
+
+// Store is a persistent, indexed store of closed blackholing events:
+// an append-only, segmented, checksummed binary log with atomic-rename
+// commits and crash recovery, plus indexes (a patricia trie over
+// prefixes, time buckets, per-user / per-provider / per-community
+// postings) rebuilt on open. One process appends — typically a
+// Detector via SinkToStore — while any number of goroutines query.
+type Store struct {
+	s *store.Store
+}
+
+// StoreOptions tunes OpenStoreWith.
+type StoreOptions = store.Options
+
+// StoreStats describes a store's shape (Store.Stats).
+type StoreStats = store.Stats
+
+// CompactStats describes one compaction (Store.Compact).
+type CompactStats = store.CompactStats
+
+// PrefixMode selects how Query.Prefix matches stored prefixes.
+type PrefixMode = store.PrefixMode
+
+// Prefix match modes.
+const (
+	// PrefixExact matches events for exactly the query prefix.
+	PrefixExact = store.PrefixExact
+	// PrefixLPM matches events for the longest stored prefix containing
+	// the query ("who blackholes this address").
+	PrefixLPM = store.PrefixLPM
+	// PrefixCovered matches every stored prefix inside the query ("all
+	// blackholed more-specifics of this /16").
+	PrefixCovered = store.PrefixCovered
+	// PrefixCovering matches every stored prefix containing the query
+	// (the chain of covering aggregates).
+	PrefixCovering = store.PrefixCovering
+)
+
+// OpenStore opens (or creates) the event store in dir for reading and
+// appending, replaying the log and rebuilding the indexes. A tail torn
+// by a crash is truncated to the last intact record.
+func OpenStore(dir string) (*Store, error) {
+	return OpenStoreWith(dir, StoreOptions{})
+}
+
+// OpenStoreReadOnly opens an existing store for querying only: nothing
+// on disk is modified, and Append / Compact fail.
+func OpenStoreReadOnly(dir string) (*Store, error) {
+	return OpenStoreWith(dir, StoreOptions{ReadOnly: true})
+}
+
+// OpenStoreWith opens a store with explicit options — segment size and
+// the background compactor threshold (CompactSegments > 0 merges
+// sealed segments and drops superseded flush duplicates continuously).
+func OpenStoreWith(dir string, opts StoreOptions) (*Store, error) {
+	s, err := store.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{s: s}, nil
+}
+
+// Append persists events in order. Call Sync (or Close) for
+// durability; SinkToStore does both.
+func (st *Store) Append(events ...*Event) error { return st.s.Append(events...) }
+
+// Sync flushes appended events to stable storage.
+func (st *Store) Sync() error { return st.s.Sync() }
+
+// Close syncs and closes the store.
+func (st *Store) Close() error { return st.s.Close() }
+
+// Len returns the number of stored events.
+func (st *Store) Len() int { return st.s.Len() }
+
+// Stats snapshots the store's shape.
+func (st *Store) Stats() StoreStats { return st.s.Stats() }
+
+// Compact merges all segments into one, dropping superseded flush
+// duplicates (the same blackholing closed once artificially by an
+// end-of-window flush and again, longer, by an overlapping replay).
+func (st *Store) Compact() (CompactStats, error) { return st.s.Compact() }
+
+// Events returns every stored event in append (closing) order.
+func (st *Store) Events() []*Event {
+	return slices.Collect(st.s.All())
+}
+
+// Query selects stored events; the zero value matches everything.
+type Query struct {
+	// From / To bound the event span: an event matches when [Start,
+	// End] overlaps [From, To]. Zero means unbounded on that side.
+	From, To time.Time
+	// Prefix, when valid, constrains by prefix under Mode (PrefixExact,
+	// PrefixLPM, PrefixCovered, PrefixCovering).
+	Prefix netip.Prefix
+	Mode   PrefixMode
+	// OriginASN matches events whose inferred blackholing users include
+	// this ASN — the paper's per-origin slicing. Zero means any.
+	OriginASN ASN
+	// Provider, when non-nil, matches events inferring this provider.
+	Provider *ProviderRef
+	// Community, when non-zero, matches events carrying this dictionary
+	// community.
+	Community Community
+	// MinDuration / MaxDuration bound the event duration (zero = unbounded).
+	MinDuration, MaxDuration time.Duration
+	// Limit caps returned events (0 = unlimited); Total still counts
+	// every match.
+	Limit int
+}
+
+// QueryResult is one query's outcome.
+type QueryResult struct {
+	// Events are the matches in append (closing) order.
+	Events []*Event
+	// Total counts all matches, ignoring Limit.
+	Total int
+	// Scanned counts candidate events examined — the narrowest index
+	// posting set, not the store size.
+	Scanned int
+	// Elapsed is the query's wall-clock execution time.
+	Elapsed time.Duration
+}
+
+// Query answers a longitudinal query from the in-memory indexes; no
+// raw update data is touched and nothing is replayed.
+func (st *Store) Query(q Query) *QueryResult {
+	began := time.Now()
+	res := st.s.Query(store.Filter{
+		From:        q.From,
+		To:          q.To,
+		Prefix:      q.Prefix,
+		Mode:        q.Mode,
+		User:        q.OriginASN,
+		Provider:    q.Provider,
+		Community:   q.Community,
+		MinDuration: q.MinDuration,
+		MaxDuration: q.MaxDuration,
+		Limit:       q.Limit,
+	})
+	return &QueryResult{
+		Events:  res.Events,
+		Total:   res.Total,
+		Scanned: res.Scanned,
+		Elapsed: time.Since(began),
+	}
+}
+
+// ---------------------------------------------------------------------
+// Store-backed tables and figures: the paper's evaluation directly from
+// the persisted events, no replay.
+
+// Figure4 computes the daily longitudinal series from the store.
+func (st *Store) Figure4(start time.Time, days int) []DailyPoint {
+	return analysis.Figure4Seq(st.s.All(), start, days)
+}
+
+// Figure8 computes the raw and grouped duration distributions from the
+// store.
+func (st *Store) Figure8(timeout time.Duration) (ungrouped, grouped []time.Duration) {
+	return analysis.Figure8Seq(st.s.All(), timeout)
+}
+
+// Group merges the store's per-prefix events into periods (the paper's
+// 5-minute aggregation).
+func (st *Store) Group(timeout time.Duration) []*Period {
+	return core.Group(st.Events(), timeout)
+}
+
+// Table3FromStore computes the blackhole visibility overview (Table 3)
+// from persisted events.
+func (p *Pipeline) Table3FromStore(st *Store) []Table3Row {
+	return analysis.Table3Seq(st.s.All(), p.Deploy)
+}
+
+// Table4FromStore computes visibility by provider type (Table 4) from
+// persisted events.
+func (p *Pipeline) Table4FromStore(st *Store) []Table4Row {
+	return analysis.Table4Seq(st.s.All(), p.Topo, p.Deploy)
+}
+
+// ---------------------------------------------------------------------
+// Wire representation: the JSON shape served by the HTTP API and
+// consumed by bhquery.
+
+// EventRecord is the JSON-friendly projection of an Event: map-valued
+// evidence becomes sorted lists, providers render in their canonical
+// "AS123" / "ixp:4" notation.
+type EventRecord struct {
+	Prefix          string    `json:"prefix"`
+	Start           time.Time `json:"start"`
+	End             time.Time `json:"end"`
+	DurationSeconds float64   `json:"duration_seconds"`
+	StartUnknown    bool      `json:"start_unknown,omitempty"`
+	Providers       []string  `json:"providers,omitempty"`
+	Users           []uint32  `json:"users,omitempty"`
+	Communities     []string  `json:"communities,omitempty"`
+	Platforms       []string  `json:"platforms,omitempty"`
+	Peers           int       `json:"peers"`
+	Detections      int       `json:"detections"`
+	DirectFeed      bool      `json:"direct_feed,omitempty"`
+	SawNoExport     bool      `json:"saw_no_export,omitempty"`
+}
+
+// NewEventRecord projects an event into its wire representation.
+func NewEventRecord(ev *Event) EventRecord {
+	r := EventRecord{
+		Prefix:          ev.Prefix.String(),
+		Start:           ev.Start.UTC(),
+		End:             ev.End.UTC(),
+		DurationSeconds: ev.Duration().Seconds(),
+		StartUnknown:    ev.StartUnknown,
+		Peers:           len(ev.Peers),
+		Detections:      ev.Detections,
+		DirectFeed:      ev.DirectFeed,
+		SawNoExport:     ev.SawNoExport,
+	}
+	for pr := range ev.Providers {
+		r.Providers = append(r.Providers, pr.String())
+	}
+	sort.Strings(r.Providers)
+	for u := range ev.Users {
+		r.Users = append(r.Users, uint32(u))
+	}
+	slices.Sort(r.Users)
+	for c := range ev.Communities {
+		r.Communities = append(r.Communities, c.String())
+	}
+	sort.Strings(r.Communities)
+	for p := range ev.Platforms {
+		r.Platforms = append(r.Platforms, p.String())
+	}
+	sort.Strings(r.Platforms)
+	return r
+}
+
+// ParseProviderRef parses the canonical provider notation: "AS3356",
+// a bare ASN like "3356", or "ixp:4".
+func ParseProviderRef(s string) (ProviderRef, error) {
+	if rest, ok := strings.CutPrefix(s, "ixp:"); ok {
+		id, err := strconv.Atoi(rest)
+		if err != nil || id < 0 {
+			return ProviderRef{}, fmt.Errorf("bad IXP provider %q", s)
+		}
+		return ProviderRef{Kind: ProviderIXP, IXPID: id}, nil
+	}
+	rest := strings.TrimPrefix(strings.TrimPrefix(s, "AS"), "as")
+	asn, err := strconv.ParseUint(rest, 10, 32)
+	if err != nil {
+		return ProviderRef{}, fmt.Errorf("bad AS provider %q", s)
+	}
+	return ProviderRef{Kind: ProviderAS, ASN: ASN(asn)}, nil
+}
+
+// ParsePrefixMode parses a prefix match mode name: "exact", "lpm",
+// "covered" or "covering".
+func ParsePrefixMode(s string) (PrefixMode, error) {
+	switch strings.ToLower(s) {
+	case "", "exact":
+		return PrefixExact, nil
+	case "lpm":
+		return PrefixLPM, nil
+	case "covered":
+		return PrefixCovered, nil
+	case "covering":
+		return PrefixCovering, nil
+	}
+	return PrefixExact, fmt.Errorf("bad prefix mode %q (want exact, lpm, covered or covering)", s)
+}

@@ -7,18 +7,22 @@
 #   BENCHTIME=10x scripts/bench.sh   # longer, steadier numbers
 #   BENCH_FILTER='BenchmarkEngineThroughput$' scripts/bench.sh
 #
-# The tracked benchmarks are the two named in the perf methodology
+# The tracked benchmarks are the ones named in the perf methodology
 # (README.md): BenchmarkEngineThroughput (single-core inference hot
 # path; watch ns/op and allocs/op), BenchmarkRunWindowParallel
-# (day-sharded replay; compare workers=1 against the multi-worker rows)
-# and BenchmarkRunStreaming (the same window through Detector.Run with a
-# live subscriber; must match BenchmarkRunWindowParallel row for row).
+# (day-sharded replay; compare workers=1 against the multi-worker rows),
+# BenchmarkRunStreaming (the same window through Detector.Run with a
+# live subscriber; must match BenchmarkRunWindowParallel row for row),
+# and the event-store rows: BenchmarkStoreIngest (append path: encode +
+# checksummed log write + index insert, per event) and
+# BenchmarkStoreQueryLPM (indexed longest-prefix-match point queries —
+# must stay in the microsecond range, with no replay in the query path).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-2x}"
-FILTER="${BENCH_FILTER:-BenchmarkEngineThroughput\$|BenchmarkRunWindowParallel|BenchmarkRunStreaming}"
+FILTER="${BENCH_FILTER:-BenchmarkEngineThroughput\$|BenchmarkRunWindowParallel|BenchmarkRunStreaming|BenchmarkStoreIngest\$|BenchmarkStoreQueryLPM\$}"
 OUT="BENCH_$(date +%Y%m%d).json"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT

@@ -1,0 +1,96 @@
+package bgpblackholing
+
+// Benchmarks for the persistent event store. Run with
+//
+//	go test -run '^$' -bench 'BenchmarkStoreIngest|BenchmarkStoreQueryLPM' -benchmem
+//
+// BenchmarkStoreIngest measures the append path (encode + checksummed
+// log write + index insert); BenchmarkStoreQueryLPM measures indexed
+// point queries, which must answer from the trie and postings alone —
+// no replay, no raw update data.
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+	"testing"
+)
+
+var storeBench struct {
+	once   sync.Once
+	events []*Event
+}
+
+// storeBenchEvents materializes one replay window's events once, so
+// ingest and query benchmarks work on realistic event shapes.
+func storeBenchEvents(b *testing.B) []*Event {
+	b.Helper()
+	storeBench.once.Do(func() {
+		p, err := NewPipeline(SmallOptions())
+		if err != nil {
+			panic(err)
+		}
+		res, err := p.NewDetector().Run(context.Background(), p.Replay(840, 850))
+		if err != nil {
+			panic(err)
+		}
+		storeBench.events = res.Events
+	})
+	if len(storeBench.events) == 0 {
+		b.Fatal("bench window produced no events")
+	}
+	return storeBench.events
+}
+
+// BenchmarkStoreIngest appends the window's events to a fresh store;
+// ns/op is per event.
+func BenchmarkStoreIngest(b *testing.B) {
+	events := storeBenchEvents(b)
+	st, err := OpenStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Append(events[i%len(events)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := st.Sync(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkStoreQueryLPM answers longest-prefix-match point queries
+// against a populated store: the acceptance gate for "no replay in the
+// query path" — every answer comes from the in-memory trie.
+func BenchmarkStoreQueryLPM(b *testing.B) {
+	events := storeBenchEvents(b)
+	st, err := OpenStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Append(events...); err != nil {
+		b.Fatal(err)
+	}
+	addrs := make([]netip.Prefix, len(events))
+	for i, ev := range events {
+		a := ev.Prefix.Addr()
+		addrs[i] = netip.PrefixFrom(a, a.BitLen())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		res := st.Query(Query{Prefix: addrs[i%len(addrs)], Mode: PrefixLPM})
+		hits += res.Total
+	}
+	b.StopTimer()
+	if hits == 0 {
+		b.Fatal("LPM queries found nothing")
+	}
+}
