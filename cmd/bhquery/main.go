@@ -11,6 +11,17 @@
 //	bhquery -store ./bhstore -stats
 //	bhquery -store ./bhstore -figure4 -every 30
 //	bhquery -server http://127.0.0.1:8080 -provider AS3356 -format ndjson
+//
+// Admin verbs (they open the store read-write, so stop any writer
+// first — stores are single-writer):
+//
+//	bhquery -store ./bhstore -delete-prefix 10.2.0.0/16              # GDPR-style erasure
+//	bhquery -store ./bhstore -delete-prefix 10.2.0.0/16 -delete-up-to 2016-01-01T00:00:00Z
+//	bhquery -store ./bhstore -compact tiered,partition=30d,ratio=4,min-run=4
+//
+// A deleted prefix disappears from queries immediately; its bytes
+// leave the disk at the next compaction of its partition (run -compact
+// to force one).
 package main
 
 import (
@@ -48,6 +59,10 @@ func main() {
 		stats   = flag.Bool("stats", false, "print store statistics instead of events")
 		figure4 = flag.Bool("figure4", false, "print the daily longitudinal series (Figure 4)")
 		every   = flag.Int("every", 30, "sample the figure4 series every N days")
+
+		deletePrefix = flag.String("delete-prefix", "", "admin: erase this prefix's history (opens the store read-write)")
+		deleteUpTo   = flag.String("delete-up-to", "", "admin: bound -delete-prefix to events ending at/before this RFC 3339 time")
+		compact      = flag.String("compact", "", "admin: run a compaction pass (merge-all, or tiered[,partition=30d,ratio=4,min-run=4])")
 	)
 	flag.Parse()
 	if err := run(&config{
@@ -56,6 +71,7 @@ func main() {
 		origin: uint32(*origin), provider: *provider, community: *community,
 		minDur: *minDur, maxDur: *maxDur, limit: *limit,
 		format: *format, stats: *stats, figure4: *figure4, every: *every,
+		deletePrefix: *deletePrefix, deleteUpTo: *deleteUpTo, compact: *compact,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "bhquery:", err)
 		os.Exit(1)
@@ -72,16 +88,91 @@ type config struct {
 	format                 string
 	stats, figure4         bool
 	every                  int
+
+	deletePrefix, deleteUpTo, compact string
 }
 
 func run(c *config) error {
 	if (c.storeDir == "") == (c.server == "") {
 		return fmt.Errorf("exactly one of -store or -server is required")
 	}
+	if c.deleteUpTo != "" && c.deletePrefix == "" {
+		return fmt.Errorf("-delete-up-to requires -delete-prefix")
+	}
+	if c.deletePrefix != "" || c.compact != "" {
+		if c.server != "" {
+			return fmt.Errorf("admin verbs need direct store access; use -store, not -server")
+		}
+		return runAdmin(c)
+	}
 	if c.server != "" {
 		return runServer(c)
 	}
 	return runDirect(c)
+}
+
+// ---------------------------------------------------------------------
+// Admin verbs: tombstone a prefix's history, force a compaction pass.
+
+func runAdmin(c *config) error {
+	st, err := bgpblackholing.OpenStore(c.storeDir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	if c.deletePrefix != "" {
+		p, err := parsePrefixArg(c.deletePrefix)
+		if err != nil {
+			return fmt.Errorf("-delete-prefix: %v", err)
+		}
+		var upTo time.Time
+		if c.deleteUpTo != "" {
+			if upTo, err = time.Parse(time.RFC3339, c.deleteUpTo); err != nil {
+				return fmt.Errorf("-delete-up-to: %v", err)
+			}
+		}
+		n, err := st.DeletePrefix(p, upTo)
+		if err != nil {
+			return err
+		}
+		if err := st.Sync(); err != nil {
+			return err
+		}
+		bound := "its whole history"
+		if !upTo.IsZero() {
+			bound = "events ending at/before " + upTo.UTC().Format(time.RFC3339)
+		}
+		fmt.Printf("bhquery: erased %d events under %s (%s); bytes leave the disk at the partition's next compaction\n", n, p, bound)
+	}
+
+	if c.compact != "" {
+		pol, err := bgpblackholing.ParseCompactionPolicy(c.compact)
+		if err != nil {
+			return err
+		}
+		stats, err := st.Compact(pol)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("bhquery: compacted %d -> %d segments across %d partitions: %d duplicates dropped, %d dead records erased, merged %v, skipped %v\n",
+			stats.SegmentsBefore, stats.SegmentsAfter, stats.Partitions,
+			stats.Dropped, stats.Erased, stats.Merged, stats.Skipped)
+	}
+	return nil
+}
+
+// parsePrefixArg accepts a prefix or a bare address (its host prefix).
+func parsePrefixArg(s string) (netip.Prefix, error) {
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		a, aerr := netip.ParseAddr(s)
+		if aerr != nil {
+			return netip.Prefix{}, err
+		}
+		p = netip.PrefixFrom(a, a.BitLen())
+	}
+	return p, nil
 }
 
 // ---------------------------------------------------------------------
@@ -138,13 +229,9 @@ func buildQuery(c *config) (bgpblackholing.Query, error) {
 		}
 	}
 	if c.prefix != "" {
-		p, perr := netip.ParsePrefix(c.prefix)
-		if perr != nil {
-			a, aerr := netip.ParseAddr(c.prefix)
-			if aerr != nil {
-				return q, fmt.Errorf("-prefix: %v", perr)
-			}
-			p = netip.PrefixFrom(a, a.BitLen())
+		p, err := parsePrefixArg(c.prefix)
+		if err != nil {
+			return q, fmt.Errorf("-prefix: %v", err)
 		}
 		q.Prefix = p
 	}

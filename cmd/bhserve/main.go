@@ -33,6 +33,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"bgpblackholing"
@@ -47,17 +48,22 @@ func main() {
 		storeDir = flag.String("store", "", "persist events to this store directory")
 		httpAddr = flag.String("http", "", "serve the store's query API on this address (requires -store)")
 		ingest   = flag.String("ingest", "", "replay days FROM:TO into the store at startup (requires -store)")
+		policy   = flag.String("compact-policy", "merge-all", "store compaction policy: merge-all, or tiered[,partition=30d,ratio=4,min-run=4]")
 	)
 	flag.Parse()
-	if err := run(*listen, *scale, *seed, uint32(*asn), *storeDir, *httpAddr, *ingest); err != nil {
+	if err := run(*listen, *scale, *seed, uint32(*asn), *storeDir, *httpAddr, *ingest, *policy); err != nil {
 		fmt.Fprintln(os.Stderr, "bhserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, scale float64, seed int64, asn uint32, storeDir, httpAddr, ingest string) error {
+func run(listen string, scale float64, seed int64, asn uint32, storeDir, httpAddr, ingest, policy string) error {
 	if storeDir == "" && (httpAddr != "" || ingest != "") {
 		return fmt.Errorf("-http and -ingest require -store")
+	}
+	pol, err := bgpblackholing.ParseCompactionPolicy(policy)
+	if err != nil {
+		return fmt.Errorf("-compact-policy: %w", err)
 	}
 	p, err := bgpblackholing.NewPipeline(bgpblackholing.Options{
 		Seed: seed, TopoScale: scale, CollectorScale: scale, EventScale: scale, Days: 850,
@@ -67,10 +73,12 @@ func run(listen string, scale float64, seed int64, asn uint32, storeDir, httpAdd
 	}
 
 	// The store outlives individual runs; sealed segments compact in
-	// the background.
+	// the background under the configured policy (tiered policies keep
+	// cold partitions untouched and give DeletePrefix tombstones their
+	// physical erasure pass).
 	var st *bgpblackholing.Store
 	if storeDir != "" {
-		st, err = bgpblackholing.OpenStoreWith(storeDir, bgpblackholing.StoreOptions{CompactSegments: 8})
+		st, err = bgpblackholing.OpenStoreWith(storeDir, bgpblackholing.StoreOptions{CompactSegments: 8, Policy: pol})
 		if err != nil {
 			return err
 		}
@@ -84,13 +92,16 @@ func run(listen string, scale float64, seed int64, asn uint32, storeDir, httpAdd
 		}
 	}
 
+	var srv *http.Server
 	if httpAddr != "" {
 		hln, err := net.Listen("tcp", httpAddr)
 		if err != nil {
 			return err
 		}
-		srv := &http.Server{Handler: bgpblackholing.NewStoreHandler(st, p)}
+		srv = &http.Server{Handler: bgpblackholing.NewStoreHandler(st, p)}
 		go srv.Serve(hln)
+		// Backstop for error paths; the normal exit drains gracefully
+		// below before the deferred store close runs.
 		defer srv.Close()
 		fmt.Printf("bhserve: query API on http://%s (events, stats, figure4, figure8, table3, table4)\n", hln.Addr())
 	}
@@ -130,11 +141,11 @@ func run(listen string, scale float64, seed int64, asn uint32, storeDir, httpAdd
 		}
 	}()
 
-	// SIGINT: stop accepting and close the feed; Run drains what is
-	// buffered, flushes open events (they stream to the subscriber and
-	// the store sink) and returns.
+	// SIGINT/SIGTERM: stop accepting and close the feed; Run drains
+	// what is buffered, flushes open events (they stream to the
+	// subscriber and the store sink) and returns.
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
 		fmt.Println("\nbhserve: shutting down")
@@ -149,6 +160,16 @@ func run(listen string, scale float64, seed int64, asn uint32, storeDir, httpAdd
 	<-printed
 	if err := waitSink(); err != nil {
 		return fmt.Errorf("store sink: %w", err)
+	}
+	// Graceful HTTP shutdown: drain in-flight store queries before the
+	// deferred store close can pull the store out from under them (the
+	// old abrupt Close raced exactly that).
+	if srv != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := srv.Shutdown(sctx); err != nil {
+			srv.Close()
+		}
+		cancel()
 	}
 	m := res.Metrics
 	fmt.Printf("bhserve: %d updates (%d cleaned), %d detections, %d events (%d explicit / %d implicit ends)\n",

@@ -7,9 +7,11 @@
 //
 // The store is single-writer, multi-reader: one process appends (the
 // Detector sink), any number of goroutines query concurrently. A
-// compactor merges sealed segments and drops superseded flush
-// duplicates (the same blackholing closed once artificially by an
-// end-of-window flush and again, longer, by a later replay).
+// tiered compactor (see compact.go) merges runs of similar-sized
+// segments within time partitions, drops superseded flush duplicates
+// (the same blackholing closed once artificially by an end-of-window
+// flush and again, longer, by a later replay), and physically erases
+// tombstoned history (DeletePrefix).
 package store
 
 import (
@@ -117,10 +119,17 @@ func DecodeEvent(data []byte) (*core.Event, error) {
 	ev.Platforms = d.platformSet()
 	ev.Peers = d.peerSet()
 
+	// Each distance takes at least one byte, so a count beyond the
+	// remaining buffer is corruption — reject it before allocating
+	// (a fuzzed record could otherwise request a huge slice).
 	if n := int(d.uvarint()); n > 0 && d.err == nil {
-		ev.ASDistances = make([]int, n)
-		for i := range ev.ASDistances {
-			ev.ASDistances[i] = int(d.varint())
+		if n > len(d.buf) {
+			d.fail("distance count")
+		} else {
+			ev.ASDistances = make([]int, n)
+			for i := range ev.ASDistances {
+				ev.ASDistances[i] = int(d.varint())
+			}
 		}
 	}
 
@@ -267,6 +276,69 @@ func appendPeerSet(buf []byte, m map[netip.Addr]bool) []byte {
 		buf = appendAddr(buf, a)
 	}
 	return buf
+}
+
+// ---------------------------------------------------------------------
+// Tombstones. A tombstone is the durable form of DeletePrefix: it
+// declares the erasure of a prefix's history. The semantics are purely
+// declarative and time-based — an event is dead iff its prefix is
+// covered by (or equal to) the tombstone's prefix and, when UpTo is
+// set, the event ended at or before UpTo — so applying tombstones is
+// independent of record replay order.
+
+// Tombstone is one DeletePrefix erasure directive.
+type Tombstone struct {
+	// Prefix scopes the erasure: every stored event whose prefix lies
+	// inside it (including exact matches) is affected.
+	Prefix netip.Prefix
+	// UpTo, when non-zero, bounds the erasure to events whose End is at
+	// or before it; zero erases the prefix's whole history.
+	UpTo time.Time
+}
+
+// Matches reports whether the tombstone kills ev.
+func (tb Tombstone) Matches(ev *core.Event) bool {
+	p := tb.Prefix.Masked()
+	q := ev.Prefix.Masked()
+	if p.Bits() > q.Bits() || !p.Contains(q.Addr()) {
+		return false
+	}
+	return tb.UpTo.IsZero() || !ev.End.After(tb.UpTo)
+}
+
+// encodeTombstone appends the binary encoding of a tombstone record.
+func encodeTombstone(buf []byte, tb Tombstone) []byte {
+	buf = append(buf, kindTombstone)
+	var flags byte
+	if !tb.UpTo.IsZero() {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	buf = appendPrefix(buf, tb.Prefix.Masked())
+	if flags&1 != 0 {
+		buf = binary.AppendVarint(buf, tb.UpTo.UTC().UnixNano())
+	}
+	return buf
+}
+
+// decodeTombstone decodes one tombstone record payload.
+func decodeTombstone(data []byte) (Tombstone, error) {
+	d := &decoder{buf: data}
+	if d.byte() != kindTombstone {
+		return Tombstone{}, fmt.Errorf("store: not a tombstone record")
+	}
+	flags := d.byte()
+	tb := Tombstone{Prefix: d.prefix()}
+	if flags&1 != 0 {
+		tb.UpTo = time.Unix(0, d.varint()).UTC()
+	}
+	if d.err != nil {
+		return Tombstone{}, d.err
+	}
+	if len(d.buf) != 0 {
+		return Tombstone{}, fmt.Errorf("store: %d trailing bytes after tombstone record", len(d.buf))
+	}
+	return tb, nil
 }
 
 // ---------------------------------------------------------------------

@@ -74,7 +74,7 @@ func (s *Store) Query(f Filter) Result {
 	cands, all := s.candidates(f)
 	res := Result{}
 	if all {
-		res.Scanned = len(s.events)
+		res.Scanned = s.live
 		for ord := range s.events {
 			s.consider(&res, int32(ord), f)
 		}
@@ -87,10 +87,12 @@ func (s *Store) Query(f Filter) Result {
 	return res
 }
 
-// consider applies the full filter to one candidate ordinal.
+// consider applies the full filter to one candidate ordinal. A nil slot
+// is a dead event (tombstoned or superseded); index postings no longer
+// reference those, but the full-scan path walks every ordinal.
 func (s *Store) consider(res *Result, ord int32, f Filter) {
 	ev := s.events[ord]
-	if !matches(ev, f) {
+	if ev == nil || !matches(ev, f) {
 		return
 	}
 	res.Total++

@@ -27,17 +27,67 @@ import (
 
 var segMagic = []byte("BHSTSEG\x01")
 
-// markerPayload is the compaction-marker record: a merged segment's
-// first record. It declares that every segment with a lower sequence
-// number is superseded, so a crash between the merged segment's
-// atomic-rename commit and the removal of the old segments cannot
-// double-index events on the next open — recovery skips (and removes)
-// the leftovers. Event payloads always start with codecVersion, so the
-// marker byte can never collide with one.
-var markerPayload = []byte{0xFF}
+// Record kinds. Every record payload is dispatched on its first byte:
+// event payloads start with codecVersion (1), everything else uses
+// high-byte tags that can never collide with a codec version.
+const (
+	kindMarkerV1  = 0xFF // legacy: every lower-seq segment is superseded
+	kindMarkerV2  = 0xFE // explicit list of superseded segment seqs
+	kindTombstone = 0xFD // DeletePrefix erasure record
+)
 
-// isMarker reports whether a record payload is the compaction marker.
-func isMarker(rec []byte) bool { return len(rec) == 1 && rec[0] == 0xFF }
+// isMarkerV1 reports whether a record payload is the legacy
+// merge-everything compaction marker: it declares every segment with a
+// lower sequence number superseded. Kept for stores written before
+// tiered compaction; new merges always write the v2 marker.
+func isMarkerV1(rec []byte) bool { return len(rec) == 1 && rec[0] == kindMarkerV1 }
+
+// isMarkerV2 reports whether a record payload is a tiered compaction
+// marker, the first record of a merged segment: it lists exactly the
+// segment sequence numbers the merge superseded, so a crash between the
+// merged segment's atomic-rename commit and the removal of the old run
+// members cannot double-index events on the next open — recovery skips
+// (and removes) precisely the listed leftovers, leaving every other
+// segment alone.
+func isMarkerV2(rec []byte) bool { return len(rec) >= 1 && rec[0] == kindMarkerV2 }
+
+// isTombstone reports whether a record payload is a DeletePrefix
+// tombstone.
+func isTombstone(rec []byte) bool { return len(rec) >= 1 && rec[0] == kindTombstone }
+
+// isMarker reports whether a record payload is a compaction marker of
+// either version (records that must not be decoded as events).
+func isMarker(rec []byte) bool { return isMarkerV1(rec) || isMarkerV2(rec) }
+
+// appendMarkerV2 encodes a tiered compaction marker superseding seqs.
+func appendMarkerV2(buf []byte, seqs []uint64) []byte {
+	buf = append(buf, kindMarkerV2)
+	buf = binary.AppendUvarint(buf, uint64(len(seqs)))
+	for _, q := range seqs {
+		buf = binary.AppendUvarint(buf, q)
+	}
+	return buf
+}
+
+// markerV2Seqs decodes the superseded sequence list of a v2 marker.
+func markerV2Seqs(rec []byte) ([]uint64, error) {
+	d := rec[1:]
+	n, w := binary.Uvarint(d)
+	if w <= 0 || n > uint64(len(d)) {
+		return nil, errors.New("store: malformed compaction marker")
+	}
+	d = d[w:]
+	seqs := make([]uint64, 0, n)
+	for i := uint64(0); i < n; i++ {
+		q, w := binary.Uvarint(d)
+		if w <= 0 {
+			return nil, errors.New("store: malformed compaction marker")
+		}
+		d = d[w:]
+		seqs = append(seqs, q)
+	}
+	return seqs, nil
+}
 
 // maxRecordBytes bounds a single record so a corrupt length field can't
 // trigger a huge allocation during recovery.
@@ -98,6 +148,17 @@ func listSegments(dir string, readOnly bool) ([]segFile, error) {
 type segFile struct {
 	seq  uint64
 	path string
+
+	// Metadata the store maintains for sealed segments (zero until open
+	// or seal fills it in): valid byte length, the earliest event start
+	// (noMinStart when the segment holds no event records), whether any
+	// event records exist, and how many of them are dead — tombstoned
+	// or superseded in memory but still physically on disk, which makes
+	// the segment a rewrite candidate for the next compaction.
+	size         int64
+	minStartNano int64
+	hasEvents    bool
+	dead         int
 }
 
 // appendRecord appends one length-prefixed, checksummed record.
@@ -210,11 +271,20 @@ func writeSegmentAtomic(dir, path string, payloads [][]byte) (err error) {
 	if err = tmp.Close(); err != nil {
 		return err
 	}
+	if segmentCommitHook != nil {
+		segmentCommitHook()
+	}
 	if err = os.Rename(tmp.Name(), path); err != nil {
 		return err
 	}
 	return syncDir(dir)
 }
+
+// segmentCommitHook, when set (tests only), runs after a merged
+// segment's temporary file is fully written and synced but before the
+// atomic rename commits it — the crash-matrix tests snapshot the
+// directory here to simulate a crash at the pre-commit point.
+var segmentCommitHook func()
 
 // syncDir fsyncs a directory so renames and removals are durable.
 func syncDir(dir string) error {

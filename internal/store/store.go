@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"iter"
+	"math"
 	"net/netip"
 	"os"
 	"path/filepath"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
@@ -19,18 +21,24 @@ import (
 
 // Options configures Open.
 type Options struct {
-	// ReadOnly opens the store for querying only: Append and Compact
-	// fail, leftover temp files stay, and a torn segment tail is skipped
-	// in memory instead of truncated on disk.
+	// ReadOnly opens the store for querying only: Append, DeletePrefix
+	// and compaction fail, leftover temp files stay, and a torn segment
+	// tail is skipped in memory instead of truncated on disk.
 	ReadOnly bool
 	// MaxSegmentBytes seals the active segment once it exceeds this many
 	// bytes (default 8 MiB).
 	MaxSegmentBytes int64
 	// CompactSegments, when > 0, starts a background compactor that
-	// merges sealed segments (dropping superseded flush duplicates)
-	// whenever their count reaches this threshold. Zero disables
-	// background compaction; Compact can still be called explicitly.
+	// runs Policy (or the legacy merge-everything pass when Policy is
+	// zero) whenever the sealed segment count reaches this threshold.
+	// Zero disables background compaction; CompactWith can still be
+	// called explicitly.
 	CompactSegments int
+	// Policy is the compaction policy. Besides steering the background
+	// compactor, a non-zero Policy.Partition makes the active segment
+	// roll whenever an appended event's time partition differs from the
+	// segment's, so every segment holds a single partition's history.
+	Policy Policy
 }
 
 // ErrReadOnly is returned by mutating calls on a read-only store.
@@ -97,9 +105,13 @@ var ErrClosed = errors.New("store: closed")
 
 const defaultMaxSegmentBytes = 8 << 20
 
+// noMinStart is the minStartNano sentinel for a segment holding no
+// event records yet.
+const noMinStart = math.MaxInt64
+
 // Stats describes the store's current shape.
 type Stats struct {
-	// Events is the number of events held (and indexed) in memory.
+	// Events is the number of live (queryable) events held in memory.
 	Events int
 	// Prefixes is the number of distinct prefixes in the trie.
 	Prefixes int
@@ -107,22 +119,19 @@ type Stats struct {
 	Segments int
 	// Bytes is the total size of all segment files.
 	Bytes int64
+	// Tombstones counts the DeletePrefix erasure directives in force.
+	Tombstones int
+	// PendingErasure counts event records that are dead (tombstoned or
+	// superseded) but still physically on disk, awaiting the next
+	// compaction of their segment.
+	PendingErasure int
 	// RecoveredTails counts segments whose tail was torn (crash) and
 	// skipped or truncated during open.
 	RecoveredTails int
 	// MinStart and MaxEnd bound the stored events' time span (zero when
-	// the store is empty).
+	// the store is empty). They can be wider than the live span after
+	// deletions.
 	MinStart, MaxEnd time.Time
-}
-
-// CompactStats describes one compaction.
-type CompactStats struct {
-	SegmentsBefore, SegmentsAfter int
-	EventsBefore, EventsAfter     int
-	// Dropped counts superseded flush duplicates removed: records for
-	// the same (prefix, start, start-unknown) key where a longer-ended
-	// record supersedes an earlier artificial flush close.
-	Dropped int
 }
 
 // Store is the persistent blackholing event store. See the package
@@ -133,11 +142,34 @@ type Store struct {
 	opts Options
 	lock string // writer-lock file path; empty when read-only
 
-	events []*core.Event // ordinal order = closing/append order
-	sealed []segFile     // sealed segments, ascending seq
-	active *os.File      // nil when read-only or closed
-	seq    uint64        // active segment sequence number
-	size   int64         // active segment size in bytes
+	// events holds every indexed event by ordinal (append order); a nil
+	// slot is a dead event (tombstoned, or a superseded duplicate
+	// dropped by compaction). Mutating slots copies the slice first so
+	// snapshots handed out by All stay safe. eventSeg is parallel: the
+	// segment whose file holds each ordinal's record.
+	events   []*core.Event
+	eventSeg []uint64
+	live     int
+
+	// tombs are the DeletePrefix directives in force; tombSeg is the
+	// segment each tombstone record lives in (compaction re-emits a
+	// tombstone when its segment merges).
+	tombs   []Tombstone
+	tombSeg []uint64
+
+	sealed []segFile // sealed segments, ascending seq
+	active *os.File  // nil when read-only or closed
+	seq    uint64    // active segment sequence number
+	size   int64     // active segment size in bytes
+
+	// Active segment bookkeeping for partition rolling and erasure
+	// tracking: live event count, dead-on-disk record count, earliest
+	// event start, and the segment's time partition.
+	activeEvents   int
+	activeDead     int
+	activeMinStart int64
+	activePart     int64
+
 	closed bool
 
 	recoveredTails int
@@ -154,7 +186,7 @@ type Store struct {
 	scratch []byte
 
 	// compactMu serializes whole compactions; s.mu is only held for
-	// Compact's brief swap phases, never across the merge write.
+	// CompactWith's brief swap phases, never across a merge write.
 	compactMu   sync.Mutex
 	compactCh   chan struct{}
 	compactDone chan struct{}
@@ -164,8 +196,11 @@ type Store struct {
 // and rebuilds the in-memory indexes. A torn tail on the newest segment
 // — the signature of a crash mid-append — is truncated away; torn tails
 // on older segments are skipped. Partially written compaction temp
-// files are removed. A read-write Open takes the directory's writer
-// lock; a second concurrent writer fails loudly.
+// files are removed, and segments a compaction marker declares
+// superseded (a crash between a merge's atomic commit and its cleanup)
+// are skipped and deleted instead of double-indexed. A read-write Open
+// takes the directory's writer lock; a second concurrent writer fails
+// loudly.
 func Open(dir string, opts Options) (*Store, error) {
 	if opts.MaxSegmentBytes <= 0 {
 		opts.MaxSegmentBytes = defaultMaxSegmentBytes
@@ -193,13 +228,14 @@ func Open(dir string, opts Options) (*Store, error) {
 
 func open(dir string, opts Options) (*Store, error) {
 	s := &Store{
-		dir:         dir,
-		opts:        opts,
-		trie:        &Trie{},
-		byUser:      map[bgp.ASN][]int32{},
-		byProvider:  map[core.ProviderRef][]int32{},
-		byCommunity: map[bgp.Community][]int32{},
-		byDay:       map[int64][]int32{},
+		dir:            dir,
+		opts:           opts,
+		trie:           &Trie{},
+		byUser:         map[bgp.ASN][]int32{},
+		byProvider:     map[core.ProviderRef][]int32{},
+		byCommunity:    map[bgp.Community][]int32{},
+		byDay:          map[int64][]int32{},
+		activeMinStart: noMinStart,
 	}
 	segs, err := listSegments(dir, opts.ReadOnly)
 	if err != nil {
@@ -208,10 +244,6 @@ func open(dir string, opts Options) (*Store, error) {
 		}
 		return nil, err
 	}
-	// Scan every segment, then honour the newest compaction marker:
-	// segments below it are superseded leftovers of a crash between a
-	// compaction's atomic commit and its cleanup, and indexing them
-	// would double-count every event they hold.
 	scans := make([]scanResult, len(segs))
 	for i, sf := range segs {
 		if scans[i], err = readSegment(sf.path); err != nil {
@@ -231,32 +263,88 @@ func open(dir string, opts Options) (*Store, error) {
 			return nil, err
 		}
 	}
-	cut := 0
+
+	// Honour compaction markers: a v1 marker in segment S supersedes
+	// every lower-seq segment; a v2 marker supersedes exactly the seqs
+	// it lists. Superseded segments are leftovers of a crash between a
+	// merge's atomic commit and its cleanup — indexing them would
+	// double-count every event they hold.
+	superseded := map[uint64]bool{}
 	for i := range segs {
-		if len(scans[i].records) > 0 && isMarker(scans[i].records[0]) {
-			cut = i
-		}
-	}
-	if !opts.ReadOnly {
-		for i := 0; i < cut; i++ {
-			if err := os.Remove(segs[i].path); err != nil {
-				return nil, err
+		for _, rec := range scans[i].records {
+			switch {
+			case isMarkerV1(rec):
+				for j := range segs {
+					if segs[j].seq < segs[i].seq {
+						superseded[segs[j].seq] = true
+					}
+				}
+			case isMarkerV2(rec):
+				listed, merr := markerV2Seqs(rec)
+				if merr != nil {
+					return nil, fmt.Errorf("store: %s: %w", segs[i].path, merr)
+				}
+				for _, q := range listed {
+					// A marker can only speak for segments older than
+					// itself; anything else is corruption — ignore it
+					// rather than delete live data.
+					if q < segs[i].seq {
+						superseded[q] = true
+					}
+				}
 			}
 		}
 	}
-	segs, scans = segs[cut:], scans[cut:]
-
-	for i, sf := range segs {
-		for _, rec := range scans[i].records {
-			if isMarker(rec) {
+	if len(superseded) > 0 {
+		keptSegs, keptScans := segs[:0:0], scans[:0:0]
+		for i, sf := range segs {
+			if superseded[sf.seq] {
+				if !opts.ReadOnly {
+					if err := os.Remove(sf.path); err != nil {
+						return nil, err
+					}
+				}
 				continue
 			}
-			ev, err := DecodeEvent(rec)
-			if err != nil {
-				return nil, fmt.Errorf("store: %s: %w", sf.path, err)
-			}
-			s.index(ev)
+			keptSegs, keptScans = append(keptSegs, sf), append(keptScans, scans[i])
 		}
+		segs, scans = keptSegs, keptScans
+	}
+
+	// Pass 1: decode every record. Tombstones from all segments are
+	// collected before any event is indexed — their time-based
+	// semantics are independent of replay order.
+	type decodedEvent struct {
+		ev  *core.Event
+		seg int // index into segs
+	}
+	var evs []decodedEvent
+	for i, sf := range segs {
+		segs[i].minStartNano = noMinStart
+		for _, rec := range scans[i].records {
+			switch {
+			case isMarker(rec):
+				// Applied above.
+			case isTombstone(rec):
+				tb, terr := decodeTombstone(rec)
+				if terr != nil {
+					return nil, fmt.Errorf("store: %s: %w", sf.path, terr)
+				}
+				s.tombs = append(s.tombs, tb)
+				s.tombSeg = append(s.tombSeg, sf.seq)
+			default:
+				ev, derr := DecodeEvent(rec)
+				if derr != nil {
+					return nil, fmt.Errorf("store: %s: %w", sf.path, derr)
+				}
+				evs = append(evs, decodedEvent{ev: ev, seg: i})
+				segs[i].hasEvents = true
+				if nano := ev.Start.UTC().UnixNano(); nano < segs[i].minStartNano {
+					segs[i].minStartNano = nano
+				}
+			}
+		}
+		segs[i].size = scans[i].validLen
 		if scans[i].truncated {
 			s.recoveredTails++
 			if !opts.ReadOnly && i == len(segs)-1 {
@@ -268,12 +356,22 @@ func open(dir string, opts Options) (*Store, error) {
 			}
 		}
 	}
+
+	// Pass 2: index the events that survive the tombstones. A skipped
+	// event is dead on disk — its segment is flagged so compaction
+	// knows to rewrite it for physical erasure.
+	for _, d := range evs {
+		if s.tombstoned(d.ev) {
+			segs[d.seg].dead++
+			continue
+		}
+		s.index(d.ev, segs[d.seg].seq)
+	}
+
 	if opts.ReadOnly {
 		s.sealed = segs
 		for _, sf := range s.sealed {
-			if fi, err := os.Stat(sf.path); err == nil {
-				s.sealedBytes += fi.Size()
-			}
+			s.sealedBytes += sf.size
 		}
 		return s, nil
 	}
@@ -291,6 +389,16 @@ func open(dir string, opts Options) (*Store, error) {
 			return nil, err
 		}
 		s.active, s.seq, s.size = f, last.seq, fi.Size()
+		s.activeDead = last.dead
+		s.activeMinStart = last.minStartNano
+		if last.hasEvents && opts.Policy.Partition > 0 {
+			s.activePart = partitionKey(last.minStartNano, opts.Policy.Partition)
+		}
+		for _, d := range evs {
+			if d.seg == len(segs)-1 && !s.tombstoned(d.ev) {
+				s.activeEvents++
+			}
+		}
 		s.sealed = segs[:len(segs)-1]
 	} else {
 		if err := s.startSegment(1); err != nil {
@@ -298,9 +406,7 @@ func open(dir string, opts Options) (*Store, error) {
 		}
 	}
 	for _, sf := range s.sealed {
-		if fi, err := os.Stat(sf.path); err == nil {
-			s.sealedBytes += fi.Size()
-		}
+		s.sealedBytes += sf.size
 	}
 	if opts.CompactSegments > 0 {
 		s.compactCh = make(chan struct{}, 1)
@@ -317,13 +423,17 @@ func (s *Store) startSegment(seq uint64) error {
 		return err
 	}
 	s.active, s.seq, s.size = f, seq, int64(len(segMagic))
+	s.activeEvents, s.activeDead, s.activeMinStart, s.activePart = 0, 0, noMinStart, 0
 	return nil
 }
 
-// index adds ev to the in-memory state under the next ordinal.
-func (s *Store) index(ev *core.Event) {
+// index adds ev to the in-memory state under the next ordinal, recording
+// the segment holding its record.
+func (s *Store) index(ev *core.Event, seq uint64) {
 	ord := int32(len(s.events))
 	s.events = append(s.events, ev)
+	s.eventSeg = append(s.eventSeg, seq)
+	s.live++
 	s.trie.Insert(ev.Prefix, ord)
 	for u := range ev.Users {
 		s.byUser[u] = append(s.byUser[u], ord)
@@ -345,6 +455,95 @@ func (s *Store) index(ev *core.Event) {
 	}
 }
 
+// unindex removes ordinal ord from every index and nils its slot,
+// returning the segment that still holds its record on disk. The caller
+// must hold the write lock and have copy-on-write-cloned s.events if
+// snapshots may be live.
+func (s *Store) unindex(ord int32) uint64 {
+	ev := s.events[ord]
+	s.events[ord] = nil
+	s.live--
+	s.trie.Remove(ev.Prefix, ord)
+	for u := range ev.Users {
+		removePosting(s.byUser, u, ord)
+	}
+	for pr := range ev.Providers {
+		removePosting(s.byProvider, pr, ord)
+	}
+	for c := range ev.Communities {
+		removePosting(s.byCommunity, c, ord)
+	}
+	for d := unixDay(ev.Start); d <= unixDay(ev.End); d++ {
+		removePosting(s.byDay, d, ord)
+	}
+	return s.eventSeg[ord]
+}
+
+// moveOrd relocates the live event at ordinal from to the (empty)
+// ordinal to, rewriting every index posting — compaction uses it to put
+// a duplicate's survivor at the key's first-appearance position, which
+// is where the merged segment writes it. Caller holds the write lock
+// with s.events cloned.
+func (s *Store) moveOrd(from, to int32) {
+	ev := s.events[from]
+	s.events[to], s.events[from] = ev, nil
+	s.eventSeg[to] = s.eventSeg[from]
+	s.trie.Replace(ev.Prefix, from, to)
+	for u := range ev.Users {
+		replacePosting(s.byUser, u, from, to)
+	}
+	for pr := range ev.Providers {
+		replacePosting(s.byProvider, pr, from, to)
+	}
+	for c := range ev.Communities {
+		replacePosting(s.byCommunity, c, from, to)
+	}
+	for d := unixDay(ev.Start); d <= unixDay(ev.End); d++ {
+		replacePosting(s.byDay, d, from, to)
+	}
+}
+
+// removePosting drops ord from the postings of k, deleting the key when
+// the list empties.
+func removePosting[K comparable](m map[K][]int32, k K, ord int32) {
+	l := m[k]
+	for i, o := range l {
+		if o == ord {
+			nl := append(l[:i:i], l[i+1:]...)
+			if len(nl) == 0 {
+				delete(m, k)
+			} else {
+				m[k] = nl
+			}
+			return
+		}
+	}
+}
+
+// replacePosting swaps ordinal from for to in the postings of k,
+// keeping the list sorted.
+func replacePosting[K comparable](m map[K][]int32, k K, from, to int32) {
+	l := m[k]
+	for i, o := range l {
+		if o == from {
+			l = append(l[:i:i], l[i+1:]...)
+			break
+		}
+	}
+	at, _ := slices.BinarySearch(l, to)
+	m[k] = slices.Insert(l, at, to)
+}
+
+// tombstoned reports whether any tombstone in force kills ev.
+func (s *Store) tombstoned(ev *core.Event) bool {
+	for _, tb := range s.tombs {
+		if tb.Matches(ev) {
+			return true
+		}
+	}
+	return false
+}
+
 func unixDay(t time.Time) int64 {
 	const day = 24 * 60 * 60
 	sec := t.Unix()
@@ -355,7 +554,9 @@ func unixDay(t time.Time) int64 {
 }
 
 // Append persists the events (in order) and indexes them. The write
-// lands in the OS page cache; call Sync for durability.
+// lands in the OS page cache; call Sync for durability. An event a
+// tombstone in force already covers is written to the log but stays
+// invisible (its record is dropped at the next compaction).
 func (s *Store) Append(events ...*core.Event) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -366,6 +567,20 @@ func (s *Store) Append(events ...*core.Event) error {
 		return ErrReadOnly
 	}
 	for _, ev := range events {
+		// Time-partitioned segments: roll the active segment when the
+		// event belongs to a different partition, so merges never have
+		// to cross partition boundaries.
+		if s.opts.Policy.Partition > 0 {
+			pk := partitionKey(ev.Start.UTC().UnixNano(), s.opts.Policy.Partition)
+			if s.activeEvents+s.activeDead > 0 && pk != s.activePart {
+				if err := s.seal(); err != nil {
+					return err
+				}
+			}
+			if s.activeEvents+s.activeDead == 0 {
+				s.activePart = pk
+			}
+		}
 		payload := EncodeEvent(s.scratch[:0], ev)
 		s.scratch = payload[:0]
 		rec := appendRecord(nil, payload)
@@ -373,7 +588,15 @@ func (s *Store) Append(events ...*core.Event) error {
 			return fmt.Errorf("store: append: %w", err)
 		}
 		s.size += int64(len(rec))
-		s.index(ev)
+		if nano := ev.Start.UTC().UnixNano(); nano < s.activeMinStart {
+			s.activeMinStart = nano
+		}
+		if s.tombstoned(ev) {
+			s.activeDead++ // dead on arrival: logged but invisible
+		} else {
+			s.index(ev, s.seq)
+			s.activeEvents++
+		}
 		if s.size >= s.opts.MaxSegmentBytes {
 			if err := s.seal(); err != nil {
 				return err
@@ -383,20 +606,98 @@ func (s *Store) Append(events ...*core.Event) error {
 	return nil
 }
 
+// DeletePrefix erases the history of a prefix: every stored event whose
+// prefix lies inside prefix (including exact matches) and — when upTo
+// is non-zero — ended at or before upTo disappears from queries
+// immediately, and its bytes are dropped from disk at the next
+// compaction of its segment. The tombstone is durable (an appended
+// record; call Sync for immediate durability) and stays in force for
+// later appends and reopens. Returns the number of events erased now.
+func (s *Store) DeletePrefix(prefix netip.Prefix, upTo time.Time) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.closed:
+		return 0, ErrClosed
+	case s.opts.ReadOnly:
+		return 0, ErrReadOnly
+	case !prefix.IsValid():
+		return 0, fmt.Errorf("store: DeletePrefix: invalid prefix")
+	}
+	tb := Tombstone{Prefix: prefix.Masked()}
+	if !upTo.IsZero() {
+		tb.UpTo = upTo.UTC()
+	}
+	rec := appendRecord(nil, encodeTombstone(nil, tb))
+	if _, err := s.active.Write(rec); err != nil {
+		return 0, fmt.Errorf("store: delete: %w", err)
+	}
+	s.size += int64(len(rec))
+	s.tombs = append(s.tombs, tb)
+	s.tombSeg = append(s.tombSeg, s.seq)
+
+	// Collect doomed ordinals first: unindex mutates the postings the
+	// trie matches alias.
+	var doomed []int32
+	for _, m := range s.trie.Covered(tb.Prefix) {
+		for _, ord := range m.Ords {
+			if ev := s.events[ord]; ev != nil && (tb.UpTo.IsZero() || !ev.End.After(tb.UpTo)) {
+				doomed = append(doomed, ord)
+			}
+		}
+	}
+	if len(doomed) > 0 {
+		// Copy-on-write: snapshots handed out by All keep the old array.
+		s.events = slices.Clone(s.events)
+		for _, ord := range doomed {
+			seq := s.unindex(ord)
+			if seq == s.seq {
+				s.activeDead++
+				s.activeEvents--
+			} else {
+				for i := range s.sealed {
+					if s.sealed[i].seq == seq {
+						s.sealed[i].dead++
+						break
+					}
+				}
+			}
+		}
+	}
+	if s.size >= s.opts.MaxSegmentBytes {
+		if err := s.seal(); err != nil {
+			return len(doomed), err
+		}
+	}
+	return len(doomed), nil
+}
+
 // seal syncs and closes the active segment and starts the next one.
-// Caller holds the write lock.
+// The replacement segment is created first, so the store keeps a valid
+// active segment on every error path. Caller holds the write lock.
 func (s *Store) seal() error {
+	next, err := createSegment(filepath.Join(s.dir, segName(s.seq+1)))
+	if err != nil {
+		return err
+	}
 	if err := s.active.Sync(); err != nil {
+		next.Close()
+		os.Remove(next.Name())
 		return err
 	}
-	if err := s.active.Close(); err != nil {
-		return err
-	}
-	s.sealed = append(s.sealed, segFile{seq: s.seq, path: filepath.Join(s.dir, segName(s.seq))})
+	// The old active's data is synced; a close error cannot lose anything.
+	s.active.Close()
+	s.sealed = append(s.sealed, segFile{
+		seq:          s.seq,
+		path:         filepath.Join(s.dir, segName(s.seq)),
+		size:         s.size,
+		minStartNano: s.activeMinStart,
+		hasEvents:    s.activeEvents+s.activeDead > 0,
+		dead:         s.activeDead,
+	})
 	s.sealedBytes += s.size
-	if err := s.startSegment(s.seq + 1); err != nil {
-		return err
-	}
+	s.active, s.seq, s.size = next, s.seq+1, int64(len(segMagic))
+	s.activeEvents, s.activeDead, s.activeMinStart, s.activePart = 0, 0, noMinStart, 0
 	if s.compactCh != nil && len(s.sealed) >= s.opts.CompactSegments {
 		select {
 		case s.compactCh <- struct{}{}:
@@ -455,11 +756,11 @@ func (s *Store) Close() error {
 	return err
 }
 
-// Len returns the number of events in the store.
+// Len returns the number of live events in the store.
 func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.events)
+	return s.live
 }
 
 // Stats snapshots the store's shape.
@@ -467,13 +768,18 @@ func (s *Store) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	st := Stats{
-		Events:         len(s.events),
+		Events:         s.live,
 		Prefixes:       s.trie.Len(),
 		Segments:       len(s.sealed),
 		Bytes:          s.sealedBytes,
+		Tombstones:     len(s.tombs),
+		PendingErasure: s.activeDead,
 		RecoveredTails: s.recoveredTails,
 		MinStart:       s.minStart,
 		MaxEnd:         s.maxEnd,
+	}
+	for _, sf := range s.sealed {
+		st.PendingErasure += sf.dead
 	}
 	if s.active != nil {
 		st.Segments++
@@ -482,14 +788,17 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
-// All returns the stored events in append order, as a snapshot: events
-// appended after the call are not included.
+// All returns the stored live events in append order, as a snapshot:
+// events appended or erased after the call are not reflected.
 func (s *Store) All() iter.Seq[*core.Event] {
 	s.mu.RLock()
 	events := s.events[:len(s.events):len(s.events)]
 	s.mu.RUnlock()
 	return func(yield func(*core.Event) bool) {
 		for _, ev := range events {
+			if ev == nil {
+				continue
+			}
 			if !yield(ev) {
 				return
 			}
@@ -497,15 +806,16 @@ func (s *Store) All() iter.Seq[*core.Event] {
 	}
 }
 
-// ---------------------------------------------------------------------
-// Compaction.
-
 func (s *Store) compactLoop() {
 	defer close(s.compactDone)
+	pol := s.opts.Policy
+	if pol == (Policy{}) {
+		pol = Policy{MergeAll: true}
+	}
 	for range s.compactCh {
 		// Best-effort: a failed background compaction leaves the store
-		// exactly as it was (the rename never happened).
-		s.Compact()
+		// exactly as it was (no rename happened).
+		s.CompactWith(pol)
 	}
 }
 
@@ -520,146 +830,8 @@ type dupKey struct {
 	startUnknown bool
 }
 
-// Compact merges every segment written so far into one freshly written
-// segment, dropping superseded flush duplicates: of the records sharing
-// a dupKey, only the one with the latest End (ties: most detections,
-// then latest append) survives, at its first appearance's position.
-//
-// The merged segment opens with a compaction-marker record and is
-// committed with an atomic rename before the old segments are removed,
-// so a crash at any point leaves a consistent store: either the old
-// segment set, or the marker-led merged one (recovery then skips any
-// leftover older segments instead of double-indexing them).
-//
-// The expensive work — re-encoding every event and fsyncing the merged
-// segment — runs outside the store lock: the active segment is sealed
-// first, so queries keep answering and appends keep landing (in a
-// fresh segment the marker does not supersede) throughout.
-func (s *Store) Compact() (CompactStats, error) {
-	s.compactMu.Lock()
-	defer s.compactMu.Unlock()
-
-	// Phase 1 (locked): decide survivors, and seal the active segment
-	// so every event of the snapshot lives below the merged sequence
-	// number while concurrent appends land above it.
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return CompactStats{}, ErrClosed
-	}
-	if s.opts.ReadOnly {
-		s.mu.Unlock()
-		return CompactStats{}, ErrReadOnly
-	}
-	stats := CompactStats{
-		SegmentsBefore: len(s.sealed) + 1,
-		EventsBefore:   len(s.events),
-	}
-	snapshot := s.events[:len(s.events):len(s.events)]
-	best := map[dupKey]int{}
-	for i, ev := range snapshot {
-		k := dupKey{ev.Prefix, ev.Start.UTC().UnixNano(), ev.StartUnknown}
-		j, seen := best[k]
-		if !seen || supersedes(ev, snapshot[j]) {
-			best[k] = i
-		}
-	}
-	stats.Dropped = len(snapshot) - len(best)
-	stats.EventsAfter = len(best)
-	if stats.Dropped == 0 && len(s.sealed) == 0 {
-		// Single active segment, nothing to drop: no work.
-		stats.SegmentsAfter = stats.SegmentsBefore
-		s.mu.Unlock()
-		return stats, nil
-	}
-
-	// Seal: create the replacement active segment first, so on any
-	// error the store still holds a valid, open active segment.
-	superseded := append([]segFile(nil), s.sealed...)
-	superseded = append(superseded, segFile{seq: s.seq, path: filepath.Join(s.dir, segName(s.seq))})
-	mergedSeq := s.seq + 1
-	mergedPath := filepath.Join(s.dir, segName(mergedSeq))
-	newActive, err := createSegment(filepath.Join(s.dir, segName(mergedSeq+1)))
-	if err != nil {
-		s.mu.Unlock()
-		return stats, err
-	}
-	if err := s.active.Sync(); err != nil {
-		newActive.Close()
-		os.Remove(newActive.Name())
-		s.mu.Unlock()
-		return stats, err
-	}
-	// The old active's data is synced and about to be superseded; a
-	// close error cannot lose anything.
-	s.active.Close()
-	s.sealed = append(s.sealed, superseded[len(superseded)-1])
-	s.sealedBytes += s.size
-	s.active, s.seq, s.size = newActive, mergedSeq+1, int64(len(segMagic))
-	s.mu.Unlock()
-
-	// Phase 2 (unlocked): encode the survivors and commit the merged
-	// segment atomically. Queries and appends proceed meanwhile.
-	kept := make([]*core.Event, 0, len(best))
-	payloads := make([][]byte, 0, len(best)+1)
-	payloads = append(payloads, markerPayload)
-	emitted := make(map[dupKey]bool, len(best))
-	for _, ev := range snapshot {
-		k := dupKey{ev.Prefix, ev.Start.UTC().UnixNano(), ev.StartUnknown}
-		if emitted[k] {
-			continue // the key's survivor went out at its first position
-		}
-		emitted[k] = true
-		survivor := snapshot[best[k]]
-		kept = append(kept, survivor)
-		payloads = append(payloads, EncodeEvent(nil, survivor))
-	}
-	if err := writeSegmentAtomic(s.dir, mergedPath, payloads); err != nil {
-		// Nothing swapped: the store keeps serving from the old
-		// segments, which are all still live.
-		return stats, err
-	}
-
-	// Phase 3 (locked): swap the superseded segments for the merged
-	// one and rebuild the indexes (kept survivors + events appended
-	// since the snapshot).
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		os.Remove(mergedPath)
-		return stats, ErrClosed
-	}
-	appended := s.events[len(snapshot):]
-	s.sealed = append([]segFile{{seq: mergedSeq, path: mergedPath}}, s.sealed[len(superseded):]...)
-	s.events = nil
-	s.trie = &Trie{}
-	s.byUser = map[bgp.ASN][]int32{}
-	s.byProvider = map[core.ProviderRef][]int32{}
-	s.byCommunity = map[bgp.Community][]int32{}
-	s.byDay = map[int64][]int32{}
-	s.minStart, s.maxEnd = time.Time{}, time.Time{}
-	for _, ev := range kept {
-		s.index(ev)
-	}
-	for _, ev := range appended {
-		s.index(ev)
-	}
-	// Old segment files are harmless once the marker is committed
-	// (recovery skips them), so removal is best-effort.
-	for _, sf := range superseded {
-		os.Remove(sf.path)
-	}
-	syncDir(s.dir)
-	s.sealedBytes = 0
-	for _, sf := range s.sealed {
-		if fi, err := os.Stat(sf.path); err == nil {
-			s.sealedBytes += fi.Size()
-		}
-	}
-	stats.EventsAfter = len(s.events)
-	stats.SegmentsAfter = len(s.sealed) + 1
-	s.mu.Unlock()
-	return stats, nil
+func keyOf(ev *core.Event) dupKey {
+	return dupKey{ev.Prefix, ev.Start.UTC().UnixNano(), ev.StartUnknown}
 }
 
 // supersedes reports whether a replaces b for the same dupKey.

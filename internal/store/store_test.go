@@ -433,12 +433,13 @@ func TestCompactDropsSupersededFlushDuplicates(t *testing.T) {
 }
 
 // TestCompactCrashLeftoversIgnored: a crash between the merged
-// segment's atomic commit and the old-segment cleanup leaves both
-// generations on disk. The marker record must make recovery skip (and
-// remove) the stale generation instead of double-indexing its events.
+// segment's atomic commit (renamed over the run's highest member) and
+// the removal of the lower run members leaves both generations on
+// disk. The v2 marker must make recovery skip (and remove) the stale
+// members instead of double-indexing their events.
 func TestCompactCrashLeftoversIgnored(t *testing.T) {
 	dir := t.TempDir()
-	s, err := Open(dir, Options{})
+	s, err := Open(dir, Options{MaxSegmentBytes: 1024})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -459,14 +460,16 @@ func TestCompactCrashLeftoversIgnored(t *testing.T) {
 	if st.Dropped != 1 || st.EventsAfter != 20 {
 		t.Fatalf("compact: %+v", st)
 	}
+	if len(st.Merged) < 2 {
+		t.Fatalf("expected a multi-segment run, merged only %v", st.Merged)
+	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
 
-	// Resurrect a stale pre-compaction segment below the merged one, as
-	// an interrupted cleanup would leave behind.
-	stalePath := filepath.Join(dir, segName(1))
-	os.Remove(stalePath) // the live store may still own seq 1; replace it
+	// Resurrect a stale lower run member, as an interrupted cleanup
+	// would leave behind: the merged segment's marker names it.
+	stalePath := filepath.Join(dir, segName(st.Merged[0]))
 	f, err := createSegment(stalePath)
 	if err != nil {
 		t.Fatal(err)

@@ -3,6 +3,7 @@ package store
 import (
 	"math/bits"
 	"net/netip"
+	"slices"
 )
 
 // Trie is a binary radix (patricia) trie over IP prefixes, keyed by the
@@ -122,6 +123,62 @@ func (t *Trie) Insert(p netip.Prefix, ord int32) {
 			return
 		}
 	}
+}
+
+// node returns the terminating node for p (masked), or nil.
+func (t *Trie) node(p netip.Prefix) *tnode {
+	p = p.Masked()
+	key := keyBytes(p.Addr())
+	n := *t.rootFor(p)
+	for n != nil {
+		c := commonBits(key, n.key, min(p.Bits(), n.plen))
+		if c == n.plen && c == p.Bits() {
+			return n
+		}
+		if c != n.plen || n.plen >= p.Bits() {
+			return nil
+		}
+		n = n.child[bitAt(key, n.plen)]
+	}
+	return nil
+}
+
+// Remove deletes ord from the postings of p. When the last ordinal
+// goes, the prefix no longer counts as stored (the node stays behind
+// as a pure branch, which lookups already skip).
+func (t *Trie) Remove(p netip.Prefix, ord int32) {
+	n := t.node(p)
+	if n == nil || n.ords == nil {
+		return
+	}
+	for i, o := range n.ords {
+		if o == ord {
+			n.ords = append(n.ords[:i:i], n.ords[i+1:]...)
+			if len(n.ords) == 0 {
+				n.ords = nil
+				t.prefixes--
+			}
+			return
+		}
+	}
+}
+
+// Replace swaps ordinal from for to in the postings of p, keeping the
+// list sorted — compaction uses it to move a duplicate's surviving
+// record to the key's first-appearance ordinal.
+func (t *Trie) Replace(p netip.Prefix, from, to int32) {
+	n := t.node(p)
+	if n == nil || n.ords == nil {
+		return
+	}
+	for i, o := range n.ords {
+		if o == from {
+			n.ords = append(n.ords[:i:i], n.ords[i+1:]...)
+			break
+		}
+	}
+	at, _ := slices.BinarySearch(n.ords, to)
+	n.ords = slices.Insert(n.ords, at, to)
 }
 
 // Exact returns the postings list of p, or nil.

@@ -41,6 +41,12 @@ type StoreStats = store.Stats
 // CompactStats describes one compaction (Store.Compact).
 type CompactStats = store.CompactStats
 
+// CompactionPolicy selects which segments a compaction pass may merge:
+// time-partitioned segments (Partition), LSM-style size-ratio runs
+// (SizeRatio / MinRun), or the legacy merge-everything pass (MergeAll).
+// See Store.Compact and ParseCompactionPolicy.
+type CompactionPolicy = store.Policy
+
 // PrefixMode selects how Query.Prefix matches stored prefixes.
 type PrefixMode = store.PrefixMode
 
@@ -99,10 +105,25 @@ func (st *Store) Len() int { return st.s.Len() }
 // Stats snapshots the store's shape.
 func (st *Store) Stats() StoreStats { return st.s.Stats() }
 
-// Compact merges all segments into one, dropping superseded flush
-// duplicates (the same blackholing closed once artificially by an
-// end-of-window flush and again, longer, by an overlapping replay).
-func (st *Store) Compact() (CompactStats, error) { return st.s.Compact() }
+// Compact runs one compaction pass under policy. A zero policy is the
+// default tiered pass (size-ratio 4, runs of 4, one partition); set
+// MergeAll for the legacy merge-everything behavior, or Partition plus
+// SizeRatio/MinRun for LSM-style tiering in which cold, settled
+// segments are never rewritten (CompactStats.Skipped names them).
+func (st *Store) Compact(policy CompactionPolicy) (CompactStats, error) {
+	return st.s.CompactWith(policy)
+}
+
+// DeletePrefix erases a prefix's history — GDPR-style: every stored
+// event whose prefix lies inside prefix (including exact matches) and,
+// when upTo is non-zero, ended at or before upTo disappears from
+// queries immediately; its bytes leave the disk at the next compaction
+// of its segment's partition. The tombstone is durable and stays in
+// force for later appends and reopens. Returns the number of events
+// erased now.
+func (st *Store) DeletePrefix(prefix netip.Prefix, upTo time.Time) (int, error) {
+	return st.s.DeletePrefix(prefix, upTo)
+}
 
 // Events returns every stored event in append (closing) order.
 func (st *Store) Events() []*Event {
@@ -274,6 +295,73 @@ func ParseProviderRef(s string) (ProviderRef, error) {
 		return ProviderRef{}, fmt.Errorf("bad AS provider %q", s)
 	}
 	return ProviderRef{Kind: ProviderAS, ASN: ASN(asn)}, nil
+}
+
+// ParseCompactionPolicy parses a compaction policy spec, the format
+// cmd/bhserve's -compact-policy flag and bhquery's admin verbs use:
+//
+//	merge-all (or all)     legacy: merge every segment on every pass
+//	tiered                 size-ratio 4, runs of 4, 30-day partitions
+//	tiered,partition=60d,ratio=3,min-run=2
+//
+// The tiered options: partition is a Go duration ("720h") or a day
+// count ("30d", 0 disables time partitioning), ratio bounds a run's
+// largest-to-smallest segment size, min-run is the run length that
+// triggers a merge.
+func ParseCompactionPolicy(s string) (CompactionPolicy, error) {
+	parts := strings.Split(strings.TrimSpace(s), ",")
+	switch parts[0] {
+	case "", "all", "merge-all":
+		if len(parts) > 1 {
+			return CompactionPolicy{}, fmt.Errorf("policy %q takes no options", parts[0])
+		}
+		return CompactionPolicy{MergeAll: true}, nil
+	case "tiered":
+	default:
+		return CompactionPolicy{}, fmt.Errorf("bad compaction policy %q (want merge-all or tiered[,partition=30d,ratio=4,min-run=4])", s)
+	}
+	pol := CompactionPolicy{Partition: 30 * 24 * time.Hour, SizeRatio: 4, MinRun: 4}
+	for _, opt := range parts[1:] {
+		k, v, ok := strings.Cut(opt, "=")
+		if !ok {
+			return CompactionPolicy{}, fmt.Errorf("bad policy option %q (want key=value)", opt)
+		}
+		switch k {
+		case "partition":
+			d, err := parseDaysOrDuration(v)
+			if err != nil || d < 0 {
+				return CompactionPolicy{}, fmt.Errorf("bad partition %q (want a duration like 720h or 30d)", v)
+			}
+			pol.Partition = d
+		case "ratio":
+			r, err := strconv.ParseFloat(v, 64)
+			if err != nil || r <= 1 {
+				return CompactionPolicy{}, fmt.Errorf("bad ratio %q (want > 1)", v)
+			}
+			pol.SizeRatio = r
+		case "min-run":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 2 {
+				return CompactionPolicy{}, fmt.Errorf("bad min-run %q (want >= 2)", v)
+			}
+			pol.MinRun = n
+		default:
+			return CompactionPolicy{}, fmt.Errorf("unknown policy option %q (want partition, ratio or min-run)", k)
+		}
+	}
+	return pol, nil
+}
+
+// parseDaysOrDuration accepts "30d" day counts alongside Go durations.
+func parseDaysOrDuration(s string) (time.Duration, error) {
+	if days, ok := strings.CutSuffix(s, "d"); ok {
+		n, err := strconv.Atoi(days)
+		if err != nil {
+			return 0, err
+		}
+		return time.Duration(n) * 24 * time.Hour, nil
+	}
+	return time.ParseDuration(s)
 }
 
 // ParsePrefixMode parses a prefix match mode name: "exact", "lpm",

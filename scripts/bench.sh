@@ -6,6 +6,10 @@
 #   scripts/bench.sh                 # default: -benchtime=2x
 #   BENCHTIME=10x scripts/bench.sh   # longer, steadier numbers
 #   BENCH_FILTER='BenchmarkEngineThroughput$' scripts/bench.sh
+#   BENCH_OUT=bench_ci.json scripts/bench.sh   # write elsewhere (the CI
+#                                  bench-gate uses this so the committed
+#                                  BENCH_<date>.json baseline is never
+#                                  overwritten by a CI run)
 #
 # The tracked benchmarks are the ones named in the perf methodology
 # (README.md): BenchmarkEngineThroughput (single-core inference hot
@@ -14,16 +18,22 @@
 # BenchmarkRunStreaming (the same window through Detector.Run with a
 # live subscriber; must match BenchmarkRunWindowParallel row for row),
 # and the event-store rows: BenchmarkStoreIngest (append path: encode +
-# checksummed log write + index insert, per event) and
+# checksummed log write + index insert, per event),
 # BenchmarkStoreQueryLPM (indexed longest-prefix-match point queries —
-# must stay in the microsecond range, with no replay in the query path).
+# must stay in the microsecond range, with no replay in the query path)
+# and BenchmarkCompactTiered (one tiered compaction pass: run merge,
+# marker-led atomic commit, in-place index swap).
+#
+# CI gates BenchmarkStoreIngest and BenchmarkStoreQueryLPM against the
+# committed baseline via scripts/bench_compare.go (see the bench-gate
+# job in .github/workflows/ci.yml).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-2x}"
-FILTER="${BENCH_FILTER:-BenchmarkEngineThroughput\$|BenchmarkRunWindowParallel|BenchmarkRunStreaming|BenchmarkStoreIngest\$|BenchmarkStoreQueryLPM\$}"
-OUT="BENCH_$(date +%Y%m%d).json"
+FILTER="${BENCH_FILTER:-BenchmarkEngineThroughput\$|BenchmarkRunWindowParallel|BenchmarkRunStreaming|BenchmarkStoreIngest\$|BenchmarkStoreQueryLPM\$|BenchmarkCompactTiered\$}"
+OUT="${BENCH_OUT:-BENCH_$(date +%Y%m%d).json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 

@@ -1,0 +1,136 @@
+// Command bench_compare is the CI bench-regression gate: it compares a
+// fresh scripts/bench.sh result against the committed BENCH_*.json
+// baseline and fails (exit 1) when a gated benchmark's ns_per_op
+// regressed beyond the tolerance. The tolerance is deliberately
+// generous — CI boxes are noisy — so only real regressions (an
+// accidentally quadratic index rebuild, an fsync on the query path)
+// trip it, not scheduler jitter.
+//
+//	go run ./scripts -baseline BENCH_20260729.json -current bench_ci.json \
+//	    -max-ratio 1.5 BenchmarkStoreIngest BenchmarkStoreQueryLPM
+//
+// Benchmark names match on the base name with any -procs suffix and
+// sub-benchmark path stripped, so "BenchmarkStoreIngest" gates
+// "BenchmarkStoreIngest-4" too. A gated benchmark missing from either
+// file fails the gate: silently dropping a benchmark is itself a
+// regression.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type benchFile struct {
+	Date       string  `json:"date"`
+	Go         string  `json:"go"`
+	CPUs       int     `json:"cpus"`
+	Benchmarks []bench `json:"benchmarks"`
+}
+
+type bench struct {
+	Name     string  `json:"name"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BytesPer float64 `json:"bytes_per_op"`
+	Allocs   float64 `json:"allocs_per_op"`
+}
+
+func main() {
+	var (
+		baseline = flag.String("baseline", "", "committed baseline BENCH_*.json")
+		current  = flag.String("current", "", "freshly measured bench JSON")
+		maxRatio = flag.Float64("max-ratio", 1.5, "fail when current ns_per_op exceeds baseline * ratio")
+	)
+	flag.Parse()
+	gated := flag.Args()
+	if *baseline == "" || *current == "" || len(gated) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: bench_compare -baseline FILE -current FILE [-max-ratio 1.5] BenchmarkName...")
+		os.Exit(2)
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench_compare:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench_compare:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, name := range gated {
+		b, bok := base[name]
+		c, cok := cur[name]
+		switch {
+		case !bok:
+			fmt.Printf("FAIL %-28s missing from baseline %s\n", name, *baseline)
+			failed = true
+		case !cok:
+			fmt.Printf("FAIL %-28s missing from current %s\n", name, *current)
+			failed = true
+		case b.NsPerOp <= 0:
+			fmt.Printf("FAIL %-28s baseline ns_per_op %.0f is unusable\n", name, b.NsPerOp)
+			failed = true
+		default:
+			ratio := c.NsPerOp / b.NsPerOp
+			verdict := "ok  "
+			if ratio > *maxRatio {
+				verdict = "FAIL"
+				failed = true
+			}
+			fmt.Printf("%s %-28s %12.0f -> %12.0f ns/op  (%.2fx, limit %.2fx)\n",
+				verdict, name, b.NsPerOp, c.NsPerOp, ratio, *maxRatio)
+		}
+	}
+	if failed {
+		fmt.Println("bench gate: REGRESSION (or missing benchmark) detected")
+		os.Exit(1)
+	}
+	fmt.Println("bench gate: all gated benchmarks within tolerance")
+}
+
+// load indexes a bench JSON by base benchmark name (sub-benchmark path
+// and GOMAXPROCS suffix stripped); the first entry per base name wins.
+func load(path string) (map[string]bench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]bench{}
+	for _, b := range f.Benchmarks {
+		name := baseName(b.Name)
+		if _, seen := out[name]; !seen {
+			out[name] = b
+		}
+	}
+	return out, nil
+}
+
+func baseName(s string) string {
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		s = s[:i]
+	}
+	// Strip a trailing -N GOMAXPROCS suffix ("BenchmarkStoreIngest-4").
+	if i := strings.LastIndexByte(s, '-'); i > 0 {
+		digits := s[i+1:]
+		numeric := len(digits) > 0
+		for _, r := range digits {
+			if r < '0' || r > '9' {
+				numeric = false
+				break
+			}
+		}
+		if numeric {
+			s = s[:i]
+		}
+	}
+	return s
+}

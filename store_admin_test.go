@@ -1,0 +1,176 @@
+package bgpblackholing
+
+// Facade-level tests for the tiered-compaction and retention surface:
+// Store.Compact(policy), Store.DeletePrefix, and the policy spec parser
+// the CLIs (bhserve -compact-policy, bhquery -compact) share.
+
+import (
+	"bytes"
+	"context"
+	"net/netip"
+	"testing"
+	"time"
+
+	"bgpblackholing/internal/store"
+)
+
+func populatedStore(t *testing.T, dir string, opts StoreOptions) (*Store, []*Event) {
+	t.Helper()
+	p, err := NewPipeline(SmallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStoreWith(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := p.NewDetector()
+	wait := det.SinkToStore(st)
+	res, err := det.Run(context.Background(), p.Replay(800, 806))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wait(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) == 0 {
+		t.Fatal("window produced no events")
+	}
+	return st, res.Events
+}
+
+// TestFacadeCompactAndDeletePrefix drives the whole retention story
+// through the public facade on real detector output: tiered compaction
+// keeps query answers byte-identical, DeletePrefix hides a prefix at
+// once, and the erasure sticks across reopen.
+func TestFacadeCompactAndDeletePrefix(t *testing.T) {
+	dir := t.TempDir()
+	opts := StoreOptions{
+		MaxSegmentBytes: 16 << 10,
+		Policy:          CompactionPolicy{Partition: 30 * 24 * time.Hour, SizeRatio: 4, MinRun: 2},
+	}
+	st, events := populatedStore(t, dir, opts)
+
+	before := st.Query(Query{})
+	stats, err := st.Compact(opts.Policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.EventsAfter > stats.EventsBefore {
+		t.Fatalf("compaction grew the store: %+v", stats)
+	}
+	after := st.Query(Query{})
+	if after.Total != before.Total-stats.Dropped {
+		t.Fatalf("post-compact total %d, want %d - %d dropped", after.Total, before.Total, stats.Dropped)
+	}
+
+	victim := events[0].Prefix
+	covered := st.Query(Query{Prefix: victim, Mode: PrefixCovered})
+	if covered.Total == 0 {
+		t.Fatal("no events under the victim prefix")
+	}
+	n, err := st.DeletePrefix(victim, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != covered.Total {
+		t.Fatalf("DeletePrefix erased %d, want %d", n, covered.Total)
+	}
+	if res := st.Query(Query{Prefix: victim, Mode: PrefixCovered}); res.Total != 0 {
+		t.Fatalf("victim prefix still visible: %d events", res.Total)
+	}
+	wantTotal := after.Total - n
+	if res := st.Query(Query{}); res.Total != wantTotal {
+		t.Fatalf("full scan after delete: %d, want %d", res.Total, wantTotal)
+	}
+	remaining := st.Events()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenStoreWith(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if res := r.Query(Query{Prefix: victim, Mode: PrefixCovered}); res.Total != 0 {
+		t.Fatalf("reopen resurrected the deleted prefix: %d events", res.Total)
+	}
+	got := r.Events()
+	if len(got) != len(remaining) {
+		t.Fatalf("reopen has %d events, want %d", len(got), len(remaining))
+	}
+	for i := range got {
+		if !bytes.Equal(store.EncodeEvent(nil, got[i]), store.EncodeEvent(nil, remaining[i])) {
+			t.Fatalf("event %d not byte-identical across delete+reopen", i)
+		}
+	}
+	if s := r.Stats(); s.Tombstones != 1 {
+		t.Fatalf("tombstone not durable: %+v", s)
+	}
+}
+
+func TestParseCompactionPolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want CompactionPolicy
+		ok   bool
+	}{
+		{"", CompactionPolicy{MergeAll: true}, true},
+		{"all", CompactionPolicy{MergeAll: true}, true},
+		{"merge-all", CompactionPolicy{MergeAll: true}, true},
+		{"tiered", CompactionPolicy{Partition: 30 * 24 * time.Hour, SizeRatio: 4, MinRun: 4}, true},
+		{"tiered,partition=60d,ratio=3,min-run=2", CompactionPolicy{Partition: 60 * 24 * time.Hour, SizeRatio: 3, MinRun: 2}, true},
+		{"tiered,partition=720h", CompactionPolicy{Partition: 720 * time.Hour, SizeRatio: 4, MinRun: 4}, true},
+		{"tiered,partition=0d", CompactionPolicy{Partition: 0, SizeRatio: 4, MinRun: 4}, true},
+		{"tiered,ratio=0.5", CompactionPolicy{}, false},
+		{"tiered,min-run=1", CompactionPolicy{}, false},
+		{"tiered,nope=1", CompactionPolicy{}, false},
+		{"merge-all,ratio=2", CompactionPolicy{}, false},
+		{"bogus", CompactionPolicy{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParseCompactionPolicy(c.in)
+		if c.ok != (err == nil) {
+			t.Fatalf("ParseCompactionPolicy(%q): err = %v, want ok=%v", c.in, err, c.ok)
+		}
+		if c.ok && got != c.want {
+			t.Fatalf("ParseCompactionPolicy(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestDeletePrefixHostAddress: erasing by host address (the bhquery
+// -delete-prefix 10.1.2.3 shape) kills exactly the events whose prefix
+// covers nothing beyond that host — i.e. only exact /32 records — while
+// broader prefixes stay (use the covering prefix to erase those).
+func TestDeletePrefixHostAddress(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	mk := func(prefix string, minutes int) *Event {
+		start := time.Date(2015, 3, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(minutes) * time.Minute)
+		return &Event{
+			Prefix: netip.MustParsePrefix(prefix),
+			Start:  start,
+			End:    start.Add(30 * time.Minute),
+		}
+	}
+	if err := st.Append(mk("192.0.2.7/32", 0), mk("192.0.2.0/24", 10)); err != nil {
+		t.Fatal(err)
+	}
+	host := netip.MustParsePrefix("192.0.2.7/32")
+	n, err := st.DeletePrefix(host, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("host delete erased %d events, want 1 (/32 only)", n)
+	}
+	if res := st.Query(Query{Prefix: netip.MustParsePrefix("192.0.2.0/24"), Mode: PrefixExact}); res.Total != 1 {
+		t.Fatalf("covering /24 should survive a host delete, got %d", res.Total)
+	}
+}
