@@ -54,6 +54,8 @@
 //   - internal/stream     — BGPStream-like merged update streams
 //   - internal/core       — the inference engine (§4.2)
 //   - internal/store      — the persistent, indexed event store
+//   - internal/rpki       — ROA registry, indexed RFC 6811 validation
+//   - internal/enrich     — query-time legitimacy annotation
 //   - internal/workload   — the longitudinal activity scenario (§6)
 //   - internal/dataplane  — traceroute + IXP IPFIX simulation (§10)
 //   - internal/scans      — scans.io-like host profiling (§8)
@@ -63,6 +65,7 @@ package bgpblackholing
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"bgpblackholing/internal/analysis"
@@ -118,6 +121,11 @@ type Pipeline struct {
 	Corpus   []irr.Document
 	Dict     *dictionary.Dictionary
 	Scenario *workload.Scenario
+
+	// annOnce/ann memoize Annotator, so every surface (HTTP handler,
+	// store, examples) shares one annotator — and one annotation cache.
+	annOnce sync.Once
+	ann     *Annotator
 }
 
 // NewPipeline builds the world: topology, collector deployment,
@@ -195,6 +203,27 @@ func (p *Pipeline) RunWindow(fromDay, toDay int) *RunResult {
 		panic(fmt.Sprintf("bgpblackholing: RunWindow: %v", err))
 	}
 	return res
+}
+
+// RPKIRegistry returns the deployment's ROA registry, or nil when the
+// deployment's validation hook is not registry-backed.
+func (p *Pipeline) RPKIRegistry() *RPKIRegistry {
+	if p.Deploy == nil {
+		return nil
+	}
+	reg, _ := p.Deploy.RPKI.(*RPKIRegistry)
+	return reg
+}
+
+// Annotator returns the pipeline's legitimacy annotator, built once
+// from the world: the deployment's ROA registry and the extracted
+// IRR/web dictionary. Attach it to a store (Store.SetAnnotator) to
+// enable Query.Enrich, or annotate events directly with
+// Annotator.Annotate. Every call returns the same instance, so all
+// query surfaces share one annotation cache.
+func (p *Pipeline) Annotator() *Annotator {
+	p.annOnce.Do(func() { p.ann = NewAnnotator(p.RPKIRegistry(), p.Dict) })
+	return p.ann
 }
 
 // Re-exported result helpers so downstream users rarely need to import

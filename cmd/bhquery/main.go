@@ -10,7 +10,19 @@
 //	bhquery -store ./bhstore -community 3356:9999 -from 2015-03-01T00:00:00Z
 //	bhquery -store ./bhstore -stats
 //	bhquery -store ./bhstore -figure4 -every 30
+//	bhquery -store ./bhstore -figure8 -group-timeout 5m
 //	bhquery -server http://127.0.0.1:8080 -provider AS3356 -format ndjson
+//
+// With -enrich every returned event carries its legitimacy view — RPKI
+// validity per inferred origin, documentation status per matched
+// community, and a combined verdict (legitimate | questionable |
+// illegitimate). Direct -store mode rebuilds the deployment's registry
+// and dictionary deterministically from -scale/-seed (match the values
+// the store was ingested with); -server mode asks the server, which
+// annotates from its own world:
+//
+//	bhquery -store ./bhstore -enrich -scale 0.15 -seed 42 -prefix 10.1.2.3 -mode lpm
+//	bhquery -server http://127.0.0.1:8080 -enrich -origin 65001
 //
 // Admin verbs (they open the store read-write, so stop any writer
 // first — stores are single-writer):
@@ -59,6 +71,12 @@ func main() {
 		stats   = flag.Bool("stats", false, "print store statistics instead of events")
 		figure4 = flag.Bool("figure4", false, "print the daily longitudinal series (Figure 4)")
 		every   = flag.Int("every", 30, "sample the figure4 series every N days")
+		figure8 = flag.Bool("figure8", false, "print the duration distribution summary (Figure 8)")
+		groupTO = flag.Duration("group-timeout", bgpblackholing.DefaultGroupTimeout, "event-grouping timeout for -figure8 (must be positive)")
+
+		enrichQ = flag.Bool("enrich", false, "annotate events with RPKI validity, community documentation and a legitimacy verdict")
+		scale   = flag.Float64("scale", 0.15, "world scale for -enrich in direct -store mode (must match ingestion)")
+		seed    = flag.Int64("seed", 42, "world seed for -enrich in direct -store mode (must match ingestion)")
 
 		deletePrefix = flag.String("delete-prefix", "", "admin: erase this prefix's history (opens the store read-write)")
 		deleteUpTo   = flag.String("delete-up-to", "", "admin: bound -delete-prefix to events ending at/before this RFC 3339 time")
@@ -71,6 +89,8 @@ func main() {
 		origin: uint32(*origin), provider: *provider, community: *community,
 		minDur: *minDur, maxDur: *maxDur, limit: *limit,
 		format: *format, stats: *stats, figure4: *figure4, every: *every,
+		figure8: *figure8, groupTO: *groupTO,
+		enrich: *enrichQ, scale: *scale, seed: *seed,
 		deletePrefix: *deletePrefix, deleteUpTo: *deleteUpTo, compact: *compact,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "bhquery:", err)
@@ -88,6 +108,11 @@ type config struct {
 	format                 string
 	stats, figure4         bool
 	every                  int
+	figure8                bool
+	groupTO                time.Duration
+	enrich                 bool
+	scale                  float64
+	seed                   int64
 
 	deletePrefix, deleteUpTo, compact string
 }
@@ -98,6 +123,18 @@ func run(c *config) error {
 	}
 	if c.deleteUpTo != "" && c.deletePrefix == "" {
 		return fmt.Errorf("-delete-up-to requires -delete-prefix")
+	}
+	// Duration sanity up front: negative filter bounds are caller
+	// errors, and a non-positive grouping timeout would silently merge
+	// nothing (or everything) in core.Group.
+	if c.minDur < 0 {
+		return fmt.Errorf("-min-duration: negative duration %v", c.minDur)
+	}
+	if c.maxDur < 0 {
+		return fmt.Errorf("-max-duration: negative duration %v", c.maxDur)
+	}
+	if c.figure8 && c.groupTO <= 0 {
+		return fmt.Errorf("-group-timeout: grouping timeout must be positive, got %v", c.groupTO)
 	}
 	if c.deletePrefix != "" || c.compact != "" {
 		if c.server != "" {
@@ -200,6 +237,24 @@ func runDirect(c *config) error {
 		fmt.Print(bgpblackholing.FormatFigure4(series, max(1, c.every)))
 		return nil
 	}
+	if c.figure8 {
+		ungrouped, grouped := st.Figure8(c.groupTO)
+		fmt.Printf("figure8: %d events group into %d periods at timeout %v\n",
+			len(ungrouped), len(grouped), c.groupTO)
+		return nil
+	}
+
+	// -enrich needs the world's registry and dictionary; rebuild them
+	// deterministically the way bhserve does at startup.
+	if c.enrich {
+		p, err := bgpblackholing.NewPipeline(bgpblackholing.Options{
+			Seed: c.seed, TopoScale: c.scale, CollectorScale: c.scale, EventScale: c.scale, Days: 850,
+		})
+		if err != nil {
+			return fmt.Errorf("-enrich: building the world: %w", err)
+		}
+		st.SetAnnotator(p.Annotator())
+	}
 
 	q, err := buildQuery(c)
 	if err != nil {
@@ -208,11 +263,15 @@ func runDirect(c *config) error {
 	res := st.Query(q)
 	records := make([]bgpblackholing.EventRecord, len(res.Events))
 	for i, ev := range res.Events {
-		records[i] = bgpblackholing.NewEventRecord(ev)
+		if res.Annotations != nil {
+			records[i] = bgpblackholing.NewEventRecordEnriched(ev, res.Annotations[i])
+		} else {
+			records[i] = bgpblackholing.NewEventRecord(ev)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "bhquery: %d matches (%d returned), %d candidates scanned, %s\n",
 		res.Total, len(records), res.Scanned, res.Elapsed)
-	return render(os.Stdout, c.format, records)
+	return render(os.Stdout, c.format, c.enrich, records)
 }
 
 func buildQuery(c *config) (bgpblackholing.Query, error) {
@@ -252,6 +311,7 @@ func buildQuery(c *config) (bgpblackholing.Query, error) {
 		}
 	}
 	q.MinDuration, q.MaxDuration, q.Limit = c.minDur, c.maxDur, c.limit
+	q.Enrich = c.enrich
 	return q, nil
 }
 
@@ -265,6 +325,9 @@ func runServer(c *config) error {
 	}
 	if c.figure4 {
 		return pipeGET(fmt.Sprintf("%s/figure4?every=%d", base, max(1, c.every)))
+	}
+	if c.figure8 {
+		return pipeGET(fmt.Sprintf("%s/figure8?timeout=%s", base, url.QueryEscape(c.groupTO.String())))
 	}
 
 	params := url.Values{}
@@ -293,6 +356,9 @@ func runServer(c *config) error {
 	if c.limit > 0 {
 		set("limit", fmt.Sprint(c.limit))
 	}
+	if c.enrich {
+		set("enrich", "1")
+	}
 	if c.format == "ndjson" {
 		set("format", "ndjson")
 		return pipeGET(base + "/events?" + params.Encode())
@@ -319,7 +385,7 @@ func runServer(c *config) error {
 	}
 	fmt.Fprintf(os.Stderr, "bhquery: %d matches (%d returned), %d candidates scanned, %dµs server-side\n",
 		payload.Total, payload.Returned, payload.Scanned, payload.ElapsedUS)
-	return render(os.Stdout, c.format, payload.Events)
+	return render(os.Stdout, c.format, c.enrich, payload.Events)
 }
 
 // pipeGET streams a response body straight through.
@@ -340,7 +406,7 @@ func pipeGET(u string) error {
 // ---------------------------------------------------------------------
 // Rendering.
 
-func render(w io.Writer, format string, records []bgpblackholing.EventRecord) error {
+func render(w io.Writer, format string, enriched bool, records []bgpblackholing.EventRecord) error {
 	switch format {
 	case "json":
 		return printJSON(w, records)
@@ -353,23 +419,36 @@ func render(w io.Writer, format string, records []bgpblackholing.EventRecord) er
 		}
 		return nil
 	case "csv":
-		fmt.Fprintln(w, "prefix,start,end,duration_seconds,providers,users,communities,platforms,detections")
+		header := "prefix,start,end,duration_seconds,providers,users,communities,platforms,detections"
+		if enriched {
+			header += ",rpki,legitimacy"
+		}
+		fmt.Fprintln(w, header)
 		for _, r := range records {
 			var users []string
 			for _, u := range r.Users {
 				users = append(users, fmt.Sprint(u))
 			}
-			fmt.Fprintf(w, "%s,%s,%s,%.0f,%s,%s,%s,%s,%d\n",
+			fmt.Fprintf(w, "%s,%s,%s,%.0f,%s,%s,%s,%s,%d",
 				r.Prefix, r.Start.Format(time.RFC3339), r.End.Format(time.RFC3339),
 				r.DurationSeconds,
 				strings.Join(r.Providers, ";"), strings.Join(users, ";"),
 				strings.Join(r.Communities, ";"), strings.Join(r.Platforms, ";"),
 				r.Detections)
+			if enriched {
+				fmt.Fprintf(w, ",%s,%s", rpkiColumn(r), r.Legitimacy)
+			}
+			fmt.Fprintln(w)
 		}
 		return nil
 	case "table":
-		fmt.Fprintf(w, "%-20s %-20s %-12s %-28s %-6s %s\n",
-			"PREFIX", "START", "DURATION", "PROVIDERS", "USERS", "PLATFORMS")
+		if enriched {
+			fmt.Fprintf(w, "%-20s %-20s %-12s %-28s %-6s %-10s %-14s %s\n",
+				"PREFIX", "START", "DURATION", "PROVIDERS", "USERS", "RPKI", "LEGITIMACY", "PLATFORMS")
+		} else {
+			fmt.Fprintf(w, "%-20s %-20s %-12s %-28s %-6s %s\n",
+				"PREFIX", "START", "DURATION", "PROVIDERS", "USERS", "PLATFORMS")
+		}
 		for _, r := range records {
 			dur := (time.Duration(r.DurationSeconds) * time.Second).String()
 			if r.StartUnknown {
@@ -379,13 +458,29 @@ func render(w io.Writer, format string, records []bgpblackholing.EventRecord) er
 			if len(provs) > 27 {
 				provs = provs[:24] + "..."
 			}
-			fmt.Fprintf(w, "%-20s %-20s %-12s %-28s %-6d %s\n",
-				r.Prefix, r.Start.Format("2006-01-02T15:04:05Z"), dur,
-				provs, len(r.Users), strings.Join(r.Platforms, ","))
+			if enriched {
+				fmt.Fprintf(w, "%-20s %-20s %-12s %-28s %-6d %-10s %-14s %s\n",
+					r.Prefix, r.Start.Format("2006-01-02T15:04:05Z"), dur,
+					provs, len(r.Users), rpkiColumn(r), r.Legitimacy,
+					strings.Join(r.Platforms, ","))
+			} else {
+				fmt.Fprintf(w, "%-20s %-20s %-12s %-28s %-6d %s\n",
+					r.Prefix, r.Start.Format("2006-01-02T15:04:05Z"), dur,
+					provs, len(r.Users), strings.Join(r.Platforms, ","))
+			}
 		}
 		return nil
 	}
 	return fmt.Errorf("unknown format %q (want table, json, ndjson or csv)", format)
+}
+
+// rpkiColumn renders a record's folded RPKI state, "-" when the record
+// carries no RPKI section.
+func rpkiColumn(r bgpblackholing.EventRecord) string {
+	if len(r.RPKI) == 0 {
+		return "-"
+	}
+	return bgpblackholing.SummarizeRPKI(r.RPKI)
 }
 
 func printJSON(w io.Writer, v any) error {

@@ -98,12 +98,21 @@ func run(listen string, scale float64, seed int64, asn uint32, storeDir, httpAdd
 		if err != nil {
 			return err
 		}
+		// The handler carries the world's annotator (ROA registry +
+		// IRR/web dictionary), so /events?enrich=1 and /legitimacy can
+		// answer "was this blackholing legitimate" per event. Attach it
+		// to the store too, for programmatic Query.Enrich callers.
+		st.SetAnnotator(p.Annotator())
 		srv = &http.Server{Handler: bgpblackholing.NewStoreHandler(st, p)}
 		go srv.Serve(hln)
 		// Backstop for error paths; the normal exit drains gracefully
 		// below before the deferred store close runs.
 		defer srv.Close()
-		fmt.Printf("bhserve: query API on http://%s (events, stats, figure4, figure8, table3, table4)\n", hln.Addr())
+		fmt.Printf("bhserve: query API on http://%s (events, legitimacy, stats, figure4, figure8, table3, table4)\n", hln.Addr())
+		if reg := p.RPKIRegistry(); reg != nil {
+			fmt.Printf("bhserve: legitimacy enrichment on (%d ROAs, %d dictionary communities)\n",
+				reg.Len(), len(p.Dict.Entries()))
+		}
 	}
 
 	ln, err := net.Listen("tcp", listen)

@@ -4,7 +4,10 @@
 // from the store's indexes, in microseconds, without replaying BGP data:
 //
 //   - point lookup: has this address ever been blackholed, when, by whom
-//     (longest-prefix-match over the patricia trie);
+//     (longest-prefix-match over the patricia trie), each hit annotated
+//     with its legitimacy — RPKI validity of the victim prefix at the
+//     inferred origins and the documentation status of the matched
+//     communities (Query.Enrich through the world's annotator);
 //   - aggregate sweep: every blackholed more-specific inside a /8
 //     (covered-prefix query);
 //   - per-origin history: all events for one blackholing user ASN.
@@ -69,27 +72,37 @@ func main() {
 		log.Fatal(err)
 	}
 	defer glass.Close()
+	// The world's ROA registry and dictionary power per-event
+	// legitimacy annotation on enriched queries.
+	glass.SetAnnotator(p.Annotator())
 	stats := glass.Stats()
 	fmt.Printf("store: %d events, %d distinct prefixes, %d segments, span %s – %s\n\n",
 		stats.Events, stats.Prefixes, stats.Segments,
 		stats.MinStart.Format("2006-01-02"), stats.MaxEnd.Format("2006-01-02"))
 
-	// 1. Point lookup: was this address blackholed? (LPM)
+	// 1. Point lookup: was this address blackholed? (LPM, enriched with
+	// the legitimacy verdict per hit.)
 	victim := res.Events[len(res.Events)/2].Prefix.Addr()
 	qr := glass.Query(bgpblackholing.Query{
 		Prefix: netip.PrefixFrom(victim, victim.BitLen()),
 		Mode:   bgpblackholing.PrefixLPM,
+		Enrich: true,
 	})
 	fmt.Printf("LPM lookup %s: %d events (scanned %d candidates in %s)\n",
 		victim, qr.Total, qr.Scanned, qr.Elapsed)
-	for _, ev := range qr.Events {
+	for i, ev := range qr.Events {
 		var provs []string
 		for pr := range ev.Providers {
 			provs = append(provs, pr.String())
 		}
 		sort.Strings(provs)
-		fmt.Printf("  %s  %s – %s  via %v\n", ev.Prefix,
-			ev.Start.Format("2006-01-02 15:04"), ev.End.Format("2006-01-02 15:04"), provs)
+		ann := qr.Annotations[i]
+		fmt.Printf("  %s  %s – %s  via %v  rpki=%s legitimacy=%s\n", ev.Prefix,
+			ev.Start.Format("2006-01-02 15:04"), ev.End.Format("2006-01-02 15:04"), provs,
+			ann.RPKISummary(), ann.Legitimacy)
+		for _, reason := range ann.Reasons {
+			fmt.Printf("    ! %s\n", reason)
+		}
 	}
 
 	// 2. Aggregate sweep: every blackholed more-specific inside the
@@ -122,10 +135,19 @@ func main() {
 	qr = glass.Query(bgpblackholing.Query{Prefix: hidden, Mode: bgpblackholing.PrefixExact})
 	fmt.Printf("\nportal-blackholed %s in the BGP-derived store: %d events\n", hidden, qr.Total)
 	g := glasses.Glass(provider.ASN)
+	ann := p.Annotator()
 	for _, e := range g.QueryPrefix(hidden) {
-		if e.Blackholed {
-			fmt.Printf("looking glass inside AS%d: %s -> next-hop %s (null route, community %s)\n",
-				provider.ASN, e.Prefix, e.NextHop, e.Communities[0])
+		if !e.Blackholed {
+			continue
 		}
+		// Even an out-of-band null route gets the legitimacy treatment:
+		// annotate a synthetic event carrying what the glass shows —
+		// the prefix and the trigger community.
+		verdict := ann.Annotate(&bgpblackholing.Event{
+			Prefix:      e.Prefix,
+			Communities: map[bgpblackholing.Community]bool{e.Communities[0]: true},
+		})
+		fmt.Printf("looking glass inside AS%d: %s -> next-hop %s (null route, community %s, legitimacy=%s)\n",
+			provider.ASN, e.Prefix, e.NextHop, e.Communities[0], verdict.Legitimacy)
 	}
 }

@@ -8,7 +8,9 @@ import (
 	"bgpblackholing/internal/collector"
 	"bgpblackholing/internal/core"
 	"bgpblackholing/internal/dictionary"
+	"bgpblackholing/internal/enrich"
 	"bgpblackholing/internal/irr"
+	"bgpblackholing/internal/rpki"
 	"bgpblackholing/internal/stream"
 	"bgpblackholing/internal/topology"
 	"bgpblackholing/internal/workload"
@@ -98,6 +100,55 @@ type (
 	// IRRSource distinguishes IRR records from operator web pages.
 	IRRSource = irr.Source
 )
+
+// Legitimacy enrichment types (see NewAnnotator, Pipeline.Annotator,
+// Query.Enrich and the /legitimacy HTTP endpoint).
+type (
+	// RPKIRegistry is the ROA registry: origin validation answers from
+	// an indexed covering-ROA lookup (RFC 6811 semantics).
+	RPKIRegistry = rpki.Registry
+	// ROA is one Route Origin Authorization.
+	ROA = rpki.ROA
+	// RPKIState is the RFC 6811 origin-validation outcome.
+	RPKIState = rpki.State
+	// Annotator computes per-event legitimacy annotations from a ROA
+	// registry and the blackhole-communities dictionary.
+	Annotator = enrich.Annotator
+	// Annotation is the legitimacy view of one event: RPKI validity per
+	// origin, documentation status per community, combined verdict.
+	Annotation = enrich.Annotation
+	// OriginValidity is the RFC 6811 outcome for one inferred origin.
+	OriginValidity = enrich.OriginValidity
+	// CommunityDoc is the documentation status of one matched community.
+	CommunityDoc = enrich.CommunityDoc
+)
+
+// RFC 6811 origin-validation states (RPKIState values).
+const (
+	RPKINotFound = rpki.NotFound
+	RPKIValid    = rpki.Valid
+	RPKIInvalid  = rpki.Invalid
+)
+
+// Legitimacy verdicts (Annotation.Legitimacy values).
+const (
+	VerdictLegitimate   = enrich.VerdictLegitimate
+	VerdictQuestionable = enrich.VerdictQuestionable
+	VerdictIllegitimate = enrich.VerdictIllegitimate
+)
+
+// NewAnnotator builds a legitimacy annotator over a ROA registry and a
+// blackhole-communities dictionary; either may be nil (that dimension
+// is then skipped). Pipeline.Annotator wires both from a built world.
+func NewAnnotator(reg *RPKIRegistry, dict *Dictionary) *Annotator {
+	return enrich.New(reg, dict)
+}
+
+// SummarizeRPKI folds per-origin validation states into one: "valid"
+// when any origin validates, else "invalid" when any covering ROA
+// exists, else "not-found" — the same precedence as
+// Annotation.RPKISummary, usable on EventRecord.RPKI wire data.
+func SummarizeRPKI(states []OriginValidity) string { return enrich.SummarizeRPKI(states) }
 
 // Provider kinds (ProviderRef.Kind).
 const (

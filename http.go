@@ -30,19 +30,36 @@ import (
 //	    max_duration      Go durations ("90s", "1h30m")
 //	    limit             max events returned (JSON responses default
 //	                      to 10000; pass an explicit limit to raise it)
+//	    enrich            1 | true: annotate each event with RPKI
+//	                      validity, community documentation status and
+//	                      a legitimacy verdict (needs the pipeline's
+//	                      world; 503 otherwise)
 //	    format            json (default) | ndjson (streaming, uncapped;
 //	                      also via the Accept: application/x-ndjson
 //	                      header)
+//	/legitimacy                    legitimacy summary over the same
+//	                               filter params: verdict, RPKI-state
+//	                               and community-doc histograms (needs
+//	                               pipeline)
 //	/figure4?start=&days=&every=   daily longitudinal series
 //	/figure8?timeout=              duration distributions (raw/grouped)
 //	/table3                        visibility overview (needs pipeline)
 //	/table4                        visibility by provider type (needs pipeline)
+//
+// When p carries a world, its annotator (registry + dictionary) powers
+// enrich=1 and /legitimacy; without a pipeline the handler falls back
+// to an annotator attached to the store (Store.SetAnnotator), and a
+// bare store-only handler serves everything else unchanged.
 func NewStoreHandler(st *Store, p *Pipeline) http.Handler {
 	h := &storeHandler{st: st, p: p}
+	if p != nil {
+		h.ann = p.Annotator()
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", h.healthz)
 	mux.HandleFunc("GET /stats", h.stats)
 	mux.HandleFunc("GET /events", h.events)
+	mux.HandleFunc("GET /legitimacy", h.legitimacy)
 	mux.HandleFunc("GET /figure4", h.figure4)
 	mux.HandleFunc("GET /figure8", h.figure8)
 	mux.HandleFunc("GET /table3", h.table3)
@@ -53,6 +70,19 @@ func NewStoreHandler(st *Store, p *Pipeline) http.Handler {
 type storeHandler struct {
 	st *Store
 	p  *Pipeline
+	// ann is the pipeline's annotator when the handler was built with a
+	// world; otherwise annotator() falls back to the store's — resolved
+	// per request, so Store.SetAnnotator works before or after
+	// NewStoreHandler.
+	ann *Annotator
+}
+
+// annotator resolves the enrichment annotator for a request, or nil.
+func (h *storeHandler) annotator() *Annotator {
+	if h.ann != nil {
+		return h.ann
+	}
+	return h.st.Annotator()
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -139,12 +169,18 @@ func parseQuery(r *http.Request) (Query, error) {
 		if err != nil {
 			return q, fmt.Errorf("min_duration: %v", err)
 		}
+		if d < 0 {
+			return q, fmt.Errorf("min_duration: negative duration %q", s)
+		}
 		q.MinDuration = d
 	}
 	if s := get("max_duration"); s != "" {
 		d, err := time.ParseDuration(s)
 		if err != nil {
 			return q, fmt.Errorf("max_duration: %v", err)
+		}
+		if d < 0 {
+			return q, fmt.Errorf("max_duration: negative duration %q", s)
 		}
 		q.MaxDuration = d
 	}
@@ -154,6 +190,13 @@ func parseQuery(r *http.Request) (Query, error) {
 			return q, fmt.Errorf("limit: bad value %q", s)
 		}
 		q.Limit = n
+	}
+	if s := get("enrich"); s != "" {
+		on, err := strconv.ParseBool(s)
+		if err != nil {
+			return q, fmt.Errorf("enrich: bad value %q", s)
+		}
+		q.Enrich = on
 	}
 	return q, nil
 }
@@ -171,19 +214,33 @@ func (h *storeHandler) events(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ndjson := r.URL.Query().Get("format") == "ndjson" ||
-		strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
-	if !ndjson && q.Limit <= 0 {
-		q.Limit = defaultJSONLimit
-	}
-	res := h.st.Query(q)
-	if ndjson {
-		h.streamNDJSON(w, res)
+	ann := h.annotator()
+	if q.Enrich && ann == nil {
+		httpError(w, http.StatusServiceUnavailable, "enrichment needs the pipeline's registry and dictionary; run the server with a world")
 		return
 	}
+	ndjson := r.URL.Query().Get("format") == "ndjson" ||
+		strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+	if ndjson {
+		h.streamNDJSON(w, q, ann)
+		return
+	}
+	if q.Limit <= 0 {
+		q.Limit = defaultJSONLimit
+	}
+	// The handler annotates while building records; clearing Enrich
+	// keeps Store.Query from running a second annotation pass when the
+	// store carries its own annotator (as bhserve configures).
+	enrich := q.Enrich
+	q.Enrich = false
+	res := h.st.Query(q)
 	records := make([]EventRecord, len(res.Events))
 	for i, ev := range res.Events {
-		records[i] = NewEventRecord(ev)
+		if enrich {
+			records[i] = NewEventRecordEnriched(ev, ann.Annotate(ev))
+		} else {
+			records[i] = NewEventRecord(ev)
+		}
 	}
 	writeJSON(w, map[string]any{
 		"total":      res.Total,
@@ -194,23 +251,78 @@ func (h *storeHandler) events(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// streamNDJSON writes one event record per line, flushing periodically
-// so long results stream incrementally.
-func (h *storeHandler) streamNDJSON(w http.ResponseWriter, res *QueryResult) {
+// streamNDJSON writes one event record per line, flushing periodically.
+// The records drain Store.QuerySeq incrementally — "streaming, uncapped"
+// is literal: nothing is materialized ahead of the wire, however many
+// events match.
+func (h *storeHandler) streamNDJSON(w http.ResponseWriter, q Query, ann *Annotator) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	for i, ev := range res.Events {
-		if err := enc.Encode(NewEventRecord(ev)); err != nil {
+	i := 0
+	for ev := range h.st.QuerySeq(q) {
+		rec := NewEventRecord(ev)
+		if q.Enrich {
+			// Uncached: an unbounded stream must not grow the shared
+			// annotation cache by one entry per stored event.
+			rec = NewEventRecordEnriched(ev, ann.AnnotateUncached(ev))
+		}
+		if err := enc.Encode(rec); err != nil {
 			return // client went away
 		}
 		if flusher != nil && i%256 == 255 {
 			flusher.Flush()
 		}
+		i++
 	}
 	if flusher != nil {
 		flusher.Flush()
 	}
+}
+
+// legitimacy aggregates the legitimacy view over every event matching
+// the filter params: verdict, folded RPKI-state and community-doc
+// histograms. The store streams through the annotator — no result set
+// is materialized.
+func (h *storeHandler) legitimacy(w http.ResponseWriter, r *http.Request) {
+	ann := h.annotator()
+	if ann == nil {
+		httpError(w, http.StatusServiceUnavailable, "legitimacy needs the pipeline's registry and dictionary; run the server with a world")
+		return
+	}
+	q, err := parseQuery(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	began := time.Now()
+	total := 0
+	verdicts := map[string]int{}
+	rpkiStates := map[string]int{}
+	commDocs := map[string]int{}
+	reasons := map[string]int{}
+	for ev := range h.st.QuerySeq(q) {
+		a := ann.AnnotateUncached(ev) // one-shot sweep: bypass the cache
+		total++
+		verdicts[a.Legitimacy]++
+		if len(a.RPKI) > 0 {
+			rpkiStates[a.RPKISummary()]++
+		}
+		for _, cd := range a.Communities {
+			commDocs[cd.Doc]++
+		}
+		for _, reason := range a.Reasons {
+			reasons[reason]++
+		}
+	}
+	writeJSON(w, map[string]any{
+		"total":         total,
+		"legitimacy":    verdicts,
+		"rpki":          rpkiStates,
+		"community_doc": commDocs,
+		"reasons":       reasons,
+		"elapsed_us":    time.Since(began).Microseconds(),
+	})
 }
 
 func (h *storeHandler) figure4(w http.ResponseWriter, r *http.Request) {
@@ -272,6 +384,10 @@ func (h *storeHandler) figure8(w http.ResponseWriter, r *http.Request) {
 		d, err := time.ParseDuration(s)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "timeout: %v", err)
+			return
+		}
+		if d <= 0 {
+			httpError(w, http.StatusBadRequest, "timeout: grouping timeout must be positive, got %q", s)
 			return
 		}
 		timeout = d

@@ -1,0 +1,242 @@
+// Package enrich answers "was this blackholing legitimate" at query
+// time: it annotates stored blackholing events with the RPKI validity
+// of the victim prefix (RFC 6811, §2's RPKI-strict providers), the
+// documentation status of each matched blackhole community against the
+// IRR/web-derived dictionary (§4.1), and a combined legitimacy verdict
+// reflecting the §10 misconfiguration classes — a victim whose ROA caps
+// maxLength rendering its own /32 Invalid, announcements tagged with
+// communities the provider never documented, or prefixes more specific
+// than the provider's documented acceptance policy.
+//
+// Annotation is pure lookup over in-memory structures — the indexed ROA
+// registry and the dictionary maps — so it is cheap enough to run per
+// returned event on the query path.
+package enrich
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+
+	"bgpblackholing/internal/bgp"
+	"bgpblackholing/internal/core"
+	"bgpblackholing/internal/dictionary"
+	"bgpblackholing/internal/rpki"
+	"bgpblackholing/internal/topology"
+)
+
+// Legitimacy verdicts, from clean to condemned.
+const (
+	// VerdictLegitimate: no origin is RPKI-Invalid, every matched
+	// community is documented, and the prefix respects every documented
+	// acceptance length.
+	VerdictLegitimate = "legitimate"
+	// VerdictQuestionable: mixed signals — some (not all) origins
+	// Invalid, some (not all) communities undocumented, or a documented
+	// length cap exceeded.
+	VerdictQuestionable = "questionable"
+	// VerdictIllegitimate: every inferred origin is RPKI-Invalid (an
+	// RPKI-strict provider rejects the announcement outright), or no
+	// matched community is documented anywhere.
+	VerdictIllegitimate = "illegitimate"
+)
+
+// Community documentation statuses (CommunityDoc.Doc).
+const (
+	DocIRR          = "irr"
+	DocWeb          = "web"
+	DocPrivate      = "private"
+	DocUndocumented = "undocumented"
+)
+
+// OriginValidity is the RFC 6811 outcome for one inferred origin.
+type OriginValidity struct {
+	Origin bgp.ASN `json:"origin"`
+	// State is "valid", "invalid" or "not-found".
+	State string `json:"state"`
+}
+
+// CommunityDoc is the documentation status of one matched community.
+type CommunityDoc struct {
+	Community string `json:"community"`
+	// Doc is "irr", "web", "private" or "undocumented".
+	Doc string `json:"doc"`
+	// MaxPrefixLen is the provider's documented most-specific accepted
+	// length (0 when undocumented or unstated).
+	MaxPrefixLen int `json:"max_prefix_len,omitempty"`
+	// WithinMaxLen reports whether the event prefix respects
+	// MaxPrefixLen (true when no length is documented).
+	WithinMaxLen bool `json:"within_max_len"`
+}
+
+// Annotation is the legitimacy view of one event.
+type Annotation struct {
+	// RPKI holds one validity per inferred origin, ascending by ASN.
+	RPKI []OriginValidity `json:"rpki,omitempty"`
+	// Communities holds one documentation status per matched community,
+	// sorted by community notation.
+	Communities []CommunityDoc `json:"community_doc,omitempty"`
+	// Legitimacy is the combined verdict: "legitimate", "questionable"
+	// or "illegitimate".
+	Legitimacy string `json:"legitimacy"`
+	// Reasons name every signal that pulled the verdict below
+	// legitimate, in a stable order.
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// RPKISummary folds the per-origin states into one: "valid" when any
+// origin validates, else "invalid" when any covering ROA exists, else
+// "not-found".
+func (a Annotation) RPKISummary() string { return SummarizeRPKI(a.RPKI) }
+
+// SummarizeRPKI folds per-origin validation states with the valid-wins
+// precedence RPKISummary documents; CLI renderers use it on wire
+// records, so the fold lives in exactly one place.
+func SummarizeRPKI(states []OriginValidity) string {
+	summary := rpki.NotFound.String()
+	for _, ov := range states {
+		if ov.State == rpki.Valid.String() {
+			return ov.State
+		}
+		if ov.State == rpki.Invalid.String() {
+			summary = ov.State
+		}
+	}
+	return summary
+}
+
+// Annotator computes legitimacy annotations from a deployment's ROA
+// registry and blackhole-communities dictionary. Either may be nil —
+// the corresponding section is simply absent (and never condemns).
+// Annotate is safe for concurrent use.
+//
+// Annotations are memoized per event: stored events are immutable and
+// the world (registry + dictionary) is fixed for an annotator's
+// lifetime, so the first annotation of an event is the answer forever.
+// Repeated queries over hot prefixes — the looking-glass and dashboard
+// shape — then pay a cache hit, not a re-validation. The cache grows
+// with the number of distinct events annotated (one small struct each);
+// build a fresh annotator if the world changes.
+type Annotator struct {
+	rpki  *rpki.Registry
+	dict  *dictionary.Dictionary
+	cache sync.Map // *core.Event -> *Annotation
+}
+
+// New builds an annotator over a registry and a dictionary.
+func New(reg *rpki.Registry, dict *dictionary.Dictionary) *Annotator {
+	return &Annotator{rpki: reg, dict: dict}
+}
+
+// Annotate returns the legitimacy view of one event, memoized. The
+// returned annotation's slices are shared across callers and must be
+// treated as read-only. The cache holds one entry per distinct event
+// annotated — right for point lookups and bounded queries; full-store
+// sweeps should use AnnotateUncached instead, so a single scan doesn't
+// materialize an annotation per stored event (or pin erased events).
+func (a *Annotator) Annotate(ev *core.Event) Annotation {
+	if v, ok := a.cache.Load(ev); ok {
+		return *v.(*Annotation)
+	}
+	ann := a.annotate(ev)
+	a.cache.Store(ev, &ann)
+	return ann
+}
+
+// AnnotateUncached computes the legitimacy view without touching the
+// memoization cache (neither reading nor writing): the right call for
+// one-shot streaming scans over unbounded result sets, which would
+// otherwise grow the cache by the whole store.
+func (a *Annotator) AnnotateUncached(ev *core.Event) Annotation {
+	return a.annotate(ev)
+}
+
+// annotate computes the legitimacy view of one event.
+func (a *Annotator) annotate(ev *core.Event) Annotation {
+	var ann Annotation
+	var reasons []string
+
+	// (a) RFC 6811 validity of the victim prefix at each inferred
+	// origin, through the registry's indexed covering lookup.
+	invalid := 0
+	if a.rpki != nil && len(ev.Users) > 0 {
+		origins := make([]bgp.ASN, 0, len(ev.Users))
+		for u := range ev.Users {
+			origins = append(origins, u)
+		}
+		slices.Sort(origins)
+		ann.RPKI = make([]OriginValidity, len(origins))
+		for i, origin := range origins {
+			st := a.rpki.Validate(ev.Prefix, origin)
+			ann.RPKI[i] = OriginValidity{Origin: origin, State: st.String()}
+			if st == rpki.Invalid {
+				invalid++
+				reasons = append(reasons, fmt.Sprintf("rpki-invalid at origin AS%d", origin))
+			}
+		}
+	}
+
+	// (b) Documentation status of each matched community, and whether
+	// the victim prefix respects the documented acceptance length.
+	undocumented, overLen := 0, 0
+	if a.dict != nil && len(ev.Communities) > 0 {
+		comms := make([]bgp.Community, 0, len(ev.Communities))
+		for c := range ev.Communities {
+			comms = append(comms, c)
+		}
+		slices.Sort(comms)
+		ann.Communities = make([]CommunityDoc, len(comms))
+		for i, c := range comms {
+			cd := CommunityDoc{Community: c.String(), Doc: DocUndocumented, WithinMaxLen: true}
+			if e := a.dict.Lookup(c); e != nil {
+				cd.Doc = docString(e.Doc)
+				cd.MaxPrefixLen = e.MaxPrefixLen
+				// A documented cap of /32 or shorter is an IPv4-policy
+				// statement; judging an IPv6 victim (up to /128) against
+				// it would flag every v6 blackhole as over-length.
+				capLen := e.MaxPrefixLen
+				if !ev.Prefix.Addr().Is4() && capLen <= 32 {
+					capLen = 0
+				}
+				if capLen > 0 && ev.Prefix.Bits() > capLen {
+					cd.WithinMaxLen = false
+					overLen++
+					reasons = append(reasons, fmt.Sprintf("prefix /%d exceeds documented max /%d for community %s",
+						ev.Prefix.Bits(), capLen, c))
+				}
+			}
+			if cd.Doc == DocUndocumented {
+				undocumented++
+				reasons = append(reasons, fmt.Sprintf("undocumented community %s", c))
+			}
+			ann.Communities[i] = cd
+		}
+	}
+
+	// (c) The combined verdict.
+	switch {
+	case len(ann.RPKI) > 0 && invalid == len(ann.RPKI):
+		ann.Legitimacy = VerdictIllegitimate
+	case len(ann.Communities) > 0 && undocumented == len(ann.Communities):
+		ann.Legitimacy = VerdictIllegitimate
+	case invalid > 0 || undocumented > 0 || overLen > 0:
+		ann.Legitimacy = VerdictQuestionable
+	default:
+		ann.Legitimacy = VerdictLegitimate
+	}
+	ann.Reasons = reasons
+	return ann
+}
+
+// docString renders a topology documentation source for the wire.
+func docString(d topology.DocSource) string {
+	switch d {
+	case topology.DocIRR:
+		return DocIRR
+	case topology.DocWeb:
+		return DocWeb
+	case topology.DocPrivate:
+		return DocPrivate
+	}
+	return DocUndocumented
+}

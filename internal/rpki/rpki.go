@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"net/netip"
 	"sort"
+	"sync"
 
 	"bgpblackholing/internal/bgp"
 	"bgpblackholing/internal/topology"
@@ -55,21 +56,177 @@ func (r ROA) Covers(p netip.Prefix) bool {
 		r.Prefix.Bits() <= p.Bits() && r.Prefix.Contains(p.Addr())
 }
 
-// Registry is a validated ROA set.
+// Registry is a validated ROA set. Validation answers from an index —
+// ROAs sorted by (address, length) plus the set of distinct prefix
+// lengths present — built lazily on first lookup and invalidated by
+// Add, so a query-time caller never pays a linear scan per event. All
+// methods are safe for concurrent use.
 type Registry struct {
+	mu   sync.RWMutex
 	roas []ROA
+
+	// Index state: sorted is roas ordered by (addr, bits); lens4/lens6
+	// are the distinct prefix lengths present per family, ascending. A
+	// covering lookup for p probes, for each indexed length l <= p.Bits(),
+	// the exact entry (p masked to l, l) by binary search — O(L log n)
+	// with L bounded by 33/129 and in practice a handful.
+	indexed      bool
+	sorted       []ROA
+	lens4, lens6 []int
 }
 
 // Add registers a ROA.
-func (r *Registry) Add(roa ROA) { r.roas = append(r.roas, roa) }
+func (r *Registry) Add(roa ROA) {
+	r.mu.Lock()
+	r.roas = append(r.roas, roa)
+	r.indexed = false
+	r.mu.Unlock()
+}
 
 // Len returns the ROA count.
-func (r *Registry) Len() int { return len(r.roas) }
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.roas)
+}
+
+// ROAs returns a snapshot of the registered ROAs.
+func (r *Registry) ROAs() []ROA {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]ROA, len(r.roas))
+	copy(out, r.roas)
+	return out
+}
+
+// compareROA orders ROAs by masked address, then prefix length.
+// netip.Addr.Compare sorts IPv4 before IPv6, so the families never
+// interleave.
+func compareROA(a, b ROA) int {
+	if c := a.Prefix.Addr().Compare(b.Prefix.Addr()); c != 0 {
+		return c
+	}
+	return a.Prefix.Bits() - b.Prefix.Bits()
+}
+
+// ensureIndex (re)builds the sorted index if Add invalidated it.
+func (r *Registry) ensureIndex() {
+	r.mu.RLock()
+	ok := r.indexed
+	r.mu.RUnlock()
+	if ok {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.indexed {
+		return
+	}
+	r.sorted = r.sorted[:0]
+	for _, roa := range r.roas {
+		// An invalid (zero) prefix can cover nothing; indexing it would
+		// index Bits() == -1. The old linear scan ignored such ROAs
+		// (Covers returned false), so the index does too.
+		if !roa.Prefix.IsValid() {
+			continue
+		}
+		r.sorted = append(r.sorted, ROA{Prefix: roa.Prefix.Masked(), MaxLength: roa.MaxLength, ASN: roa.ASN})
+	}
+	sort.Slice(r.sorted, func(i, j int) bool { return compareROA(r.sorted[i], r.sorted[j]) < 0 })
+	r.lens4, r.lens6 = r.lens4[:0], r.lens6[:0]
+	seen4, seen6 := [129]bool{}, [129]bool{}
+	for _, roa := range r.sorted {
+		if roa.Prefix.Addr().Is4() {
+			seen4[roa.Prefix.Bits()] = true
+		} else {
+			seen6[roa.Prefix.Bits()] = true
+		}
+	}
+	for l := 0; l <= 128; l++ {
+		if seen4[l] {
+			r.lens4 = append(r.lens4, l)
+		}
+		if seen6[l] {
+			r.lens6 = append(r.lens6, l)
+		}
+	}
+	r.indexed = true
+}
+
+// coveringWalk visits every indexed ROA whose prefix covers p, in
+// (address, length) order, without allocating: one binary search per
+// distinct ROA prefix length no longer than p. Returning false stops
+// the walk. Caller holds the read lock with the index built.
+func (r *Registry) coveringWalk(p netip.Prefix, visit func(ROA) bool) {
+	lens := r.lens4
+	if !p.Addr().Is4() {
+		lens = r.lens6
+	}
+	for _, l := range lens {
+		if l > p.Bits() {
+			return
+		}
+		q, err := p.Addr().Prefix(l)
+		if err != nil {
+			continue
+		}
+		probe := ROA{Prefix: q}
+		i := sort.Search(len(r.sorted), func(i int) bool { return compareROA(r.sorted[i], probe) >= 0 })
+		for ; i < len(r.sorted) && r.sorted[i].Prefix == q; i++ {
+			if !visit(r.sorted[i]) {
+				return
+			}
+		}
+	}
+}
+
+// CoveringROAs returns every ROA whose prefix covers p, in (address,
+// length) order. The lookup is indexed: one binary search per distinct
+// ROA prefix length no longer than p, never a scan of the registry.
+func (r *Registry) CoveringROAs(p netip.Prefix) []ROA {
+	if !p.IsValid() {
+		return nil
+	}
+	r.ensureIndex()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []ROA
+	r.coveringWalk(p, func(roa ROA) bool {
+		out = append(out, roa)
+		return true
+	})
+	return out
+}
 
 // Validate classifies an announcement of prefix p with origin AS o.
 // Per RFC 6811: Valid if any covering ROA matches origin and length;
 // Invalid if covering ROAs exist but none matches; NotFound otherwise.
+// The covering set comes from the registry index (see coveringWalk) —
+// the hot query-time path neither scans the registry nor allocates.
 func (r *Registry) Validate(p netip.Prefix, origin bgp.ASN) State {
+	if !p.IsValid() {
+		return NotFound
+	}
+	r.ensureIndex()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	state := NotFound
+	r.coveringWalk(p, func(roa ROA) bool {
+		state = Invalid
+		if roa.ASN == origin && p.Bits() <= roa.MaxLength {
+			state = Valid
+			return false
+		}
+		return true
+	})
+	return state
+}
+
+// validateScan is the pre-index O(n) reference implementation, kept as
+// the property-test oracle for the indexed Validate/CoveringROAs path.
+func (r *Registry) validateScan(p netip.Prefix, origin bgp.ASN) State {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	covered := false
 	for _, roa := range r.roas {
 		if !roa.Covers(p) {
@@ -150,7 +307,8 @@ type CoverageStats struct {
 	BlackholeStranded int // covered ASes whose /32s are Invalid
 }
 
-// Stats computes coverage over IPv4 primary prefixes.
+// Stats computes coverage over the ASes' primary prefixes, probing each
+// AS's host route (/32 or /128 by family) against the registry.
 func (reg *Registry) Stats(topo *topology.Topology) CoverageStats {
 	var st CoverageStats
 	for _, asn := range topo.Order {
@@ -160,7 +318,7 @@ func (reg *Registry) Stats(topo *topology.Topology) CoverageStats {
 			continue
 		}
 		primary := as.Prefixes[0]
-		host := netip.PrefixFrom(primary.Addr(), 32)
+		host := netip.PrefixFrom(primary.Addr(), primary.Addr().BitLen())
 		switch reg.Validate(host, asn) {
 		case Valid:
 			st.ASesCovered++

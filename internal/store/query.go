@@ -1,6 +1,7 @@
 package store
 
 import (
+	"iter"
 	"net/netip"
 	"slices"
 	"time"
@@ -85,6 +86,54 @@ func (s *Store) Query(f Filter) Result {
 		s.consider(&res, ord, f)
 	}
 	return res
+}
+
+// QuerySeq answers the same filter as Query, but as an iterator: events
+// are yielded one at a time, in append (closing) order, without ever
+// materializing the full result set — the HTTP layer's NDJSON streaming
+// drains it incrementally, so an uncapped query over a production-scale
+// store stays O(1) in memory. The candidate set and event slots are
+// snapshotted under the read lock, then iteration proceeds without it
+// (events are immutable and the slot slice is copy-on-write), so a slow
+// consumer never blocks appends. Limit is honoured; Total/Scanned
+// accounting is Query's job.
+func (s *Store) QuerySeq(f Filter) iter.Seq[*core.Event] {
+	s.mu.RLock()
+	events := s.events[:len(s.events):len(s.events)]
+	cands, all := s.candidates(f)
+	if !all {
+		// Postings lists are mutated in place by later appends and
+		// erasures; the snapshot must not alias them.
+		cands = slices.Clone(cands)
+	}
+	s.mu.RUnlock()
+	return func(yield func(*core.Event) bool) {
+		yielded := 0
+		emit := func(ord int32) bool {
+			ev := events[ord]
+			if ev == nil || !matches(ev, f) {
+				return true
+			}
+			if !yield(ev) {
+				return false
+			}
+			yielded++
+			return f.Limit <= 0 || yielded < f.Limit
+		}
+		if all {
+			for ord := range events {
+				if !emit(int32(ord)) {
+					return
+				}
+			}
+			return
+		}
+		for _, ord := range cands {
+			if !emit(ord) {
+				return
+			}
+		}
+	}
 }
 
 // consider applies the full filter to one candidate ordinal. A nil slot

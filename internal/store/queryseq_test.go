@@ -1,0 +1,101 @@
+package store
+
+import (
+	"math/rand"
+	"net/netip"
+	"slices"
+	"testing"
+	"time"
+
+	"bgpblackholing/internal/bgp"
+	"bgpblackholing/internal/core"
+)
+
+// randomFilter draws a filter that exercises every index path: prefix
+// modes over the trie, user/provider/community postings, time buckets,
+// duration bounds, limits, and the unconstrained full scan.
+func randomFilter(r *rand.Rand) Filter {
+	var f Filter
+	switch r.Intn(6) {
+	case 0:
+		f.Prefix = netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(r.Intn(5)), byte(r.Intn(200)), byte(r.Intn(2))}), 8+r.Intn(25)).Masked()
+		f.Mode = PrefixMode(r.Intn(4))
+	case 1:
+		f.User = bgp.ASN(7000 + r.Intn(13))
+	case 2:
+		f.Provider = &core.ProviderRef{Kind: core.ProviderAS, ASN: bgp.ASN(100 + r.Intn(8))}
+	case 3:
+		f.Community = bgp.MakeCommunity(uint16(100+r.Intn(8)), 666)
+	case 4:
+		f.From = testEpoch.Add(time.Duration(r.Intn(48)) * time.Hour)
+		f.To = f.From.Add(time.Duration(r.Intn(72)) * time.Hour)
+	}
+	if r.Intn(3) == 0 {
+		f.MinDuration = time.Duration(r.Intn(60)) * time.Minute
+	}
+	if r.Intn(3) == 0 {
+		f.Limit = 1 + r.Intn(20)
+	}
+	return f
+}
+
+// TestQuerySeqMatchesQuery property-tests the iterator path against the
+// materializing path: identical events, identical order, limit
+// honoured, across random filters and after erasures.
+func TestQuerySeqMatchesQuery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 300; i++ {
+		if err := s.Append(makeEvent(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An erasure nils slots mid-array, which both paths must skip.
+	if _, err := s.DeletePrefix(netip.MustParsePrefix("10.2.0.0/16"), time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		f := randomFilter(r)
+		want := s.Query(f).Events
+		got := slices.Collect(s.QuerySeq(f))
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (%+v): QuerySeq yielded %d events, Query returned %d", trial, f, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (%+v): event %d differs", trial, f, i)
+			}
+		}
+	}
+}
+
+// TestQuerySeqEarlyStop proves a consumer can abandon the iterator
+// mid-stream without draining it.
+func TestQuerySeqEarlyStop(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 50; i++ {
+		if err := s.Append(makeEvent(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	for range s.QuerySeq(Filter{}) {
+		n++
+		if n == 7 {
+			break
+		}
+	}
+	if n != 7 {
+		t.Fatalf("stopped after %d events, want 7", n)
+	}
+}

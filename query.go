@@ -2,11 +2,13 @@ package bgpblackholing
 
 import (
 	"fmt"
+	"iter"
 	"net/netip"
 	"slices"
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"bgpblackholing/internal/analysis"
@@ -30,7 +32,20 @@ import (
 // Detector via SinkToStore — while any number of goroutines query.
 type Store struct {
 	s *store.Store
+	// ann, when set, powers Query.Enrich legitimacy annotation; atomic
+	// because SetAnnotator may race concurrent queries.
+	ann atomic.Pointer[Annotator]
 }
+
+// SetAnnotator attaches a legitimacy annotator (see NewAnnotator and
+// Pipeline.Annotator): queries with Enrich set then return per-event
+// RPKI validity, community documentation status and a combined verdict.
+// A nil annotator turns enrichment back off. Safe to call while other
+// goroutines query.
+func (st *Store) SetAnnotator(a *Annotator) { st.ann.Store(a) }
+
+// Annotator returns the attached legitimacy annotator, or nil.
+func (st *Store) Annotator() *Annotator { return st.ann.Load() }
 
 // StoreOptions tunes OpenStoreWith.
 type StoreOptions = store.Options
@@ -152,12 +167,21 @@ type Query struct {
 	// Limit caps returned events (0 = unlimited); Total still counts
 	// every match.
 	Limit int
+	// Enrich asks for legitimacy annotation of every returned event:
+	// RPKI validity per inferred origin, documentation status per
+	// matched community, and a combined verdict. Requires an annotator
+	// on the store (Store.SetAnnotator); ignored otherwise.
+	Enrich bool
 }
 
 // QueryResult is one query's outcome.
 type QueryResult struct {
 	// Events are the matches in append (closing) order.
 	Events []*Event
+	// Annotations, present only when Query.Enrich was set and the store
+	// has an annotator, parallels Events with the legitimacy view of
+	// each match.
+	Annotations []Annotation
 	// Total counts all matches, ignoring Limit.
 	Total int
 	// Scanned counts candidate events examined — the narrowest index
@@ -183,12 +207,39 @@ func (st *Store) Query(q Query) *QueryResult {
 		MaxDuration: q.MaxDuration,
 		Limit:       q.Limit,
 	})
-	return &QueryResult{
+	out := &QueryResult{
 		Events:  res.Events,
 		Total:   res.Total,
 		Scanned: res.Scanned,
-		Elapsed: time.Since(began),
 	}
+	if ann := st.ann.Load(); q.Enrich && ann != nil {
+		out.Annotations = make([]Annotation, len(res.Events))
+		for i, ev := range res.Events {
+			out.Annotations[i] = ann.Annotate(ev)
+		}
+	}
+	out.Elapsed = time.Since(began)
+	return out
+}
+
+// QuerySeq answers the same query as Query, but as an iterator: events
+// stream one at a time in append (closing) order without materializing
+// the result set — the NDJSON HTTP path and other uncapped consumers
+// drain it incrementally. Enrichment is the consumer's concern here:
+// annotate yielded events with Annotator.Annotate as they stream.
+func (st *Store) QuerySeq(q Query) iter.Seq[*Event] {
+	return st.s.QuerySeq(store.Filter{
+		From:        q.From,
+		To:          q.To,
+		Prefix:      q.Prefix,
+		Mode:        q.Mode,
+		User:        q.OriginASN,
+		Provider:    q.Provider,
+		Community:   q.Community,
+		MinDuration: q.MinDuration,
+		MaxDuration: q.MaxDuration,
+		Limit:       q.Limit,
+	})
 }
 
 // ---------------------------------------------------------------------
@@ -245,6 +296,15 @@ type EventRecord struct {
 	Detections      int       `json:"detections"`
 	DirectFeed      bool      `json:"direct_feed,omitempty"`
 	SawNoExport     bool      `json:"saw_no_export,omitempty"`
+
+	// Legitimacy enrichment (query-time, opt-in): absent unless the
+	// record was built with an annotation (NewEventRecordEnriched /
+	// enrich=1), so un-enriched responses are byte-identical to the
+	// pre-enrichment wire format.
+	RPKI              []OriginValidity `json:"rpki,omitempty"`
+	CommunityDoc      []CommunityDoc   `json:"community_doc,omitempty"`
+	Legitimacy        string           `json:"legitimacy,omitempty"`
+	LegitimacyReasons []string         `json:"legitimacy_reasons,omitempty"`
 }
 
 // NewEventRecord projects an event into its wire representation.
@@ -279,7 +339,20 @@ func NewEventRecord(ev *Event) EventRecord {
 	return r
 }
 
-// ParseProviderRef parses the canonical provider notation: "AS3356",
+// NewEventRecordEnriched projects an event with its legitimacy
+// annotation attached: the rpki, community_doc, legitimacy and
+// legitimacy_reasons fields appear on the wire.
+func NewEventRecordEnriched(ev *Event, ann Annotation) EventRecord {
+	r := NewEventRecord(ev)
+	r.RPKI = ann.RPKI
+	r.CommunityDoc = ann.Communities
+	r.Legitimacy = ann.Legitimacy
+	r.LegitimacyReasons = ann.Reasons
+	return r
+}
+
+// ParseProviderRef parses the canonical provider notation: "AS3356"
+// (the AS prefix is case-insensitive: "as3356", "As3356", "aS3356"),
 // a bare ASN like "3356", or "ixp:4".
 func ParseProviderRef(s string) (ProviderRef, error) {
 	if rest, ok := strings.CutPrefix(s, "ixp:"); ok {
@@ -289,7 +362,12 @@ func ParseProviderRef(s string) (ProviderRef, error) {
 		}
 		return ProviderRef{Kind: ProviderIXP, IXPID: id}, nil
 	}
-	rest := strings.TrimPrefix(strings.TrimPrefix(s, "AS"), "as")
+	// Cut exactly one case-insensitive "AS" prefix: chained trims used
+	// to accept the nonsense "ASas3356" and reject "As3356"/"aS3356".
+	rest := s
+	if len(rest) >= 2 && strings.EqualFold(rest[:2], "as") {
+		rest = rest[2:]
+	}
 	asn, err := strconv.ParseUint(rest, 10, 32)
 	if err != nil {
 		return ProviderRef{}, fmt.Errorf("bad AS provider %q", s)

@@ -9,6 +9,15 @@
 //	go run ./scripts -baseline BENCH_20260729.json -current bench_ci.json \
 //	    -max-ratio 1.5 BenchmarkStoreIngest BenchmarkStoreQueryLPM
 //
+// Besides the baseline comparison, -within gates a cross-row ratio
+// inside the current measurement — "A:B:3.0" fails when A's ns_per_op
+// exceeds 3× B's in the same run. This enforces relational walls like
+// "the enriched LPM query stays within 3× the plain one" directly,
+// which per-row baselines alone cannot (each row could creep
+// independently):
+//
+//	... -within BenchmarkQueryEnriched:BenchmarkStoreQueryLPM:3.0
+//
 // Benchmark names match on the base name with any -procs suffix and
 // sub-benchmark path stripped, so "BenchmarkStoreIngest" gates
 // "BenchmarkStoreIngest-4" too. A gated benchmark missing from either
@@ -21,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 )
 
@@ -43,6 +53,7 @@ func main() {
 		baseline = flag.String("baseline", "", "committed baseline BENCH_*.json")
 		current  = flag.String("current", "", "freshly measured bench JSON")
 		maxRatio = flag.Float64("max-ratio", 1.5, "fail when current ns_per_op exceeds baseline * ratio")
+		within   = flag.String("within", "", "cross-row wall in the current run: \"A:B:ratio\" fails when A's ns_per_op > B's * ratio")
 	)
 	flag.Parse()
 	gated := flag.Args()
@@ -84,6 +95,36 @@ func main() {
 			}
 			fmt.Printf("%s %-28s %12.0f -> %12.0f ns/op  (%.2fx, limit %.2fx)\n",
 				verdict, name, b.NsPerOp, c.NsPerOp, ratio, *maxRatio)
+		}
+	}
+	if *within != "" {
+		parts := strings.Split(*within, ":")
+		if len(parts) != 3 {
+			fmt.Fprintln(os.Stderr, "bench_compare: -within wants \"A:B:ratio\"")
+			os.Exit(2)
+		}
+		limit, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || limit <= 0 {
+			fmt.Fprintf(os.Stderr, "bench_compare: -within: bad ratio %q\n", parts[2])
+			os.Exit(2)
+		}
+		a, aok := cur[parts[0]]
+		b, bok := cur[parts[1]]
+		switch {
+		case !aok || !bok:
+			fmt.Printf("FAIL within: %s or %s missing from current %s\n", parts[0], parts[1], *current)
+			failed = true
+		case b.NsPerOp <= 0:
+			fmt.Printf("FAIL within: %s ns_per_op %.0f is unusable\n", parts[1], b.NsPerOp)
+			failed = true
+		default:
+			ratio := a.NsPerOp / b.NsPerOp
+			verdict := "ok  "
+			if ratio > limit {
+				verdict = "FAIL"
+				failed = true
+			}
+			fmt.Printf("%s %s is %.2fx %s (limit %.2fx)\n", verdict, parts[0], ratio, parts[1], limit)
 		}
 	}
 	if failed {

@@ -18,8 +18,9 @@ import (
 )
 
 var storeBench struct {
-	once   sync.Once
-	events []*Event
+	once     sync.Once
+	events   []*Event
+	pipeline *Pipeline
 }
 
 // storeBenchEvents materializes one replay window's events once, so
@@ -36,6 +37,7 @@ func storeBenchEvents(b *testing.B) []*Event {
 			panic(err)
 		}
 		storeBench.events = res.Events
+		storeBench.pipeline = p
 	})
 	if len(storeBench.events) == 0 {
 		b.Fatal("bench window produced no events")
@@ -93,6 +95,43 @@ func BenchmarkStoreQueryLPM(b *testing.B) {
 	b.StopTimer()
 	if hits == 0 {
 		b.Fatal("LPM queries found nothing")
+	}
+}
+
+// BenchmarkQueryEnriched answers the same LPM point queries as
+// BenchmarkStoreQueryLPM, but with Query.Enrich on — every hit pays
+// annotation (indexed covering-ROA validation per inferred origin,
+// dictionary lookups per community, verdict). The acceptance wall: this
+// must stay within 3× BenchmarkStoreQueryLPM ns/op, which requires the
+// registry's indexed CoveringROAs path (a linear ROA scan per origin
+// would blow straight through it).
+func BenchmarkQueryEnriched(b *testing.B) {
+	events := storeBenchEvents(b)
+	st, err := OpenStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Append(events...); err != nil {
+		b.Fatal(err)
+	}
+	st.SetAnnotator(storeBench.pipeline.Annotator())
+	addrs := make([]netip.Prefix, len(events))
+	for i, ev := range events {
+		a := ev.Prefix.Addr()
+		addrs[i] = netip.PrefixFrom(a, a.BitLen())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	hits, annotated := 0, 0
+	for i := 0; i < b.N; i++ {
+		res := st.Query(Query{Prefix: addrs[i%len(addrs)], Mode: PrefixLPM, Enrich: true})
+		hits += res.Total
+		annotated += len(res.Annotations)
+	}
+	b.StopTimer()
+	if hits == 0 || annotated == 0 {
+		b.Fatal("enriched LPM queries found or annotated nothing")
 	}
 }
 
