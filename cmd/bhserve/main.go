@@ -39,34 +39,61 @@ import (
 	"bgpblackholing"
 )
 
+// config carries the parsed command line.
+type config struct {
+	listen     string
+	scale      float64
+	seed       int64
+	asn        uint32
+	storeDir   string
+	httpAddr   string
+	ingest     string
+	policy     string
+	syncPolicy string
+	authToken  string
+	rateLimit  float64
+	liveBuffer int
+	subQueue   int
+}
+
 func main() {
-	var (
-		listen   = flag.String("listen", "127.0.0.1:1790", "listen address for BGP sessions")
-		scale    = flag.Float64("scale", 0.15, "world scale (dictionary + topology)")
-		seed     = flag.Int64("seed", 42, "deterministic seed")
-		asn      = flag.Uint("asn", 64900, "local AS number")
-		storeDir = flag.String("store", "", "persist events to this store directory")
-		httpAddr = flag.String("http", "", "serve the store's query API on this address (requires -store)")
-		ingest   = flag.String("ingest", "", "replay days FROM:TO into the store at startup (requires -store)")
-		policy   = flag.String("compact-policy", "merge-all", "store compaction policy: merge-all, or tiered[,partition=30d,ratio=4,min-run=4]")
-	)
+	var cfg config
+	var asn uint
+	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:1790", "listen address for BGP sessions")
+	flag.Float64Var(&cfg.scale, "scale", 0.15, "world scale (dictionary + topology)")
+	flag.Int64Var(&cfg.seed, "seed", 42, "deterministic seed")
+	flag.UintVar(&asn, "asn", 64900, "local AS number")
+	flag.StringVar(&cfg.storeDir, "store", "", "persist events to this store directory")
+	flag.StringVar(&cfg.httpAddr, "http", "", "serve the store's query API on this address (requires -store)")
+	flag.StringVar(&cfg.ingest, "ingest", "", "replay days FROM:TO into the store at startup (requires -store)")
+	flag.StringVar(&cfg.policy, "compact-policy", "merge-all", "store compaction policy: merge-all, or tiered[,partition=30d,ratio=4,min-run=4]")
+	flag.StringVar(&cfg.syncPolicy, "sync-policy", "close", "store durability: close, always, or group[,every=N,interval=D]")
+	flag.StringVar(&cfg.authToken, "auth-token", "", "require this bearer token on the query API (default open)")
+	flag.Float64Var(&cfg.rateLimit, "rate-limit", 0, "per-client query API requests/second (0 = unlimited)")
+	flag.IntVar(&cfg.liveBuffer, "live-buffer", 0, "bound the live feed's pending-element buffer, dropping oldest past it (0 = unbounded)")
+	flag.IntVar(&cfg.subQueue, "sub-queue", 0, "bound each event subscriber's queue, dropping oldest past it (0 = unbounded)")
 	flag.Parse()
-	if err := run(*listen, *scale, *seed, uint32(*asn), *storeDir, *httpAddr, *ingest, *policy); err != nil {
+	cfg.asn = uint32(asn)
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "bhserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, scale float64, seed int64, asn uint32, storeDir, httpAddr, ingest, policy string) error {
-	if storeDir == "" && (httpAddr != "" || ingest != "") {
+func run(cfg config) error {
+	if cfg.storeDir == "" && (cfg.httpAddr != "" || cfg.ingest != "") {
 		return fmt.Errorf("-http and -ingest require -store")
 	}
-	pol, err := bgpblackholing.ParseCompactionPolicy(policy)
+	pol, err := bgpblackholing.ParseCompactionPolicy(cfg.policy)
 	if err != nil {
 		return fmt.Errorf("-compact-policy: %w", err)
 	}
+	syncPol, err := bgpblackholing.ParseSyncPolicy(cfg.syncPolicy)
+	if err != nil {
+		return fmt.Errorf("-sync-policy: %w", err)
+	}
 	p, err := bgpblackholing.NewPipeline(bgpblackholing.Options{
-		Seed: seed, TopoScale: scale, CollectorScale: scale, EventScale: scale, Days: 850,
+		Seed: cfg.seed, TopoScale: cfg.scale, CollectorScale: cfg.scale, EventScale: cfg.scale, Days: 850,
 	})
 	if err != nil {
 		return err
@@ -77,24 +104,35 @@ func run(listen string, scale float64, seed int64, asn uint32, storeDir, httpAdd
 	// cold partitions untouched and give DeletePrefix tombstones their
 	// physical erasure pass).
 	var st *bgpblackholing.Store
-	if storeDir != "" {
-		st, err = bgpblackholing.OpenStoreWith(storeDir, bgpblackholing.StoreOptions{CompactSegments: 8, Policy: pol})
+	if cfg.storeDir != "" {
+		st, err = bgpblackholing.OpenStoreWith(cfg.storeDir, bgpblackholing.StoreOptions{
+			CompactSegments: 8, Policy: pol, Sync: syncPol,
+		})
 		if err != nil {
 			return err
 		}
 		defer st.Close()
-		fmt.Printf("bhserve: store %s holds %d events\n", storeDir, st.Len())
+		fmt.Printf("bhserve: store %s holds %d events (sync policy %s)\n", cfg.storeDir, st.Len(), cfg.syncPolicy)
 	}
 
-	if ingest != "" {
-		if err := ingestWindow(p, st, ingest); err != nil {
+	if cfg.ingest != "" {
+		if err := ingestWindow(p, st, cfg.ingest); err != nil {
 			return fmt.Errorf("ingest: %w", err)
 		}
 	}
 
+	// The detector exists before the HTTP server so /stats can surface
+	// its live fan-out counters. Bounded subscriber queues keep a
+	// stalled consumer from buffering the run's whole event stream.
+	var detOpts []bgpblackholing.DetectorOption
+	if cfg.subQueue > 0 {
+		detOpts = append(detOpts, bgpblackholing.WithSubscriberQueueBound(cfg.subQueue, bgpblackholing.DropOldest))
+	}
+	det := p.NewDetector(detOpts...)
+
 	var srv *http.Server
-	if httpAddr != "" {
-		hln, err := net.Listen("tcp", httpAddr)
+	if cfg.httpAddr != "" {
+		hln, err := net.Listen("tcp", cfg.httpAddr)
 		if err != nil {
 			return err
 		}
@@ -103,40 +141,52 @@ func run(listen string, scale float64, seed int64, asn uint32, storeDir, httpAdd
 		// answer "was this blackholing legitimate" per event. Attach it
 		// to the store too, for programmatic Query.Enrich callers.
 		st.SetAnnotator(p.Annotator())
-		srv = &http.Server{Handler: bgpblackholing.NewStoreHandler(st, p)}
+		srv = &http.Server{Handler: bgpblackholing.NewStoreHandlerWith(st, p, bgpblackholing.HandlerOptions{
+			AuthToken: cfg.authToken,
+			RateLimit: cfg.rateLimit,
+			Detector:  det,
+		})}
 		go srv.Serve(hln)
 		// Backstop for error paths; the normal exit drains gracefully
 		// below before the deferred store close runs.
 		defer srv.Close()
 		fmt.Printf("bhserve: query API on http://%s (events, legitimacy, stats, figure4, figure8, table3, table4)\n", hln.Addr())
+		if cfg.authToken != "" {
+			fmt.Println("bhserve: query API requires a bearer token")
+		}
+		if cfg.rateLimit > 0 {
+			fmt.Printf("bhserve: query API rate limit %.3g req/s per client\n", cfg.rateLimit)
+		}
 		if reg := p.RPKIRegistry(); reg != nil {
 			fmt.Printf("bhserve: legitimacy enrichment on (%d ROAs, %d dictionary communities)\n",
 				reg.Len(), len(p.Dict.Entries()))
 		}
 	}
 
-	ln, err := net.Listen("tcp", listen)
+	ln, err := net.Listen("tcp", cfg.listen)
 	if err != nil {
 		return err
 	}
 	defer ln.Close()
 	fmt.Printf("bhserve: dictionary with %d communities, listening on %s (AS%d)\n",
-		len(p.Dict.Entries()), ln.Addr(), asn)
+		len(p.Dict.Entries()), ln.Addr(), cfg.asn)
 
 	// The live feed: every accepted BGP session publishes its updates
 	// into the source the detector drains.
 	live := bgpblackholing.NewLiveSource()
+	if cfg.liveBuffer > 0 {
+		live.SetBufferLimit(cfg.liveBuffer)
+	}
 	serveRes := make(chan error, 1)
 	go func() {
 		// ServeBGP closes the feed on return, so Run below still drains
 		// and reports; the error is re-checked after Run so a listener
 		// death does not pass as a clean exit-0 shutdown.
-		serveRes <- live.ServeBGP(ln, serveCfg(asn))
+		serveRes <- live.ServeBGP(ln, serveCfg(cfg.asn))
 	}()
 
 	// Events print the moment they close, not at shutdown; with a store
 	// they persist through the sink the same moment.
-	det := p.NewDetector()
 	waitSink := func() error { return nil }
 	if st != nil {
 		waitSink = det.SinkToStore(st)
@@ -183,6 +233,13 @@ func run(listen string, scale float64, seed int64, asn uint32, storeDir, httpAdd
 	m := res.Metrics
 	fmt.Printf("bhserve: %d updates (%d cleaned), %d detections, %d events (%d explicit / %d implicit ends)\n",
 		m.UpdatesProcessed, m.UpdatesCleaned, m.Detections, m.EventsClosed, m.ExplicitEnds, m.ImplicitEnds)
+	if n := live.Dropped(); n > 0 {
+		fmt.Printf("bhserve: live buffer dropped %d elements (bound %d)\n", n, cfg.liveBuffer)
+	}
+	if m.SubscriberDrops > 0 || m.SubscriberEvictions > 0 {
+		fmt.Printf("bhserve: slow subscribers dropped %d events, %d evicted\n",
+			m.SubscriberDrops, m.SubscriberEvictions)
+	}
 	if st != nil {
 		s := st.Stats()
 		fmt.Printf("bhserve: store now holds %d events over %d prefixes in %d segments (%d bytes)\n",

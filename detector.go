@@ -7,6 +7,7 @@ import (
 	"io"
 	"iter"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bgpblackholing/internal/core"
@@ -25,18 +26,67 @@ type Detector struct {
 	engine   *core.Engine
 	inferCol *dictionary.Collector
 
+	queueBound int
+	slowPolicy SlowConsumerPolicy
+	subDrops   atomic.Uint64
+	subEvicts  atomic.Uint64
+
 	mu      sync.Mutex
 	subs    []*subscriber
 	running bool
 }
 
+// SlowConsumerPolicy decides what a bounded subscriber queue does when
+// a consumer falls a full bound behind the engine.
+type SlowConsumerPolicy int
+
+const (
+	// DropOldest discards the oldest queued event to make room — the
+	// consumer keeps a live (if gappy) feed. The default policy.
+	DropOldest SlowConsumerPolicy = iota
+	// Evict cancels the lagging subscription outright: its channel
+	// closes early and fanout stops visiting it. Consumers that cannot
+	// tolerate gaps should be evicted rather than silently fed a
+	// subsequence.
+	Evict
+)
+
+func (p SlowConsumerPolicy) String() string {
+	switch p {
+	case DropOldest:
+		return "drop-oldest"
+	case Evict:
+		return "evict"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// DetectorOption adjusts a Detector at construction.
+type DetectorOption func(*Detector)
+
+// WithSubscriberQueueBound bounds every Subscribe / Stream queue at n
+// events, applying policy when a consumer falls that far behind. The
+// default (n = 0) keeps the queues unbounded — replay consumers that
+// collect everything lose nothing. SinkToStore's queue is always
+// unbounded regardless: it is the durability path, and dropping
+// persisted events to spare memory would be the wrong trade.
+func WithSubscriberQueueBound(n int, policy SlowConsumerPolicy) DetectorOption {
+	return func(d *Detector) {
+		d.queueBound = n
+		d.slowPolicy = policy
+	}
+}
+
 // NewDetector builds a detector inferring against the given dictionary,
 // with the topology standing in for the paper's PeeringDB lookups (IXP
 // route-server ASNs and peering LANs).
-func NewDetector(dict *Dictionary, topo *Topology) *Detector {
+func NewDetector(dict *Dictionary, topo *Topology, opts ...DetectorOption) *Detector {
 	d := &Detector{
 		engine:   core.NewEngine(dict, topo),
 		inferCol: dictionary.NewCollector(dict),
+	}
+	for _, o := range opts {
+		o(d)
 	}
 	d.engine.OnEventClose = d.fanout
 	return d
@@ -44,15 +94,23 @@ func NewDetector(dict *Dictionary, topo *Topology) *Detector {
 
 // NewDetector builds a detector over the pipeline's dictionary and
 // topology.
-func (p *Pipeline) NewDetector() *Detector { return NewDetector(p.Dict, p.Topo) }
+func (p *Pipeline) NewDetector(opts ...DetectorOption) *Detector {
+	return NewDetector(p.Dict, p.Topo, opts...)
+}
 
 // SetClean toggles §3 data cleaning (bogon and coarse-prefix removal);
 // it is on by default.
 func (d *Detector) SetClean(clean bool) { d.engine.Clean = clean }
 
-// Metrics returns a snapshot of the engine's counters; safe to call
-// after Run returns (live deployments report them on shutdown).
-func (d *Detector) Metrics() Metrics { return d.engine.Metrics() }
+// Metrics returns a snapshot of the engine's counters plus the fan-out
+// layer's slow-consumer counters; safe to call after Run returns (live
+// deployments report them on shutdown and via /stats).
+func (d *Detector) Metrics() Metrics {
+	m := d.engine.Metrics()
+	m.SubscriberDrops = d.subDrops.Load()
+	m.SubscriberEvictions = d.subEvicts.Load()
+	return m
+}
 
 // ActiveCount reports how many prefixes are currently blackholed.
 func (d *Detector) ActiveCount() int { return d.engine.ActiveCount() }
@@ -225,36 +283,70 @@ func (d *Detector) Run(ctx context.Context, src Source, opts ...RunOption) (*Run
 // Incremental event delivery.
 
 // subscriber decouples the engine's single processing goroutine from a
-// consumer: the fanout path only appends to an unbounded queue (never
-// blocking inference), and a pump goroutine forwards events to the
-// subscriber's channel.
+// consumer: the fanout path only appends to a queue (never blocking
+// inference), and a pump goroutine forwards events to the subscriber's
+// channel. The queue is unbounded by default; a Detector built with
+// WithSubscriberQueueBound caps it and applies a slow-consumer policy
+// when a consumer falls a full bound behind.
 type subscriber struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	queue []*Event
-	done  bool          // producer side finished (Run returned)
-	stop  chan struct{} // consumer side abandoned (Stream break)
-	ch    chan *Event
+	bound  int // max queued events; 0 = unbounded
+	policy SlowConsumerPolicy
+	// drops / evicts are the owning Detector's aggregate counters; the
+	// per-subscriber count lives in dropped.
+	drops  *atomic.Uint64
+	evicts *atomic.Uint64
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*Event
+	dropped uint64
+	done    bool          // producer side finished (Run returned)
+	stop    chan struct{} // consumer side abandoned (Stream break)
+	ch      chan *Event
 }
 
-func newSubscriber() *subscriber {
+func (d *Detector) newSubscriber(bound int, policy SlowConsumerPolicy) *subscriber {
 	s := &subscriber{
-		stop: make(chan struct{}),
-		ch:   make(chan *Event, 16),
+		bound:  bound,
+		policy: policy,
+		drops:  &d.subDrops,
+		evicts: &d.subEvicts,
+		stop:   make(chan struct{}),
+		ch:     make(chan *Event, 16),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	go s.pump()
 	return s
 }
 
-func (s *subscriber) push(ev *Event) {
+// push queues one closed event, applying the slow-consumer policy when
+// the queue is at its bound. It reports whether the subscriber evicted
+// itself, so fanout can stop visiting it.
+func (s *subscriber) push(ev *Event) (evicted bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.done {
-		return
+		return false
+	}
+	if s.bound > 0 && len(s.queue) >= s.bound {
+		if s.policy == Evict {
+			// cancel(), inlined: cancel takes s.mu and push holds it.
+			s.done = true
+			s.queue = nil
+			close(s.stop)
+			s.cond.Broadcast()
+			s.evicts.Add(1)
+			return true
+		}
+		s.queue = append(s.queue[1:len(s.queue):len(s.queue)], ev)
+		s.dropped++
+		s.drops.Add(1)
+		s.cond.Signal()
+		return false
 	}
 	s.queue = append(s.queue, ev)
 	s.cond.Signal()
+	return false
 }
 
 // finish marks the producer side complete; the pump closes the channel
@@ -311,13 +403,16 @@ func (s *subscriber) pump() {
 }
 
 // fanout is the engine's OnEventClose hook: it hands the closed event
-// to every live subscriber without blocking the inference hot path.
+// to every live subscriber without blocking the inference hot path —
+// a full bounded queue drops or evicts per policy instead of waiting.
 func (d *Detector) fanout(ev *Event) {
 	d.mu.Lock()
 	subs := d.subs
 	d.mu.Unlock()
 	for _, s := range subs {
-		s.push(ev)
+		if s.push(ev) {
+			d.unsubscribe(s)
+		}
 	}
 }
 
@@ -334,11 +429,46 @@ func (d *Detector) closeSubs() {
 }
 
 func (d *Detector) subscribe() *subscriber {
-	s := newSubscriber()
+	return d.register(d.newSubscriber(d.queueBound, d.slowPolicy))
+}
+
+// subscribeUnbounded ignores the detector's queue bound — the shape
+// for durability sinks, where dropping would lose persisted events.
+func (d *Detector) subscribeUnbounded() *subscriber {
+	return d.register(d.newSubscriber(0, DropOldest))
+}
+
+func (d *Detector) register(s *subscriber) *subscriber {
 	d.mu.Lock()
 	d.subs = append(d.subs, s)
 	d.mu.Unlock()
 	return s
+}
+
+// SubscriberStats snapshots one live subscription's queue health.
+type SubscriberStats struct {
+	// Queued is the current queue length (always ≤ Bound when bounded).
+	Queued int
+	// Bound is the configured queue cap; 0 means unbounded.
+	Bound int
+	// Dropped counts events this subscription lost to DropOldest.
+	Dropped uint64
+}
+
+// SubscriberStats reports the queue health of every live subscription,
+// in subscription order. Finished or evicted subscriptions drop out.
+// Safe to call concurrently with a running Run.
+func (d *Detector) SubscriberStats() []SubscriberStats {
+	d.mu.Lock()
+	subs := d.subs
+	d.mu.Unlock()
+	out := make([]SubscriberStats, 0, len(subs))
+	for _, s := range subs {
+		s.mu.Lock()
+		out = append(out, SubscriberStats{Queued: len(s.queue), Bound: s.bound, Dropped: s.dropped})
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // unsubscribe removes a canceled subscriber so fanout stops visiting it.
@@ -359,11 +489,13 @@ func (d *Detector) unsubscribe(s *subscriber) {
 // every event; events closed earlier in an already-running Run are not
 // replayed. The channel closes when the Run returns, after every
 // pending event has been delivered; drain it until then. The queue
-// behind the channel is unbounded, so a slow subscriber never blocks
-// or reorders inference — but a subscription abandoned without
-// draining pins its queued events and delivery goroutine until the
-// process exits. A consumer that may stop early should use Stream
-// instead, whose loop exit cancels the subscription.
+// behind the channel never blocks or reorders inference: unbounded by
+// default, or capped by WithSubscriberQueueBound, in which case a slow
+// consumer loses the oldest events (DropOldest) or the channel closes
+// early (Evict). An unbounded subscription abandoned without draining
+// pins its queued events and delivery goroutine until the process
+// exits. A consumer that may stop early should use Stream instead,
+// whose loop exit cancels the subscription.
 func (d *Detector) Subscribe() <-chan *Event {
 	return d.subscribe().ch
 }
@@ -380,7 +512,7 @@ func (d *Detector) Subscribe() <-chan *Event {
 //	res, err := det.Run(ctx, src)
 //	if err := wait(); err != nil { ... }
 func (d *Detector) SinkToStore(st *Store) (wait func() error) {
-	s := d.subscribe()
+	s := d.subscribeUnbounded()
 	done := make(chan error, 1)
 	go func() {
 		var sinkErr error

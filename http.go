@@ -1,12 +1,16 @@
 package bgpblackholing
 
 import (
+	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"net/netip"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -51,7 +55,33 @@ import (
 // to an annotator attached to the store (Store.SetAnnotator), and a
 // bare store-only handler serves everything else unchanged.
 func NewStoreHandler(st *Store, p *Pipeline) http.Handler {
-	h := &storeHandler{st: st, p: p}
+	return NewStoreHandlerWith(st, p, HandlerOptions{})
+}
+
+// HandlerOptions hardens the HTTP API for exposure beyond localhost.
+// The zero value — no auth, no rate limit — preserves NewStoreHandler's
+// open behavior.
+type HandlerOptions struct {
+	// AuthToken, when non-empty, requires every request (except
+	// /healthz, so liveness probes keep working) to carry
+	// "Authorization: Bearer <token>"; anything else is a 401.
+	AuthToken string
+	// RateLimit, when positive, is the per-client steady-state request
+	// rate (requests/second, token bucket keyed by client IP); excess
+	// requests get a 429. /healthz is exempt.
+	RateLimit float64
+	// RateBurst is the bucket depth — how many requests a client may
+	// burst above the steady rate. Defaults to max(10, ceil(RateLimit)).
+	RateBurst int
+	// Detector, when non-nil, adds the live fan-out counters (drops,
+	// evictions, per-subscriber queue depth) to /stats.
+	Detector *Detector
+}
+
+// NewStoreHandlerWith is NewStoreHandler plus live-exposure hardening:
+// optional bearer-token auth and a per-client token-bucket rate limit.
+func NewStoreHandlerWith(st *Store, p *Pipeline, opts HandlerOptions) http.Handler {
+	h := &storeHandler{st: st, p: p, det: opts.Detector}
 	if p != nil {
 		h.ann = p.Annotator()
 	}
@@ -64,12 +94,113 @@ func NewStoreHandler(st *Store, p *Pipeline) http.Handler {
 	mux.HandleFunc("GET /figure8", h.figure8)
 	mux.HandleFunc("GET /table3", h.table3)
 	mux.HandleFunc("GET /table4", h.table4)
-	return mux
+	var handler http.Handler = mux
+	if opts.RateLimit > 0 {
+		burst := opts.RateBurst
+		if burst <= 0 {
+			burst = max(10, int(opts.RateLimit+0.999))
+		}
+		handler = rateLimitMiddleware(handler, opts.RateLimit, burst)
+	}
+	if opts.AuthToken != "" {
+		handler = authMiddleware(handler, opts.AuthToken)
+	}
+	return handler
+}
+
+// authMiddleware enforces a bearer token on everything but /healthz.
+func authMiddleware(next http.Handler, token string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || subtle.ConstantTimeCompare([]byte(got), []byte(token)) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="bgpblackholing"`)
+			httpError(w, http.StatusUnauthorized, "missing or invalid bearer token")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// rateLimiter is a per-client token bucket: each client accrues rate
+// tokens per second up to burst, one request spends one token.
+type rateLimiter struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   float64
+	clients map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxRateClients caps the client map; past it, the stalest buckets are
+// pruned (they refill to full burst while idle anyway).
+const maxRateClients = 4096
+
+func (l *rateLimiter) allow(key string, now time.Time) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.clients[key]
+	if b == nil {
+		if len(l.clients) >= maxRateClients {
+			l.pruneLocked(now)
+		}
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.clients[key] = b
+	} else {
+		b.tokens = min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// pruneLocked drops buckets idle long enough to have refilled fully —
+// indistinguishable from a fresh client.
+func (l *rateLimiter) pruneLocked(now time.Time) {
+	full := l.burst / l.rate // seconds to refill from empty
+	for k, b := range l.clients {
+		if now.Sub(b.last).Seconds() >= full {
+			delete(l.clients, k)
+		}
+	}
+}
+
+// rateLimitMiddleware enforces a per-client-IP token bucket on
+// everything but /healthz.
+func rateLimitMiddleware(next http.Handler, rate float64, burst int) http.Handler {
+	l := &rateLimiter{rate: rate, burst: float64(burst), clients: map[string]*tokenBucket{}}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		key := r.RemoteAddr
+		if host, _, err := net.SplitHostPort(key); err == nil {
+			key = host
+		}
+		if !l.allow(key, time.Now()) {
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, "rate limit exceeded")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 type storeHandler struct {
-	st *Store
-	p  *Pipeline
+	st  *Store
+	p   *Pipeline
+	det *Detector // optional: fan-out counters on /stats
 	// ann is the pipeline's annotator when the handler was built with a
 	// world; otherwise annotator() falls back to the store's — resolved
 	// per request, so Store.SetAnnotator works before or after
@@ -102,8 +233,34 @@ func (h *storeHandler) healthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{"status": "ok", "events": h.st.Len()})
 }
 
+// detectorStats is the live fan-out section of /stats. Only data that
+// is safe to read concurrently with a running Detector appears here:
+// the atomic drop/evict counters and the mutex-guarded per-subscriber
+// snapshots — never the engine's plain counters.
+type detectorStats struct {
+	SubscriberDrops     uint64            `json:"subscriber_drops"`
+	SubscriberEvictions uint64            `json:"subscriber_evictions"`
+	Subscribers         []SubscriberStats `json:"subscribers"`
+}
+
 func (h *storeHandler) stats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, h.st.Stats())
+	if h.det == nil {
+		writeJSON(w, h.st.Stats())
+		return
+	}
+	// Embedding flattens the store fields so clients decoding into
+	// StoreStats keep working.
+	writeJSON(w, struct {
+		StoreStats
+		Detector detectorStats `json:"detector"`
+	}{
+		StoreStats: h.st.Stats(),
+		Detector: detectorStats{
+			SubscriberDrops:     h.det.subDrops.Load(),
+			SubscriberEvictions: h.det.subEvicts.Load(),
+			Subscribers:         h.det.SubscriberStats(),
+		},
+	})
 }
 
 // parseQuery builds a Query from request parameters.
@@ -222,7 +379,7 @@ func (h *storeHandler) events(w http.ResponseWriter, r *http.Request) {
 	ndjson := r.URL.Query().Get("format") == "ndjson" ||
 		strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
 	if ndjson {
-		h.streamNDJSON(w, q, ann)
+		h.streamNDJSON(r.Context(), w, q, ann)
 		return
 	}
 	if q.Limit <= 0 {
@@ -254,13 +411,20 @@ func (h *storeHandler) events(w http.ResponseWriter, r *http.Request) {
 // streamNDJSON writes one event record per line, flushing periodically.
 // The records drain Store.QuerySeq incrementally — "streaming, uncapped"
 // is literal: nothing is materialized ahead of the wire, however many
-// events match.
-func (h *storeHandler) streamNDJSON(w http.ResponseWriter, q Query, ann *Annotator) {
+// events match. The drain watches ctx so a client that disconnects
+// mid-stream stops the store scan instead of riding it to the end.
+func (h *storeHandler) streamNDJSON(ctx context.Context, w http.ResponseWriter, q Query, ann *Annotator) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
+	done := ctx.Done()
 	i := 0
 	for ev := range h.st.QuerySeq(q) {
+		select {
+		case <-done:
+			return // client went away; abandon the scan
+		default:
+		}
 		rec := NewEventRecord(ev)
 		if q.Enrich {
 			// Uncached: an unbounded stream must not grow the shared
@@ -301,7 +465,13 @@ func (h *storeHandler) legitimacy(w http.ResponseWriter, r *http.Request) {
 	rpkiStates := map[string]int{}
 	commDocs := map[string]int{}
 	reasons := map[string]int{}
+	done := r.Context().Done()
 	for ev := range h.st.QuerySeq(q) {
+		select {
+		case <-done:
+			return // client went away; abandon the aggregation
+		default:
+		}
 		a := ann.AnnotateUncached(ev) // one-shot sweep: bypass the cache
 		total++
 		verdicts[a.Legitimacy]++

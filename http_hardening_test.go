@@ -1,0 +1,200 @@
+package bgpblackholing
+
+// HTTP hardening tests: bearer-token auth, the per-client token-bucket
+// rate limit, cancellation-aware streaming drains, and the /stats
+// detector section.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHTTPAuthToken(t *testing.T) {
+	st := storeFixture(t)
+	srv := httptest.NewServer(NewStoreHandlerWith(st, nil, HandlerOptions{
+		AuthToken: "sekrit",
+	}))
+	defer srv.Close()
+
+	get := func(path, auth string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest("GET", srv.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if auth != "" {
+			req.Header.Set("Authorization", auth)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+
+	for _, tc := range []struct {
+		name, auth string
+		want       int
+	}{
+		{"no header", "", http.StatusUnauthorized},
+		{"wrong scheme", "Basic sekrit", http.StatusUnauthorized},
+		{"wrong token", "Bearer wrong", http.StatusUnauthorized},
+		{"prefix of token", "Bearer sekri", http.StatusUnauthorized},
+		{"good token", "Bearer sekrit", http.StatusOK},
+	} {
+		resp := get("/stats", tc.auth)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: /stats = %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+		if tc.want == http.StatusUnauthorized &&
+			!strings.HasPrefix(resp.Header.Get("WWW-Authenticate"), "Bearer") {
+			t.Errorf("%s: 401 without a WWW-Authenticate challenge", tc.name)
+		}
+	}
+
+	// Liveness probes must keep working without credentials.
+	if resp := get("/healthz", ""); resp.StatusCode != http.StatusOK {
+		t.Errorf("unauthenticated /healthz = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestHTTPRateLimit(t *testing.T) {
+	st := storeFixture(t)
+	// A tiny bucket: 1 req/s steady state, burst of 3.
+	srv := httptest.NewServer(NewStoreHandlerWith(st, nil, HandlerOptions{
+		RateLimit: 1, RateBurst: 3,
+	}))
+	defer srv.Close()
+
+	codes := make([]int, 0, 6)
+	for range 6 {
+		resp, err := http.Get(srv.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		codes = append(codes, resp.StatusCode)
+	}
+	// The burst passes; everything after is throttled (the six requests
+	// take far less than the 1s needed to accrue another token).
+	for i, code := range codes {
+		want := http.StatusOK
+		if i >= 3 {
+			want = http.StatusTooManyRequests
+		}
+		if code != want {
+			t.Fatalf("request %d = %d, want %d (codes %v)", i, code, want, codes)
+		}
+	}
+
+	// /healthz is exempt even for a throttled client.
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("throttled client's /healthz = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestHTTPRateLimitRefill(t *testing.T) {
+	l := &rateLimiter{rate: 2, burst: 2, clients: map[string]*tokenBucket{}}
+	now := time.Unix(1425211200, 0)
+	for i := range 2 {
+		if !l.allow("10.0.0.1", now) {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	if l.allow("10.0.0.1", now) {
+		t.Fatal("request beyond the burst allowed")
+	}
+	// An unrelated client has its own bucket.
+	if !l.allow("10.0.0.2", now) {
+		t.Fatal("fresh client denied by another client's bucket")
+	}
+	// Half a second at 2/s accrues one token.
+	if !l.allow("10.0.0.1", now.Add(500*time.Millisecond)) {
+		t.Fatal("refilled token denied")
+	}
+	if l.allow("10.0.0.1", now.Add(500*time.Millisecond)) {
+		t.Fatal("second request on a single refilled token allowed")
+	}
+}
+
+// TestHTTPCanceledStreamingRequest proves the NDJSON and legitimacy
+// drains watch the request context: a client that is already gone
+// produces no records instead of a full store scan.
+func TestHTTPCanceledStreamingRequest(t *testing.T) {
+	st := storeFixture(t)
+	p := smallPipeline(t)
+	handler := NewStoreHandlerWith(st, p, HandlerOptions{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	for _, path := range []string{"/events?format=ndjson", "/legitimacy"} {
+		req := httptest.NewRequest("GET", path, nil).WithContext(ctx)
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		body := strings.TrimSpace(rec.Body.String())
+		if body != "" {
+			t.Errorf("%s with a canceled request produced output: %q", path, body)
+		}
+	}
+
+	// Sanity: the same requests with a live context do produce records.
+	req := httptest.NewRequest("GET", "/events?format=ndjson", nil)
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, req)
+	if lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n"); len(lines) != 3 {
+		t.Errorf("live NDJSON request returned %d lines, want 3", len(lines))
+	}
+}
+
+func TestHTTPStatsDetectorSection(t *testing.T) {
+	st := storeFixture(t)
+	p := smallPipeline(t)
+	det := p.NewDetector(WithSubscriberQueueBound(2, DropOldest))
+	det.Subscribe()
+	defer det.closeSubs()
+
+	srv := httptest.NewServer(NewStoreHandlerWith(st, nil, HandlerOptions{Detector: det}))
+	defer srv.Close()
+
+	var stats struct {
+		StoreStats // embedded: the flat store fields must survive
+		Detector   struct {
+			SubscriberDrops     uint64            `json:"subscriber_drops"`
+			SubscriberEvictions uint64            `json:"subscriber_evictions"`
+			Subscribers         []SubscriberStats `json:"subscribers"`
+		} `json:"detector"`
+	}
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Events != 3 {
+		t.Errorf("embedded store stats report %d events, want 3", stats.Events)
+	}
+	if n := len(stats.Detector.Subscribers); n != 1 {
+		t.Fatalf("detector section lists %d subscribers, want 1", n)
+	}
+	if b := stats.Detector.Subscribers[0].Bound; b != 2 {
+		t.Errorf("subscriber bound = %d, want 2", b)
+	}
+}

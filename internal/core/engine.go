@@ -168,6 +168,13 @@ type Metrics struct {
 	ImplicitEnds uint64
 	// EventsClosed counts correlated prefix-level events closed.
 	EventsClosed uint64
+	// SubscriberDrops counts events discarded from bounded subscriber
+	// queues under the drop-oldest slow-consumer policy; the engine
+	// itself never drops — the fan-out layer fills this in.
+	SubscriberDrops uint64
+	// SubscriberEvictions counts subscribers forcibly unsubscribed for
+	// falling a full queue bound behind (evict policy).
+	SubscriberEvictions uint64
 }
 
 // Engine is the blackholing inference engine.

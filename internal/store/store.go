@@ -3,6 +3,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"io"
 	"iter"
 	"math"
 	"net/netip"
@@ -39,6 +40,52 @@ type Options struct {
 	// roll whenever an appended event's time partition differs from the
 	// segment's, so every segment holds a single partition's history.
 	Policy Policy
+	// Sync is the group-commit fsync policy for the append path; the
+	// zero value syncs only at seal, explicit Sync and Close.
+	Sync SyncPolicy
+	// OpenSegment, when non-nil, replaces the os.File operations for
+	// the active segment's write handle — the fault-injection seam
+	// (internal/faultfs implements it). create=true asks for a fresh
+	// exclusive file, create=false reopens an existing segment for
+	// appending. Sealed-segment reads and compaction rewrites go
+	// through the real filesystem regardless.
+	OpenSegment func(path string, create bool) (SegmentFile, error)
+}
+
+// SegmentFile is the subset of *os.File the store's write path uses;
+// Options.OpenSegment injects alternative implementations (fault
+// injection, latency) under the real append/seal/sync code paths.
+type SegmentFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// SyncPolicy is the group-commit fsync policy for the append path. The
+// zero value preserves the classic behavior — records are fsynced only
+// when a segment seals, on an explicit Sync, and at Close — which is
+// the fastest option, with crash durability entirely in the caller's
+// hands. The other knobs bound the loss window: after a crash, at most
+// the records appended since the last policy-driven sync are lost, and
+// the segment recovers torn-tail clean.
+type SyncPolicy struct {
+	// EveryN fsyncs once every N appended records (a group commit):
+	// the fsync cost amortizes over N events while the crash-loss
+	// window stays below N records.
+	EveryN int
+	// Interval fsyncs at most this long after the first unsynced
+	// append — whichever of EveryN and Interval trips first wins. The
+	// timer-driven sync's error, if any, surfaces on the next Append
+	// or Sync call.
+	Interval time.Duration
+	// Always fsyncs on every Append call — maximum durability, one
+	// fsync per batch.
+	Always bool
+	// OnClose documents the zero-value behavior explicitly: sync only
+	// at seal, Sync and Close. It is implied when every other field is
+	// zero.
+	OnClose bool
 }
 
 // ErrReadOnly is returned by mutating calls on a read-only store.
@@ -128,6 +175,9 @@ type Stats struct {
 	// RecoveredTails counts segments whose tail was torn (crash) and
 	// skipped or truncated during open.
 	RecoveredTails int
+	// Unsynced counts records appended since the last fsync — the
+	// group-commit lag a crash right now would lose.
+	Unsynced int
 	// MinStart and MaxEnd bound the stored events' time span (zero when
 	// the store is empty). They can be wider than the live span after
 	// deletions.
@@ -157,10 +207,19 @@ type Store struct {
 	tombs   []Tombstone
 	tombSeg []uint64
 
-	sealed []segFile // sealed segments, ascending seq
-	active *os.File  // nil when read-only or closed
-	seq    uint64    // active segment sequence number
-	size   int64     // active segment size in bytes
+	sealed []segFile   // sealed segments, ascending seq
+	active SegmentFile // nil when read-only or closed
+	seq    uint64      // active segment sequence number
+	size   int64       // active segment size in bytes
+
+	// Group-commit state: records appended since the last fsync, the
+	// armed Interval timer (nil when idle), a timer-driven sync failure
+	// awaiting surfacing, and whether the active segment is wounded (a
+	// failed write or sync) and must be failed over before more appends.
+	unsynced    int
+	syncTimer   *time.Timer
+	asyncErr    error
+	writeFailed bool
 
 	// Active segment bookkeeping for partition rolling and erasure
 	// tracking: live event count, dead-on-disk record count, earliest
@@ -377,18 +436,16 @@ func open(dir string, opts Options) (*Store, error) {
 	}
 
 	// Reopen the newest segment for appending, or start the first one.
+	// The reopened size is the scan's validLen, not the file size: any
+	// torn bytes past it were truncated above (or belong to a garbage
+	// tail new appends must not extend).
 	if len(segs) > 0 {
 		last := segs[len(segs)-1]
-		f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := s.openSeg(last.path)
 		if err != nil {
 			return nil, err
 		}
-		fi, err := f.Stat()
-		if err != nil {
-			f.Close()
-			return nil, err
-		}
-		s.active, s.seq, s.size = f, last.seq, fi.Size()
+		s.active, s.seq, s.size = f, last.seq, scans[len(scans)-1].validLen
 		s.activeDead = last.dead
 		s.activeMinStart = last.minStartNano
 		if last.hasEvents && opts.Policy.Partition > 0 {
@@ -418,13 +475,40 @@ func open(dir string, opts Options) (*Store, error) {
 
 // startSegment creates segment seq and makes it the active one.
 func (s *Store) startSegment(seq uint64) error {
-	f, err := createSegment(filepath.Join(s.dir, segName(seq)))
+	f, err := s.createSeg(filepath.Join(s.dir, segName(seq)))
 	if err != nil {
 		return err
 	}
 	s.active, s.seq, s.size = f, seq, int64(len(segMagic))
 	s.activeEvents, s.activeDead, s.activeMinStart, s.activePart = 0, 0, noMinStart, 0
 	return nil
+}
+
+// createSeg creates a fresh segment file with its magic written,
+// through Options.OpenSegment when set (the fault-injection seam).
+func (s *Store) createSeg(path string) (SegmentFile, error) {
+	if s.opts.OpenSegment == nil {
+		return createSegment(path)
+	}
+	f, err := s.opts.OpenSegment(path, true)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(segMagic); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return f, nil
+}
+
+// openSeg reopens an existing segment for appending, through
+// Options.OpenSegment when set.
+func (s *Store) openSeg(path string) (SegmentFile, error) {
+	if s.opts.OpenSegment == nil {
+		return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	}
+	return s.opts.OpenSegment(path, false)
 }
 
 // index adds ev to the in-memory state under the next ordinal, recording
@@ -584,10 +668,9 @@ func (s *Store) Append(events ...*core.Event) error {
 		payload := EncodeEvent(s.scratch[:0], ev)
 		s.scratch = payload[:0]
 		rec := appendRecord(nil, payload)
-		if _, err := s.active.Write(rec); err != nil {
+		if err := s.writeRecord(rec); err != nil {
 			return fmt.Errorf("store: append: %w", err)
 		}
-		s.size += int64(len(rec))
 		if nano := ev.Start.UTC().UnixNano(); nano < s.activeMinStart {
 			s.activeMinStart = nano
 		}
@@ -603,6 +686,106 @@ func (s *Store) Append(events ...*core.Event) error {
 			}
 		}
 	}
+	return s.maybeGroupCommit()
+}
+
+// writeRecord appends one raw record to the active segment, tracking
+// size and group-commit lag. A wounded segment (an earlier write or
+// fsync failure left its tail in an unknown state) is failed over to a
+// fresh segment first, so a torn record can never sit in the middle of
+// a record boundary new appends extend.
+func (s *Store) writeRecord(rec []byte) error {
+	if s.writeFailed {
+		if err := s.failoverSeal(); err != nil {
+			return fmt.Errorf("segment failover: %w", err)
+		}
+	}
+	if _, err := s.active.Write(rec); err != nil {
+		s.writeFailed = true
+		return err
+	}
+	s.size += int64(len(rec))
+	s.unsynced++
+	return nil
+}
+
+// maybeGroupCommit applies Options.Sync after a batch of appended
+// records: fsync now when the policy demands it, or arm the Interval
+// timer. A pending timer-sync failure surfaces here first. Caller
+// holds the write lock.
+func (s *Store) maybeGroupCommit() error {
+	if err := s.asyncErr; err != nil {
+		s.asyncErr = nil
+		return fmt.Errorf("store: group commit: %w", err)
+	}
+	pol := s.opts.Sync
+	if pol.Always || (pol.EveryN > 0 && s.unsynced >= pol.EveryN) {
+		if err := s.syncActive(); err != nil {
+			return fmt.Errorf("store: group commit: %w", err)
+		}
+		return nil
+	}
+	if pol.Interval > 0 && s.unsynced > 0 && s.syncTimer == nil {
+		s.syncTimer = time.AfterFunc(pol.Interval, s.timedSync)
+	}
+	return nil
+}
+
+// syncActive fsyncs the active segment and resets the group-commit
+// lag. Caller holds the write lock.
+func (s *Store) syncActive() error {
+	if s.active == nil {
+		return nil
+	}
+	if err := s.active.Sync(); err != nil {
+		s.writeFailed = true
+		return err
+	}
+	s.unsynced = 0
+	s.stopSyncTimer()
+	return nil
+}
+
+func (s *Store) stopSyncTimer() {
+	if s.syncTimer != nil {
+		s.syncTimer.Stop()
+		s.syncTimer = nil
+	}
+}
+
+// timedSync is the Interval policy's deadline: fsync whatever the
+// group commit has accumulated. Its failure is remembered and returned
+// by the next Append or Sync (a timer has no caller to report to).
+func (s *Store) timedSync() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.syncTimer = nil
+	if s.closed || s.active == nil || s.unsynced == 0 {
+		return
+	}
+	if err := s.active.Sync(); err != nil {
+		s.writeFailed = true
+		s.asyncErr = err
+		return
+	}
+	s.unsynced = 0
+}
+
+// failoverSeal abandons a wounded active segment: a failed write or
+// fsync left bytes past the last known-good record in an unknown
+// state, so the file is sealed at its known-good length — recovery
+// skips any torn bytes beyond it — and a fresh segment takes over.
+// Sync and close on the wounded file are best-effort: its data is
+// already at risk, and the point here is a clean record boundary for
+// everything appended next.
+func (s *Store) failoverSeal() error {
+	next, err := s.createSeg(filepath.Join(s.dir, segName(s.seq+1)))
+	if err != nil {
+		return err
+	}
+	s.active.Sync()
+	s.finishSeal(next)
+	s.writeFailed = false
 	return nil
 }
 
@@ -629,10 +812,9 @@ func (s *Store) DeletePrefix(prefix netip.Prefix, upTo time.Time) (int, error) {
 		tb.UpTo = upTo.UTC()
 	}
 	rec := appendRecord(nil, encodeTombstone(nil, tb))
-	if _, err := s.active.Write(rec); err != nil {
+	if err := s.writeRecord(rec); err != nil {
 		return 0, fmt.Errorf("store: delete: %w", err)
 	}
-	s.size += int64(len(rec))
 	s.tombs = append(s.tombs, tb)
 	s.tombSeg = append(s.tombSeg, s.seq)
 
@@ -669,22 +851,32 @@ func (s *Store) DeletePrefix(prefix netip.Prefix, upTo time.Time) (int, error) {
 			return len(doomed), err
 		}
 	}
-	return len(doomed), nil
+	return len(doomed), s.maybeGroupCommit()
 }
 
 // seal syncs and closes the active segment and starts the next one.
 // The replacement segment is created first, so the store keeps a valid
 // active segment on every error path. Caller holds the write lock.
 func (s *Store) seal() error {
-	next, err := createSegment(filepath.Join(s.dir, segName(s.seq+1)))
+	next, err := s.createSeg(filepath.Join(s.dir, segName(s.seq+1)))
 	if err != nil {
 		return err
 	}
 	if err := s.active.Sync(); err != nil {
+		s.writeFailed = true
 		next.Close()
 		os.Remove(next.Name())
 		return err
 	}
+	s.finishSeal(next)
+	return nil
+}
+
+// finishSeal retires the active segment — its data is already synced
+// (or abandoned, on the failover path) — records it in the sealed set,
+// and installs next as the new active segment. Caller holds the write
+// lock.
+func (s *Store) finishSeal(next SegmentFile) {
 	// The old active's data is synced; a close error cannot lose anything.
 	s.active.Close()
 	s.sealed = append(s.sealed, segFile{
@@ -698,26 +890,33 @@ func (s *Store) seal() error {
 	s.sealedBytes += s.size
 	s.active, s.seq, s.size = next, s.seq+1, int64(len(segMagic))
 	s.activeEvents, s.activeDead, s.activeMinStart, s.activePart = 0, 0, noMinStart, 0
+	s.unsynced = 0
+	s.stopSyncTimer()
 	if s.compactCh != nil && len(s.sealed) >= s.opts.CompactSegments {
 		select {
 		case s.compactCh <- struct{}{}:
 		default:
 		}
 	}
-	return nil
 }
 
-// Sync flushes the active segment to stable storage.
+// Sync flushes the active segment to stable storage. A deferred
+// group-commit failure (an Interval timer fsync that failed) surfaces
+// here if no Append reported it first.
 func (s *Store) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
+	if err := s.asyncErr; err != nil {
+		s.asyncErr = nil
+		return fmt.Errorf("store: group commit: %w", err)
+	}
 	if s.active == nil {
 		return nil
 	}
-	return s.active.Sync()
+	return s.syncActive()
 }
 
 // Close syncs and closes the store. Further calls fail with ErrClosed.
@@ -728,6 +927,7 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.stopSyncTimer()
 	compactDone := s.compactDone
 	if s.compactCh != nil {
 		close(s.compactCh)
@@ -774,6 +974,7 @@ func (s *Store) Stats() Stats {
 		Bytes:          s.sealedBytes,
 		Tombstones:     len(s.tombs),
 		PendingErasure: s.activeDead,
+		Unsynced:       s.unsynced,
 		RecoveredTails: s.recoveredTails,
 		MinStart:       s.minStart,
 		MaxEnd:         s.maxEnd,

@@ -27,6 +27,8 @@ type Live struct {
 	mu          sync.Mutex
 	cond        *sync.Cond
 	buf         []*Elem
+	limit       int // max buffered elements; 0 = unbounded
+	dropped     uint64
 	closed      bool
 	interrupted bool
 }
@@ -39,14 +41,22 @@ func NewLive() *Live {
 }
 
 // Publish appends one element. Publishing to a closed stream is a
-// no-op (late producers during shutdown are tolerated).
+// no-op (late producers during shutdown are tolerated). When a buffer
+// limit is set and the consumer has fallen that far behind, the oldest
+// buffered element is discarded to make room — a live feed prefers a
+// gappy present over an unbounded past.
 func (l *Live) Publish(e *Elem) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return
 	}
-	l.buf = append(l.buf, e)
+	if l.limit > 0 && len(l.buf) >= l.limit {
+		l.buf = append(l.buf[1:len(l.buf):len(l.buf)], e)
+		l.dropped++
+	} else {
+		l.buf = append(l.buf, e)
+	}
 	l.cond.Signal()
 }
 
@@ -109,6 +119,23 @@ func (l *Live) Pending() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return len(l.buf)
+}
+
+// SetLimit bounds the publish buffer at n elements; 0 restores the
+// default unbounded buffer. Shrinking below the current backlog does
+// not discard already-buffered elements — the bound applies to future
+// publishes.
+func (l *Live) SetLimit(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.limit = n
+}
+
+// Dropped counts elements discarded by the buffer limit.
+func (l *Live) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
 }
 
 // Tick is a convenience for tests and examples: it publishes a minimal

@@ -50,6 +50,16 @@ func (st *Store) Annotator() *Annotator { return st.ann.Load() }
 // StoreOptions tunes OpenStoreWith.
 type StoreOptions = store.Options
 
+// SyncPolicy is the store's group-commit fsync policy (StoreOptions.Sync):
+// batch fsyncs every N appended records or every Interval, whichever
+// comes first; Always per append; the zero value only at seal, Sync and
+// Close. See ParseSyncPolicy for the flag syntax.
+type SyncPolicy = store.SyncPolicy
+
+// SegmentFile is the store's active-segment write handle, the seam
+// StoreOptions.OpenSegment replaces for fault injection.
+type SegmentFile = store.SegmentFile
+
 // StoreStats describes a store's shape (Store.Stats).
 type StoreStats = store.Stats
 
@@ -426,6 +436,64 @@ func ParseCompactionPolicy(s string) (CompactionPolicy, error) {
 		default:
 			return CompactionPolicy{}, fmt.Errorf("unknown policy option %q (want partition, ratio or min-run)", k)
 		}
+	}
+	return pol, nil
+}
+
+// ParseSyncPolicy parses a group-commit fsync policy spec, the format
+// cmd/bhserve's -sync-policy flag uses:
+//
+//	close                 sync only at seal, explicit Sync and Close
+//	                      (the zero value — fastest, crash loses the
+//	                      whole unsynced segment tail)
+//	always                fsync after every append batch
+//	group                 every 1000 records or 200ms, whichever first
+//	group,every=500,interval=100ms
+//
+// The group options: every is a record count (0 disables the count
+// trigger), interval a Go duration (0 disables the deadline).
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	parts := strings.Split(strings.TrimSpace(s), ",")
+	switch parts[0] {
+	case "", "close":
+		if len(parts) > 1 {
+			return SyncPolicy{}, fmt.Errorf("policy %q takes no options", parts[0])
+		}
+		return SyncPolicy{}, nil
+	case "always":
+		if len(parts) > 1 {
+			return SyncPolicy{}, fmt.Errorf("policy %q takes no options", parts[0])
+		}
+		return SyncPolicy{Always: true}, nil
+	case "group":
+	default:
+		return SyncPolicy{}, fmt.Errorf("bad sync policy %q (want close, always or group[,every=1000,interval=200ms])", s)
+	}
+	pol := SyncPolicy{EveryN: 1000, Interval: 200 * time.Millisecond}
+	for _, opt := range parts[1:] {
+		k, v, ok := strings.Cut(opt, "=")
+		if !ok {
+			return SyncPolicy{}, fmt.Errorf("bad policy option %q (want key=value)", opt)
+		}
+		switch k {
+		case "every":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return SyncPolicy{}, fmt.Errorf("bad every %q (want a record count)", v)
+			}
+			pol.EveryN = n
+		case "interval":
+			d, err := time.ParseDuration(v)
+			if err != nil || d < 0 {
+				return SyncPolicy{}, fmt.Errorf("bad interval %q (want a duration like 200ms)", v)
+			}
+			pol.Interval = d
+		default:
+			return SyncPolicy{}, fmt.Errorf("unknown policy option %q (want every or interval)", k)
+		}
+	}
+	if pol.EveryN == 0 && pol.Interval == 0 {
+		return SyncPolicy{}, fmt.Errorf("sync policy %q disables both triggers; use close instead", s)
 	}
 	return pol, nil
 }

@@ -1,0 +1,393 @@
+package bgpblackholing
+
+// RedialSource — a self-healing live feed. Real collector sessions
+// reset: peers reboot, transit flaps, daemons hang. This source wraps
+// DialBGP in a reconnect loop — timeout-bounded dials, exponential
+// backoff with jitter, an optional retry budget — and re-seeds the
+// element stream from a RIB dump after every re-established session,
+// so the consuming Detector recovers blackholing state announced while
+// the session was down (§4.2's table-dump initialization, replayed
+// through the normal stream path on the consumer's goroutine).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"bgpblackholing/internal/mrt"
+	"bgpblackholing/internal/stream"
+)
+
+// ConnState is one phase of a RedialSource's connection lifecycle.
+type ConnState int
+
+const (
+	// ConnIdle: not yet started (before the first Next call).
+	ConnIdle ConnState = iota
+	// ConnDialing: a connect + handshake attempt is in flight.
+	ConnDialing
+	// ConnEstablished: a session is up and its updates are flowing.
+	ConnEstablished
+	// ConnReseeding: a re-established session is replaying the RIB
+	// dump into the stream before (well, while) live updates resume.
+	ConnReseeding
+	// ConnBackoff: the last attempt or session failed; waiting before
+	// redialing.
+	ConnBackoff
+	// ConnGaveUp: the retry budget is exhausted; the feed has ended.
+	ConnGaveUp
+	// ConnClosed: Close ended the feed.
+	ConnClosed
+)
+
+func (s ConnState) String() string {
+	switch s {
+	case ConnIdle:
+		return "idle"
+	case ConnDialing:
+		return "dialing"
+	case ConnEstablished:
+		return "established"
+	case ConnReseeding:
+		return "reseeding"
+	case ConnBackoff:
+		return "backoff"
+	case ConnGaveUp:
+		return "gave-up"
+	case ConnClosed:
+		return "closed"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// ConnTransition is one structured connection-state change, delivered
+// to RedialConfig.OnTransition.
+type ConnTransition struct {
+	From, To ConnState
+	// Time stamps the transition.
+	Time time.Time
+	// Attempt counts consecutive failed dials (1-based) on transitions
+	// into ConnBackoff / ConnGaveUp; 0 elsewhere.
+	Attempt int
+	// Err carries the failure driving a ConnBackoff or ConnGaveUp
+	// transition, or a non-fatal reseed failure on the transition from
+	// ConnReseeding back to ConnEstablished.
+	Err error
+	// Wait is the backoff delay chosen on a ConnBackoff transition.
+	Wait time.Duration
+}
+
+// RedialConfig configures a RedialSource.
+type RedialConfig struct {
+	// Session is the local BGP identity for each dial, including the
+	// DialTimeout bounding every connect + handshake.
+	Session BGPConfig
+	// CollectorName and Platform label every published element.
+	CollectorName string
+	Platform      Platform
+
+	// InitialBackoff is the wait after the first failure (default
+	// 500ms); each further consecutive failure multiplies it by
+	// Multiplier (default 2) up to MaxBackoff (default 30s).
+	InitialBackoff time.Duration
+	MaxBackoff     time.Duration
+	Multiplier     float64
+	// Jitter spreads each backoff uniformly within ±Jitter×delay
+	// (0..1), so a fleet of dialers does not thunder back in lockstep.
+	// Default 0.2; negative disables.
+	Jitter float64
+	// MaxRetries caps consecutive failed dials before the source gives
+	// up and ends the feed with an error. 0 retries forever.
+	MaxRetries int
+
+	// Reseed, when non-nil, is invoked after every re-established
+	// session (not the first — initial seeding is the caller's
+	// SeedFromRIBDump): it returns an MRT TABLE_DUMP_V2 archive whose
+	// entries are replayed into the stream ahead of the resumed live
+	// updates, restoring blackholing state announced during the
+	// outage. A reseed failure is reported via OnTransition and the
+	// session continues without it.
+	Reseed func() (io.ReadCloser, error)
+
+	// OnTransition, when non-nil, receives every connection-state
+	// change, synchronously from the connection goroutine — keep it
+	// fast and do not call back into the source.
+	OnTransition func(ConnTransition)
+
+	// dial replaces DialBGPContext in tests.
+	dial func(ctx context.Context, addr string, cfg BGPConfig) (*BGPSession, error)
+}
+
+// RedialSource is a Source fed by a BGP session that redials itself.
+// Create with NewRedialSource; the connection loop starts lazily at
+// the first Next call and runs until Close, a retry-budget exhaustion,
+// or a listener that is gone for good.
+type RedialSource struct {
+	addr string
+	cfg  RedialConfig
+	live *stream.Live
+
+	start     sync.Once
+	closeOnce sync.Once
+	closed    chan struct{}
+
+	mu       sync.Mutex
+	state    ConnState
+	terminal error
+	cur      *BGPSession // in-flight session, closed by Close
+}
+
+// NewRedialSource returns a reconnecting live source dialing addr.
+func NewRedialSource(addr string, cfg RedialConfig) *RedialSource {
+	if cfg.InitialBackoff <= 0 {
+		cfg.InitialBackoff = 500 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 30 * time.Second
+	}
+	if cfg.Multiplier <= 1 {
+		cfg.Multiplier = 2
+	}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = 0.2
+	}
+	if cfg.dial == nil {
+		cfg.dial = DialBGPContext
+	}
+	return &RedialSource{
+		addr:   addr,
+		cfg:    cfg,
+		live:   stream.NewLive(),
+		closed: make(chan struct{}),
+	}
+}
+
+// State reports the connection loop's current phase.
+func (r *RedialSource) State() ConnState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}
+
+// Next blocks until an element arrives from the current session (or a
+// reseed replay). The first call starts the connection loop. When the
+// feed ends because the retry budget ran out, Next surfaces that
+// terminal error instead of a clean io.EOF.
+func (r *RedialSource) Next() (*Elem, error) {
+	r.start.Do(func() { go r.loop() })
+	el, err := r.live.Next()
+	if err != nil && errors.Is(err, io.EOF) {
+		r.mu.Lock()
+		terminal := r.terminal
+		r.mu.Unlock()
+		if terminal != nil {
+			return nil, terminal
+		}
+	}
+	return el, err
+}
+
+// Close ends the feed: the in-flight dial or read is abandoned,
+// pending elements still drain, then the consumer sees io.EOF.
+func (r *RedialSource) Close() {
+	r.closeOnce.Do(func() {
+		close(r.closed)
+		r.mu.Lock()
+		cur := r.cur
+		r.mu.Unlock()
+		if cur != nil {
+			cur.Close() // unblock a read parked on the session
+		}
+	})
+}
+
+// attach wires run-scoped cancellation exactly like LiveSource: a
+// consumer parked in Next is unblocked when the run's context ends.
+func (r *RedialSource) attach(ctx context.Context, runDone <-chan struct{}) {
+	r.live.ClearInterrupt()
+	done := ctx.Done()
+	if done == nil {
+		return
+	}
+	go func() {
+		select {
+		case <-done:
+			r.live.Interrupt()
+		case <-runDone:
+		}
+	}()
+}
+
+func (r *RedialSource) isClosed() bool {
+	select {
+	case <-r.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// transition records a state change and notifies OnTransition (without
+// holding the lock — the callback may inspect State of other sources).
+func (r *RedialSource) transition(to ConnState, attempt int, err error, wait time.Duration) {
+	r.mu.Lock()
+	from := r.state
+	r.state = to
+	r.mu.Unlock()
+	if r.cfg.OnTransition != nil {
+		r.cfg.OnTransition(ConnTransition{
+			From: from, To: to, Time: time.Now(),
+			Attempt: attempt, Err: err, Wait: wait,
+		})
+	}
+}
+
+// backoffFor computes the jittered exponential delay for the given
+// consecutive-failure count (1-based).
+func (r *RedialSource) backoffFor(attempt int) time.Duration {
+	d := float64(r.cfg.InitialBackoff)
+	for i := 1; i < attempt; i++ {
+		d *= r.cfg.Multiplier
+		if d >= float64(r.cfg.MaxBackoff) {
+			break
+		}
+	}
+	d = min(d, float64(r.cfg.MaxBackoff))
+	if r.cfg.Jitter > 0 {
+		d *= 1 + r.cfg.Jitter*(2*rand.Float64()-1)
+	}
+	return time.Duration(d)
+}
+
+// loop is the connection goroutine: dial, consume, back off, repeat.
+func (r *RedialSource) loop() {
+	defer r.live.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-r.closed
+		cancel()
+	}()
+
+	attempt, sessions := 0, 0
+	for {
+		if r.isClosed() {
+			r.transition(ConnClosed, 0, nil, 0)
+			return
+		}
+		r.transition(ConnDialing, 0, nil, 0)
+		sess, err := r.cfg.dial(ctx, r.addr, r.cfg.Session)
+		if err != nil {
+			if r.isClosed() {
+				r.transition(ConnClosed, 0, nil, 0)
+				return
+			}
+			attempt++
+			if r.cfg.MaxRetries > 0 && attempt > r.cfg.MaxRetries {
+				r.mu.Lock()
+				r.terminal = fmt.Errorf("bgpblackholing: redial %s: retry budget (%d) exhausted: %w", r.addr, r.cfg.MaxRetries, err)
+				r.mu.Unlock()
+				r.transition(ConnGaveUp, attempt, err, 0)
+				return
+			}
+			if !r.waitBackoff(attempt, err) {
+				return
+			}
+			continue
+		}
+		attempt = 0
+		sessions++
+		r.mu.Lock()
+		r.cur = sess
+		r.mu.Unlock()
+		if r.isClosed() { // Close raced the dial; it may have missed cur
+			sess.Close()
+			r.transition(ConnClosed, 0, nil, 0)
+			return
+		}
+		r.transition(ConnEstablished, 0, nil, 0)
+		if sessions > 1 && r.cfg.Reseed != nil {
+			r.transition(ConnReseeding, 0, nil, 0)
+			r.transition(ConnEstablished, 0, r.reseed(), 0)
+		}
+		readErr := r.consume(sess)
+		sess.Close()
+		r.mu.Lock()
+		r.cur = nil
+		r.mu.Unlock()
+		if r.isClosed() {
+			r.transition(ConnClosed, 0, nil, 0)
+			return
+		}
+		// A lost session redials after one base backoff: enough to
+		// avoid a hot loop against a peer that accepts and instantly
+		// drops, without treating an outage after hours of service as
+		// a consecutive failure.
+		if !r.waitBackoff(1, readErr) {
+			return
+		}
+	}
+}
+
+// waitBackoff announces and sleeps one backoff, reporting false when
+// Close ended the wait.
+func (r *RedialSource) waitBackoff(attempt int, cause error) bool {
+	wait := r.backoffFor(attempt)
+	r.transition(ConnBackoff, attempt, cause, wait)
+	select {
+	case <-time.After(wait):
+		return true
+	case <-r.closed:
+		r.transition(ConnClosed, 0, nil, 0)
+		return false
+	}
+}
+
+// consume publishes the session's updates until it ends, returning the
+// read error that ended it.
+func (r *RedialSource) consume(sess *BGPSession) error {
+	peerAS := sess.PeerASN()
+	var peerIP netip.Addr
+	if host, _, err := net.SplitHostPort(r.addr); err == nil {
+		peerIP, _ = netip.ParseAddr(host)
+	}
+	for {
+		u, err := sess.ReadUpdate()
+		if err != nil {
+			return err
+		}
+		u.PeerAS = peerAS
+		if peerIP.IsValid() {
+			u.PeerIP = peerIP
+		}
+		r.live.Publish(&stream.Elem{Collector: r.cfg.CollectorName, Platform: r.cfg.Platform, Update: u})
+	}
+}
+
+// reseed replays the configured RIB dump into the stream; the entries
+// are delivered on the consumer's goroutine like any other element, so
+// the engine never sees concurrent seeding.
+func (r *RedialSource) reseed() error {
+	rc, err := r.cfg.Reseed()
+	if err != nil {
+		return fmt.Errorf("reseed: %w", err)
+	}
+	defer rc.Close()
+	src := stream.FromMRT(mrt.NewReader(rc), r.cfg.CollectorName, r.cfg.Platform)
+	for {
+		el, err := src.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, mrt.ErrTruncated) {
+				return nil // end of archive, or the usual truncated tail
+			}
+			return fmt.Errorf("reseed: %w", err)
+		}
+		r.live.Publish(el)
+	}
+}

@@ -19,16 +19,20 @@
 # live subscriber; must match BenchmarkRunWindowParallel row for row),
 # and the event-store rows: BenchmarkStoreIngest (append path: encode +
 # checksummed log write + index insert, per event),
-# BenchmarkStoreQueryLPM (indexed longest-prefix-match point queries —
-# must stay in the microsecond range, with no replay in the query path),
+# BenchmarkStoreIngestGroupCommit (the same append path under the
+# group-commit fsync policy, every=64 — the price of bounded crash
+# loss), BenchmarkStoreQueryLPM (indexed longest-prefix-match point
+# queries — must stay in the microsecond range, with no replay in the
+# query path),
 # BenchmarkQueryEnriched (the same LPM point queries with legitimacy
 # enrichment on: indexed covering-ROA validation plus dictionary lookups
 # per returned event — must stay within 3x BenchmarkStoreQueryLPM) and
 # BenchmarkCompactTiered (one tiered compaction pass: run merge,
 # marker-led atomic commit, in-place index swap).
 #
-# CI gates BenchmarkStoreIngest, BenchmarkStoreQueryLPM and
-# BenchmarkQueryEnriched against the committed baseline via
+# CI gates BenchmarkStoreIngest, BenchmarkStoreIngestGroupCommit,
+# BenchmarkStoreQueryLPM and BenchmarkQueryEnriched against the
+# committed baseline via
 # scripts/bench_compare.go (see the bench-gate job in
 # .github/workflows/ci.yml).
 set -euo pipefail
@@ -36,7 +40,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-2x}"
-FILTER="${BENCH_FILTER:-BenchmarkEngineThroughput\$|BenchmarkRunWindowParallel|BenchmarkRunStreaming|BenchmarkStoreIngest\$|BenchmarkStoreQueryLPM\$|BenchmarkQueryEnriched\$|BenchmarkCompactTiered\$}"
+FILTER="${BENCH_FILTER:-BenchmarkEngineThroughput\$|BenchmarkRunWindowParallel|BenchmarkRunStreaming|BenchmarkStoreIngest\$|BenchmarkStoreIngestGroupCommit\$|BenchmarkStoreQueryLPM\$|BenchmarkQueryEnriched\$|BenchmarkCompactTiered\$}"
 OUT="${BENCH_OUT:-BENCH_$(date +%Y%m%d).json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT

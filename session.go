@@ -1,6 +1,7 @@
 package bgpblackholing
 
 import (
+	"context"
 	"errors"
 	"io"
 	"net"
@@ -32,6 +33,27 @@ type BGPConfig struct {
 	// HoldTime is the proposed hold time (0 disables keepalive
 	// supervision; the RFC minimum otherwise is 3s).
 	HoldTime time.Duration
+	// DialTimeout bounds DialBGP end to end: the TCP connect AND the
+	// OPEN/KEEPALIVE handshake (a peer whose kernel accepts the
+	// connection but whose daemon never answers the OPEN would
+	// otherwise hang a dialer forever). Zero applies
+	// DefaultDialTimeout; negative disables the bound.
+	DialTimeout time.Duration
+}
+
+// DefaultDialTimeout bounds DialBGP (connect + handshake) when
+// BGPConfig.DialTimeout is zero.
+const DefaultDialTimeout = 30 * time.Second
+
+// dialTimeout resolves the configured timeout against the default.
+func (c BGPConfig) dialTimeout() time.Duration {
+	switch {
+	case c.DialTimeout < 0:
+		return 0
+	case c.DialTimeout == 0:
+		return DefaultDialTimeout
+	}
+	return c.DialTimeout
 }
 
 // BGPSession is one established BGP session.
@@ -49,17 +71,43 @@ func EstablishBGP(conn net.Conn, cfg BGPConfig) (*BGPSession, error) {
 	return &BGPSession{sess: sess}, nil
 }
 
-// DialBGP connects to a BGP speaker and performs the handshake.
+// DialBGP connects to a BGP speaker and performs the handshake,
+// bounded end to end by cfg.DialTimeout (DefaultDialTimeout when
+// zero).
 func DialBGP(addr string, cfg BGPConfig) (*BGPSession, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialBGPContext(context.Background(), addr, cfg)
+}
+
+// DialBGPContext is DialBGP with caller-controlled cancellation: the
+// TCP connect aborts when ctx is canceled, and the tighter of ctx's
+// deadline and cfg.DialTimeout bounds the whole dial including the
+// OPEN handshake.
+func DialBGPContext(ctx context.Context, addr string, cfg BGPConfig) (*BGPSession, error) {
+	deadline := time.Time{}
+	if to := cfg.dialTimeout(); to > 0 {
+		deadline = time.Now().Add(to)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+	}
+	dialer := net.Dialer{Deadline: deadline}
+	conn, err := dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
+	}
+	// The deadline must also cover the handshake: a peer that accepts
+	// the TCP connection but never answers the OPEN is the hang the
+	// timeout exists for. Established sessions manage their own read
+	// deadlines from the hold time, so clear it afterwards.
+	if !deadline.IsZero() {
+		conn.SetDeadline(deadline)
 	}
 	sess, err := EstablishBGP(conn, cfg)
 	if err != nil {
 		conn.Close()
 		return nil, err
 	}
+	conn.SetDeadline(time.Time{})
 	return sess, nil
 }
 

@@ -308,6 +308,15 @@ func (l *LiveSource) Close() { l.live.Close() }
 // Pending reports the buffered element count (monitoring hook).
 func (l *LiveSource) Pending() int { return l.live.Pending() }
 
+// SetBufferLimit bounds the publish buffer at n elements; once a
+// consumer falls that far behind, the oldest buffered element is
+// discarded per publish (count them with Dropped). 0 — the default —
+// keeps the buffer unbounded.
+func (l *LiveSource) SetBufferLimit(n int) { l.live.SetLimit(n) }
+
+// Dropped counts elements discarded by the buffer limit.
+func (l *LiveSource) Dropped() uint64 { return l.live.Dropped() }
+
 // Next blocks until an element is available or the source is closed and
 // drained.
 func (l *LiveSource) Next() (*Elem, error) { return l.live.Next() }

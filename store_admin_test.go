@@ -140,6 +140,36 @@ func TestParseCompactionPolicy(t *testing.T) {
 	}
 }
 
+func TestParseSyncPolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want SyncPolicy
+		ok   bool
+	}{
+		{"", SyncPolicy{}, true},
+		{"close", SyncPolicy{}, true},
+		{"always", SyncPolicy{Always: true}, true},
+		{"group", SyncPolicy{EveryN: 1000, Interval: 200 * time.Millisecond}, true},
+		{"group,every=64", SyncPolicy{EveryN: 64, Interval: 200 * time.Millisecond}, true},
+		{"group,every=64,interval=1s", SyncPolicy{EveryN: 64, Interval: time.Second}, true},
+		{"group,interval=0s", SyncPolicy{EveryN: 1000}, true},
+		{"group,every=0,interval=0s", SyncPolicy{}, false}, // both triggers off
+		{"group,every=-1", SyncPolicy{}, false},
+		{"group,nope=1", SyncPolicy{}, false},
+		{"close,every=1", SyncPolicy{}, false},
+		{"bogus", SyncPolicy{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParseSyncPolicy(c.in)
+		if c.ok != (err == nil) {
+			t.Fatalf("ParseSyncPolicy(%q): err = %v, want ok=%v", c.in, err, c.ok)
+		}
+		if c.ok && got != c.want {
+			t.Fatalf("ParseSyncPolicy(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
 // TestDeletePrefixHostAddress: erasing by host address (the bhquery
 // -delete-prefix 10.1.2.3 shape) kills exactly the events whose prefix
 // covers nothing beyond that host — i.e. only exact /32 records — while

@@ -67,6 +67,30 @@ func BenchmarkStoreIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreIngestGroupCommit is the append path under the
+// group-commit durability policy (fsync every 64 records): the cost of
+// bounded crash loss, to compare against the sync-free
+// BenchmarkStoreIngest above and the per-append-fsync worst case.
+func BenchmarkStoreIngestGroupCommit(b *testing.B) {
+	events := storeBenchEvents(b)
+	st, err := OpenStoreWith(b.TempDir(), StoreOptions{Sync: SyncPolicy{EveryN: 64}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Append(events[i%len(events)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := st.Sync(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkStoreQueryLPM answers longest-prefix-match point queries
 // against a populated store: the acceptance gate for "no replay in the
 // query path" — every answer comes from the in-memory trie.
