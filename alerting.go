@@ -1,0 +1,132 @@
+package bgpblackholing
+
+import (
+	"encoding/json"
+
+	"bgpblackholing/internal/alert"
+)
+
+// This file is the facade over internal/alert: the alerting hub that
+// evaluates compiled rules against events as they close and fans
+// matching alerts out to SSE watchers (/watch) and webhooks. See the
+// README "Alerting & subscriptions" section for the rule syntax and
+// delivery contract.
+
+// Alerting types.
+type (
+	// AlertRule is one user-defined alert rule: a prefix set with a
+	// match mode, plus optional origin/provider/community/min-duration/
+	// verdict constraints. Parse one with ParseRule or from JSON.
+	AlertRule = alert.Rule
+	// AlertRuleMode says how a rule's prefixes match an event prefix:
+	// exact, covered (event inside rule prefix) or lpm (event covers
+	// rule prefix).
+	AlertRuleMode = alert.Mode
+	// Alert is one rule firing on one closed event.
+	Alert = alert.Alert
+	// AlertHub matches closing events against the rule set and delivers
+	// alerts to watchers and webhooks without ever blocking inference.
+	AlertHub = alert.Hub
+	// AlertHubConfig parameterizes NewAlertHub.
+	AlertHubConfig = alert.Config
+	// AlertWatcher is one /watch subscriber: a bounded drop-oldest
+	// queue of alerts.
+	AlertWatcher = alert.Watcher
+	// AlertHubStats is the hub's observability snapshot (surfaced in
+	// the /stats detector section).
+	AlertHubStats = alert.Stats
+	// WebhookConfig parameterizes one webhook registration (retries,
+	// backoff, queue bound).
+	WebhookConfig = alert.WebhookConfig
+	// WebhookStats is the delivery ledger for one registered webhook.
+	WebhookStats = alert.WebhookStats
+	// UnknownAlertRuleError reports a /watch filter naming a rule that
+	// does not exist.
+	UnknownAlertRuleError = alert.UnknownRuleError
+)
+
+// Rule prefix-match modes.
+const (
+	// RuleModeExact fires only when the event prefix equals a rule
+	// prefix.
+	RuleModeExact = alert.ModeExact
+	// RuleModeCovered fires when the event prefix lies inside a rule
+	// prefix ("anything blackholed in my /16").
+	RuleModeCovered = alert.ModeCovered
+	// RuleModeLPM fires when the event prefix covers a rule prefix
+	// ("who blackholes this address, including covering aggregates").
+	RuleModeLPM = alert.ModeLPM
+)
+
+// ParseRule parses the compact rule syntax: whitespace-separated
+// key=value tokens with comma-separated lists, e.g.
+//
+//	name=ddos prefix=10.0.0.0/16 mode=covered min-duration=5m verdict=illegitimate,questionable
+//
+// Keys: name (required), prefix, mode, origin, provider, community,
+// min-duration, verdict. Rules also unmarshal from JSON (the /rules
+// wire form).
+func ParseRule(s string) (AlertRule, error) { return alert.ParseRule(s) }
+
+// ParseRuleMode parses "exact", "covered" or "lpm".
+func ParseRuleMode(s string) (AlertRuleMode, error) { return alert.ParseMode(s) }
+
+// NewAlertHub compiles rules into a hub. The config's Annotator
+// enables detection-time enrichment (verdict-conditioned rules fire on
+// the live stream, and each alerted event's verdict is primed into the
+// annotator cache so /events?enrich=1 serves the same answer). The
+// alert wire encoding is the full EventRecord wrapped in an
+// {id, rule, event} envelope; see AlertRecord.
+func NewAlertHub(rules []AlertRule, cfg AlertHubConfig) (*AlertHub, error) {
+	if cfg.Encode == nil {
+		cfg.Encode = EncodeAlertRecord
+	}
+	return alert.NewHub(rules, cfg)
+}
+
+// AlertRecord is the alert wire form delivered to webhooks and /watch
+// SSE clients: a monotonic id, the firing rule's name, and the full
+// event record (enriched when the hub has an annotator).
+type AlertRecord struct {
+	ID    uint64      `json:"id"`
+	Rule  string      `json:"rule"`
+	Event EventRecord `json:"event"`
+}
+
+// NewAlertRecord builds the wire record for one alert.
+func NewAlertRecord(a *Alert) AlertRecord {
+	rec := AlertRecord{ID: a.ID, Rule: a.Rule}
+	if a.Ann != nil {
+		rec.Event = NewEventRecordEnriched(a.Event, *a.Ann)
+	} else {
+		rec.Event = NewEventRecord(a.Event)
+	}
+	return rec
+}
+
+// EncodeAlertRecord is the facade's Config.Encode: it marshals
+// NewAlertRecord(a).
+func EncodeAlertRecord(a *Alert) ([]byte, error) {
+	return json.Marshal(NewAlertRecord(a))
+}
+
+// SinkToHub attaches a hub as an alerting sink for the current (or
+// next) Run: every closing event is published to the hub in closing
+// order through the same fan-out plumbing as Subscribe. The hub's
+// Publish never blocks (watcher queues drop oldest, webhook queues
+// drop newest), so the sink rides an unbounded queue like SinkToStore
+// — alerting sees every event, and a stalled alert consumer costs
+// bounded hub-side memory, never inference time. The returned wait
+// function blocks until the Run has returned and every event has been
+// published.
+func (d *Detector) SinkToHub(h *AlertHub) (wait func()) {
+	s := d.subscribeUnbounded()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range s.ch {
+			h.Publish(ev)
+		}
+	}()
+	return func() { <-done }
+}

@@ -93,6 +93,12 @@ type Options struct {
 	EventScale float64
 	// Days is the timeline length (850 ≈ Dec 2014 – Mar 2017).
 	Days int
+	// Workload selects a scenario preset: "" or "default" for the
+	// paper-scale timeline, "flash-crowd" for interleaved DDoS waves of
+	// short-lived episodes (the alerting-hub stress shape). EventScale,
+	// Seed and Days still apply on top; a zero Days keeps the preset's
+	// own timeline length.
+	Workload string
 	// Workers sizes the replay materialization pool: each worker
 	// generates and propagates whole days independently, and the per-day
 	// observation batches are then merged in day order into a single
@@ -149,9 +155,15 @@ func NewPipeline(opts Options) (*Pipeline, error) {
 	dict := dictionary.FromCorpus(corpus)
 	dict.AddPrivateFromTopology(topo)
 
-	wlCfg := workload.DefaultConfig().Scaled(opts.EventScale)
+	wlCfg, err := workload.PresetConfig(opts.Workload)
+	if err != nil {
+		return nil, err
+	}
+	wlCfg = wlCfg.Scaled(opts.EventScale)
 	wlCfg.Seed = opts.Seed
-	wlCfg.Days = opts.Days
+	if opts.Days > 0 {
+		wlCfg.Days = opts.Days
+	}
 	scenario := workload.NewScenario(topo, wlCfg)
 
 	return &Pipeline{

@@ -81,7 +81,12 @@ func main() {
 		deletePrefix = flag.String("delete-prefix", "", "admin: erase this prefix's history (opens the store read-write)")
 		deleteUpTo   = flag.String("delete-up-to", "", "admin: bound -delete-prefix to events ending at/before this RFC 3339 time")
 		compact      = flag.String("compact", "", "admin: run a compaction pass (merge-all, or tiered[,partition=30d,ratio=4,min-run=4])")
+
+		watch     = flag.Bool("watch", false, "stream live alerts from the server's /watch SSE endpoint (requires -server)")
+		authToken = flag.String("auth-token", "", "bearer token for -server requests")
 	)
+	var watchRules multiFlag
+	flag.Var(&watchRules, "rule", "filter -watch to this rule (repeatable; default all rules)")
 	flag.Parse()
 	if err := run(&config{
 		storeDir: *storeDir, server: *server,
@@ -92,6 +97,7 @@ func main() {
 		figure8: *figure8, groupTO: *groupTO,
 		enrich: *enrichQ, scale: *scale, seed: *seed,
 		deletePrefix: *deletePrefix, deleteUpTo: *deleteUpTo, compact: *compact,
+		watch: *watch, watchRules: watchRules, authToken: *authToken,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "bhquery:", err)
 		os.Exit(1)
@@ -115,6 +121,20 @@ type config struct {
 	seed                   int64
 
 	deletePrefix, deleteUpTo, compact string
+
+	watch      bool
+	watchRules multiFlag
+	authToken  string
+}
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
 }
 
 func run(c *config) error {
@@ -141,6 +161,12 @@ func run(c *config) error {
 			return fmt.Errorf("admin verbs need direct store access; use -store, not -server")
 		}
 		return runAdmin(c)
+	}
+	if c.watch {
+		if c.server == "" {
+			return fmt.Errorf("-watch needs -server")
+		}
+		return runWatch(c)
 	}
 	if c.server != "" {
 		return runServer(c)
@@ -321,13 +347,13 @@ func buildQuery(c *config) (bgpblackholing.Query, error) {
 func runServer(c *config) error {
 	base := strings.TrimSuffix(c.server, "/")
 	if c.stats {
-		return pipeGET(base + "/stats")
+		return pipeGET(c, base+"/stats")
 	}
 	if c.figure4 {
-		return pipeGET(fmt.Sprintf("%s/figure4?every=%d", base, max(1, c.every)))
+		return pipeGET(c, fmt.Sprintf("%s/figure4?every=%d", base, max(1, c.every)))
 	}
 	if c.figure8 {
-		return pipeGET(fmt.Sprintf("%s/figure8?timeout=%s", base, url.QueryEscape(c.groupTO.String())))
+		return pipeGET(c, fmt.Sprintf("%s/figure8?timeout=%s", base, url.QueryEscape(c.groupTO.String())))
 	}
 
 	params := url.Values{}
@@ -361,10 +387,10 @@ func runServer(c *config) error {
 	}
 	if c.format == "ndjson" {
 		set("format", "ndjson")
-		return pipeGET(base + "/events?" + params.Encode())
+		return pipeGET(c, base+"/events?"+params.Encode())
 	}
 
-	resp, err := http.Get(base + "/events?" + params.Encode())
+	resp, err := serverGET(c, base+"/events?"+params.Encode(), nil)
 	if err != nil {
 		return err
 	}
@@ -388,17 +414,39 @@ func runServer(c *config) error {
 	return render(os.Stdout, c.format, c.enrich, payload.Events)
 }
 
+// serverGET issues a GET with the configured bearer token and any
+// extra headers; non-2xx responses become errors with the server's
+// message.
+func serverGET(c *config, u string, headers map[string]string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	if c.authToken != "" {
+		req.Header.Set("Authorization", "Bearer "+c.authToken)
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return resp, nil
+}
+
 // pipeGET streams a response body straight through.
-func pipeGET(u string) error {
-	resp, err := http.Get(u)
+func pipeGET(c *config, u string) error {
+	resp, err := serverGET(c, u, nil)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(resp.Body)
-		return fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(body)))
-	}
 	_, err = io.Copy(os.Stdout, resp.Body)
 	return err
 }

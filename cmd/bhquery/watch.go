@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"bgpblackholing"
+)
+
+// runWatch is the -watch client: it subscribes to the server's /watch
+// SSE stream and prints alerts as they arrive (table by default,
+// -format ndjson for the raw records). On a dropped connection it
+// reconnects with the last seen alert id in Last-Event-ID, so nothing
+// within the server's replay ring is missed. Ctrl-C exits.
+func runWatch(c *config) error {
+	switch c.format {
+	case "table", "ndjson":
+	default:
+		return fmt.Errorf("-watch supports -format table or ndjson, not %q", c.format)
+	}
+	base := strings.TrimSuffix(c.server, "/")
+	params := url.Values{}
+	for _, r := range c.watchRules {
+		params.Add("rule", r)
+	}
+	u := base + "/watch"
+	if len(params) > 0 {
+		u += "?" + params.Encode()
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	var lastID uint64
+	printedHeader := false
+	backoff := time.Second
+	for {
+		err := watchOnce(c, u, &lastID, c.format, &printedHeader, stop)
+		if err == nil {
+			return nil // interrupted
+		}
+		// Auth and bad-request failures won't heal on retry.
+		if strings.Contains(err.Error(), "401") || strings.Contains(err.Error(), "404 ") ||
+			strings.Contains(err.Error(), "400 ") {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bhquery: watch: %v; reconnecting in %v (last id %d)\n", err, backoff, lastID)
+		select {
+		case <-stop:
+			return nil
+		case <-time.After(backoff):
+		}
+		backoff = min(backoff*2, 30*time.Second)
+	}
+}
+
+// watchOnce runs one SSE connection until it drops (error) or the user
+// interrupts (nil).
+func watchOnce(c *config, u string, lastID *uint64, format string, printedHeader *bool, stop <-chan os.Signal) error {
+	headers := map[string]string{"Accept": "text/event-stream"}
+	if *lastID > 0 {
+		headers["Last-Event-ID"] = strconv.FormatUint(*lastID, 10)
+	}
+	resp, err := serverGET(c, u, headers)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+
+	// Tear the connection down on interrupt so the blocking read below
+	// returns.
+	done := make(chan struct{})
+	defer close(done)
+	interrupted := false
+	go func() {
+		select {
+		case <-stop:
+			interrupted = true
+			resp.Body.Close()
+		case <-done:
+		}
+	}()
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var id uint64
+	var data strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if data.Len() > 0 {
+				if err := printAlert(format, printedHeader, data.String()); err == nil && id > 0 {
+					*lastID = id
+				}
+			}
+			id, data = 0, strings.Builder{}
+		case strings.HasPrefix(line, ":"):
+			// heartbeat comment
+		case strings.HasPrefix(line, "id:"):
+			id, _ = strconv.ParseUint(strings.TrimSpace(line[3:]), 10, 64)
+		case strings.HasPrefix(line, "data:"):
+			if data.Len() > 0 {
+				data.WriteByte('\n')
+			}
+			data.WriteString(strings.TrimSpace(line[5:]))
+		}
+	}
+	if interrupted {
+		return nil
+	}
+	if err := sc.Err(); err != nil && err != io.EOF {
+		return err
+	}
+	return fmt.Errorf("stream closed")
+}
+
+// printAlert renders one alert record.
+func printAlert(format string, printedHeader *bool, data string) error {
+	if format == "ndjson" {
+		fmt.Println(data)
+		return nil
+	}
+	var rec bgpblackholing.AlertRecord
+	if err := json.Unmarshal([]byte(data), &rec); err != nil {
+		fmt.Fprintf(os.Stderr, "bhquery: watch: bad alert payload: %v\n", err)
+		return err
+	}
+	if !*printedHeader {
+		fmt.Printf("%-6s %-16s %-20s %-20s %-12s %-28s %-6s %s\n",
+			"ID", "RULE", "PREFIX", "START", "DURATION", "PROVIDERS", "USERS", "LEGITIMACY")
+		*printedHeader = true
+	}
+	ev := rec.Event
+	dur := (time.Duration(ev.DurationSeconds) * time.Second).String()
+	provs := strings.Join(ev.Providers, ",")
+	if len(provs) > 27 {
+		provs = provs[:24] + "..."
+	}
+	legit := ev.Legitimacy
+	if legit == "" {
+		legit = "-"
+	}
+	fmt.Printf("%-6d %-16s %-20s %-20s %-12s %-28s %-6d %s\n",
+		rec.ID, rec.Rule, ev.Prefix, ev.Start.Format("2006-01-02T15:04:05Z"), dur,
+		provs, len(ev.Users), legit)
+	return nil
+}

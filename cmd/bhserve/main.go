@@ -19,6 +19,17 @@
 //
 //	curl 'http://127.0.0.1:8080/events?prefix=10.1.2.3&mode=lpm'
 //	bhquery -server http://127.0.0.1:8080 -origin 65001
+//
+// -rules-file loads alert rules (one per line, "name=x prefix=..."
+// syntax; see the README's Alerting section) into the alerting hub:
+// matching events stream to SSE clients on GET /watch, to webhooks
+// registered with -webhook (repeatable), and the rule set is editable
+// at runtime via /rules. Verdict-conditioned rules are enriched at
+// detection time through the world's annotator:
+//
+//	bhserve ... -http 127.0.0.1:8080 \
+//	        -rules-file rules.txt -webhook http://127.0.0.1:9000/hook
+//	bhquery -server http://127.0.0.1:8080 -watch
 package main
 
 import (
@@ -54,6 +65,19 @@ type config struct {
 	rateLimit  float64
 	liveBuffer int
 	subQueue   int
+	rulesFile  string
+	webhooks   multiFlag
+	workload   string
+}
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
 }
 
 func main() {
@@ -72,6 +96,9 @@ func main() {
 	flag.Float64Var(&cfg.rateLimit, "rate-limit", 0, "per-client query API requests/second (0 = unlimited)")
 	flag.IntVar(&cfg.liveBuffer, "live-buffer", 0, "bound the live feed's pending-element buffer, dropping oldest past it (0 = unbounded)")
 	flag.IntVar(&cfg.subQueue, "sub-queue", 0, "bound each event subscriber's queue, dropping oldest past it (0 = unbounded)")
+	flag.StringVar(&cfg.workload, "workload", "", "scenario preset for the world and -ingest replay: default or flash-crowd")
+	flag.StringVar(&cfg.rulesFile, "rules-file", "", "load alert rules from this file (one per line, 'name=x prefix=...' syntax)")
+	flag.Var(&cfg.webhooks, "webhook", "POST matching alerts to this URL (repeatable)")
 	flag.Parse()
 	cfg.asn = uint32(asn)
 	if err := run(cfg); err != nil {
@@ -92,8 +119,15 @@ func run(cfg config) error {
 	if err != nil {
 		return fmt.Errorf("-sync-policy: %w", err)
 	}
+	// A named preset keeps its own timeline length (flash-crowd is a
+	// short dense run, not an 850-day longitudinal one).
+	days := 850
+	if cfg.workload != "" && cfg.workload != "default" {
+		days = 0
+	}
 	p, err := bgpblackholing.NewPipeline(bgpblackholing.Options{
-		Seed: cfg.seed, TopoScale: cfg.scale, CollectorScale: cfg.scale, EventScale: cfg.scale, Days: 850,
+		Seed: cfg.seed, TopoScale: cfg.scale, CollectorScale: cfg.scale, EventScale: cfg.scale,
+		Days: days, Workload: cfg.workload,
 	})
 	if err != nil {
 		return err
@@ -130,6 +164,33 @@ func run(cfg config) error {
 	}
 	det := p.NewDetector(detOpts...)
 
+	// The alerting hub exists whenever it has a surface to serve: an
+	// HTTP API (/watch, /rules), an initial rule set, or webhooks.
+	// Detection-time enrichment rides the world's annotator, so
+	// verdict-conditioned rules fire on the live stream.
+	var hub *bgpblackholing.AlertHub
+	if cfg.httpAddr != "" || cfg.rulesFile != "" || len(cfg.webhooks) > 0 {
+		rules, err := loadRules(cfg.rulesFile)
+		if err != nil {
+			return fmt.Errorf("-rules-file: %w", err)
+		}
+		hubCfg := bgpblackholing.AlertHubConfig{Annotator: p.Annotator()}
+		if cfg.subQueue > 0 {
+			hubCfg.WatchBound = cfg.subQueue
+		}
+		hub, err = bgpblackholing.NewAlertHub(rules, hubCfg)
+		if err != nil {
+			return fmt.Errorf("rules: %w", err)
+		}
+		defer hub.Close()
+		for _, u := range cfg.webhooks {
+			if err := hub.AddWebhook(u, bgpblackholing.WebhookConfig{}); err != nil {
+				return fmt.Errorf("-webhook: %w", err)
+			}
+		}
+		fmt.Printf("bhserve: alerting hub with %d rules, %d webhooks\n", len(rules), len(cfg.webhooks))
+	}
+
 	var srv *http.Server
 	if cfg.httpAddr != "" {
 		hln, err := net.Listen("tcp", cfg.httpAddr)
@@ -145,6 +206,7 @@ func run(cfg config) error {
 			AuthToken: cfg.authToken,
 			RateLimit: cfg.rateLimit,
 			Detector:  det,
+			Hub:       hub,
 		})}
 		go srv.Serve(hln)
 		// Backstop for error paths; the normal exit drains gracefully
@@ -191,6 +253,10 @@ func run(cfg config) error {
 	if st != nil {
 		waitSink = det.SinkToStore(st)
 	}
+	waitHub := func() {}
+	if hub != nil {
+		waitHub = det.SinkToHub(hub)
+	}
 	printed := make(chan struct{})
 	sub := det.Subscribe()
 	go func() {
@@ -220,6 +286,7 @@ func run(cfg config) error {
 	if err := waitSink(); err != nil {
 		return fmt.Errorf("store sink: %w", err)
 	}
+	waitHub()
 	// Graceful HTTP shutdown: drain in-flight store queries before the
 	// deferred store close can pull the store out from under them (the
 	// old abrupt Close raced exactly that).
@@ -240,6 +307,17 @@ func run(cfg config) error {
 		fmt.Printf("bhserve: slow subscribers dropped %d events, %d evicted\n",
 			m.SubscriberDrops, m.SubscriberEvictions)
 	}
+	if hub != nil {
+		hs := hub.Stats()
+		if hs.Alerts > 0 || hs.WatcherDrops > 0 {
+			fmt.Printf("bhserve: alerting hub fired %d alerts over %d events (%d watcher drops)\n",
+				hs.Alerts, hs.Published, hs.WatcherDrops)
+		}
+		for _, ws := range hs.Webhooks {
+			fmt.Printf("bhserve: webhook %s delivered %d (retries %d, dead-letters %d, dropped %d)\n",
+				ws.URL, ws.Delivered, ws.Retries, ws.DeadLetters, ws.Dropped)
+		}
+	}
 	if st != nil {
 		s := st.Stats()
 		fmt.Printf("bhserve: store now holds %d events over %d prefixes in %d segments (%d bytes)\n",
@@ -256,6 +334,32 @@ func run(cfg config) error {
 	case <-time.After(time.Second):
 	}
 	return nil
+}
+
+// loadRules reads a rules file: one rule per line in the compact
+// "name=x prefix=..." syntax, with blank lines and #-comments skipped.
+// An empty path yields an empty (but editable via /rules) rule set.
+func loadRules(path string) ([]bgpblackholing.AlertRule, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rules []bgpblackholing.AlertRule
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		r, err := bgpblackholing.ParseRule(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", i+1, err)
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
 }
 
 // ingestWindow replays days "FROM:TO" of the scenario into the store,

@@ -4,7 +4,9 @@ import (
 	"context"
 	"crypto/subtle"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/netip"
@@ -50,6 +52,19 @@ import (
 //	/table3                        visibility overview (needs pipeline)
 //	/table4                        visibility by provider type (needs pipeline)
 //
+// With HandlerOptions.Hub set, the alerting surface is added:
+//
+//	GET  /watch?rule=...           SSE stream of matching alerts
+//	                               (repeatable rule param filters; none
+//	                               means all rules; Last-Event-ID or
+//	                               last_id resumes from the replay ring;
+//	                               ": heartbeat" comments keep the
+//	                               connection alive)
+//	GET  /rules                    list compiled rules
+//	POST /rules                    upsert one rule (JSON object or the
+//	                               compact "name=x prefix=..." syntax)
+//	DELETE /rules/{name}           remove one rule
+//
 // When p carries a world, its annotator (registry + dictionary) powers
 // enrich=1 and /legitimacy; without a pipeline the handler falls back
 // to an annotator attached to the store (Store.SetAnnotator), and a
@@ -76,12 +91,22 @@ type HandlerOptions struct {
 	// Detector, when non-nil, adds the live fan-out counters (drops,
 	// evictions, per-subscriber queue depth) to /stats.
 	Detector *Detector
+	// Hub, when non-nil, serves the alerting surface: the /watch SSE
+	// stream, /rules CRUD (behind AuthToken like every other route),
+	// and hub delivery counters in the /stats detector section.
+	Hub *AlertHub
+	// WatchHeartbeat is the SSE heartbeat-comment interval on /watch.
+	// Defaults to 15s.
+	WatchHeartbeat time.Duration
 }
 
 // NewStoreHandlerWith is NewStoreHandler plus live-exposure hardening:
 // optional bearer-token auth and a per-client token-bucket rate limit.
 func NewStoreHandlerWith(st *Store, p *Pipeline, opts HandlerOptions) http.Handler {
-	h := &storeHandler{st: st, p: p, det: opts.Detector}
+	h := &storeHandler{st: st, p: p, det: opts.Detector, hub: opts.Hub, heartbeat: opts.WatchHeartbeat}
+	if h.heartbeat <= 0 {
+		h.heartbeat = 15 * time.Second
+	}
 	if p != nil {
 		h.ann = p.Annotator()
 	}
@@ -94,6 +119,12 @@ func NewStoreHandlerWith(st *Store, p *Pipeline, opts HandlerOptions) http.Handl
 	mux.HandleFunc("GET /figure8", h.figure8)
 	mux.HandleFunc("GET /table3", h.table3)
 	mux.HandleFunc("GET /table4", h.table4)
+	if opts.Hub != nil {
+		mux.HandleFunc("GET /watch", h.watch)
+		mux.HandleFunc("GET /rules", h.rulesList)
+		mux.HandleFunc("POST /rules", h.rulesUpsert)
+		mux.HandleFunc("DELETE /rules/{name}", h.rulesDelete)
+	}
 	var handler http.Handler = mux
 	if opts.RateLimit > 0 {
 		burst := opts.RateBurst
@@ -198,9 +229,11 @@ func rateLimitMiddleware(next http.Handler, rate float64, burst int) http.Handle
 }
 
 type storeHandler struct {
-	st  *Store
-	p   *Pipeline
-	det *Detector // optional: fan-out counters on /stats
+	st        *Store
+	p         *Pipeline
+	det       *Detector // optional: fan-out counters on /stats
+	hub       *AlertHub // optional: /watch, /rules, hub counters
+	heartbeat time.Duration
 	// ann is the pipeline's annotator when the handler was built with a
 	// world; otherwise annotator() falls back to the store's — resolved
 	// per request, so Store.SetAnnotator works before or after
@@ -241,26 +274,32 @@ type detectorStats struct {
 	SubscriberDrops     uint64            `json:"subscriber_drops"`
 	SubscriberEvictions uint64            `json:"subscriber_evictions"`
 	Subscribers         []SubscriberStats `json:"subscribers"`
+	// Alerts carries the alerting hub's delivery counters (watcher
+	// drops, webhook retries/dead-letters) when a hub is attached.
+	Alerts *AlertHubStats `json:"alerts,omitempty"`
 }
 
 func (h *storeHandler) stats(w http.ResponseWriter, r *http.Request) {
-	if h.det == nil {
+	if h.det == nil && h.hub == nil {
 		writeJSON(w, h.st.Stats())
 		return
+	}
+	ds := detectorStats{}
+	if h.det != nil {
+		ds.SubscriberDrops = h.det.subDrops.Load()
+		ds.SubscriberEvictions = h.det.subEvicts.Load()
+		ds.Subscribers = h.det.SubscriberStats()
+	}
+	if h.hub != nil {
+		hs := h.hub.Stats()
+		ds.Alerts = &hs
 	}
 	// Embedding flattens the store fields so clients decoding into
 	// StoreStats keep working.
 	writeJSON(w, struct {
 		StoreStats
 		Detector detectorStats `json:"detector"`
-	}{
-		StoreStats: h.st.Stats(),
-		Detector: detectorStats{
-			SubscriberDrops:     h.det.subDrops.Load(),
-			SubscriberEvictions: h.det.subEvicts.Load(),
-			Subscribers:         h.det.SubscriberStats(),
-		},
-	})
+	}{StoreStats: h.st.Stats(), Detector: ds})
 }
 
 // parseQuery builds a Query from request parameters.
@@ -593,4 +632,140 @@ func (h *storeHandler) table4(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, h.p.Table4FromStore(h.st))
+}
+
+// watch serves the SSE alert stream: one "alert" event per matched
+// alert (id = the monotonic alert id, data = the AlertRecord JSON),
+// with ": heartbeat" comments at the configured interval. Repeatable
+// rule params filter to named rules; Last-Event-ID (or a last_id
+// query param, for curl) resumes from the hub's replay ring. The
+// watcher rides a bounded drop-oldest queue, so a stalled client
+// loses old alerts rather than stalling the hub.
+func (h *storeHandler) watch(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	var lastID uint64
+	lastStr := r.Header.Get("Last-Event-ID")
+	if s := r.URL.Query().Get("last_id"); s != "" {
+		lastStr = s
+	}
+	if lastStr != "" {
+		id, err := strconv.ParseUint(lastStr, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "last event id: bad value %q", lastStr)
+			return
+		}
+		lastID = id
+	}
+	wt, err := h.hub.Watch(r.URL.Query()["rule"], lastID)
+	if err != nil {
+		var unknown *UnknownAlertRuleError
+		if errors.As(err, &unknown) {
+			httpError(w, http.StatusNotFound, "%v", err)
+		} else {
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+		}
+		return
+	}
+	defer wt.Close()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, ": connected\n\n")
+	flusher.Flush()
+
+	ticker := time.NewTicker(h.heartbeat)
+	defer ticker.Stop()
+	done := r.Context().Done()
+	for {
+		select {
+		case a, ok := <-wt.C():
+			if !ok {
+				return // hub shut down
+			}
+			payload := a.Payload()
+			if payload == nil {
+				continue // encode error, counted in hub stats
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: alert\ndata: %s\n\n", a.ID, payload); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-ticker.C:
+			if _, err := fmt.Fprintf(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-done:
+			return
+		}
+	}
+}
+
+func (h *storeHandler) rulesList(w http.ResponseWriter, r *http.Request) {
+	rules := h.hub.Rules()
+	// Render the compact syntax alongside the structured form, so
+	// clients can round-trip either. The rule is a named field, not
+	// embedded: embedding would promote Rule's MarshalJSON and swallow
+	// the syntax field.
+	type ruleOut struct {
+		Rule   AlertRule `json:"rule"`
+		Syntax string    `json:"syntax"`
+	}
+	out := make([]ruleOut, len(rules))
+	for i, rule := range rules {
+		out[i] = ruleOut{Rule: rule, Syntax: rule.String()}
+	}
+	writeJSON(w, map[string]any{"rules": out})
+}
+
+// maxRuleBody bounds a /rules POST: a rule is a short declaration, not
+// a data upload.
+const maxRuleBody = 64 << 10
+
+// rulesUpsert adds or replaces one rule. The body is either a JSON
+// rule object or the compact "name=x prefix=... " syntax.
+func (h *storeHandler) rulesUpsert(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRuleBody+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if len(body) > maxRuleBody {
+		httpError(w, http.StatusRequestEntityTooLarge, "rule body exceeds %d bytes", maxRuleBody)
+		return
+	}
+	var rule AlertRule
+	trimmed := strings.TrimSpace(string(body))
+	if strings.HasPrefix(trimmed, "{") {
+		if err := json.Unmarshal(body, &rule); err != nil {
+			httpError(w, http.StatusBadRequest, "rule: %v", err)
+			return
+		}
+	} else {
+		rule, err = ParseRule(trimmed)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "rule: %v", err)
+			return
+		}
+	}
+	if err := h.hub.UpsertRule(rule); err != nil {
+		httpError(w, http.StatusBadRequest, "rule: %v", err)
+		return
+	}
+	writeJSON(w, map[string]any{"rule": rule, "syntax": rule.String(), "rules": len(h.hub.Rules())})
+}
+
+func (h *storeHandler) rulesDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !h.hub.DeleteRule(name) {
+		httpError(w, http.StatusNotFound, "no rule named %q", name)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }

@@ -1,0 +1,31 @@
+package alert
+
+import "testing"
+
+// FuzzParseRule asserts two properties on arbitrary input: the parser
+// never panics, and any accepted rule renders to a canonical form that
+// reparses to the same canonical form (parse/format round-trip).
+func FuzzParseRule(f *testing.F) {
+	f.Add("name=a")
+	f.Add("name=dc prefix=10.1.0.0/16,10.2.0.0/16 mode=covered")
+	f.Add("name=x prefix=10.0.0.1 mode=lpm origin=65001,65002 provider=AS3356,ixp:4")
+	f.Add("name=x community=3356:9999,65535:666 min-duration=90s verdict=illegitimate,questionable")
+	f.Add("name=v6 prefix=2001:db8::/32 mode=covered")
+	f.Add("name=a name=a")
+	f.Add("prefix=10.0.0.0/8")
+	f.Add("name=a min-duration=-1s")
+	f.Fuzz(func(t *testing.T, s string) {
+		r, err := ParseRule(s)
+		if err != nil {
+			return
+		}
+		canon := r.String()
+		r2, err := ParseRule(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", canon, s, err)
+		}
+		if got := r2.String(); got != canon {
+			t.Fatalf("round trip unstable: %q -> %q -> %q", s, canon, got)
+		}
+	})
+}

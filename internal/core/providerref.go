@@ -1,0 +1,35 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"bgpblackholing/internal/bgp"
+)
+
+// ParseProviderRef parses the canonical provider notation: "AS3356"
+// (the AS prefix is case-insensitive: "as3356", "As3356", "aS3356"),
+// a bare ASN like "3356", or "ixp:4". It is the inverse of
+// ProviderRef.String and the single parser behind the query facade's
+// ParseProviderRef and the alert rule syntax.
+func ParseProviderRef(s string) (ProviderRef, error) {
+	if rest, ok := strings.CutPrefix(s, "ixp:"); ok {
+		id, err := strconv.Atoi(rest)
+		if err != nil || id < 0 {
+			return ProviderRef{}, fmt.Errorf("bad IXP provider %q", s)
+		}
+		return ProviderRef{Kind: ProviderIXP, IXPID: id}, nil
+	}
+	// Cut exactly one case-insensitive "AS" prefix: chained trims used
+	// to accept the nonsense "ASas3356" and reject "As3356"/"aS3356".
+	rest := s
+	if len(rest) >= 2 && strings.EqualFold(rest[:2], "as") {
+		rest = rest[2:]
+	}
+	asn, err := strconv.ParseUint(rest, 10, 32)
+	if err != nil {
+		return ProviderRef{}, fmt.Errorf("bad AS provider %q", s)
+	}
+	return ProviderRef{Kind: ProviderAS, ASN: bgp.ASN(asn)}, nil
+}

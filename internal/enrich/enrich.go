@@ -143,6 +143,19 @@ func (a *Annotator) Annotate(ev *core.Event) Annotation {
 	return ann
 }
 
+// Prime inserts a precomputed annotation for ev into the memoization
+// cache. The alerting hub computes verdicts at detection time
+// (AnnotateUncached on the live path, so a stalled hub subscriber can't
+// bloat the cache with events nobody will query); priming afterwards
+// makes the query path — /events?enrich=1, /legitimacy — serve the
+// exact verdict the alert carried, without re-validating. Safe for
+// concurrent use; a later Prime for the same event wins over an
+// earlier one, which is harmless because annotations of an immutable
+// event are deterministic.
+func (a *Annotator) Prime(ev *core.Event, ann Annotation) {
+	a.cache.Store(ev, &ann)
+}
+
 // AnnotateUncached computes the legitimacy view without touching the
 // memoization cache (neither reading nor writing): the right call for
 // one-shot streaming scans over unbounded result sets, which would

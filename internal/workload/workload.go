@@ -10,6 +10,7 @@
 package workload
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"net/netip"
@@ -132,6 +133,12 @@ type Config struct {
 	FracMisconfig float64
 	// MiraiBaseline multiplies activity from day MiraiEra onward.
 	MiraiBaseline float64
+	// ShortEpisodeBias, in [0,1], is the probability that an intent's
+	// ON/OFF schedule is forced into the short probing shape regardless
+	// of the Fig 8 mix — the flash-crowd preset's lever: DDoS waves of
+	// many short-lived episodes that open and close events at a high
+	// rate. 0 (the default) keeps the paper's duration mix.
+	ShortEpisodeBias float64
 }
 
 // DefaultConfig returns the paper-scale timeline (scaled event volume:
@@ -148,6 +155,59 @@ func DefaultConfig() Config {
 		FracMisconfig:    0.03,
 		MiraiBaseline:    1.3,
 	}
+}
+
+// WaveSpikes builds the interleaved DDoS waves of the flash-crowd
+// preset: a surge of the given magnitude every period days (starting
+// at day period/2), each length days long, across the whole timeline.
+func WaveSpikes(days, period, length int, magnitude float64) []Spike {
+	var out []Spike
+	for i, day := 0, period/2; day < days; i, day = i+1, day+period {
+		out = append(out, Spike{
+			Name:      fmt.Sprintf("flash-crowd wave %d", i+1),
+			Day:       day,
+			Magnitude: magnitude,
+			Days:      length,
+		})
+	}
+	return out
+}
+
+// FlashCrowdConfig is the "flash-crowd" preset: a short, dense
+// timeline of interleaved DDoS waves (every 7 days, 2 days long, 6×
+// magnitude) whose episodes are biased hard toward the short ON/OFF
+// probing shape — many events opening and closing per wave, the
+// workload that stresses the alerting hub's fan-out rather than the
+// longitudinal store.
+func FlashCrowdConfig() Config {
+	days := 120
+	return Config{
+		Seed:             42,
+		Days:             days,
+		BaseEventsPerDay: 30,
+		Growth:           1.5,
+		Spikes:           WaveSpikes(days, 7, 2, 6),
+		FracBundled:      0.55,
+		FracNoExport:     0.3,
+		FracMisconfig:    0.05,
+		MiraiBaseline:    1,
+		ShortEpisodeBias: 0.7,
+	}
+}
+
+// Presets lists the named scenario presets.
+func Presets() []string { return []string{"default", "flash-crowd"} }
+
+// PresetConfig resolves a named preset ("" and "default" are the
+// paper-scale timeline).
+func PresetConfig(name string) (Config, error) {
+	switch name {
+	case "", "default":
+		return DefaultConfig(), nil
+	case "flash-crowd":
+		return FlashCrowdConfig(), nil
+	}
+	return Config{}, fmt.Errorf("unknown workload preset %q (have %v)", name, Presets())
 }
 
 // Scaled multiplies daily event volume by f.
@@ -443,6 +503,11 @@ func (s *Scenario) victimPrefix(r *rand.Rand, user bgp.ASN) netip.Prefix {
 // 20% medium events, 8% long-lived, 2% very long-lived (Fig 8).
 func (s *Scenario) pattern(r *rand.Rand) []Phase {
 	x := r.Float64()
+	if s.Cfg.ShortEpisodeBias > 0 && r.Float64() < s.Cfg.ShortEpisodeBias {
+		// Forced into the probing branch: flash-crowd waves are made of
+		// short-lived episodes.
+		x = 0
+	}
 	switch {
 	case x < 0.62:
 		// Probing: 1-10 repetitions of sub-minute ON, 1-4 minute OFF

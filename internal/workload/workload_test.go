@@ -200,3 +200,109 @@ func TestAdoptionLimitsEarlyDays(t *testing.T) {
 		t.Fatalf("provider usage early=%d late=%d, want growth", len(early), len(late))
 	}
 }
+
+func TestPresetConfigNames(t *testing.T) {
+	for _, name := range Presets() {
+		if _, err := PresetConfig(name); err != nil {
+			t.Errorf("PresetConfig(%q): %v", name, err)
+		}
+	}
+	if _, err := PresetConfig(""); err != nil {
+		t.Errorf("empty preset should mean default: %v", err)
+	}
+	if _, err := PresetConfig("no-such-preset"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestFlashCrowdDeterministic(t *testing.T) {
+	topo, err := topology.Generate(topology.DefaultConfig().Scaled(0.15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := PresetConfig("flash-crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := NewScenario(topo, cfg)
+	s2 := NewScenario(topo, cfg)
+	for _, day := range []int{3, 40, 80} {
+		a, b := s1.IntentsForDay(day), s2.IntentsForDay(day)
+		if len(a) != len(b) {
+			t.Fatalf("day %d: intent counts differ (%d vs %d)", day, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].User != b[i].User || a[i].Prefix != b[i].Prefix || !a[i].Start.Equal(b[i].Start) {
+				t.Fatalf("day %d intent %d differs", day, i)
+			}
+		}
+	}
+}
+
+func TestFlashCrowdWavesRaiseRate(t *testing.T) {
+	topo, err := topology.Generate(topology.DefaultConfig().Scaled(0.15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, _ := PresetConfig("flash-crowd")
+	if len(cfg.Spikes) == 0 {
+		t.Fatal("flash-crowd preset has no wave spikes")
+	}
+	s := NewScenario(topo, cfg)
+	wave := cfg.Spikes[len(cfg.Spikes)/2]
+	on := s.dailyRate(wave.Day)
+	off := s.dailyRate(wave.Day + wave.Days + 1)
+	if on < off*3 {
+		t.Fatalf("wave day rate %.1f not clearly above trough %.1f", on, off)
+	}
+}
+
+func TestFlashCrowdShortEpisodeDominance(t *testing.T) {
+	topo, err := topology.Generate(topology.DefaultConfig().Scaled(0.15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shortFrac := func(cfg Config) float64 {
+		s := NewScenario(topo, cfg)
+		short, total := 0, 0
+		for day := 20; day < 60 && total < 400; day++ {
+			if day >= cfg.Days {
+				break
+			}
+			for _, in := range s.IntentsForDay(day) {
+				if in.Misconfigured || len(in.Pattern) == 0 {
+					continue
+				}
+				total++
+				probing := true
+				for _, ph := range in.Pattern {
+					if ph.On >= time.Minute {
+						probing = false
+						break
+					}
+				}
+				if probing {
+					short++
+				}
+			}
+		}
+		if total < 100 {
+			t.Fatalf("only %d intents sampled", total)
+		}
+		return float64(short) / float64(total)
+	}
+
+	fc, _ := PresetConfig("flash-crowd")
+	fcFrac := shortFrac(fc)
+	// Bias 0.7 lifts the probing share from ~0.62 to ~0.89.
+	if fcFrac < 0.78 {
+		t.Fatalf("flash-crowd short-episode fraction %.2f, want >= 0.78", fcFrac)
+	}
+
+	def := DefaultConfig()
+	def.Days = 120 // same sampled window
+	defFrac := shortFrac(def)
+	if defFrac >= fcFrac {
+		t.Fatalf("default short fraction %.2f not below flash-crowd %.2f", defFrac, fcFrac)
+	}
+}

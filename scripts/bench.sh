@@ -26,13 +26,18 @@
 # query path),
 # BenchmarkQueryEnriched (the same LPM point queries with legitimacy
 # enrichment on: indexed covering-ROA validation plus dictionary lookups
-# per returned event — must stay within 3x BenchmarkStoreQueryLPM) and
+# per returned event — must stay within 3x BenchmarkStoreQueryLPM),
 # BenchmarkCompactTiered (one tiered compaction pass: run merge,
-# marker-led atomic commit, in-place index swap).
+# marker-led atomic commit, in-place index swap), and the alerting wall:
+# BenchmarkRuleMatch (a day of live inference with a 100-rule alerting
+# hub on the event-close hook, detection-time enrichment included) vs
+# BenchmarkRuleMatchBaseline (the bare engine) — the hub must stay
+# within 1.3x.
 #
 # CI gates BenchmarkStoreIngest, BenchmarkStoreIngestGroupCommit,
 # BenchmarkStoreQueryLPM and BenchmarkQueryEnriched against the
-# committed baseline via
+# committed baseline, plus the QueryEnriched:StoreQueryLPM and
+# RuleMatch:RuleMatchBaseline cross-row walls, via
 # scripts/bench_compare.go (see the bench-gate job in
 # .github/workflows/ci.yml).
 set -euo pipefail
@@ -40,7 +45,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-2x}"
-FILTER="${BENCH_FILTER:-BenchmarkEngineThroughput\$|BenchmarkRunWindowParallel|BenchmarkRunStreaming|BenchmarkStoreIngest\$|BenchmarkStoreIngestGroupCommit\$|BenchmarkStoreQueryLPM\$|BenchmarkQueryEnriched\$|BenchmarkCompactTiered\$}"
+FILTER="${BENCH_FILTER:-BenchmarkEngineThroughput\$|BenchmarkRunWindowParallel|BenchmarkRunStreaming|BenchmarkStoreIngest\$|BenchmarkStoreIngestGroupCommit\$|BenchmarkStoreQueryLPM\$|BenchmarkQueryEnriched\$|BenchmarkCompactTiered\$|BenchmarkRuleMatch\$|BenchmarkRuleMatchBaseline\$}"
 OUT="${BENCH_OUT:-BENCH_$(date +%Y%m%d).json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT

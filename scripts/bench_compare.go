@@ -14,9 +14,10 @@
 // exceeds 3× B's in the same run. This enforces relational walls like
 // "the enriched LPM query stays within 3× the plain one" directly,
 // which per-row baselines alone cannot (each row could creep
-// independently):
+// independently). The flag repeats, one wall per occurrence:
 //
-//	... -within BenchmarkQueryEnriched:BenchmarkStoreQueryLPM:3.0
+//	... -within BenchmarkQueryEnriched:BenchmarkStoreQueryLPM:3.0 \
+//	    -within BenchmarkRuleMatch:BenchmarkRuleMatchBaseline:1.3
 //
 // Benchmark names match on the base name with any -procs suffix and
 // sub-benchmark path stripped, so "BenchmarkStoreIngest" gates
@@ -48,13 +49,25 @@ type bench struct {
 	Allocs   float64 `json:"allocs_per_op"`
 }
 
+// withinFlags collects every -within occurrence: the flag repeats, one
+// cross-row wall per use.
+type withinFlags []string
+
+func (w *withinFlags) String() string { return strings.Join(*w, ",") }
+
+func (w *withinFlags) Set(s string) error {
+	*w = append(*w, s)
+	return nil
+}
+
 func main() {
+	var within withinFlags
 	var (
 		baseline = flag.String("baseline", "", "committed baseline BENCH_*.json")
 		current  = flag.String("current", "", "freshly measured bench JSON")
 		maxRatio = flag.Float64("max-ratio", 1.5, "fail when current ns_per_op exceeds baseline * ratio")
-		within   = flag.String("within", "", "cross-row wall in the current run: \"A:B:ratio\" fails when A's ns_per_op > B's * ratio")
 	)
+	flag.Var(&within, "within", "cross-row wall in the current run: \"A:B:ratio\" fails when A's ns_per_op > B's * ratio (repeatable)")
 	flag.Parse()
 	gated := flag.Args()
 	if *baseline == "" || *current == "" || len(gated) == 0 {
@@ -97,8 +110,8 @@ func main() {
 				verdict, name, b.NsPerOp, c.NsPerOp, ratio, *maxRatio)
 		}
 	}
-	if *within != "" {
-		parts := strings.Split(*within, ":")
+	for _, wall := range within {
+		parts := strings.Split(wall, ":")
 		if len(parts) != 3 {
 			fmt.Fprintln(os.Stderr, "bench_compare: -within wants \"A:B:ratio\"")
 			os.Exit(2)
