@@ -83,6 +83,7 @@ func main() {
 		compact      = flag.String("compact", "", "admin: run a compaction pass (merge-all, or tiered[,partition=30d,ratio=4,min-run=4])")
 
 		watch     = flag.Bool("watch", false, "stream live alerts from the server's /watch SSE endpoint (requires -server)")
+		metrics   = flag.Bool("metrics", false, "scrape the server's /metrics Prometheus exposition to stdout (requires -server)")
 		authToken = flag.String("auth-token", "", "bearer token for -server requests")
 	)
 	var watchRules multiFlag
@@ -97,7 +98,7 @@ func main() {
 		figure8: *figure8, groupTO: *groupTO,
 		enrich: *enrichQ, scale: *scale, seed: *seed,
 		deletePrefix: *deletePrefix, deleteUpTo: *deleteUpTo, compact: *compact,
-		watch: *watch, watchRules: watchRules, authToken: *authToken,
+		watch: *watch, watchRules: watchRules, metrics: *metrics, authToken: *authToken,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "bhquery:", err)
 		os.Exit(1)
@@ -124,6 +125,7 @@ type config struct {
 
 	watch      bool
 	watchRules multiFlag
+	metrics    bool
 	authToken  string
 }
 
@@ -167,6 +169,12 @@ func run(c *config) error {
 			return fmt.Errorf("-watch needs -server")
 		}
 		return runWatch(c)
+	}
+	if c.metrics {
+		if c.server == "" {
+			return fmt.Errorf("-metrics needs -server")
+		}
+		return pipeGET(c, strings.TrimRight(c.server, "/")+"/metrics")
 	}
 	if c.server != "" {
 		return runServer(c)

@@ -36,6 +36,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/netip"
@@ -68,6 +69,9 @@ type config struct {
 	rulesFile  string
 	webhooks   multiFlag
 	workload   string
+	logFormat  string
+	logLevel   string
+	pprof      bool
 }
 
 // multiFlag collects a repeatable string flag.
@@ -99,17 +103,57 @@ func main() {
 	flag.StringVar(&cfg.workload, "workload", "", "scenario preset for the world and -ingest replay: default or flash-crowd")
 	flag.StringVar(&cfg.rulesFile, "rules-file", "", "load alert rules from this file (one per line, 'name=x prefix=...' syntax)")
 	flag.Var(&cfg.webhooks, "webhook", "POST matching alerts to this URL (repeatable)")
+	flag.StringVar(&cfg.logFormat, "log-format", "text", "log output format: text or json")
+	flag.StringVar(&cfg.logLevel, "log-level", "info", "minimum log level: debug, info, warn, or error")
+	flag.BoolVar(&cfg.pprof, "pprof", false, "serve net/http/pprof under /debug/pprof/ on the query API (requires -http; auth-protected when -auth-token is set)")
 	flag.Parse()
 	cfg.asn = uint32(asn)
-	if err := run(cfg); err != nil {
+	if err := setupLogger(cfg.logFormat, cfg.logLevel); err != nil {
 		fmt.Fprintln(os.Stderr, "bhserve:", err)
+		os.Exit(2)
+	}
+	if err := run(cfg); err != nil {
+		slog.Error("bhserve failed", "err", err)
 		os.Exit(1)
 	}
+}
+
+// setupLogger installs the process-wide slog default per -log-format
+// and -log-level.
+func setupLogger(format, level string) error {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return fmt.Errorf("-log-level: unknown level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "text":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return fmt.Errorf("-log-format: unknown format %q (want text or json)", format)
+	}
+	slog.SetDefault(slog.New(h))
+	return nil
 }
 
 func run(cfg config) error {
 	if cfg.storeDir == "" && (cfg.httpAddr != "" || cfg.ingest != "") {
 		return fmt.Errorf("-http and -ingest require -store")
+	}
+	if cfg.pprof && cfg.httpAddr == "" {
+		return fmt.Errorf("-pprof requires -http")
 	}
 	pol, err := bgpblackholing.ParseCompactionPolicy(cfg.policy)
 	if err != nil {
@@ -133,6 +177,11 @@ func run(cfg config) error {
 		return err
 	}
 
+	// One Telemetry per process: the store's write-path instruments,
+	// the detector / hub snapshots and the HTTP middleware all feed the
+	// registry GET /metrics renders.
+	tel := bgpblackholing.NewTelemetry()
+
 	// The store outlives individual runs; sealed segments compact in
 	// the background under the configured policy (tiered policies keep
 	// cold partitions untouched and give DeletePrefix tombstones their
@@ -141,12 +190,14 @@ func run(cfg config) error {
 	if cfg.storeDir != "" {
 		st, err = bgpblackholing.OpenStoreWith(cfg.storeDir, bgpblackholing.StoreOptions{
 			CompactSegments: 8, Policy: pol, Sync: syncPol,
+			Instruments: tel.StoreInstruments(),
 		})
 		if err != nil {
 			return err
 		}
 		defer st.Close()
-		fmt.Printf("bhserve: store %s holds %d events (sync policy %s)\n", cfg.storeDir, st.Len(), cfg.syncPolicy)
+		tel.ObserveStore(st)
+		slog.Info("store opened", "dir", cfg.storeDir, "events", st.Len(), "sync_policy", cfg.syncPolicy)
 	}
 
 	if cfg.ingest != "" {
@@ -163,6 +214,7 @@ func run(cfg config) error {
 		detOpts = append(detOpts, bgpblackholing.WithSubscriberQueueBound(cfg.subQueue, bgpblackholing.DropOldest))
 	}
 	det := p.NewDetector(detOpts...)
+	tel.ObserveDetector(det)
 
 	// The alerting hub exists whenever it has a surface to serve: an
 	// HTTP API (/watch, /rules), an initial rule set, or webhooks.
@@ -188,7 +240,8 @@ func run(cfg config) error {
 				return fmt.Errorf("-webhook: %w", err)
 			}
 		}
-		fmt.Printf("bhserve: alerting hub with %d rules, %d webhooks\n", len(rules), len(cfg.webhooks))
+		tel.ObserveHub(hub)
+		slog.Info("alerting hub ready", "rules", len(rules), "webhooks", len(cfg.webhooks))
 	}
 
 	var srv *http.Server
@@ -207,21 +260,17 @@ func run(cfg config) error {
 			RateLimit: cfg.rateLimit,
 			Detector:  det,
 			Hub:       hub,
+			Telemetry: tel,
+			Pprof:     cfg.pprof,
 		})}
 		go srv.Serve(hln)
 		// Backstop for error paths; the normal exit drains gracefully
 		// below before the deferred store close runs.
 		defer srv.Close()
-		fmt.Printf("bhserve: query API on http://%s (events, legitimacy, stats, figure4, figure8, table3, table4)\n", hln.Addr())
-		if cfg.authToken != "" {
-			fmt.Println("bhserve: query API requires a bearer token")
-		}
-		if cfg.rateLimit > 0 {
-			fmt.Printf("bhserve: query API rate limit %.3g req/s per client\n", cfg.rateLimit)
-		}
+		slog.Info("query API listening", "addr", "http://"+hln.Addr().String(),
+			"auth", cfg.authToken != "", "rate_limit", cfg.rateLimit, "pprof", cfg.pprof)
 		if reg := p.RPKIRegistry(); reg != nil {
-			fmt.Printf("bhserve: legitimacy enrichment on (%d ROAs, %d dictionary communities)\n",
-				reg.Len(), len(p.Dict.Entries()))
+			slog.Info("legitimacy enrichment on", "roas", reg.Len(), "communities", len(p.Dict.Entries()))
 		}
 	}
 
@@ -230,8 +279,8 @@ func run(cfg config) error {
 		return err
 	}
 	defer ln.Close()
-	fmt.Printf("bhserve: dictionary with %d communities, listening on %s (AS%d)\n",
-		len(p.Dict.Entries()), ln.Addr(), cfg.asn)
+	slog.Info("listening for BGP sessions", "addr", ln.Addr().String(), "asn", cfg.asn,
+		"communities", len(p.Dict.Entries()))
 
 	// The live feed: every accepted BGP session publishes its updates
 	// into the source the detector drains.
@@ -273,7 +322,7 @@ func run(cfg config) error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
-		fmt.Println("\nbhserve: shutting down")
+		slog.Info("shutting down")
 		ln.Close()
 		live.Close()
 	}()
@@ -298,30 +347,31 @@ func run(cfg config) error {
 		cancel()
 	}
 	m := res.Metrics
-	fmt.Printf("bhserve: %d updates (%d cleaned), %d detections, %d events (%d explicit / %d implicit ends)\n",
-		m.UpdatesProcessed, m.UpdatesCleaned, m.Detections, m.EventsClosed, m.ExplicitEnds, m.ImplicitEnds)
+	slog.Info("run complete",
+		"updates", m.UpdatesProcessed, "cleaned", m.UpdatesCleaned,
+		"detections", m.Detections, "events", m.EventsClosed,
+		"explicit_ends", m.ExplicitEnds, "implicit_ends", m.ImplicitEnds)
 	if n := live.Dropped(); n > 0 {
-		fmt.Printf("bhserve: live buffer dropped %d elements (bound %d)\n", n, cfg.liveBuffer)
+		slog.Warn("live buffer dropped elements", "dropped", n, "bound", cfg.liveBuffer)
 	}
 	if m.SubscriberDrops > 0 || m.SubscriberEvictions > 0 {
-		fmt.Printf("bhserve: slow subscribers dropped %d events, %d evicted\n",
-			m.SubscriberDrops, m.SubscriberEvictions)
+		slog.Warn("slow subscribers", "dropped", m.SubscriberDrops, "evicted", m.SubscriberEvictions)
 	}
 	if hub != nil {
 		hs := hub.Stats()
 		if hs.Alerts > 0 || hs.WatcherDrops > 0 {
-			fmt.Printf("bhserve: alerting hub fired %d alerts over %d events (%d watcher drops)\n",
-				hs.Alerts, hs.Published, hs.WatcherDrops)
+			slog.Info("alerting hub summary",
+				"alerts", hs.Alerts, "published", hs.Published, "watcher_drops", hs.WatcherDrops)
 		}
 		for _, ws := range hs.Webhooks {
-			fmt.Printf("bhserve: webhook %s delivered %d (retries %d, dead-letters %d, dropped %d)\n",
-				ws.URL, ws.Delivered, ws.Retries, ws.DeadLetters, ws.Dropped)
+			slog.Info("webhook summary", "url", ws.URL, "delivered", ws.Delivered,
+				"retries", ws.Retries, "dead_letters", ws.DeadLetters, "dropped", ws.Dropped)
 		}
 	}
 	if st != nil {
 		s := st.Stats()
-		fmt.Printf("bhserve: store now holds %d events over %d prefixes in %d segments (%d bytes)\n",
-			s.Events, s.Prefixes, s.Segments, s.Bytes)
+		slog.Info("store summary", "events", s.Events, "prefixes", s.Prefixes,
+			"segments", s.Segments, "bytes", s.Bytes)
 	}
 	// A listener that died on its own (not via the SIGINT ln.Close) is a
 	// failed run. ServeBGP may still be waiting on sessions lingering
@@ -374,7 +424,7 @@ func ingestWindow(p *bgpblackholing.Pipeline, st *bgpblackholing.Store, window s
 	if err1 != nil || err2 != nil || to <= from {
 		return fmt.Errorf("bad window %q (want FROM:TO with TO > FROM)", window)
 	}
-	fmt.Printf("bhserve: ingesting replay days [%d,%d) into the store\n", from, to)
+	slog.Info("ingesting replay window", "from_day", from, "to_day", to)
 	det := p.NewDetector()
 	wait := det.SinkToStore(st)
 	res, err := det.Run(context.Background(), p.Replay(from, to))
@@ -384,7 +434,7 @@ func ingestWindow(p *bgpblackholing.Pipeline, st *bgpblackholing.Store, window s
 	if err := wait(); err != nil {
 		return err
 	}
-	fmt.Printf("bhserve: ingested %d events\n", len(res.Events))
+	slog.Info("ingest complete", "events", len(res.Events))
 	return nil
 }
 
@@ -396,7 +446,7 @@ func serveCfg(asn uint32) bgpblackholing.BGPServerConfig {
 		CollectorName: "bhserve",
 		Platform:      bgpblackholing.PlatformRIS,
 		Logf: func(format string, args ...any) {
-			fmt.Printf("bhserve: "+format+"\n", args...)
+			slog.Debug(fmt.Sprintf(format, args...), "component", "bgp-listener")
 		},
 	}
 }
@@ -407,8 +457,11 @@ func printEvent(ev *bgpblackholing.Event) {
 		provs = append(provs, pr.String())
 	}
 	sort.Strings(provs)
-	fmt.Printf("EVENT %s  %s - %s (%s)  providers=%v users=%d\n",
-		ev.Prefix,
-		ev.Start.Format(time.RFC3339), ev.End.Format(time.RFC3339),
-		ev.Duration().Truncate(time.Second), provs, len(ev.Users))
+	slog.Info("event closed",
+		"prefix", ev.Prefix.String(),
+		"start", ev.Start.Format(time.RFC3339),
+		"end", ev.End.Format(time.RFC3339),
+		"duration", ev.Duration().Truncate(time.Second).String(),
+		"providers", strings.Join(provs, ","),
+		"users", len(ev.Users))
 }

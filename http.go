@@ -9,6 +9,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"net/netip"
 	"strconv"
 	"strings"
@@ -65,6 +66,11 @@ import (
 //	                               compact "name=x prefix=..." syntax)
 //	DELETE /rules/{name}           remove one rule
 //
+// With HandlerOptions.Telemetry set, GET /metrics serves the Prometheus
+// text exposition and every route is wrapped in the request middleware;
+// with Pprof set, net/http/pprof mounts under /debug/pprof/ (behind
+// AuthToken, like everything except /healthz).
+//
 // When p carries a world, its annotator (registry + dictionary) powers
 // enrich=1 and /legitimacy; without a pipeline the handler falls back
 // to an annotator attached to the store (Store.SetAnnotator), and a
@@ -98,12 +104,25 @@ type HandlerOptions struct {
 	// WatchHeartbeat is the SSE heartbeat-comment interval on /watch.
 	// Defaults to 15s.
 	WatchHeartbeat time.Duration
+	// Telemetry, when non-nil, serves GET /metrics (Prometheus text
+	// exposition) and wraps every route in the request middleware
+	// (per-route counter with status-class label, in-flight gauge,
+	// duration histogram).
+	Telemetry *Telemetry
+	// Pprof mounts net/http/pprof under /debug/pprof/. Like every
+	// route except /healthz it sits behind AuthToken when one is set.
+	Pprof bool
+	// RedialSources, when non-empty, folds each source's session
+	// counters into /stats and makes /healthz report degraded when a
+	// source has exhausted its retry budget.
+	RedialSources []*RedialSource
 }
 
 // NewStoreHandlerWith is NewStoreHandler plus live-exposure hardening:
 // optional bearer-token auth and a per-client token-bucket rate limit.
 func NewStoreHandlerWith(st *Store, p *Pipeline, opts HandlerOptions) http.Handler {
-	h := &storeHandler{st: st, p: p, det: opts.Detector, hub: opts.Hub, heartbeat: opts.WatchHeartbeat}
+	h := &storeHandler{st: st, p: p, det: opts.Detector, hub: opts.Hub,
+		redials: opts.RedialSources, heartbeat: opts.WatchHeartbeat}
 	if h.heartbeat <= 0 {
 		h.heartbeat = 15 * time.Second
 	}
@@ -111,19 +130,41 @@ func NewStoreHandlerWith(st *Store, p *Pipeline, opts HandlerOptions) http.Handl
 		h.ann = p.Annotator()
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", h.healthz)
-	mux.HandleFunc("GET /stats", h.stats)
-	mux.HandleFunc("GET /events", h.events)
-	mux.HandleFunc("GET /legitimacy", h.legitimacy)
-	mux.HandleFunc("GET /figure4", h.figure4)
-	mux.HandleFunc("GET /figure8", h.figure8)
-	mux.HandleFunc("GET /table3", h.table3)
-	mux.HandleFunc("GET /table4", h.table4)
+	// handle wraps each route in the telemetry middleware at
+	// registration time, so the route label is the static mux pattern —
+	// no per-request pattern lookup, and streaming handlers keep their
+	// Flusher through the status-recording writer.
+	handle := func(pattern string, fn http.Handler) {
+		if opts.Telemetry != nil {
+			fn = opts.Telemetry.instrument(pattern, fn)
+		}
+		mux.Handle(pattern, fn)
+	}
+	handle("GET /healthz", http.HandlerFunc(h.healthz))
+	handle("GET /stats", http.HandlerFunc(h.stats))
+	handle("GET /events", http.HandlerFunc(h.events))
+	handle("GET /legitimacy", http.HandlerFunc(h.legitimacy))
+	handle("GET /figure4", http.HandlerFunc(h.figure4))
+	handle("GET /figure8", http.HandlerFunc(h.figure8))
+	handle("GET /table3", http.HandlerFunc(h.table3))
+	handle("GET /table4", http.HandlerFunc(h.table4))
 	if opts.Hub != nil {
-		mux.HandleFunc("GET /watch", h.watch)
-		mux.HandleFunc("GET /rules", h.rulesList)
-		mux.HandleFunc("POST /rules", h.rulesUpsert)
-		mux.HandleFunc("DELETE /rules/{name}", h.rulesDelete)
+		handle("GET /watch", http.HandlerFunc(h.watch))
+		handle("GET /rules", http.HandlerFunc(h.rulesList))
+		handle("POST /rules", http.HandlerFunc(h.rulesUpsert))
+		handle("DELETE /rules/{name}", http.HandlerFunc(h.rulesDelete))
+	}
+	if opts.Telemetry != nil {
+		handle("GET /metrics", opts.Telemetry.MetricsHandler())
+	}
+	if opts.Pprof {
+		// Index serves /debug/pprof/{heap,goroutine,...} lookups itself;
+		// the handler-backed profiles need their own routes.
+		handle("GET /debug/pprof/", http.HandlerFunc(pprof.Index))
+		handle("GET /debug/pprof/cmdline", http.HandlerFunc(pprof.Cmdline))
+		handle("GET /debug/pprof/profile", http.HandlerFunc(pprof.Profile))
+		handle("GET /debug/pprof/symbol", http.HandlerFunc(pprof.Symbol))
+		handle("GET /debug/pprof/trace", http.HandlerFunc(pprof.Trace))
 	}
 	var handler http.Handler = mux
 	if opts.RateLimit > 0 {
@@ -231,8 +272,9 @@ func rateLimitMiddleware(next http.Handler, rate float64, burst int) http.Handle
 type storeHandler struct {
 	st        *Store
 	p         *Pipeline
-	det       *Detector // optional: fan-out counters on /stats
-	hub       *AlertHub // optional: /watch, /rules, hub counters
+	det       *Detector       // optional: fan-out counters on /stats
+	hub       *AlertHub       // optional: /watch, /rules, hub counters
+	redials   []*RedialSource // optional: session counters on /stats, readiness on /healthz
 	heartbeat time.Duration
 	// ann is the pipeline's annotator when the handler was built with a
 	// world; otherwise annotator() falls back to the store's — resolved
@@ -262,37 +304,79 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc.Encode(v)
 }
 
+// healthz is liveness + readiness in one probe. Liveness is implicit
+// (the handler answered); readiness degrades — and the status code
+// becomes 503 — when the write path is in a known-bad state: a wounded
+// active segment awaiting failover, a parked async group-commit fsync
+// error no caller has seen yet, or a redial source whose retry budget
+// is exhausted. The historical keys ("status", "events") survive so
+// existing probes keep parsing.
 func (h *storeHandler) healthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]any{"status": "ok", "events": h.st.Len()})
+	checks := map[string]string{}
+	sh := h.st.s.Health()
+	if sh.WoundedSegment {
+		checks["store_segment"] = "wounded active segment pending failover"
+	}
+	if sh.AsyncSyncError != "" {
+		checks["store_fsync"] = "parked async fsync error: " + sh.AsyncSyncError
+	}
+	for _, src := range h.redials {
+		if src.Stats().GaveUp != 0 {
+			checks["redial:"+src.Addr()] = "retry budget exhausted; feed ended"
+		}
+	}
+	body := map[string]any{"status": "ok", "events": h.st.Len()}
+	if len(checks) > 0 {
+		body["status"] = "degraded"
+		body["checks"] = checks
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(body)
+		return
+	}
+	writeJSON(w, body)
 }
 
-// detectorStats is the live fan-out section of /stats. Only data that
-// is safe to read concurrently with a running Detector appears here:
-// the atomic drop/evict counters and the mutex-guarded per-subscriber
-// snapshots — never the engine's plain counters.
+// detectorStats is the live fan-out section of /stats: the atomic
+// drop/evict counters, the mutex-guarded per-subscriber snapshots, and
+// — now that the engine's counters are atomics — the full engine
+// Metrics snapshot, the same numbers /metrics scrapes.
 type detectorStats struct {
 	SubscriberDrops     uint64            `json:"subscriber_drops"`
 	SubscriberEvictions uint64            `json:"subscriber_evictions"`
 	Subscribers         []SubscriberStats `json:"subscribers"`
+	// Engine is the inference engine's counter snapshot (updates,
+	// detections, events opened/closed).
+	Engine *Metrics `json:"engine,omitempty"`
 	// Alerts carries the alerting hub's delivery counters (watcher
 	// drops, webhook retries/dead-letters) when a hub is attached.
 	Alerts *AlertHubStats `json:"alerts,omitempty"`
+	// Redial lists each live source's session-lifecycle counters
+	// (dials, establishes, reseeds, backoffs, gave-up).
+	Redial []RedialStats `json:"redial,omitempty"`
 }
 
 func (h *storeHandler) stats(w http.ResponseWriter, r *http.Request) {
-	if h.det == nil && h.hub == nil {
+	if h.det == nil && h.hub == nil && len(h.redials) == 0 {
 		writeJSON(w, h.st.Stats())
 		return
 	}
 	ds := detectorStats{}
 	if h.det != nil {
-		ds.SubscriberDrops = h.det.subDrops.Load()
-		ds.SubscriberEvictions = h.det.subEvicts.Load()
+		m := h.det.Metrics()
+		ds.SubscriberDrops = m.SubscriberDrops
+		ds.SubscriberEvictions = m.SubscriberEvictions
 		ds.Subscribers = h.det.SubscriberStats()
+		ds.Engine = &m
 	}
 	if h.hub != nil {
 		hs := h.hub.Stats()
 		ds.Alerts = &hs
+	}
+	for _, src := range h.redials {
+		ds.Redial = append(ds.Redial, src.Stats())
 	}
 	// Embedding flattens the store fields so clients decoding into
 	// StoreStats keep working.

@@ -113,6 +113,22 @@ type Hub struct {
 	// onEncodeErr is the shared lazy-encode error hook, allocated once
 	// rather than per alert.
 	onEncodeErr func()
+
+	// publishObs, when set, receives each Publish call's wall time in
+	// seconds — the telemetry layer's latency-histogram hook. Held in
+	// an atomic pointer so it can be wired after the hub is live.
+	publishObs atomic.Pointer[func(float64)]
+}
+
+// SetPublishObserver installs fn to observe each Publish call's
+// duration in seconds (nil removes it). Safe to call while the hub is
+// publishing.
+func (h *Hub) SetPublishObserver(fn func(seconds float64)) {
+	if fn == nil {
+		h.publishObs.Store(nil)
+		return
+	}
+	h.publishObs.Store(&fn)
 }
 
 // NewHub builds a hub over an initial rule set (which may be empty and
@@ -211,6 +227,10 @@ func (h *Hub) DeleteRule(name string) bool {
 // primed into the annotator cache.
 func (h *Hub) Publish(ev *core.Event) {
 	h.published.Add(1)
+	if obs := h.publishObs.Load(); obs != nil {
+		start := time.Now()
+		defer func() { (*obs)(time.Since(start).Seconds()) }()
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {

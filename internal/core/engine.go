@@ -12,6 +12,7 @@ import (
 	"io"
 	"net/netip"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"bgpblackholing/internal/bgp"
@@ -152,7 +153,7 @@ type Event struct {
 func (e *Event) Duration() time.Duration { return e.End.Sub(e.Start) }
 
 // Metrics counts what the engine has processed, for live-deployment
-// observability (bhserve exposes them on shutdown).
+// observability (/stats, /metrics, and bhserve's shutdown summary).
 type Metrics struct {
 	// UpdatesProcessed counts every consumed update post-cleaning.
 	UpdatesProcessed uint64
@@ -166,6 +167,9 @@ type Metrics struct {
 	// distinguishes the two).
 	ExplicitEnds uint64
 	ImplicitEnds uint64
+	// EventsOpened counts correlated prefix-level events started;
+	// EventsOpened−EventsClosed is the currently-active event count.
+	EventsOpened uint64
 	// EventsClosed counts correlated prefix-level events closed.
 	EventsClosed uint64
 	// SubscriberDrops counts events discarded from bounded subscriber
@@ -175,6 +179,33 @@ type Metrics struct {
 	// SubscriberEvictions counts subscribers forcibly unsubscribed for
 	// falling a full queue bound behind (evict policy).
 	SubscriberEvictions uint64
+}
+
+// engineCounters is the atomic backing for Metrics. The engine itself
+// is single-goroutine, but Metrics() is called concurrently — by
+// /stats handlers and /metrics scrapes while Detector.Run is
+// processing — so every counter is an atomic and Metrics() is a
+// consistent-enough snapshot without a lock on the hot path.
+type engineCounters struct {
+	updatesProcessed atomic.Uint64
+	updatesCleaned   atomic.Uint64
+	detections       atomic.Uint64
+	explicitEnds     atomic.Uint64
+	implicitEnds     atomic.Uint64
+	eventsOpened     atomic.Uint64
+	eventsClosed     atomic.Uint64
+}
+
+func (c *engineCounters) snapshot() Metrics {
+	return Metrics{
+		UpdatesProcessed: c.updatesProcessed.Load(),
+		UpdatesCleaned:   c.updatesCleaned.Load(),
+		Detections:       c.detections.Load(),
+		ExplicitEnds:     c.explicitEnds.Load(),
+		ImplicitEnds:     c.implicitEnds.Load(),
+		EventsOpened:     c.eventsOpened.Load(),
+		EventsClosed:     c.eventsClosed.Load(),
+	}
 }
 
 // Engine is the blackholing inference engine.
@@ -200,7 +231,7 @@ type Engine struct {
 	// engine.
 	OnEventClose func(*Event)
 
-	metrics Metrics
+	metrics engineCounters
 
 	// Per-update classification scratch, reused across process calls so
 	// the hot path stays allocation-free (an Engine is single-goroutine).
@@ -208,8 +239,9 @@ type Engine struct {
 	scratchFlat []bgp.ASN
 }
 
-// Metrics returns a snapshot of the engine's counters.
-func (e *Engine) Metrics() Metrics { return e.metrics }
+// Metrics returns a snapshot of the engine's counters. Safe to call
+// concurrently with the processing goroutine.
+func (e *Engine) Metrics() Metrics { return e.metrics.snapshot() }
 
 type peerKey struct {
 	prefix netip.Prefix
@@ -433,16 +465,16 @@ func (e *Engine) process(u *bgp.Update, collectorName string, platform collector
 	if e.Clean {
 		u = bogon.CleanUpdate(u)
 		if u == nil {
-			e.metrics.UpdatesCleaned++
+			e.metrics.updatesCleaned.Add(1)
 			return
 		}
 	}
-	e.metrics.UpdatesProcessed++
+	e.metrics.updatesProcessed.Add(1)
 
 	// Explicit withdrawals end per-peer blackholing (§4.2).
 	for _, p := range u.Withdrawn {
 		if e.endPeer(peerKey{p, u.PeerIP}, u.Time) {
-			e.metrics.ExplicitEnds++
+			e.metrics.explicitEnds.Add(1)
 		}
 	}
 	if len(u.Announced) == 0 {
@@ -463,11 +495,11 @@ func (e *Engine) process(u *bgp.Update, collectorName string, platform collector
 			// withdrawal if this peer previously saw the prefix
 			// blackholed (§4.2).
 			if e.endPeer(key, u.Time) {
-				e.metrics.ImplicitEnds++
+				e.metrics.implicitEnds.Add(1)
 			}
 			continue
 		}
-		e.metrics.Detections++
+		e.metrics.detections.Add(1)
 		e.startOrRefresh(key, u, det, p, collectorName, platform, fromDump)
 	}
 }
@@ -485,6 +517,7 @@ func (e *Engine) startOrRefresh(key peerKey, u *bgp.Update, det *Detection, pref
 		e.perPrefix[prefix] = st
 	}
 	if st.event == nil {
+		e.metrics.eventsOpened.Add(1)
 		st.event = &Event{
 			Prefix:              prefix,
 			Start:               u.Time,
@@ -603,7 +636,7 @@ func (e *Engine) closeEvent(ev *Event) {
 		e.OnEventClose(ev)
 	}
 	e.closed = append(e.closed, ev)
-	e.metrics.EventsClosed++
+	e.metrics.eventsClosed.Add(1)
 }
 
 // Run drains a stream through the engine.

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRenderLabels feeds arbitrary label values through registration
+// and rendering: no panics, and every rendered sample line must stay
+// one-line (escaping must swallow newlines) and well-formed.
+func FuzzRenderLabels(f *testing.F) {
+	f.Add("plain", "/events")
+	f.Add(`back\slash`, `quo"te`)
+	f.Add("new\nline", "")
+	f.Add("utf8 ☂", "∞")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		r := NewRegistry()
+		v := r.CounterVec("fuzz_total", "fuzz", "a", "b")
+		v.With(a, b).Inc()
+		hv := r.HistogramVec("fuzz_seconds", "fuzz", []float64{1}, "a")
+		hv.With(a).Observe(0.5)
+
+		var out strings.Builder
+		if err := r.Render(&out); err != nil {
+			t.Fatalf("render: %v", err)
+		}
+		for _, ln := range strings.Split(strings.TrimRight(out.String(), "\n"), "\n") {
+			if strings.HasPrefix(ln, "#") {
+				continue
+			}
+			if len(strings.Fields(ln)) < 2 {
+				t.Fatalf("malformed sample line %q", ln)
+			}
+		}
+		// Same labels resolve to the same child.
+		v.With(a, b).Inc()
+		if got := v.With(a, b).Value(); got != 2 {
+			t.Fatalf("child not stable across With calls: %d", got)
+		}
+	})
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Idempotent registration returns the same underlying counter.
+	if again := r.Counter("test_total", "a counter"); again.Value() != 5 {
+		t.Fatalf("re-registered counter lost state: %d", again.Value())
+	}
+
+	g := r.Gauge("test_gauge", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestHistogramInvariants(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "a histogram", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if got, want := h.Sum(), 55.55; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Buckets must be cumulative and +Inf must equal the count.
+	for _, line := range []string{
+		`test_seconds_bucket{le="0.1"} 1`,
+		`test_seconds_bucket{le="1"} 2`,
+		`test_seconds_bucket{le="10"} 3`,
+		`test_seconds_bucket{le="+Inf"} 4`,
+		`test_seconds_count 4`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+}
+
+func TestVecChildrenAndEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("req_total", "requests", "route", "class")
+	v.With("/events", "2xx").Add(3)
+	v.With("/events", "2xx").Inc() // same child
+	v.With(`we"ird\nl`+"\n", "5xx").Inc()
+
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `req_total{route="/events",class="2xx"} 4`) {
+		t.Errorf("labeled child not merged:\n%s", out)
+	}
+	if !strings.Contains(out, `req_total{route="we\"ird\\nl\n",class="5xx"} 1`) {
+		t.Errorf("label escaping wrong:\n%s", out)
+	}
+
+	hv := r.HistogramVec("lat_seconds", "latency", []float64{1}, "route")
+	hv.With("/a").Observe(0.5)
+	hv.With("/a").Observe(2)
+	if hv.With("/a").Count() != 2 {
+		t.Fatalf("histogram child count = %d", hv.With("/a").Count())
+	}
+}
+
+func TestFuncMetrics(t *testing.T) {
+	r := NewRegistry()
+	n := uint64(7)
+	r.CounterFunc("snap_total", "snapshot counter", func() uint64 { return n })
+	r.GaugeFunc("snap_gauge", "snapshot gauge", func() float64 { return 1.25 })
+	r.GaugeFuncLabeled("snap_labeled", "labeled", []string{"src"}, []string{"a"}, func() float64 { return 9 })
+
+	var b strings.Builder
+	r.Render(&b)
+	for _, line := range []string{"snap_total 7", "snap_gauge 1.25", `snap_labeled{src="a"} 9`} {
+		if !strings.Contains(b.String(), line+"\n") {
+			t.Errorf("missing %q in:\n%s", line, b.String())
+		}
+	}
+
+	// Re-registering a func metric replaces the source, not errors.
+	n = 9
+	r.CounterFunc("snap_total", "snapshot counter", func() uint64 { return 100 })
+	b.Reset()
+	r.Render(&b)
+	if !strings.Contains(b.String(), "snap_total 100\n") {
+		t.Errorf("func re-register did not replace:\n%s", b.String())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("dual", "x")
+}
+
+func TestExpositionShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "help with\nnewline").Inc()
+	r.Gauge("b", "gauge").Set(3)
+	r.Histogram("c_seconds", "hist", nil).Observe(0.001)
+
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	for _, ln := range lines {
+		switch {
+		case strings.HasPrefix(ln, "# HELP "), strings.HasPrefix(ln, "# TYPE "):
+		default:
+			// Every sample line is "name{labels} value" with a parseable value.
+			fields := strings.Fields(ln)
+			if len(fields) != 2 {
+				t.Errorf("malformed sample line %q", ln)
+			}
+		}
+	}
+	if !strings.Contains(b.String(), `# HELP a_total help with\nnewline`) {
+		t.Errorf("help not escaped:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "# TYPE c_seconds histogram") {
+		t.Errorf("missing TYPE line:\n%s", b.String())
+	}
+}
+
+// TestRegistryRace hammers registration, observation, and rendering
+// concurrently; meaningful under -race.
+func TestRegistryRace(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("race_total", "x")
+	h := r.Histogram("race_seconds", "x", nil)
+	v := r.CounterVec("race_vec_total", "x", "i")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				c.Inc()
+				h.Observe(float64(j) * 1e-6)
+				v.With(string(rune('a' + i%4))).Inc()
+				if j%100 == 0 {
+					var b strings.Builder
+					r.Render(&b)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != 8*500 {
+		t.Fatalf("race counter = %d, want %d", c.Value(), 8*500)
+	}
+	if h.Count() != 8*500 {
+		t.Fatalf("race histogram count = %d", h.Count())
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "x", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(1e-5)
+	}
+}

@@ -108,6 +108,36 @@ func (s *Store) Compact() (CompactStats, error) {
 // Each selected run commits independently (marker-led atomic rename),
 // so a crash mid-pass leaves every run either fully old or fully new.
 func (s *Store) CompactWith(pol Policy) (CompactStats, error) {
+	in := s.inst
+	var start time.Time
+	if in != nil && in.CompactSeconds != nil {
+		start = time.Now()
+	}
+	st, err := s.compactWith(pol)
+	if in != nil {
+		if in.CompactRuns != nil {
+			in.CompactRuns.Inc()
+		}
+		if in.CompactSeconds != nil {
+			in.CompactSeconds.Observe(time.Since(start).Seconds())
+		}
+		if in.CompactMerged != nil {
+			in.CompactMerged.Add(uint64(len(st.Merged)))
+		}
+		if in.CompactSkipped != nil {
+			in.CompactSkipped.Add(uint64(len(st.Skipped)))
+		}
+		if in.CompactErased != nil {
+			in.CompactErased.Add(uint64(st.Erased))
+		}
+		if in.CompactDropped != nil {
+			in.CompactDropped.Add(uint64(st.Dropped))
+		}
+	}
+	return st, err
+}
+
+func (s *Store) compactWith(pol Policy) (CompactStats, error) {
 	s.compactMu.Lock()
 	defer s.compactMu.Unlock()
 	pol = pol.withDefaults()

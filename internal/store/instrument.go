@@ -1,0 +1,96 @@
+package store
+
+import (
+	"time"
+
+	"bgpblackholing/internal/obs"
+)
+
+// Instruments is the store's telemetry seam: pre-resolved metric
+// handles the write path updates with a few atomic operations. A nil
+// Instruments (the default) costs one pointer compare per site — the
+// un-instrumented hot path stays allocation- and syscall-free. Every
+// field is optional; leave a handle nil to skip that signal.
+//
+// The struct holds obs primitives rather than a registry so label
+// resolution and family lookup happen once, at wiring time, never per
+// append.
+type Instruments struct {
+	// Append path.
+	AppendEvents  *obs.Counter   // events durably appended (post-encode)
+	AppendSeconds *obs.Histogram // whole-batch Append call latency
+
+	// Fsync path — every fsync of the active segment, whatever
+	// triggered it (group commit, interval timer, seal, failover,
+	// explicit Sync, Close).
+	FsyncTotal   *obs.Counter
+	FsyncErrors  *obs.Counter
+	FsyncSeconds *obs.Histogram
+	// CommitBatch observes the number of records each group commit
+	// flushed — the amortization the SyncPolicy buys.
+	CommitBatch *obs.Histogram
+
+	// Segment lifecycle.
+	Seals     *obs.Counter // segments sealed (size, partition roll, failover, compaction)
+	Failovers *obs.Counter // wounded-segment failovers
+
+	// Compaction passes.
+	CompactRuns    *obs.Counter
+	CompactSeconds *obs.Histogram
+	CompactMerged  *obs.Counter // segments rewritten by passes
+	CompactSkipped *obs.Counter // segments policies left cold
+	CompactErased  *obs.Counter // tombstoned records physically removed
+	CompactDropped *obs.Counter // superseded flush duplicates removed
+}
+
+// fsync syncs the active segment through the instrumentation seam.
+// Caller holds the write lock.
+func (s *Store) fsync() error {
+	in := s.inst
+	if in == nil {
+		return s.active.Sync()
+	}
+	var start time.Time
+	if in.FsyncSeconds != nil {
+		start = time.Now()
+	}
+	err := s.active.Sync()
+	if in.FsyncTotal != nil {
+		in.FsyncTotal.Inc()
+	}
+	if in.FsyncSeconds != nil {
+		in.FsyncSeconds.Observe(time.Since(start).Seconds())
+	}
+	if err != nil && in.FsyncErrors != nil {
+		in.FsyncErrors.Inc()
+	}
+	return err
+}
+
+// observeCommitBatch records the size of a group commit about to be
+// flushed. Caller holds the write lock.
+func (s *Store) observeCommitBatch() {
+	if in := s.inst; in != nil && in.CommitBatch != nil && s.unsynced > 0 {
+		in.CommitBatch.Observe(float64(s.unsynced))
+	}
+}
+
+// Health is the store's write-path failure snapshot, feeding readiness
+// checks: a wounded active segment means the last write or fsync
+// failed and the next append must fail over; a parked async error is a
+// timer-driven group-commit fsync failure no caller has observed yet.
+type Health struct {
+	WoundedSegment bool
+	AsyncSyncError string
+}
+
+// Health reports the write path's current failure state.
+func (s *Store) Health() Health {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h := Health{WoundedSegment: s.writeFailed}
+	if s.asyncErr != nil {
+		h.AsyncSyncError = s.asyncErr.Error()
+	}
+	return h
+}

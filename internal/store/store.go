@@ -50,6 +50,10 @@ type Options struct {
 	// appending. Sealed-segment reads and compaction rewrites go
 	// through the real filesystem regardless.
 	OpenSegment func(path string, create bool) (SegmentFile, error)
+	// Instruments, when non-nil, receives write-path telemetry
+	// (appends, fsyncs, seals, group-commit batch sizes, compaction
+	// passes). Nil keeps the hot path free of even a time.Now call.
+	Instruments *Instruments
 }
 
 // SegmentFile is the subset of *os.File the store's write path uses;
@@ -190,7 +194,8 @@ type Store struct {
 	mu   sync.RWMutex
 	dir  string
 	opts Options
-	lock string // writer-lock file path; empty when read-only
+	inst *Instruments // immutable after Open; nil when un-instrumented
+	lock string       // writer-lock file path; empty when read-only
 
 	// events holds every indexed event by ordinal (append order); a nil
 	// slot is a dead event (tombstoned, or a superseded duplicate
@@ -289,6 +294,7 @@ func open(dir string, opts Options) (*Store, error) {
 	s := &Store{
 		dir:            dir,
 		opts:           opts,
+		inst:           opts.Instruments,
 		trie:           &Trie{},
 		byUser:         map[bgp.ASN][]int32{},
 		byProvider:     map[core.ProviderRef][]int32{},
@@ -650,6 +656,15 @@ func (s *Store) Append(events ...*core.Event) error {
 	case s.opts.ReadOnly:
 		return ErrReadOnly
 	}
+	if in := s.inst; in != nil {
+		if in.AppendSeconds != nil {
+			start := time.Now()
+			defer func() { in.AppendSeconds.Observe(time.Since(start).Seconds()) }()
+		}
+		if in.AppendEvents != nil {
+			in.AppendEvents.Add(uint64(len(events)))
+		}
+	}
 	for _, ev := range events {
 		// Time-partitioned segments: roll the active segment when the
 		// event belongs to a different partition, so merges never have
@@ -737,7 +752,8 @@ func (s *Store) syncActive() error {
 	if s.active == nil {
 		return nil
 	}
-	if err := s.active.Sync(); err != nil {
+	s.observeCommitBatch()
+	if err := s.fsync(); err != nil {
 		s.writeFailed = true
 		return err
 	}
@@ -763,7 +779,8 @@ func (s *Store) timedSync() {
 	if s.closed || s.active == nil || s.unsynced == 0 {
 		return
 	}
-	if err := s.active.Sync(); err != nil {
+	s.observeCommitBatch()
+	if err := s.fsync(); err != nil {
 		s.writeFailed = true
 		s.asyncErr = err
 		return
@@ -783,9 +800,12 @@ func (s *Store) failoverSeal() error {
 	if err != nil {
 		return err
 	}
-	s.active.Sync()
+	s.fsync()
 	s.finishSeal(next)
 	s.writeFailed = false
+	if in := s.inst; in != nil && in.Failovers != nil {
+		in.Failovers.Inc()
+	}
 	return nil
 }
 
@@ -862,7 +882,7 @@ func (s *Store) seal() error {
 	if err != nil {
 		return err
 	}
-	if err := s.active.Sync(); err != nil {
+	if err := s.fsync(); err != nil {
 		s.writeFailed = true
 		next.Close()
 		os.Remove(next.Name())
@@ -888,6 +908,9 @@ func (s *Store) finishSeal(next SegmentFile) {
 		dead:         s.activeDead,
 	})
 	s.sealedBytes += s.size
+	if in := s.inst; in != nil && in.Seals != nil {
+		in.Seals.Inc()
+	}
 	s.active, s.seq, s.size = next, s.seq+1, int64(len(segMagic))
 	s.activeEvents, s.activeDead, s.activeMinStart, s.activePart = 0, 0, noMinStart, 0
 	s.unsynced = 0
@@ -934,7 +957,7 @@ func (s *Store) Close() error {
 	}
 	var err error
 	if s.active != nil {
-		if serr := s.active.Sync(); serr != nil {
+		if serr := s.fsync(); serr != nil {
 			err = serr
 		}
 		if cerr := s.active.Close(); err == nil {

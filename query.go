@@ -35,6 +35,9 @@ type Store struct {
 	// ann, when set, powers Query.Enrich legitimacy annotation; atomic
 	// because SetAnnotator may race concurrent queries.
 	ann atomic.Pointer[Annotator]
+	// qobs, when set by Telemetry.ObserveStore, receives query-path
+	// telemetry; atomic for the same reason as ann.
+	qobs atomic.Pointer[queryObs]
 }
 
 // SetAnnotator attaches a legitimacy annotator (see NewAnnotator and
@@ -229,6 +232,16 @@ func (st *Store) Query(q Query) *QueryResult {
 		}
 	}
 	out.Elapsed = time.Since(began)
+	if qo := st.qobs.Load(); qo != nil {
+		sec := out.Elapsed.Seconds()
+		if q.Enrich && st.ann.Load() != nil {
+			qo.enrichedTotal.Inc()
+			qo.enrichedSeconds.Observe(sec)
+		} else {
+			qo.total.Inc()
+			qo.seconds.Observe(sec)
+		}
+	}
 	return out
 }
 
@@ -238,6 +251,11 @@ func (st *Store) Query(q Query) *QueryResult {
 // drain it incrementally. Enrichment is the consumer's concern here:
 // annotate yielded events with Annotator.Annotate as they stream.
 func (st *Store) QuerySeq(q Query) iter.Seq[*Event] {
+	if qo := st.qobs.Load(); qo != nil {
+		// Streaming queries count but have no meaningful whole-call
+		// latency: the consumer paces the iteration.
+		qo.total.Inc()
+	}
 	return st.s.QuerySeq(store.Filter{
 		From:        q.From,
 		To:          q.To,

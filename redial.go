@@ -14,10 +14,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bgpblackholing/internal/mrt"
@@ -117,8 +119,14 @@ type RedialConfig struct {
 
 	// OnTransition, when non-nil, receives every connection-state
 	// change, synchronously from the connection goroutine — keep it
-	// fast and do not call back into the source.
+	// fast and do not call back into the source. When nil, transitions
+	// are logged through Logger (or slog.Default) instead, so session
+	// resets are never silent.
 	OnTransition func(ConnTransition)
+
+	// Logger receives the default transition log lines when
+	// OnTransition is nil. Nil means slog.Default().
+	Logger *slog.Logger
 
 	// dial replaces DialBGPContext in tests.
 	dial func(ctx context.Context, addr string, cfg BGPConfig) (*BGPSession, error)
@@ -141,6 +149,53 @@ type RedialSource struct {
 	state    ConnState
 	terminal error
 	cur      *BGPSession // in-flight session, closed by Close
+
+	// Session-lifecycle counters, bumped inside transition so they
+	// cover both custom OnTransition callbacks and the default logger.
+	dials          atomic.Uint64
+	establishes    atomic.Uint64
+	reseeds        atomic.Uint64
+	reseedFailures atomic.Uint64
+	backoffs       atomic.Uint64
+	gaveUp         atomic.Uint64
+}
+
+// RedialStats is a snapshot of one source's session-lifecycle
+// counters, served on /stats and /metrics.
+type RedialStats struct {
+	Addr  string `json:"addr"`
+	State string `json:"state"`
+	// Dials counts connect+handshake attempts; Establishes counts the
+	// ones that produced a session.
+	Dials       uint64 `json:"dials"`
+	Establishes uint64 `json:"establishes"`
+	// Reseeds counts RIB-dump replays after re-established sessions;
+	// ReseedFailures the ones that failed (the session continued).
+	Reseeds        uint64 `json:"reseeds"`
+	ReseedFailures uint64 `json:"reseed_failures"`
+	// Backoffs counts waits after failed dials or lost sessions.
+	Backoffs uint64 `json:"backoffs"`
+	// GaveUp is 1 once the retry budget is exhausted and the feed has
+	// ended with a terminal error.
+	GaveUp uint64 `json:"gave_up"`
+}
+
+// Addr returns the collector address this source dials.
+func (r *RedialSource) Addr() string { return r.addr }
+
+// Stats snapshots the source's session-lifecycle counters. Safe to
+// call concurrently with the connection loop.
+func (r *RedialSource) Stats() RedialStats {
+	return RedialStats{
+		Addr:           r.addr,
+		State:          r.State().String(),
+		Dials:          r.dials.Load(),
+		Establishes:    r.establishes.Load(),
+		Reseeds:        r.reseeds.Load(),
+		ReseedFailures: r.reseedFailures.Load(),
+		Backoffs:       r.backoffs.Load(),
+		GaveUp:         r.gaveUp.Load(),
+	}
 }
 
 // NewRedialSource returns a reconnecting live source dialing addr.
@@ -159,6 +214,9 @@ func NewRedialSource(addr string, cfg RedialConfig) *RedialSource {
 	}
 	if cfg.dial == nil {
 		cfg.dial = DialBGPContext
+	}
+	if cfg.OnTransition == nil {
+		cfg.OnTransition = transitionLogger(addr, cfg.Logger)
 	}
 	return &RedialSource{
 		addr:   addr,
@@ -233,13 +291,69 @@ func (r *RedialSource) isClosed() bool {
 	}
 }
 
-// transition records a state change and notifies OnTransition (without
-// holding the lock — the callback may inspect State of other sources).
+// transitionLogger is the default OnTransition: structured slog lines
+// at a severity matching the transition (routine phases at debug/info,
+// failures at warn, terminal give-up at error).
+func transitionLogger(addr string, logger *slog.Logger) func(ConnTransition) {
+	return func(tr ConnTransition) {
+		if logger == nil {
+			logger = slog.Default()
+		}
+		attrs := []any{"source", addr, "from", tr.From.String(), "to", tr.To.String()}
+		switch tr.To {
+		case ConnDialing:
+			logger.Debug("redial: dialing", attrs...)
+		case ConnBackoff:
+			logger.Warn("redial: backing off",
+				append(attrs, "attempt", tr.Attempt, "wait", tr.Wait.String(), "err", errString(tr.Err))...)
+		case ConnGaveUp:
+			logger.Error("redial: retry budget exhausted",
+				append(attrs, "attempt", tr.Attempt, "err", errString(tr.Err))...)
+		case ConnEstablished:
+			if tr.Err != nil { // non-fatal reseed failure
+				logger.Warn("redial: reseed failed, continuing live",
+					append(attrs, "err", tr.Err.Error())...)
+				return
+			}
+			logger.Info("redial: session established", attrs...)
+		default:
+			logger.Info("redial: "+tr.To.String(), attrs...)
+		}
+	}
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// transition records a state change, bumps the lifecycle counters, and
+// notifies OnTransition (without holding the lock — the callback may
+// inspect State of other sources).
 func (r *RedialSource) transition(to ConnState, attempt int, err error, wait time.Duration) {
 	r.mu.Lock()
 	from := r.state
 	r.state = to
 	r.mu.Unlock()
+	switch to {
+	case ConnDialing:
+		r.dials.Add(1)
+	case ConnEstablished:
+		if from == ConnDialing {
+			r.establishes.Add(1)
+		}
+		if from == ConnReseeding && err != nil {
+			r.reseedFailures.Add(1)
+		}
+	case ConnReseeding:
+		r.reseeds.Add(1)
+	case ConnBackoff:
+		r.backoffs.Add(1)
+	case ConnGaveUp:
+		r.gaveUp.Store(1)
+	}
 	if r.cfg.OnTransition != nil {
 		r.cfg.OnTransition(ConnTransition{
 			From: from, To: to, Time: time.Now(),

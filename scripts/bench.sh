@@ -23,7 +23,9 @@
 # group-commit fsync policy, every=64 — the price of bounded crash
 # loss), BenchmarkStoreQueryLPM (indexed longest-prefix-match point
 # queries — must stay in the microsecond range, with no replay in the
-# query path),
+# query path), BenchmarkStoreIngestInstrumented (the ingest path with
+# the full telemetry seam attached — must stay within 1.15x of bare
+# BenchmarkStoreIngest, proving observability is near-free),
 # BenchmarkQueryEnriched (the same LPM point queries with legitimacy
 # enrichment on: indexed covering-ROA validation plus dictionary lookups
 # per returned event — must stay within 3x BenchmarkStoreQueryLPM),
@@ -45,7 +47,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-2x}"
-FILTER="${BENCH_FILTER:-BenchmarkEngineThroughput\$|BenchmarkRunWindowParallel|BenchmarkRunStreaming|BenchmarkStoreIngest\$|BenchmarkStoreIngestGroupCommit\$|BenchmarkStoreQueryLPM\$|BenchmarkQueryEnriched\$|BenchmarkCompactTiered\$|BenchmarkRuleMatch\$|BenchmarkRuleMatchBaseline\$}"
+FILTER="${BENCH_FILTER:-BenchmarkEngineThroughput\$|BenchmarkRunWindowParallel|BenchmarkRunStreaming|BenchmarkStoreIngest\$|BenchmarkStoreIngestInstrumented\$|BenchmarkStoreIngestGroupCommit\$|BenchmarkStoreQueryLPM\$|BenchmarkQueryEnriched\$|BenchmarkCompactTiered\$|BenchmarkRuleMatch\$|BenchmarkRuleMatchBaseline\$}"
 OUT="${BENCH_OUT:-BENCH_$(date +%Y%m%d).json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT

@@ -67,6 +67,32 @@ func BenchmarkStoreIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreIngestInstrumented is BenchmarkStoreIngest with the
+// full telemetry seam attached (append counters + latency histogram,
+// fsync/commit instruments, query observers). CI gates this at ≤1.15×
+// the bare ingest row: the observability layer must stay near-free.
+func BenchmarkStoreIngestInstrumented(b *testing.B) {
+	events := storeBenchEvents(b)
+	tel := NewTelemetry()
+	st, err := OpenStoreWith(b.TempDir(), StoreOptions{Instruments: tel.StoreInstruments()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	tel.ObserveStore(st)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Append(events[i%len(events)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := st.Sync(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkStoreIngestGroupCommit is the append path under the
 // group-commit durability policy (fsync every 64 records): the cost of
 // bounded crash loss, to compare against the sync-free
