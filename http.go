@@ -320,6 +320,9 @@ func (h *storeHandler) healthz(w http.ResponseWriter, r *http.Request) {
 	if sh.AsyncSyncError != "" {
 		checks["store_fsync"] = "parked async fsync error: " + sh.AsyncSyncError
 	}
+	if sh.HydrationError != "" {
+		checks["store_hydration"] = "cold segment hydration failed; queries may see partial data: " + sh.HydrationError
+	}
 	for _, src := range h.redials {
 		if src.Stats().GaveUp != 0 {
 			checks["redial:"+src.Addr()] = "retry budget exhausted; feed ended"

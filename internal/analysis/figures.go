@@ -140,8 +140,8 @@ func Figure4Seq(events iter.Seq[*core.Event], start time.Time, days int) []Daily
 		prefixes[i] = map[netip.Prefix]bool{}
 	}
 	for ev := range events {
-		d0 := int(ev.Start.Sub(start).Hours() / 24)
-		d1 := int(ev.End.Sub(start).Hours() / 24)
+		d0 := floorDays(ev.Start.Sub(start))
+		d1 := floorDays(ev.End.Sub(start))
 		if d0 < 0 {
 			d0 = 0
 		}
@@ -168,6 +168,21 @@ func Figure4Seq(events iter.Seq[*core.Event], start time.Time, days int) []Daily
 		}
 	}
 	return out
+}
+
+// floorDays is the number of whole 24-hour days in d, rounding toward
+// negative infinity: an event ending before the window start lands on a
+// negative day index (and contributes nothing), instead of being
+// truncated toward day zero. With a UTC-midnight-aligned start this
+// makes day bucketing exactly calendar-day overlap, which is what lets
+// a store's materialized per-day view answer Figure 4 without a scan.
+func floorDays(d time.Duration) int {
+	const day = 24 * time.Hour
+	q := d / day
+	if d%day < 0 {
+		q--
+	}
+	return int(q)
 }
 
 // Figure5a returns the per-provider blackholed prefix counts split into

@@ -180,6 +180,49 @@ func (s *Store) compactWith(pol Policy) (CompactStats, error) {
 			return stats, err
 		}
 	}
+	// Run selection is pure segment metadata, so it works over lazy
+	// (cold, sidecar-backed) segments too. Merging is not: it re-encodes
+	// live events, so every selected run member must be hydrated before
+	// the snapshot — still under the lock, so nothing moves in between.
+	// A member whose hydration failed stays lazy and poisons its run
+	// (skipped this pass); merging it would silently drop its records.
+	candidateRuns, partitions := selectRuns(s.sealed, pol)
+	inAnyRun := map[uint64]bool{}
+	for _, run := range candidateRuns {
+		for _, sf := range run {
+			inAnyRun[sf.seq] = true
+		}
+	}
+	if s.coldSegs > 0 {
+		cloned := false
+		for i := range s.sealed {
+			if !s.sealed[i].lazy || !inAnyRun[s.sealed[i].seq] {
+				continue
+			}
+			if !cloned {
+				s.events = slices.Clone(s.events)
+				cloned = true
+			}
+			s.hydrateSegLocked(i)
+		}
+	}
+	var runs [][]segFile
+	for _, run := range candidateRuns {
+		poisoned := false
+		for _, sf := range run {
+			if sf.lazy {
+				poisoned = true
+				break
+			}
+		}
+		if poisoned {
+			for _, sf := range run {
+				delete(inAnyRun, sf.seq)
+			}
+			continue
+		}
+		runs = append(runs, append([]segFile(nil), run...))
+	}
 	sealed := append([]segFile(nil), s.sealed...)
 	eventsSnap := s.events[:len(s.events):len(s.events)]
 	segSnap := s.eventSeg[:len(s.eventSeg):len(s.eventSeg)]
@@ -187,12 +230,9 @@ func (s *Store) compactWith(pol Policy) (CompactStats, error) {
 	tombSegSnap := append([]uint64(nil), s.tombSeg...)
 	s.mu.Unlock()
 
-	runs, partitions := selectRuns(sealed, pol)
 	stats.Partitions = partitions
-	inAnyRun := map[uint64]bool{}
 	for _, run := range runs {
 		for _, sf := range run {
-			inAnyRun[sf.seq] = true
 			stats.Merged = append(stats.Merged, sf.seq)
 		}
 	}
@@ -406,6 +446,7 @@ func (s *Store) compactRun(run []segFile, events []*core.Event, eventSeg []uint6
 			payloads = append(payloads, encodeTombstone(nil, tb))
 		}
 	}
+	nonEvents := len(payloads) // marker + re-emitted tombstones
 	type emitPair struct{ slot, src int32 }
 	var kept []emitPair
 	emitted := map[dupKey]bool{}
@@ -420,6 +461,13 @@ func (s *Store) compactRun(run []segFile, events []*core.Event, eventSeg []uint6
 	}
 
 	hiPath := filepath.Join(s.dir, segName(hi.seq))
+	// The merged segment replaces hi's file, so hi's old sidecar — which
+	// describes the pre-merge bytes — must go before the rename: a crash
+	// in between leaves at worst a missing sidecar (full decode + heal
+	// on the next open), never a stale one that happens to match the
+	// merged file's size. The rename's directory fsync makes both
+	// changes durable together.
+	os.Remove(sumPath(s.dir, hi.seq))
 	if err := writeSegmentAtomic(s.dir, hiPath, payloads); err != nil {
 		// Nothing swapped: the store keeps serving from the old run.
 		return err
@@ -440,7 +488,10 @@ func (s *Store) compactRun(run []segFile, events []*core.Event, eventSeg []uint6
 	s.events = slices.Clone(s.events)
 	mergedDead := 0
 	mergedMin := int64(noMinStart)
-	for _, p := range kept {
+	// mergedRecs mirrors the merged file's event records in order, with
+	// liveness as of this swap — the merged segment's sidecar.
+	mergedRecs := make([]sumRec, len(kept))
+	for i, p := range kept {
 		if p.src != p.slot && s.events[p.src] != nil {
 			if s.events[p.slot] != nil {
 				s.unindex(p.slot)
@@ -448,6 +499,7 @@ func (s *Store) compactRun(run []segFile, events []*core.Event, eventSeg []uint6
 			}
 			s.moveOrd(p.src, p.slot)
 		}
+		mergedRecs[i] = sumRec{ev: events[p.src], dead: s.events[p.slot] == nil}
 		if s.events[p.slot] == nil {
 			// Erased (DeletePrefix) between snapshot and swap: its
 			// record is in the merged segment but stays invisible and
@@ -524,16 +576,38 @@ func (s *Store) compactRun(run []segFile, events []*core.Event, eventSeg []uint6
 	for _, sf := range s.sealed {
 		s.sealedBytes += sf.size
 	}
+	// The applied-tombstone set for the merged sidecar is captured under
+	// the lock: a DeletePrefix landing after the unlock is, by
+	// construction, outside the set, so the next open's staleness check
+	// demotes the sidecar instead of trusting it.
+	appliedTombs := make([][]byte, len(s.tombs))
+	for i, tb := range s.tombs {
+		appliedTombs[i] = encodeTombstone(nil, tb)
+	}
 	s.mu.Unlock()
 
 	// Old run members are inert once the marker is committed (recovery
-	// skips and removes them), so removal is best-effort.
+	// skips and removes them), so removal is best-effort — as are their
+	// sidecars, which open would discard as orphans anyway.
 	for _, sf := range run {
 		if sf.seq != hi.seq {
 			os.Remove(sf.path)
+			os.Remove(sumPath(s.dir, sf.seq))
 		}
 	}
 	syncDir(s.dir)
+
+	// Fresh sidecar for the merged segment, so the next open skips
+	// decoding it. writeSegmentAtomic wrote exactly magic + records and
+	// synced, so the file is valid through its full size.
+	if mergedSize > 0 {
+		m := buildSummary(hi.seq, mergedSize, mergedSize, false, mergedRecs, payloads[:nonEvents], appliedTombs)
+		if writeSidecar(s.dir, m) == nil {
+			if in := s.inst; in != nil && in.SidecarWrites != nil {
+				in.SidecarWrites.Inc()
+			}
+		}
+	}
 	if compactStageHook != nil {
 		compactStageHook("post-cleanup", hi.seq)
 	}

@@ -1,0 +1,97 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestFormatDocMatchesCode keeps docs/FORMAT.md normative: it parses
+// the record-kind table, the magic strings and the size caps out of
+// the document and fails when they drift from the code's constants.
+// Renaming a kind, changing a tag byte or bumping a version without
+// updating the spec (or vice versa) fails here, not in a reader's
+// hands.
+func TestFormatDocMatchesCode(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "docs", "FORMAT.md"))
+	if err != nil {
+		t.Fatalf("docs/FORMAT.md must exist: %v", err)
+	}
+	doc := string(data)
+	// Markdown hard-wraps prose; flatten line breaks for the phrase
+	// checks (the table regexp runs on the original, line-anchored).
+	flat := strings.ReplaceAll(doc, "\n", " ")
+
+	// The record-kind table: rows like "| `0xFD` | tombstone | ... |".
+	rowRe := regexp.MustCompile("(?m)^\\| `(0x[0-9A-Fa-f]{2})` \\| ([a-z0-9-]+) \\|")
+	got := map[string]byte{}
+	for _, m := range rowRe.FindAllStringSubmatch(doc, -1) {
+		v, err := strconv.ParseUint(m[1], 0, 8)
+		if err != nil {
+			t.Fatalf("unparsable kind byte %q in FORMAT.md", m[1])
+		}
+		got[m[2]] = byte(v)
+	}
+	want := map[string]byte{
+		"event":     codecVersion,
+		"tombstone": kindTombstone,
+		"marker-v2": kindMarkerV2,
+		"marker-v1": kindMarkerV1,
+	}
+	for name, b := range want {
+		db, ok := got[name]
+		if !ok {
+			t.Errorf("FORMAT.md record-kind table is missing %q (code says 0x%02X)", name, b)
+			continue
+		}
+		if db != b {
+			t.Errorf("FORMAT.md says %s = 0x%02X, code says 0x%02X", name, db, b)
+		}
+	}
+	for name, db := range got {
+		if _, ok := want[name]; !ok {
+			t.Errorf("FORMAT.md documents record kind %q (0x%02X) the code does not define", name, db)
+		}
+	}
+
+	// Magic strings, rendered the way the doc spells them.
+	for _, magic := range []struct {
+		name string
+		code []byte
+	}{
+		{"segment", segMagic},
+		{"sidecar", sumMagic},
+	} {
+		lit := fmt.Sprintf("%q", magic.code)
+		if !strings.Contains(doc, lit) {
+			t.Errorf("FORMAT.md does not spell the %s magic %s", magic.name, lit)
+		}
+		if len(magic.code) != 8 {
+			t.Errorf("%s magic is %d bytes; the doc promises 8", magic.name, len(magic.code))
+		}
+	}
+
+	// File naming, header size, version bytes and size caps.
+	if !strings.Contains(flat, "seg-%08d.log") {
+		t.Errorf("FORMAT.md does not state the segment naming scheme %s", "seg-%08d.log")
+	}
+	if segName(7) != "seg-00000007.log" || sumName(7) != "seg-00000007.sum" {
+		t.Errorf("naming scheme drifted: %s / %s", segName(7), sumName(7))
+	}
+	if !strings.Contains(flat, fmt.Sprintf("record header is %d bytes", recordHeaderBytes)) {
+		t.Errorf("FORMAT.md does not state the %d-byte record header", recordHeaderBytes)
+	}
+	if !strings.Contains(flat, fmt.Sprintf("%d MiB (`maxRecordBytes`)", maxRecordBytes>>20)) {
+		t.Errorf("FORMAT.md record size cap drifted from maxRecordBytes = %d MiB", maxRecordBytes>>20)
+	}
+	if !strings.Contains(flat, fmt.Sprintf("%d MiB (`maxSidecarBytes`)", maxSidecarBytes>>20)) {
+		t.Errorf("FORMAT.md sidecar size cap drifted from maxSidecarBytes = %d MiB", maxSidecarBytes>>20)
+	}
+	if codecVersion != 0x01 || sumVersion != 0x01 {
+		t.Errorf("version bytes moved (codec 0x%02X, sum 0x%02X); FORMAT.md documents 0x01 for both", codecVersion, sumVersion)
+	}
+}

@@ -1,0 +1,357 @@
+package store
+
+import (
+	"fmt"
+	"net/netip"
+	"slices"
+	"time"
+
+	"bgpblackholing/internal/bgp"
+	"bgpblackholing/internal/core"
+)
+
+// On-demand hydration for cold-opened stores (Options.ColdOpen), the
+// materialized per-day aggregate view behind DailyCounts, and the
+// seal-time sidecar writer. The contract throughout: a query against a
+// cold store returns bytes identical to the same query against a fully
+// warm store — pruning may only skip segments that provably cannot
+// contribute to the filter's candidate posting set.
+
+// insertOrd inserts ord into the sorted postings list l. The append
+// path always inserts the largest ordinal seen so far, so the common
+// case is a single compare; hydration of an older segment's reserved
+// block pays the binary search.
+func insertOrd(l []int32, ord int32) []int32 {
+	if n := len(l); n == 0 || l[n-1] < ord {
+		return append(l, ord)
+	}
+	at, _ := slices.BinarySearch(l, ord)
+	return slices.Insert(l, at, ord)
+}
+
+// indexAt indexes ev at a pre-reserved ordinal. Unlike index, the slot
+// already exists (nil) and later ordinals may already populate the
+// postings lists, so every insertion keeps them sorted. The caller
+// holds the write lock, accounted the event as live at reservation
+// time, and cloned s.events for this hydration batch.
+func (s *Store) indexAt(ev *core.Event, ord int32) {
+	s.events[ord] = ev
+	s.trie.Insert(ev.Prefix, ord)
+	for u := range ev.Users {
+		s.byUser[u] = insertOrd(s.byUser[u], ord)
+	}
+	for pr := range ev.Providers {
+		s.byProvider[pr] = insertOrd(s.byProvider[pr], ord)
+	}
+	for c := range ev.Communities {
+		s.byCommunity[c] = insertOrd(s.byCommunity[c], ord)
+	}
+	for d := unixDay(ev.Start); d <= unixDay(ev.End); d++ {
+		s.byDay[d] = insertOrd(s.byDay[d], ord)
+	}
+	if s.minStart.IsZero() || ev.Start.Before(s.minStart) {
+		s.minStart = ev.Start
+	}
+	if ev.End.After(s.maxEnd) {
+		s.maxEnd = ev.End
+	}
+	s.dayAdd(ev)
+}
+
+// segTouches mirrors candidates' index precedence over a lazy
+// segment's summary: it prunes on exactly the one dimension that will
+// supply the candidate posting set, so a hydrated-on-demand store's
+// postings — and Result.Scanned — stay byte-identical to an
+// always-warm store's.
+func (s *Store) segTouches(m *segSummary, f Filter) bool {
+	if f.Prefix.IsValid() {
+		return m.mayMatchPrefix(f.Prefix, f.Mode)
+	}
+	if f.User != 0 {
+		var kb [10]byte
+		return m.users.mayContain(bloomUserKey(kb[:0], uint64(f.User)))
+	}
+	if f.Provider != nil {
+		var kb [24]byte
+		return m.providers.mayContain(bloomProviderKey(kb[:0], *f.Provider))
+	}
+	if f.Community != 0 {
+		var kb [10]byte
+		return m.communities.mayContain(bloomUserKey(kb[:0], uint64(f.Community)))
+	}
+	if !f.From.IsZero() || !f.To.IsZero() {
+		from, to := f.From, f.To
+		if from.IsZero() {
+			from = s.minStart
+		}
+		if to.IsZero() {
+			to = s.maxEnd
+		}
+		if from.IsZero() || to.IsZero() || to.Before(from) {
+			return false
+		}
+		return m.mayMatchTime(unixDay(from), unixDay(to))
+	}
+	return true
+}
+
+// ensureHydrated decodes every lazy segment the filter could touch.
+// The common case — no cold segments left, or none the filter's
+// primary index dimension can reach — costs a read-locked sweep over
+// segment summaries and touches no file.
+func (s *Store) ensureHydrated(f Filter) {
+	s.mu.RLock()
+	need := false
+	if s.coldSegs > 0 && !s.closed {
+		for i := range s.sealed {
+			if s.sealed[i].lazy && s.segTouches(s.sealed[i].sum, f) {
+				need = true
+				break
+			}
+		}
+	}
+	s.mu.RUnlock()
+	if !need {
+		return
+	}
+	s.mu.Lock()
+	s.hydrateWhereLocked(func(m *segSummary) bool { return s.segTouches(m, f) })
+	s.mu.Unlock()
+}
+
+// ensureHydratedAll warms every remaining lazy segment (full scans,
+// All, Figure 8 — anything that touches the whole store by definition).
+func (s *Store) ensureHydratedAll() {
+	s.mu.RLock()
+	need := s.coldSegs > 0 && !s.closed
+	s.mu.RUnlock()
+	if !need {
+		return
+	}
+	s.mu.Lock()
+	s.hydrateWhereLocked(func(*segSummary) bool { return true })
+	s.mu.Unlock()
+}
+
+// hydrateWhereLocked hydrates the lazy segments matching pred under
+// the held write lock. The sealed set is re-examined under the lock (a
+// concurrent hydration or compaction may have gotten there first), and
+// s.events is copy-on-write-cloned once per batch so snapshots handed
+// out by All and QuerySeq never observe slots mutating.
+func (s *Store) hydrateWhereLocked(pred func(*segSummary) bool) {
+	if s.closed {
+		return
+	}
+	cloned := false
+	for i := range s.sealed {
+		if !s.sealed[i].lazy || !pred(s.sealed[i].sum) {
+			continue
+		}
+		if !cloned {
+			s.events = slices.Clone(s.events)
+			cloned = true
+		}
+		s.hydrateSegLocked(i)
+	}
+}
+
+// hydrateSegLocked decodes lazy sealed segment i and indexes its live
+// events into the ordinal block reserved at open. A read failure keeps
+// the segment lazy (the next touching query retries); decode failures
+// or a sidecar/file mismatch mark the segment hydrated with the
+// unaccounted slots dead, so the store degrades to partial data
+// instead of wedging. Either failure is parked for Health. Caller
+// holds the write lock with s.events cloned.
+func (s *Store) hydrateSegLocked(i int) {
+	sf := &s.sealed[i]
+	sc, done, err := s.scanSegmentFile(sf.path)
+	if err != nil {
+		s.hydrateErr = fmt.Errorf("hydrate %s: %w", sf.path, err)
+		return
+	}
+	defer done()
+	m := sf.sum
+	next := sf.base
+	evIdx := 0
+	var decodeErr error
+	for _, rec := range sc.records {
+		if isMarker(rec) || isTombstone(rec) {
+			continue
+		}
+		if evIdx >= m.eventRecords {
+			break // sealed segments are immutable; belt and braces
+		}
+		k := evIdx
+		evIdx++
+		if m.deadBit(k) {
+			continue // dead at sidecar-write time: no ordinal reserved
+		}
+		ev, derr := DecodeEvent(rec)
+		if derr != nil {
+			decodeErr = fmt.Errorf("hydrate %s: %w", sf.path, derr)
+			break
+		}
+		ord := next
+		next++
+		s.hydratedEvents++
+		if s.tombstoned(ev) {
+			// A tombstone the staleness check could not see killed this
+			// event after the sidecar was written; the reserved slot
+			// stays dead. (DeletePrefix hydrates before appending, so
+			// this is defensive.)
+			sf.dead++
+			s.live--
+			continue
+		}
+		s.indexAt(ev, ord)
+	}
+	if decodeErr != nil {
+		s.hydrateErr = decodeErr
+	}
+	if short := sf.base + sf.n - next; short > 0 {
+		// Fewer live records than the sidecar promised: the file lost
+		// data behind the summary's back. The remaining reserved slots
+		// stay nil (dead) and the store reports the loss via Health.
+		s.live -= int(short)
+		if s.hydrateErr == nil {
+			s.hydrateErr = fmt.Errorf("hydrate %s: sidecar promised %d live events, found %d", sf.path, sf.n, next-sf.base)
+		}
+	}
+	sf.lazy, sf.sum = false, nil
+	s.coldSegs--
+	s.hydratedSegs++
+	if in := s.inst; in != nil && in.Hydrations != nil {
+		in.Hydrations.Inc()
+	}
+}
+
+// dayAgg is one day's slice of the materialized aggregate view: a
+// refcount per distinct provider, user and victim prefix over the live
+// events overlapping that day. The distinct-set sizes are exactly what
+// analysis.Figure4Seq computes per day (providers keyed by their
+// String form, prefixes verbatim), so len() answers /figure4 in O(1)
+// per day.
+type dayAgg struct {
+	providers map[string]int
+	users     map[bgp.ASN]int
+	prefixes  map[netip.Prefix]int
+}
+
+// dayAdd credits ev to every day its span overlaps. Caller holds the
+// write lock (index/indexAt path).
+func (s *Store) dayAdd(ev *core.Event) {
+	for d := unixDay(ev.Start); d <= unixDay(ev.End); d++ {
+		a := s.days[d]
+		if a == nil {
+			a = &dayAgg{
+				providers: map[string]int{},
+				users:     map[bgp.ASN]int{},
+				prefixes:  map[netip.Prefix]int{},
+			}
+			s.days[d] = a
+		}
+		for pr := range ev.Providers {
+			a.providers[pr.String()]++
+		}
+		for u := range ev.Users {
+			a.users[u]++
+		}
+		a.prefixes[ev.Prefix]++
+	}
+}
+
+// dayRemove is dayAdd's inverse (unindex path).
+func (s *Store) dayRemove(ev *core.Event) {
+	for d := unixDay(ev.Start); d <= unixDay(ev.End); d++ {
+		a := s.days[d]
+		if a == nil {
+			continue
+		}
+		for pr := range ev.Providers {
+			decEntry(a.providers, pr.String())
+		}
+		for u := range ev.Users {
+			decEntry(a.users, u)
+		}
+		decEntry(a.prefixes, ev.Prefix)
+		if len(a.providers)+len(a.users)+len(a.prefixes) == 0 {
+			delete(s.days, d)
+		}
+	}
+}
+
+// decEntry decrements a refcount, deleting the key at zero so len()
+// stays the distinct-element count.
+func decEntry[K comparable](m map[K]int, k K) {
+	if n := m[k] - 1; n <= 0 {
+		delete(m, k)
+	} else {
+		m[k] = n
+	}
+}
+
+// DayCount is one day of the materialized aggregate view: the distinct
+// providers, blackholing users and victim prefixes over the live
+// events overlapping that UTC day.
+type DayCount struct {
+	Providers, Users, Prefixes int
+}
+
+// DailyCounts answers `days` consecutive UTC days starting at start
+// from the materialized view, in O(days) — the same numbers a full
+// scan through analysis.Figure4Seq produces, provided start is aligned
+// to a UTC midnight (that alignment is what makes scan day-bucketing
+// coincide with calendar-day overlap). ok is false when start is not
+// day-aligned or days is not positive; callers fall back to the scan
+// path then.
+func (s *Store) DailyCounts(start time.Time, days int) ([]DayCount, bool) {
+	if days <= 0 {
+		return nil, false
+	}
+	const dayNanos = int64(24 * time.Hour)
+	if start.UnixNano()%dayNanos != 0 {
+		return nil, false
+	}
+	// Only events overlapping the window contribute, so the time
+	// dimension bounds which cold segments must hydrate.
+	end := start.Add(time.Duration(days)*24*time.Hour - time.Nanosecond)
+	s.ensureHydrated(Filter{From: start, To: end})
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d0 := unixDay(start)
+	out := make([]DayCount, days)
+	for d := range out {
+		if a := s.days[d0+int64(d)]; a != nil {
+			out[d] = DayCount{
+				Providers: len(a.providers),
+				Users:     len(a.users),
+				Prefixes:  len(a.prefixes),
+			}
+		}
+	}
+	return out, true
+}
+
+// writeSealSidecar summarizes the active segment from the in-memory
+// accumulator — no re-read of the file — and writes its sidecar.
+// Deadness is evaluated against the tombstones in force now, so the
+// summary's live bounds and counts equal what an eager reopen would
+// compute. Best-effort and advisory: on failure the next open fully
+// decodes this segment and heals. Caller holds the write lock; the
+// segment's bytes are already synced.
+func (s *Store) writeSealSidecar() {
+	recs := make([]sumRec, len(s.activeRecs))
+	for i, ev := range s.activeRecs {
+		recs[i] = sumRec{ev: ev, dead: s.tombstoned(ev)}
+	}
+	applied := make([][]byte, len(s.tombs))
+	for i, tb := range s.tombs {
+		applied[i] = encodeTombstone(nil, tb)
+	}
+	m := buildSummary(s.seq, s.size, s.size, false, recs, s.activeOthers, applied)
+	if writeSidecar(s.dir, m) == nil {
+		if in := s.inst; in != nil && in.SidecarWrites != nil {
+			in.SidecarWrites.Inc()
+		}
+	}
+}

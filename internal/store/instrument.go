@@ -41,6 +41,11 @@ type Instruments struct {
 	CompactSkipped *obs.Counter // segments policies left cold
 	CompactErased  *obs.Counter // tombstoned records physically removed
 	CompactDropped *obs.Counter // superseded flush duplicates removed
+
+	// Cold-open read path.
+	Hydrations       *obs.Counter // lazy segments decoded on demand
+	SidecarWrites    *obs.Counter // sidecars written (seal, compaction, heal)
+	SidecarFallbacks *obs.Counter // sealed segments open fully decoded for want of a fresh sidecar
 }
 
 // fsync syncs the active segment through the instrumentation seam.
@@ -75,22 +80,28 @@ func (s *Store) observeCommitBatch() {
 	}
 }
 
-// Health is the store's write-path failure snapshot, feeding readiness
-// checks: a wounded active segment means the last write or fsync
-// failed and the next append must fail over; a parked async error is a
-// timer-driven group-commit fsync failure no caller has observed yet.
+// Health is the store's failure snapshot, feeding readiness checks: a
+// wounded active segment means the last write or fsync failed and the
+// next append must fail over; a parked async error is a timer-driven
+// group-commit fsync failure no caller has observed yet; a hydration
+// error means a cold segment could not be (fully) decoded on demand,
+// so queries may be running over partial data.
 type Health struct {
 	WoundedSegment bool
 	AsyncSyncError string
+	HydrationError string
 }
 
-// Health reports the write path's current failure state.
+// Health reports the store's current failure state.
 func (s *Store) Health() Health {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	h := Health{WoundedSegment: s.writeFailed}
 	if s.asyncErr != nil {
 		h.AsyncSyncError = s.asyncErr.Error()
+	}
+	if s.hydrateErr != nil {
+		h.HydrationError = s.hydrateErr.Error()
 	}
 	return h
 }

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package store
+
+import "errors"
+
+// mmapSupported reports that this platform has no mmap seam; scans
+// under Options.Mmap silently fall back to buffered reads.
+const mmapSupported = false
+
+func mapFile(path string) ([]byte, func(), error) {
+	return nil, nil, errors.New("store: mmap unsupported on this platform")
+}

@@ -1,0 +1,45 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates Options.Mmap: on unix platforms sealed-segment
+// scans map the file read-only so cold history lives in the page
+// cache, not the Go heap; elsewhere the store falls back to one
+// buffered read per scan.
+const mmapSupported = true
+
+// mapFile maps path read-only and returns the mapping plus its
+// release function. An empty file returns nil data (nothing to map).
+// The mapping outlives the file descriptor, which is closed here.
+func mapFile(path string) ([]byte, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		f.Close()
+		return nil, func() {}, nil
+	}
+	if int64(int(size)) != size {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: %s: too large to map", path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	f.Close()
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: mmap %s: %w", path, err)
+	}
+	return data, func() { syscall.Munmap(data) }, nil
+}

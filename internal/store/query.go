@@ -69,6 +69,7 @@ type Result struct {
 // postings, then time buckets) supplies the candidate set; remaining
 // filters verify each candidate. No raw BGP data is touched.
 func (s *Store) Query(f Filter) Result {
+	s.ensureHydrated(f)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 
@@ -98,6 +99,7 @@ func (s *Store) Query(f Filter) Result {
 // consumer never blocks appends. Limit is honoured; Total/Scanned
 // accounting is Query's job.
 func (s *Store) QuerySeq(f Filter) iter.Seq[*core.Event] {
+	s.ensureHydrated(f)
 	s.mu.RLock()
 	events := s.events[:len(s.events):len(s.events)]
 	cands, all := s.candidates(f)

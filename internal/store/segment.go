@@ -159,6 +159,16 @@ type segFile struct {
 	minStartNano int64
 	hasEvents    bool
 	dead         int
+
+	// Lazy-open state (Options.ColdOpen): a sealed segment whose fresh
+	// sidecar let open skip decoding it. base/n name the contiguous
+	// ordinal block reserved for its live events; sum keeps the summary
+	// for query pruning until the first touching query hydrates the
+	// segment and clears lazy.
+	lazy bool
+	sum  *segSummary
+	base int32
+	n    int32
 }
 
 // appendRecord appends one length-prefixed, checksummed record.
@@ -199,6 +209,14 @@ func readSegment(path string) (scanResult, error) {
 	if err != nil {
 		return scanResult{}, err
 	}
+	return scanSegment(data, path)
+}
+
+// scanSegment runs readSegment's record recovery over bytes already in
+// hand — a buffered read or an mmap'd view. The returned records alias
+// data; when data is a mapping, every record must be decoded (or
+// copied) before the mapping is released.
+func scanSegment(data []byte, path string) (scanResult, error) {
 	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != string(segMagic) {
 		return scanResult{}, fmt.Errorf("%w: %s", errNotSegment, path)
 	}

@@ -1,0 +1,629 @@
+package store
+
+// Sidecar summaries. A sealed segment is immutable, so everything a
+// cold open needs from it — how many event records it holds, which of
+// them were dead under the tombstones in force when it sealed, its
+// time bounds, and digests of the prefixes / users / providers /
+// communities its live events post into the indexes — can be computed
+// once, at seal or compaction time, and written next to the segment as
+// a small "seg-NNNNNNNN.sum" sidecar. Open then reserves index
+// ordinals from the sidecar without reading the segment itself, and
+// queries prune whole segments through the digests before a byte of
+// event data is touched; the first query that does touch a cold
+// segment hydrates it (decodes and indexes its records) under the
+// write lock.
+//
+// Sidecars are strictly advisory: they carry their own magic, version
+// and CRC, and they self-invalidate when the segment file's size no
+// longer matches the size recorded at write (a compaction rewrote the
+// segment) or when a tombstone not in the recorded applied set could
+// affect the segment's events (liveness counts would be stale). Any
+// missing, corrupt or stale sidecar just demotes that segment to the
+// classic full decode at open, after which a read-write open rewrites
+// the sidecar (self-heal). Losing a sidecar can never lose data.
+//
+// Sidecar file layout (see docs/FORMAT.md for the normative spec):
+//
+//	8-byte magic "BHSTSUM\x01"
+//	u32le payload length | u32le CRC-32 (IEEE) | payload
+//
+// The payload is a single versioned record; decoding rejects unknown
+// versions so the format can evolve by bumping sumVersion.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"time"
+
+	"bgpblackholing/internal/core"
+)
+
+var sumMagic = []byte("BHSTSUM\x01")
+
+// sumVersion is the sidecar payload format version; bump on any layout
+// change. Decoding rejects unknown versions rather than guessing.
+const sumVersion = 1
+
+// maxSidecarBytes bounds a sidecar payload so a corrupt length field
+// can't trigger a huge allocation.
+const maxSidecarBytes = 16 << 20
+
+// sumName renders the canonical sidecar file name for a segment
+// sequence number. The ".sum" suffix keeps sidecars invisible to
+// listSegments, which only accepts ".log".
+func sumName(seq uint64) string {
+	return fmt.Sprintf("seg-%08d.sum", seq)
+}
+
+func sumPath(dir string, seq uint64) string {
+	return filepath.Join(dir, sumName(seq))
+}
+
+// parseSumName extracts the sequence number from a sidecar file name.
+func parseSumName(name string) (uint64, bool) {
+	rest, ok := strings.CutSuffix(name, ".sum")
+	if !ok {
+		return 0, false
+	}
+	return parseSegName(rest + ".log")
+}
+
+// segSummary is the decoded (or freshly built) content of one sidecar.
+type segSummary struct {
+	seq      uint64
+	fileSize int64 // segment file size when the sidecar was written
+	validLen int64 // byte offset past the last valid record
+	// truncated records that the segment carries garbage past validLen
+	// (a recovered wounded segment); open counts it as a recovered tail
+	// without rescanning the file.
+	truncated bool
+
+	eventRecords int // event records within validLen
+	liveCount    int // event records live under the applied tombstones
+
+	// Time bounds in UnixNano: all* cover every event record (the
+	// partition metadata open needs), live* only the live ones (what
+	// feeds Stats.MinStart/MaxEnd and time-range pruning). Sentinels
+	// noMinStart / noMaxEnd when the respective set is empty.
+	allMinStart, allMaxEnd   int64
+	liveMinStart, liveMaxEnd int64
+
+	// dead is a bitmap over event-record positions (file order); a set
+	// bit marks a record dead under the applied tombstones. Hydration
+	// skips those without re-evaluating tombstones.
+	dead []byte
+
+	// others holds the segment's non-event record payloads (compaction
+	// markers, tombstones) verbatim, in file order — open replays them
+	// without touching the segment file.
+	others [][]byte
+
+	// applied is the full tombstone set in force when the sidecar was
+	// written, each encoded with encodeTombstone. The tombstone set only
+	// grows, so staleness is exactly "a current tombstone outside this
+	// set could affect the segment".
+	applied [][]byte
+
+	// v4/v6 bound the live events' masked network addresses per family.
+	v4, v6 famRange
+
+	// Digests over the live events' index keys. No false negatives: a
+	// digest miss proves the segment cannot contribute to that posting
+	// list, so pruning keeps query results byte-identical.
+	prefixes, users, providers, communities bloom
+}
+
+// noMaxEnd is the max-end sentinel for an empty event set.
+const noMaxEnd = -1 << 63
+
+// famRange is a per-family closed range over masked network addresses,
+// in the family's native byte width (4 or 16).
+type famRange struct {
+	present  bool
+	min, max []byte
+}
+
+func (r *famRange) add(addr []byte) {
+	if !r.present {
+		r.present = true
+		r.min = slices.Clone(addr)
+		r.max = slices.Clone(addr)
+		return
+	}
+	if bytes.Compare(addr, r.min) < 0 {
+		r.min = slices.Clone(addr)
+	}
+	if bytes.Compare(addr, r.max) > 0 {
+		r.max = slices.Clone(addr)
+	}
+}
+
+// overlaps reports whether the range intersects [first, last].
+func (r *famRange) overlaps(first, last []byte) bool {
+	return r.present && bytes.Compare(r.min, last) <= 0 && bytes.Compare(r.max, first) >= 0
+}
+
+// ---------------------------------------------------------------------
+// Bloom digests: split double hashing over FNV-1a, ~10 bits and 7
+// probes per element. One-sided by construction — mayContain can
+// return spurious trues (a segment hydrates for nothing) but never a
+// false negative (which would silently drop query results).
+
+type bloom struct {
+	k     int
+	nbits uint64
+	words []uint64
+}
+
+func newBloom(n int) bloom {
+	nbits := uint64(n) * 10
+	nbits = (nbits + 63) &^ 63
+	if nbits < 64 {
+		nbits = 64
+	}
+	return bloom{k: 7, nbits: nbits, words: make([]uint64, nbits/64)}
+}
+
+func bloomHash(key []byte) (h1, h2 uint64) {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h, h*0x9E3779B97F4A7C15 | 1
+}
+
+func (b bloom) add(key []byte) {
+	h1, h2 := bloomHash(key)
+	for i := 0; i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) % b.nbits
+		b.words[bit>>6] |= 1 << (bit & 63)
+	}
+}
+
+func (b bloom) mayContain(key []byte) bool {
+	if b.nbits == 0 || len(b.words) == 0 {
+		return false
+	}
+	h1, h2 := bloomHash(key)
+	for i := 0; i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) % b.nbits
+		if b.words[bit>>6]&(1<<(bit&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Digest keys reuse the codec's deterministic encodings.
+
+func bloomPrefixKey(buf []byte, p netip.Prefix) []byte {
+	return appendPrefix(buf[:0], p.Masked())
+}
+
+func bloomUserKey(buf []byte, u uint64) []byte {
+	return binary.AppendUvarint(buf[:0], u)
+}
+
+func bloomProviderKey(buf []byte, pr core.ProviderRef) []byte {
+	return appendProvider(buf[:0], pr)
+}
+
+// ---------------------------------------------------------------------
+// Building.
+
+// sumRec is one event record's contribution to a summary.
+type sumRec struct {
+	ev   *core.Event
+	dead bool
+}
+
+// buildSummary computes the sidecar content for a sealed segment from
+// its decoded event records (file order, dead flags pre-evaluated
+// against the tombstones in force), its non-event record payloads, and
+// the full applied tombstone set.
+func buildSummary(seq uint64, fileSize, validLen int64, truncated bool, recs []sumRec, others, applied [][]byte) *segSummary {
+	m := &segSummary{
+		seq:          seq,
+		fileSize:     fileSize,
+		validLen:     validLen,
+		truncated:    truncated,
+		eventRecords: len(recs),
+		allMinStart:  noMinStart,
+		allMaxEnd:    noMaxEnd,
+		liveMinStart: noMinStart,
+		liveMaxEnd:   noMaxEnd,
+		others:       others,
+		applied:      applied,
+	}
+	if len(recs) > 0 {
+		m.dead = make([]byte, (len(recs)+7)/8)
+	}
+	// Digest sizing needs the live distinct-key counts first.
+	prefixSet := map[netip.Prefix]bool{}
+	userSet := map[uint64]bool{}
+	provSet := map[core.ProviderRef]bool{}
+	commSet := map[uint64]bool{}
+	for k, r := range recs {
+		start := r.ev.Start.UTC().UnixNano()
+		end := r.ev.End.UTC().UnixNano()
+		if start < m.allMinStart {
+			m.allMinStart = start
+		}
+		if end > m.allMaxEnd {
+			m.allMaxEnd = end
+		}
+		if r.dead {
+			m.dead[k>>3] |= 1 << (k & 7)
+			continue
+		}
+		m.liveCount++
+		if start < m.liveMinStart {
+			m.liveMinStart = start
+		}
+		if end > m.liveMaxEnd {
+			m.liveMaxEnd = end
+		}
+		p := r.ev.Prefix.Masked()
+		prefixSet[p] = true
+		if p.Addr().Is4() {
+			m.v4.add(keyBytes(p.Addr()))
+		} else {
+			m.v6.add(keyBytes(p.Addr()))
+		}
+		for u := range r.ev.Users {
+			userSet[uint64(u)] = true
+		}
+		for pr := range r.ev.Providers {
+			provSet[pr] = true
+		}
+		for c := range r.ev.Communities {
+			commSet[uint64(c)] = true
+		}
+	}
+	m.prefixes = newBloom(len(prefixSet))
+	m.users = newBloom(len(userSet))
+	m.providers = newBloom(len(provSet))
+	m.communities = newBloom(len(commSet))
+	var kb []byte
+	for p := range prefixSet {
+		kb = bloomPrefixKey(kb, p)
+		m.prefixes.add(kb)
+	}
+	for u := range userSet {
+		kb = bloomUserKey(kb, u)
+		m.users.add(kb)
+	}
+	for pr := range provSet {
+		kb = bloomProviderKey(kb, pr)
+		m.providers.add(kb)
+	}
+	for c := range commSet {
+		kb = bloomUserKey(kb, c)
+		m.communities.add(kb)
+	}
+	return m
+}
+
+func (m *segSummary) deadBit(k int) bool {
+	return m.dead[k>>3]&(1<<(k&7)) != 0
+}
+
+// ---------------------------------------------------------------------
+// Pruning and staleness predicates.
+
+// mayMatchPrefix reports whether the segment could contribute to the
+// candidate postings of a prefix query. Exact lookups go through the
+// prefix digest; containment modes use the per-family address ranges —
+// conservative but sound: a stored prefix containing the query must
+// have a network address at or below the query's, and a stored prefix
+// inside the query must have its network address within the query's
+// span.
+func (m *segSummary) mayMatchPrefix(q netip.Prefix, mode PrefixMode) bool {
+	if m.liveCount == 0 {
+		return false
+	}
+	q = q.Masked()
+	fam := &m.v4
+	if !q.Addr().Is4() {
+		fam = &m.v6
+	}
+	switch mode {
+	case PrefixExact:
+		var kb [18]byte
+		return m.prefixes.mayContain(bloomPrefixKey(kb[:0], q))
+	case PrefixLPM, PrefixCovering:
+		return fam.present && bytes.Compare(fam.min, keyBytes(q.Addr())) <= 0
+	case PrefixCovered:
+		first, last := prefixRangeBytes(q)
+		return fam.overlaps(first, last)
+	}
+	return true
+}
+
+// mayMatchTime reports whether any live event could post into a day
+// bucket in [fromDay, toDay] — the same granularity the byDay index
+// uses, so pruning matches the warm store's candidate set exactly.
+func (m *segSummary) mayMatchTime(fromDay, toDay int64) bool {
+	if m.liveCount == 0 {
+		return false
+	}
+	return unixDayNano(m.liveMinStart) <= toDay && unixDayNano(m.liveMaxEnd) >= fromDay
+}
+
+// tombMayAffect reports whether a tombstone outside the sidecar's
+// applied set could kill any of the segment's live events — if so the
+// recorded liveness counts can't be trusted and the sidecar is stale.
+func (m *segSummary) tombMayAffect(tb Tombstone) bool {
+	if m.liveCount == 0 {
+		return false
+	}
+	if !tb.UpTo.IsZero() && m.liveMinStart > tb.UpTo.UTC().UnixNano() {
+		// Every live event starts (hence ends) after the erasure bound.
+		return false
+	}
+	p := tb.Prefix.Masked()
+	fam := &m.v4
+	if !p.Addr().Is4() {
+		fam = &m.v6
+	}
+	first, last := prefixRangeBytes(p)
+	return fam.overlaps(first, last)
+}
+
+// prefixRangeBytes returns the first and last network addresses a
+// prefix can cover, as native-width big-endian bytes.
+func prefixRangeBytes(p netip.Prefix) (first, last []byte) {
+	p = p.Masked()
+	first = keyBytes(p.Addr())
+	last = slices.Clone(first)
+	for i := p.Bits(); i < len(last)*8; i++ {
+		last[i>>3] |= 1 << (7 - i&7)
+	}
+	return first, last
+}
+
+func unixDayNano(nano int64) int64 {
+	return unixDay(time.Unix(0, nano).UTC())
+}
+
+// ---------------------------------------------------------------------
+// Encoding.
+
+func encodeSummary(m *segSummary) []byte {
+	p := []byte{sumVersion}
+	p = binary.AppendUvarint(p, m.seq)
+	p = binary.AppendVarint(p, m.fileSize)
+	p = binary.AppendVarint(p, m.validLen)
+	var flags byte
+	if m.truncated {
+		flags |= 1
+	}
+	p = append(p, flags)
+	p = binary.AppendUvarint(p, uint64(m.eventRecords))
+	p = binary.AppendUvarint(p, uint64(m.liveCount))
+	p = binary.AppendVarint(p, m.allMinStart)
+	p = binary.AppendVarint(p, m.allMaxEnd)
+	p = binary.AppendVarint(p, m.liveMinStart)
+	p = binary.AppendVarint(p, m.liveMaxEnd)
+	p = appendBytes(p, m.dead)
+	p = appendBytesList(p, m.others)
+	p = appendBytesList(p, m.applied)
+	p = appendFamRange(p, m.v4)
+	p = appendFamRange(p, m.v6)
+	p = appendBloom(p, m.prefixes)
+	p = appendBloom(p, m.users)
+	p = appendBloom(p, m.providers)
+	p = appendBloom(p, m.communities)
+
+	out := make([]byte, 0, len(sumMagic)+recordHeaderBytes+len(p))
+	out = append(out, sumMagic...)
+	var hdr [recordHeaderBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(p)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(p))
+	out = append(out, hdr[:]...)
+	return append(out, p...)
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+func appendBytesList(buf []byte, l [][]byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(l)))
+	for _, b := range l {
+		buf = appendBytes(buf, b)
+	}
+	return buf
+}
+
+func appendFamRange(buf []byte, r famRange) []byte {
+	if !r.present {
+		return append(buf, 0)
+	}
+	buf = append(buf, 1)
+	buf = appendBytes(buf, r.min)
+	return appendBytes(buf, r.max)
+}
+
+func appendBloom(buf []byte, b bloom) []byte {
+	buf = append(buf, byte(b.k))
+	buf = binary.AppendUvarint(buf, b.nbits)
+	buf = binary.AppendUvarint(buf, uint64(len(b.words)))
+	for _, w := range b.words {
+		buf = binary.LittleEndian.AppendUint64(buf, w)
+	}
+	return buf
+}
+
+func decodeSummary(data []byte) (*segSummary, error) {
+	if len(data) < len(sumMagic)+recordHeaderBytes || !bytes.Equal(data[:len(sumMagic)], sumMagic) {
+		return nil, fmt.Errorf("store: not a sidecar file (bad magic)")
+	}
+	data = data[len(sumMagic):]
+	n := int(binary.LittleEndian.Uint32(data[0:4]))
+	sum := binary.LittleEndian.Uint32(data[4:8])
+	if n > maxSidecarBytes || len(data)-recordHeaderBytes < n {
+		return nil, fmt.Errorf("store: truncated sidecar")
+	}
+	p := data[recordHeaderBytes : recordHeaderBytes+n]
+	if crc32.ChecksumIEEE(p) != sum {
+		return nil, fmt.Errorf("store: sidecar checksum mismatch")
+	}
+	d := &decoder{buf: p}
+	if v := d.byte(); v != sumVersion {
+		return nil, fmt.Errorf("store: unsupported sidecar version %d", v)
+	}
+	m := &segSummary{}
+	m.seq = d.uvarint()
+	m.fileSize = d.varint()
+	m.validLen = d.varint()
+	m.truncated = d.byte()&1 != 0
+	m.eventRecords = int(d.uvarint())
+	m.liveCount = int(d.uvarint())
+	m.allMinStart = d.varint()
+	m.allMaxEnd = d.varint()
+	m.liveMinStart = d.varint()
+	m.liveMaxEnd = d.varint()
+	m.dead = decodeBytes(d)
+	m.others = decodeBytesList(d)
+	m.applied = decodeBytesList(d)
+	m.v4 = decodeFamRange(d)
+	m.v6 = decodeFamRange(d)
+	m.prefixes = decodeBloom(d)
+	m.users = decodeBloom(d)
+	m.providers = decodeBloom(d)
+	m.communities = decodeBloom(d)
+	if d.err != nil {
+		return nil, fmt.Errorf("store: corrupt sidecar: %w", d.err)
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("store: %d trailing bytes after sidecar payload", len(d.buf))
+	}
+	if m.eventRecords < 0 || m.liveCount < 0 || m.liveCount > m.eventRecords ||
+		(m.eventRecords > 0 && len(m.dead) != (m.eventRecords+7)/8) {
+		return nil, fmt.Errorf("store: corrupt sidecar: inconsistent counts")
+	}
+	return m, nil
+}
+
+func decodeBytes(d *decoder) []byte {
+	n := int(d.uvarint())
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if n > len(d.buf) {
+		d.fail("sidecar bytes")
+		return nil
+	}
+	return slices.Clone(d.take(n))
+}
+
+func decodeBytesList(d *decoder) [][]byte {
+	n := int(d.uvarint())
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if n > len(d.buf) {
+		d.fail("sidecar list")
+		return nil
+	}
+	out := make([][]byte, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		out = append(out, decodeBytes(d))
+	}
+	return out
+}
+
+func decodeFamRange(d *decoder) famRange {
+	if d.byte()&1 == 0 {
+		return famRange{}
+	}
+	return famRange{present: true, min: decodeBytes(d), max: decodeBytes(d)}
+}
+
+func decodeBloom(d *decoder) bloom {
+	b := bloom{k: int(d.byte()), nbits: d.uvarint()}
+	n := int(d.uvarint())
+	if d.err != nil {
+		return bloom{}
+	}
+	if n*8 > len(d.buf) || (b.nbits+63)/64 != uint64(n) {
+		d.fail("sidecar bloom")
+		return bloom{}
+	}
+	b.words = make([]uint64, n)
+	for i := range b.words {
+		w := d.take(8)
+		if d.err != nil {
+			return bloom{}
+		}
+		b.words[i] = binary.LittleEndian.Uint64(w)
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------
+// Files.
+
+// writeSidecar writes the sidecar next to its segment via a temp file
+// and atomic rename. No fsync: sidecars are advisory and self-checked,
+// so a crash can at worst leave a sidecar behind that fails validation
+// and demotes its segment to a full decode.
+func writeSidecar(dir string, m *segSummary) error {
+	tmp, err := os.CreateTemp(dir, sumName(m.seq)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	data := encodeSummary(m)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), sumPath(dir, m.seq))
+}
+
+// loadSidecar reads and structurally validates one sidecar file.
+func loadSidecar(path string) (*segSummary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return decodeSummary(data)
+}
+
+// listSidecars maps segment seq → sidecar path for every ".sum" file
+// in dir; orphans (no matching segment) are the caller's to clean.
+func listSidecars(dir string) (map[uint64]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := map[uint64]string{}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := parseSumName(e.Name()); ok {
+			out[seq] = filepath.Join(dir, e.Name())
+		}
+	}
+	return out, nil
+}

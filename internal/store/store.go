@@ -54,6 +54,21 @@ type Options struct {
 	// (appends, fsyncs, seals, group-commit batch sizes, compaction
 	// passes). Nil keeps the hot path free of even a time.Now call.
 	Instruments *Instruments
+	// ColdOpen defers decoding sealed segments that carry a fresh
+	// ".sum" sidecar summary: open reserves their index ordinals from
+	// the sidecar alone and the first query whose filter could touch a
+	// cold segment hydrates it (decodes and indexes its records). A
+	// missing, corrupt or stale sidecar demotes that segment to the
+	// classic full decode — results are byte-identical either way — and
+	// a read-write open rewrites it (self-heal). Off by default so
+	// existing stores keep their eager-open behavior (and Stats report
+	// fully-warm numbers) unless the caller opts in.
+	ColdOpen bool
+	// Mmap maps segment files read-only for open and hydration scans on
+	// platforms that support it, so cold history is paged in by the OS
+	// instead of being copied onto the Go heap; unsupported platforms
+	// fall back to buffered reads transparently.
+	Mmap bool
 }
 
 // SegmentFile is the subset of *os.File the store's write path uses;
@@ -186,6 +201,20 @@ type Stats struct {
 	// the store is empty). They can be wider than the live span after
 	// deletions.
 	MinStart, MaxEnd time.Time
+	// SegmentsCold counts sealed segments whose records have not been
+	// decoded yet (Options.ColdOpen, sidecar-backed); SegmentsHydrated
+	// counts those decoded on demand since open. Prefixes reflects only
+	// hydrated events until the store warms up.
+	SegmentsCold, SegmentsHydrated int
+	// OpenDecodedEvents counts event records open decoded from sealed
+	// segments — zero on a pure sidecar cold open, the proof that cold
+	// history stayed cold. HydratedEvents counts event records decoded
+	// by on-demand hydration since open.
+	OpenDecodedEvents, HydratedEvents int
+	// MappedBytes is the number of segment bytes currently mmap'd
+	// (Options.Mmap); mappings are scoped to open/hydration scans, so a
+	// quiescent store reports zero.
+	MappedBytes int64
 }
 
 // Store is the persistent blackholing event store. See the package
@@ -239,13 +268,38 @@ type Store struct {
 	recoveredTails int
 	sealedBytes    int64
 
+	// Cold-open bookkeeping: lazy (sidecar-backed, undecoded) sealed
+	// segments, cumulative on-demand hydrations, event records open
+	// decoded from sealed segments, event records decoded by hydration,
+	// segment bytes currently mmap'd, and the last hydration failure
+	// (surfaced via Health; the segment stays lazy and retries on the
+	// next touching query).
+	coldSegs       int
+	hydratedSegs   int
+	openDecoded    int
+	hydratedEvents int
+	mappedBytes    int64
+	hydrateErr     error
+
+	// Active-segment summary accumulator: every event record appended
+	// to the active segment (file order, dead-on-arrival included) and
+	// every non-event record payload, so seal can write the segment's
+	// sidecar without re-reading the file.
+	activeRecs   []*core.Event
+	activeOthers [][]byte
+
 	trie        *Trie
 	byUser      map[bgp.ASN][]int32
 	byProvider  map[core.ProviderRef][]int32
 	byCommunity map[bgp.Community][]int32
 	byDay       map[int64][]int32 // unix day → events overlapping it
-	minStart    time.Time
-	maxEnd      time.Time
+	// days is the materialized per-day aggregate view behind
+	// DailyCounts: refcounted distinct providers / users / prefixes per
+	// unix day, maintained by index/unindex so /figure4-style dashboard
+	// queries answer in O(days) instead of O(events).
+	days     map[int64]*dayAgg
+	minStart time.Time
+	maxEnd   time.Time
 
 	scratch []byte
 
@@ -300,6 +354,7 @@ func open(dir string, opts Options) (*Store, error) {
 		byProvider:     map[core.ProviderRef][]int32{},
 		byCommunity:    map[bgp.Community][]int32{},
 		byDay:          map[int64][]int32{},
+		days:           map[int64]*dayAgg{},
 		activeMinStart: noMinStart,
 	}
 	segs, err := listSegments(dir, opts.ReadOnly)
@@ -309,24 +364,98 @@ func open(dir string, opts Options) (*Store, error) {
 		}
 		return nil, err
 	}
-	scans := make([]scanResult, len(segs))
+
+	// Sidecar summaries: structurally validate (magic, CRC, version,
+	// matching seq, segment file size unchanged since write). Orphans
+	// and invalid sidecars are removed on a read-write open — the heal
+	// pass below rewrites what's worth keeping.
+	sidecars, _ := listSidecars(dir)
+	bySeq := make(map[uint64]int, len(segs))
 	for i, sf := range segs {
-		if scans[i], err = readSegment(sf.path); err != nil {
+		bySeq[sf.seq] = i
+	}
+	sums := make([]*segSummary, len(segs))
+	for seq, path := range sidecars {
+		i, ok := bySeq[seq]
+		if !ok {
+			if !opts.ReadOnly {
+				os.Remove(path) // orphan: its segment is gone
+			}
+			continue
+		}
+		m, merr := loadSidecar(path)
+		if merr == nil && m.seq == seq {
+			if fi, serr := os.Stat(segs[i].path); serr == nil && fi.Size() == m.fileSize {
+				sums[i] = m
+				continue
+			}
+		}
+		if !opts.ReadOnly {
+			os.Remove(path)
+		}
+	}
+
+	// Scan pass. The newest segment is always scanned — it carries the
+	// crash-torn tail recovery truncates, and it becomes the active
+	// segment. Older segments are scanned only without a valid sidecar
+	// (or always, when ColdOpen is off). Scan backings (possibly mmap'd
+	// views) are released when open finishes decoding.
+	scans := make([]scanResult, len(segs))
+	scanned := make([]bool, len(segs))
+	var releases []func()
+	defer func() {
+		for _, r := range releases {
+			r()
+		}
+	}()
+	scanAt := func(i int) error {
+		sc, done, serr := s.scanSegmentFile(segs[i].path)
+		if serr != nil {
+			return serr
+		}
+		releases = append(releases, done)
+		scans[i], scanned[i] = sc, true
+		return nil
+	}
+	for i := 0; i < len(segs); {
+		last := i == len(segs)-1
+		if scanned[i] || (opts.ColdOpen && sums[i] != nil && !last) {
+			i++
+			continue
+		}
+		if err := scanAt(i); err != nil {
 			// A crash between a segment's creation and its first sync
 			// can leave the newest file without a complete magic; treat
 			// it like a torn tail, not corruption.
-			if errors.Is(err, errNotSegment) && i == len(segs)-1 {
+			if errors.Is(err, errNotSegment) && last {
 				if !opts.ReadOnly {
-					if rerr := os.Remove(sf.path); rerr != nil {
+					if rerr := os.Remove(segs[i].path); rerr != nil {
 						return nil, rerr
 					}
+					os.Remove(sumPath(dir, segs[i].seq))
 				}
-				segs, scans = segs[:i], scans[:i]
+				segs, scans, scanned, sums = segs[:i], scans[:i], scanned[:i], sums[:i]
 				s.recoveredTails++
-				break
+				if i > 0 {
+					// The previous segment is the new newest: it must be
+					// scanned too, even if a sidecar would have covered it.
+					i = len(segs) - 1
+				}
+				continue
 			}
 			return nil, err
 		}
+		i++
+	}
+
+	// recsOf yields a segment's record payloads without forcing a scan:
+	// a lazy segment's sidecar carries its non-event records (markers,
+	// tombstones) verbatim, which is all the passes below need.
+	recsOf := func(i int) [][]byte {
+		if scanned[i] {
+			return scans[i].records
+		}
+		return sums[i].others
 	}
 
 	// Honour compaction markers: a v1 marker in segment S supersedes
@@ -336,7 +465,7 @@ func open(dir string, opts Options) (*Store, error) {
 	// double-count every event they hold.
 	superseded := map[uint64]bool{}
 	for i := range segs {
-		for _, rec := range scans[i].records {
+		for _, rec := range recsOf(i) {
 			switch {
 			case isMarkerV1(rec):
 				for j := range segs {
@@ -362,75 +491,193 @@ func open(dir string, opts Options) (*Store, error) {
 	}
 	if len(superseded) > 0 {
 		keptSegs, keptScans := segs[:0:0], scans[:0:0]
+		keptScanned, keptSums := scanned[:0:0], sums[:0:0]
 		for i, sf := range segs {
 			if superseded[sf.seq] {
 				if !opts.ReadOnly {
 					if err := os.Remove(sf.path); err != nil {
 						return nil, err
 					}
+					os.Remove(sumPath(dir, sf.seq))
 				}
 				continue
 			}
-			keptSegs, keptScans = append(keptSegs, sf), append(keptScans, scans[i])
+			keptSegs = append(keptSegs, sf)
+			keptScans = append(keptScans, scans[i])
+			keptScanned = append(keptScanned, scanned[i])
+			keptSums = append(keptSums, sums[i])
 		}
-		segs, scans = keptSegs, keptScans
+		segs, scans, scanned, sums = keptSegs, keptScans, keptScanned, keptSums
 	}
 
-	// Pass 1: decode every record. Tombstones from all segments are
-	// collected before any event is indexed — their time-based
-	// semantics are independent of replay order.
-	type decodedEvent struct {
-		ev  *core.Event
-		seg int // index into segs
-	}
-	var evs []decodedEvent
+	// Tombstones from every kept segment — scanned records or sidecar
+	// copies — are collected before any event is indexed or reserved:
+	// their time-based semantics are independent of replay order. The
+	// raw payloads double as the staleness oracle below.
+	var tombPayloads [][]byte
 	for i, sf := range segs {
-		segs[i].minStartNano = noMinStart
-		for _, rec := range scans[i].records {
-			switch {
-			case isMarker(rec):
-				// Applied above.
-			case isTombstone(rec):
-				tb, terr := decodeTombstone(rec)
-				if terr != nil {
-					return nil, fmt.Errorf("store: %s: %w", sf.path, terr)
+		for _, rec := range recsOf(i) {
+			if !isTombstone(rec) {
+				continue
+			}
+			tb, terr := decodeTombstone(rec)
+			if terr != nil {
+				return nil, fmt.Errorf("store: %s: %w", sf.path, terr)
+			}
+			s.tombs = append(s.tombs, tb)
+			s.tombSeg = append(s.tombSeg, sf.seq)
+			tombPayloads = append(tombPayloads, slices.Clone(rec))
+		}
+	}
+
+	// Staleness: the tombstone set only grows, so a sidecar is stale
+	// exactly when a tombstone outside its recorded applied set could
+	// kill one of its live events — its liveness counts can't be
+	// trusted. Demote such segments to a full decode now; the heal pass
+	// rewrites their sidecars.
+	for i := range segs {
+		if sums[i] == nil || scanned[i] {
+			continue
+		}
+		applied := make(map[string]bool, len(sums[i].applied))
+		for _, p := range sums[i].applied {
+			applied[string(p)] = true
+		}
+		for j, p := range tombPayloads {
+			if !applied[string(p)] && sums[i].tombMayAffect(s.tombs[j]) {
+				if err := scanAt(i); err != nil {
+					return nil, err
 				}
-				s.tombs = append(s.tombs, tb)
-				s.tombSeg = append(s.tombSeg, sf.seq)
-			default:
+				sums[i] = nil
+				break
+			}
+		}
+	}
+
+	// Build pass, ascending seq. Scanned segments decode and index
+	// their tombstone survivors; lazy segments reserve a contiguous
+	// ordinal block straight from the sidecar. Ordinals land in the
+	// same (segment, record) order either way, so query results sort
+	// identically on a cold and a warm store.
+	type healSeg struct {
+		i    int
+		recs []sumRec
+	}
+	var heals []healSeg
+	var lastEvs []*core.Event
+	fallbacks := 0
+	for i := range segs {
+		lastIdx := i == len(segs)-1
+		if scanned[i] {
+			if !lastIdx && sums[i] == nil {
+				fallbacks++
+			}
+			segs[i].minStartNano = noMinStart
+			var evs []*core.Event
+			for _, rec := range scans[i].records {
+				if isMarker(rec) || isTombstone(rec) {
+					continue
+				}
 				ev, derr := DecodeEvent(rec)
 				if derr != nil {
-					return nil, fmt.Errorf("store: %s: %w", sf.path, derr)
+					return nil, fmt.Errorf("store: %s: %w", segs[i].path, derr)
 				}
-				evs = append(evs, decodedEvent{ev: ev, seg: i})
+				evs = append(evs, ev)
 				segs[i].hasEvents = true
 				if nano := ev.Start.UTC().UnixNano(); nano < segs[i].minStartNano {
 					segs[i].minStartNano = nano
 				}
-			}
-		}
-		segs[i].size = scans[i].validLen
-		if scans[i].truncated {
-			s.recoveredTails++
-			if !opts.ReadOnly && i == len(segs)-1 {
-				// Crash tore the newest segment's tail: truncate so new
-				// appends start at a clean record boundary.
-				if err := os.Truncate(sf.path, scans[i].validLen); err != nil {
-					return nil, err
+				if !lastIdx {
+					s.openDecoded++
 				}
+			}
+			heal := !lastIdx && !opts.ReadOnly && sums[i] == nil
+			var recs []sumRec
+			if heal {
+				recs = make([]sumRec, 0, len(evs))
+			}
+			for _, ev := range evs {
+				dead := s.tombstoned(ev)
+				if dead {
+					segs[i].dead++
+				} else {
+					s.index(ev, segs[i].seq)
+				}
+				if heal {
+					recs = append(recs, sumRec{ev: ev, dead: dead})
+				}
+			}
+			segs[i].size = scans[i].validLen
+			if scans[i].truncated {
+				s.recoveredTails++
+				if !opts.ReadOnly && lastIdx {
+					// Crash tore the newest segment's tail: truncate so new
+					// appends start at a clean record boundary.
+					if err := os.Truncate(segs[i].path, scans[i].validLen); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if heal {
+				heals = append(heals, healSeg{i: i, recs: recs})
+			}
+			if lastIdx {
+				lastEvs = evs
+			}
+			continue
+		}
+		// Lazy: trust the sidecar, decode nothing.
+		m := sums[i]
+		segs[i].size = m.validLen
+		segs[i].minStartNano = noMinStart
+		if m.eventRecords > 0 {
+			segs[i].minStartNano = m.allMinStart
+		}
+		segs[i].hasEvents = m.eventRecords > 0
+		segs[i].dead = m.eventRecords - m.liveCount
+		if m.truncated {
+			s.recoveredTails++
+		}
+		if m.liveCount > 0 {
+			segs[i].lazy = true
+			segs[i].sum = m
+			segs[i].base = int32(len(s.events))
+			segs[i].n = int32(m.liveCount)
+			for k := 0; k < m.liveCount; k++ {
+				s.events = append(s.events, nil)
+				s.eventSeg = append(s.eventSeg, segs[i].seq)
+			}
+			s.live += m.liveCount
+			s.coldSegs++
+			if t := time.Unix(0, m.liveMinStart).UTC(); s.minStart.IsZero() || t.Before(s.minStart) {
+				s.minStart = t
+			}
+			if t := time.Unix(0, m.liveMaxEnd).UTC(); t.After(s.maxEnd) {
+				s.maxEnd = t
 			}
 		}
 	}
+	if in := s.inst; in != nil && in.SidecarFallbacks != nil && fallbacks > 0 {
+		in.SidecarFallbacks.Add(uint64(fallbacks))
+	}
 
-	// Pass 2: index the events that survive the tombstones. A skipped
-	// event is dead on disk — its segment is flagged so compaction
-	// knows to rewrite it for physical erasure.
-	for _, d := range evs {
-		if s.tombstoned(d.ev) {
-			segs[d.seg].dead++
+	// Self-heal: sealed segments the open had to fully decode get a
+	// fresh sidecar, so the next open is cold again. Best-effort — a
+	// failed write just means another full decode next time.
+	healed := 0
+	for _, h := range heals {
+		fi, statErr := os.Stat(segs[h.i].path)
+		if statErr != nil {
 			continue
 		}
-		s.index(d.ev, segs[d.seg].seq)
+		m := buildSummary(segs[h.i].seq, fi.Size(), scans[h.i].validLen, scans[h.i].truncated,
+			h.recs, nonEventPayloads(scans[h.i].records), tombPayloads)
+		if writeSidecar(dir, m) == nil {
+			healed++
+		}
+	}
+	if in := s.inst; in != nil && in.SidecarWrites != nil && healed > 0 {
+		in.SidecarWrites.Add(uint64(healed))
 	}
 
 	if opts.ReadOnly {
@@ -457,11 +704,13 @@ func open(dir string, opts Options) (*Store, error) {
 		if last.hasEvents && opts.Policy.Partition > 0 {
 			s.activePart = partitionKey(last.minStartNano, opts.Policy.Partition)
 		}
-		for _, d := range evs {
-			if d.seg == len(segs)-1 && !s.tombstoned(d.ev) {
+		for _, ev := range lastEvs {
+			if !s.tombstoned(ev) {
 				s.activeEvents++
 			}
 		}
+		s.activeRecs = lastEvs
+		s.activeOthers = nonEventPayloads(scans[len(scans)-1].records)
 		s.sealed = segs[:len(segs)-1]
 	} else {
 		if err := s.startSegment(1); err != nil {
@@ -479,6 +728,44 @@ func open(dir string, opts Options) (*Store, error) {
 	return s, nil
 }
 
+// nonEventPayloads copies a scan's marker and tombstone payloads (the
+// copies outlive the scan's possibly-mmap'd backing).
+func nonEventPayloads(recs [][]byte) [][]byte {
+	var out [][]byte
+	for _, rec := range recs {
+		if isMarker(rec) || isTombstone(rec) {
+			out = append(out, slices.Clone(rec))
+		}
+	}
+	return out
+}
+
+// scanSegmentFile scans one segment through the configured read seam:
+// an mmap'd view under Options.Mmap (the page cache holds the bytes,
+// not the Go heap) or a buffered read. The returned release function
+// must run only after every record is decoded or copied — records
+// alias the backing memory.
+func (s *Store) scanSegmentFile(path string) (scanResult, func(), error) {
+	if s.opts.Mmap && mmapSupported {
+		if data, done, err := mapFile(path); err == nil {
+			sc, serr := scanSegment(data, path)
+			if serr != nil {
+				done()
+				return scanResult{}, nil, serr
+			}
+			n := int64(len(data))
+			s.mappedBytes += n
+			return sc, func() { s.mappedBytes -= n; done() }, nil
+		}
+		// Mapping failed (exotic filesystem): fall back to a read.
+	}
+	sc, err := readSegment(path)
+	if err != nil {
+		return scanResult{}, nil, err
+	}
+	return sc, func() {}, nil
+}
+
 // startSegment creates segment seq and makes it the active one.
 func (s *Store) startSegment(seq uint64) error {
 	f, err := s.createSeg(filepath.Join(s.dir, segName(seq)))
@@ -487,6 +774,7 @@ func (s *Store) startSegment(seq uint64) error {
 	}
 	s.active, s.seq, s.size = f, seq, int64(len(segMagic))
 	s.activeEvents, s.activeDead, s.activeMinStart, s.activePart = 0, 0, noMinStart, 0
+	s.activeRecs, s.activeOthers = nil, nil
 	return nil
 }
 
@@ -543,6 +831,7 @@ func (s *Store) index(ev *core.Event, seq uint64) {
 	if ev.End.After(s.maxEnd) {
 		s.maxEnd = ev.End
 	}
+	s.dayAdd(ev)
 }
 
 // unindex removes ordinal ord from every index and nils its slot,
@@ -566,6 +855,7 @@ func (s *Store) unindex(ord int32) uint64 {
 	for d := unixDay(ev.Start); d <= unixDay(ev.End); d++ {
 		removePosting(s.byDay, d, ord)
 	}
+	s.dayRemove(ev)
 	return s.eventSeg[ord]
 }
 
@@ -689,6 +979,7 @@ func (s *Store) Append(events ...*core.Event) error {
 		if nano := ev.Start.UTC().UnixNano(); nano < s.activeMinStart {
 			s.activeMinStart = nano
 		}
+		s.activeRecs = append(s.activeRecs, ev)
 		if s.tombstoned(ev) {
 			s.activeDead++ // dead on arrival: logged but invisible
 		} else {
@@ -817,6 +1108,12 @@ func (s *Store) failoverSeal() error {
 // record; call Sync for immediate durability) and stays in force for
 // later appends and reopens. Returns the number of events erased now.
 func (s *Store) DeletePrefix(prefix netip.Prefix, upTo time.Time) (int, error) {
+	if prefix.IsValid() {
+		// The covered-walk below only sees hydrated events: pull in any
+		// cold segment that could hold victims first, so the erasure
+		// count and dead-segment accounting match a warm store's.
+		s.ensureHydrated(Filter{Prefix: prefix, Mode: PrefixCovered})
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch {
@@ -831,10 +1128,12 @@ func (s *Store) DeletePrefix(prefix netip.Prefix, upTo time.Time) (int, error) {
 	if !upTo.IsZero() {
 		tb.UpTo = upTo.UTC()
 	}
-	rec := appendRecord(nil, encodeTombstone(nil, tb))
+	payload := encodeTombstone(nil, tb)
+	rec := appendRecord(nil, payload)
 	if err := s.writeRecord(rec); err != nil {
 		return 0, fmt.Errorf("store: delete: %w", err)
 	}
+	s.activeOthers = append(s.activeOthers, payload)
 	s.tombs = append(s.tombs, tb)
 	s.tombSeg = append(s.tombSeg, s.seq)
 
@@ -888,6 +1187,10 @@ func (s *Store) seal() error {
 		os.Remove(next.Name())
 		return err
 	}
+	// The segment's bytes are durable: summarize it so the next open can
+	// skip decoding it. (The failover path writes no sidecar — a wounded
+	// segment's tail is unknown; the next open scans and heals it.)
+	s.writeSealSidecar()
 	s.finishSeal(next)
 	return nil
 }
@@ -913,6 +1216,7 @@ func (s *Store) finishSeal(next SegmentFile) {
 	}
 	s.active, s.seq, s.size = next, s.seq+1, int64(len(segMagic))
 	s.activeEvents, s.activeDead, s.activeMinStart, s.activePart = 0, 0, noMinStart, 0
+	s.activeRecs, s.activeOthers = nil, nil
 	s.unsynced = 0
 	s.stopSyncTimer()
 	if s.compactCh != nil && len(s.sealed) >= s.opts.CompactSegments {
@@ -991,16 +1295,21 @@ func (s *Store) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	st := Stats{
-		Events:         s.live,
-		Prefixes:       s.trie.Len(),
-		Segments:       len(s.sealed),
-		Bytes:          s.sealedBytes,
-		Tombstones:     len(s.tombs),
-		PendingErasure: s.activeDead,
-		Unsynced:       s.unsynced,
-		RecoveredTails: s.recoveredTails,
-		MinStart:       s.minStart,
-		MaxEnd:         s.maxEnd,
+		Events:            s.live,
+		Prefixes:          s.trie.Len(),
+		Segments:          len(s.sealed),
+		Bytes:             s.sealedBytes,
+		Tombstones:        len(s.tombs),
+		PendingErasure:    s.activeDead,
+		Unsynced:          s.unsynced,
+		RecoveredTails:    s.recoveredTails,
+		MinStart:          s.minStart,
+		MaxEnd:            s.maxEnd,
+		SegmentsCold:      s.coldSegs,
+		SegmentsHydrated:  s.hydratedSegs,
+		OpenDecodedEvents: s.openDecoded,
+		HydratedEvents:    s.hydratedEvents,
+		MappedBytes:       s.mappedBytes,
 	}
 	for _, sf := range s.sealed {
 		st.PendingErasure += sf.dead
@@ -1013,8 +1322,11 @@ func (s *Store) Stats() Stats {
 }
 
 // All returns the stored live events in append order, as a snapshot:
-// events appended or erased after the call are not reflected.
+// events appended or erased after the call are not reflected. On a
+// cold-opened store this warms every remaining lazy segment first — an
+// unfiltered walk touches everything by definition.
 func (s *Store) All() iter.Seq[*core.Event] {
+	s.ensureHydratedAll()
 	s.mu.RLock()
 	events := s.events[:len(s.events):len(s.events)]
 	s.mu.RUnlock()

@@ -95,11 +95,13 @@ func (t *Trie) Insert(p netip.Prefix, ord int32) {
 		c := commonBits(key, n.key, min(p.Bits(), n.plen))
 		switch {
 		case c == n.plen && c == p.Bits():
-			// Same prefix.
+			// Same prefix. Sorted insert: hydrating a cold segment files
+			// older ordinals after newer ones are already present, and
+			// query results must come out in ordinal (append) order.
 			if n.ords == nil {
 				t.prefixes++
 			}
-			n.ords = append(n.ords, ord)
+			n.ords = insertOrd(n.ords, ord)
 			return
 		case c == n.plen:
 			// n's prefix contains p: descend.

@@ -30,16 +30,23 @@
 # enrichment on: indexed covering-ROA validation plus dictionary lookups
 # per returned event — must stay within 3x BenchmarkStoreQueryLPM),
 # BenchmarkCompactTiered (one tiered compaction pass: run merge,
-# marker-led atomic commit, in-place index swap), and the alerting wall:
+# marker-led atomic commit, in-place index swap), the alerting wall:
 # BenchmarkRuleMatch (a day of live inference with a 100-rule alerting
 # hub on the event-close hook, detection-time enrichment included) vs
 # BenchmarkRuleMatchBaseline (the bare engine) — the hub must stay
-# within 1.3x.
+# within 1.3x — and the memory-speed read-path walls:
+# BenchmarkStoreColdOpen (sidecar-backed open, zero sealed-segment
+# decodes) vs BenchmarkStoreFullOpen (classic decode-everything open) —
+# cold must stay under 0.25x full — and BenchmarkFigure4Materialized
+# (O(days) answers from the refcounted per-day aggregates) vs
+# BenchmarkFigure4Scan (the reference full scan) — materialized must
+# stay under 0.1x scan.
 #
 # CI gates BenchmarkStoreIngest, BenchmarkStoreIngestGroupCommit,
 # BenchmarkStoreQueryLPM and BenchmarkQueryEnriched against the
-# committed baseline, plus the QueryEnriched:StoreQueryLPM and
-# RuleMatch:RuleMatchBaseline cross-row walls, via
+# committed baseline, plus the QueryEnriched:StoreQueryLPM,
+# RuleMatch:RuleMatchBaseline, StoreColdOpen:StoreFullOpen and
+# Figure4Materialized:Figure4Scan cross-row walls, via
 # scripts/bench_compare.go (see the bench-gate job in
 # .github/workflows/ci.yml).
 set -euo pipefail
@@ -47,7 +54,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-2x}"
-FILTER="${BENCH_FILTER:-BenchmarkEngineThroughput\$|BenchmarkRunWindowParallel|BenchmarkRunStreaming|BenchmarkStoreIngest\$|BenchmarkStoreIngestInstrumented\$|BenchmarkStoreIngestGroupCommit\$|BenchmarkStoreQueryLPM\$|BenchmarkQueryEnriched\$|BenchmarkCompactTiered\$|BenchmarkRuleMatch\$|BenchmarkRuleMatchBaseline\$}"
+FILTER="${BENCH_FILTER:-BenchmarkEngineThroughput\$|BenchmarkRunWindowParallel|BenchmarkRunStreaming|BenchmarkStoreIngest\$|BenchmarkStoreIngestInstrumented\$|BenchmarkStoreIngestGroupCommit\$|BenchmarkStoreQueryLPM\$|BenchmarkQueryEnriched\$|BenchmarkCompactTiered\$|BenchmarkRuleMatch\$|BenchmarkRuleMatchBaseline\$|BenchmarkStoreColdOpen\$|BenchmarkStoreFullOpen\$|BenchmarkFigure4Scan\$|BenchmarkFigure4Materialized\$}"
 OUT="${BENCH_OUT:-BENCH_$(date +%Y%m%d).json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT

@@ -12,9 +12,12 @@ package bgpblackholing
 import (
 	"context"
 	"net/netip"
+	"os"
 	"sync"
 	"testing"
 	"time"
+
+	"bgpblackholing/internal/analysis"
 )
 
 var storeBench struct {
@@ -182,6 +185,136 @@ func BenchmarkQueryEnriched(b *testing.B) {
 	b.StopTimer()
 	if hits == 0 || annotated == 0 {
 		b.Fatal("enriched LPM queries found or annotated nothing")
+	}
+}
+
+var coldBench struct {
+	once  sync.Once
+	dir   string
+	start time.Time
+	days  int
+}
+
+// coldBenchDir builds, once, an on-disk store of many sealed
+// sidecar-backed segments, the shared fixture for the open-cost and
+// figure4 benchmarks. The directory outlives the benchmark binary's
+// temp handling on purpose: it is rebuilt per process, never reused.
+func coldBenchDir(b *testing.B) string {
+	b.Helper()
+	coldBench.once.Do(func() {
+		events := storeBenchEvents(b)
+		dir, err := os.MkdirTemp("", "bhcoldbench")
+		if err != nil {
+			panic(err)
+		}
+		st, err := OpenStoreWith(dir, StoreOptions{MaxSegmentBytes: 16 << 10})
+		if err != nil {
+			panic(err)
+		}
+		if err := st.Append(events...); err != nil {
+			panic(err)
+		}
+		stats := st.Stats()
+		if err := st.Close(); err != nil {
+			panic(err)
+		}
+		coldBench.dir = dir
+		coldBench.start = stats.MinStart.UTC().Truncate(24 * time.Hour)
+		coldBench.days = int(stats.MaxEnd.Sub(coldBench.start).Hours()/24) + 1
+	})
+	return coldBench.dir
+}
+
+// BenchmarkStoreFullOpen measures the classic open: every segment read
+// and every record decoded and indexed. The denominator for the cold
+// open wall below.
+func BenchmarkStoreFullOpen(b *testing.B) {
+	dir := coldBenchDir(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := OpenStoreWith(dir, StoreOptions{ReadOnly: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreColdOpen measures the sidecar-backed open: sealed
+// segments stay undecoded (the Stats check proves zero event records
+// were touched), so open cost tracks segment count, not event count.
+// CI gates this at ≤0.25× BenchmarkStoreFullOpen.
+func BenchmarkStoreColdOpen(b *testing.B) {
+	dir := coldBenchDir(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := OpenStoreWith(dir, StoreOptions{ReadOnly: true, ColdOpen: true, Mmap: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.StopTimer()
+			stats := st.Stats()
+			if stats.OpenDecodedEvents != 0 || stats.SegmentsCold == 0 {
+				b.Fatalf("cold open decoded %d events, %d cold segments; fixture sidecars missing",
+					stats.OpenDecodedEvents, stats.SegmentsCold)
+			}
+			b.StartTimer()
+		}
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4Scan computes the daily longitudinal series by the
+// reference full scan over every stored event — the denominator for
+// the materialized wall below.
+func BenchmarkFigure4Scan(b *testing.B) {
+	dir := coldBenchDir(b)
+	st, err := OpenStoreWith(dir, StoreOptions{ReadOnly: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series := analysis.Figure4Seq(st.s.All(), coldBench.start, coldBench.days)
+		if len(series) != coldBench.days {
+			b.Fatal("short series")
+		}
+	}
+}
+
+// BenchmarkFigure4Materialized answers the same series from the
+// store's refcounted per-day aggregates: O(days) map lookups, no event
+// scan. CI gates this at ≤0.1× BenchmarkFigure4Scan.
+func BenchmarkFigure4Materialized(b *testing.B) {
+	dir := coldBenchDir(b)
+	st, err := OpenStoreWith(dir, StoreOptions{ReadOnly: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	warm := st.Figure4(coldBench.start, coldBench.days)
+	want := analysis.Figure4Seq(st.s.All(), coldBench.start, coldBench.days)
+	for d := range want {
+		if warm[d] != want[d] {
+			b.Fatalf("day %d: materialized %+v != scan %+v", d, warm[d], want[d])
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series := st.Figure4(coldBench.start, coldBench.days)
+		if len(series) != coldBench.days {
+			b.Fatal("short series")
+		}
 	}
 }
 

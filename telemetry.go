@@ -105,6 +105,12 @@ func (t *Telemetry) StoreInstruments() *store.Instruments {
 				"Tombstoned records physically removed from disk."),
 			CompactDropped: r.Counter("bh_store_compact_dropped_duplicates_total",
 				"Superseded flush duplicates removed by compaction."),
+			Hydrations: r.Counter("bh_store_hydrations_total",
+				"Cold (sidecar-backed) segments decoded on demand."),
+			SidecarWrites: r.Counter("bh_store_sidecar_writes_total",
+				"Segment summary sidecars written (seal, compaction, heal)."),
+			SidecarFallbacks: r.Counter("bh_store_sidecar_fallbacks_total",
+				"Sealed segments fully decoded at open for want of a fresh sidecar."),
 		}
 	})
 	return t.storeInst
@@ -138,6 +144,9 @@ func (t *Telemetry) ObserveStore(st *Store) {
 	r.GaugeFunc("bh_store_tombstones", "DeletePrefix tombstones in force.", func() float64 { return float64(stats().Tombstones) })
 	r.GaugeFunc("bh_store_pending_erasure", "Dead records awaiting physical erasure.", func() float64 { return float64(stats().PendingErasure) })
 	r.GaugeFunc("bh_store_unsynced_records", "Appended records not yet fsynced.", func() float64 { return float64(stats().Unsynced) })
+	r.GaugeFunc("bh_store_segments_cold", "Sealed segments not yet decoded (cold open).", func() float64 { return float64(stats().SegmentsCold) })
+	r.GaugeFunc("bh_store_segments_hydrated", "Sealed segments decoded on demand since open.", func() float64 { return float64(stats().SegmentsHydrated) })
+	r.GaugeFunc("bh_store_mapped_bytes", "Segment bytes currently mmap'd for scans.", func() float64 { return float64(stats().MappedBytes) })
 }
 
 // ObserveDetector exposes the engine's counters (updates, detections,
