@@ -1,0 +1,472 @@
+package bgpblackholing
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"iter"
+	"sync"
+	"time"
+
+	"bgpblackholing/internal/analysis"
+)
+
+// This file defines Backend — the record-level query abstraction the
+// HTTP layer serves and the federation layer composes. A Backend
+// answers the longitudinal query surface (events, legitimacy,
+// Figure 4, stats, health) over *wire records* rather than in-memory
+// events, which is what makes the three implementations
+// interchangeable:
+//
+//	StoreBackend    the local store (this file)
+//	RemoteBackend   a bhserve/bhroute peer over HTTP (remote.go)
+//	FederatedStore  N backends merged in global event order (federate.go)
+//
+// NewStoreHandlerWith serves whichever Backend it is given, so a
+// single store, a remote store, and a fan-out over shards all expose
+// the identical HTTP contract — federation is invisible to clients.
+
+// Figure4Sets is the mergeable wire form of the Figure 4 daily series:
+// per-day distinct-entity lists instead of counts, so a router can
+// union shards before counting (analysis.Figure4Partial).
+type Figure4Sets = analysis.Figure4Sets
+
+// RecordKey is the canonical global ordering of event records across
+// shards: the engine's closing sequence number first, then
+// (End, Start, Prefix) as tie-breaks for legacy (seq-less) records.
+//
+// Seq — not End — is the primary key on purpose. The engine stamps
+// Seq monotonically as events close, so Seq order IS the single
+// store's append order; End order is not, because implicit
+// withdrawals backdate End to the last sighting, closing a
+// long-stale event after (but ending before) its neighbors. Merging
+// shard streams on Seq therefore reproduces the exact single-store
+// stream for any seq-stamped lineage. Records written before seq
+// stamping carry Seq 0 and sort first, ordered among themselves by
+// their fields — deterministic, but only approximating their
+// original interleave.
+type RecordKey struct {
+	End    int64 // End UnixNano
+	Seq    uint64
+	Start  int64 // Start UnixNano
+	Prefix string
+}
+
+// Less orders keys lexicographically over (Seq, End, Start, Prefix).
+func (k RecordKey) Less(o RecordKey) bool {
+	if k.Seq != o.Seq {
+		return k.Seq < o.Seq
+	}
+	if k.End != o.End {
+		return k.End < o.End
+	}
+	if k.Start != o.Start {
+		return k.Start < o.Start
+	}
+	return k.Prefix < o.Prefix
+}
+
+// KeyOf extracts the merge key from a wire record.
+func KeyOf(rec *EventRecord) RecordKey {
+	return RecordKey{
+		End:    rec.End.UnixNano(),
+		Seq:    rec.Seq,
+		Start:  rec.Start.UnixNano(),
+		Prefix: rec.Prefix,
+	}
+}
+
+// RecordSet is a materialized query answer in wire form.
+type RecordSet struct {
+	// Records are the matches in global event order, annotated when the
+	// query asked for enrichment. Records are shared, read-only wire
+	// values: a StoreBackend hands out its memoized projections, and a
+	// federation re-slices shard answers — callers must not mutate
+	// them.
+	Records []*EventRecord
+	// Total counts all matches ignoring Limit; Scanned counts candidate
+	// events examined. Across a federation both are sums over shards.
+	Total   int
+	Scanned int
+	// Elapsed is the whole call's wall-clock time.
+	Elapsed time.Duration
+	// ShardsFailed counts backends that could not answer (federated
+	// queries only; the records are the surviving shards' merge).
+	ShardsFailed int
+}
+
+// RecordLine is one NDJSON record plus its merge key. Line holds the
+// exact serialized bytes (no trailing newline) — the federation layer
+// passes shard bytes through verbatim, so a federated NDJSON response
+// is byte-identical to a single store's.
+type RecordLine struct {
+	Key  RecordKey
+	Line []byte
+}
+
+// RecordStream is an open, incremental record stream. ShardsFailed is
+// known at open time (streams are opened eagerly), so an HTTP handler
+// can set response headers before the first body byte.
+type RecordStream struct {
+	// ShardsFailed counts backends that failed to open or prime their
+	// stream. A shard that dies mid-stream after delivering records
+	// cannot be reflected here; it ends that shard's contribution.
+	ShardsFailed int
+
+	next  func() (RecordLine, error)
+	close func()
+}
+
+// Next returns the next record line, or io.EOF at the end.
+func (s *RecordStream) Next() (RecordLine, error) { return s.next() }
+
+// Close releases the stream's resources. Safe to call more than once.
+func (s *RecordStream) Close() {
+	if s.close != nil {
+		s.close()
+		s.close = nil
+	}
+}
+
+// Figure4Result is a Backend's Figure 4 answer plus partial-result
+// accounting (meaningful only for federated backends).
+type Figure4Result struct {
+	Series       []DailyPoint
+	ShardsFailed int
+}
+
+// LegitimacySummary is the /legitimacy aggregation in wire form.
+type LegitimacySummary struct {
+	Total        int            `json:"total"`
+	Legitimacy   map[string]int `json:"legitimacy"`
+	RPKI         map[string]int `json:"rpki"`
+	CommunityDoc map[string]int `json:"community_doc"`
+	Reasons      map[string]int `json:"reasons"`
+	ElapsedUS    int64          `json:"elapsed_us"`
+	// ShardsFailed counts backends missing from the aggregation
+	// (federated queries only; omitted when zero so single-store
+	// responses keep their historical shape).
+	ShardsFailed int `json:"shards_failed,omitempty"`
+}
+
+func newLegitimacySummary() *LegitimacySummary {
+	return &LegitimacySummary{
+		Legitimacy:   map[string]int{},
+		RPKI:         map[string]int{},
+		CommunityDoc: map[string]int{},
+		Reasons:      map[string]int{},
+	}
+}
+
+// ShardStat is one shard's row in a federated /stats answer.
+type ShardStat struct {
+	Name string `json:"name"`
+	// URL is the shard's primary endpoint (remote shards only).
+	URL    string `json:"url,omitempty"`
+	Status string `json:"status"`
+	Events int    `json:"events"`
+	Err    string `json:"error,omitempty"`
+	// Requests / Failures / Hedges are the router's lifetime counters
+	// for this shard.
+	Requests uint64 `json:"requests"`
+	Failures uint64 `json:"failures"`
+	Hedges   uint64 `json:"hedges"`
+}
+
+// ShardsInfoVersion is the wire version of the "shards" block in
+// /stats and /healthz responses. Decoders written before federation
+// ignore the block entirely (it is additive); decoders that consume it
+// must check Version and reject values they do not understand, so the
+// block's layout can evolve without silently corrupting dashboards.
+const ShardsInfoVersion = 1
+
+// ShardsInfo is the version-tagged federation section of /stats.
+type ShardsInfo struct {
+	Version int         `json:"version"`
+	Failed  int         `json:"failed"`
+	Shards  []ShardStat `json:"shards"`
+}
+
+// BackendStats is a Backend's /stats answer: the (possibly aggregated)
+// store shape, plus the per-shard breakdown for federations. The
+// embedded StoreStats keeps pre-federation /stats decoders working
+// unchanged.
+type BackendStats struct {
+	StoreStats
+	Shards *ShardsInfo `json:"shards,omitempty"`
+}
+
+// ShardHealth is one backend's health answer.
+type ShardHealth struct {
+	Name   string            `json:"name,omitempty"`
+	Status string            `json:"status"` // "ok", "degraded", "down"
+	Events int               `json:"events"`
+	Checks map[string]string `json:"checks,omitempty"`
+	Err    string            `json:"error,omitempty"`
+}
+
+// Backend answers the longitudinal query surface over wire records.
+// All methods are safe for concurrent use. Context cancellation aborts
+// in-flight work; a cancelled call returns ctx.Err().
+type Backend interface {
+	// Name identifies the backend in stats, health and error messages.
+	Name() string
+	// Records answers a query as a materialized record set. Limits are
+	// the caller's concern: pass q.Limit explicitly (HTTP handlers
+	// default JSON responses to 10000 before calling).
+	Records(ctx context.Context, q Query) (*RecordSet, error)
+	// RecordLines answers a query as an incremental NDJSON stream in
+	// global event order, opened eagerly so failure accounting is known
+	// before the first byte. The caller must Close the stream.
+	RecordLines(ctx context.Context, q Query) (*RecordStream, error)
+	// Figure4 computes the daily longitudinal series over [start,
+	// start+days).
+	Figure4(ctx context.Context, start time.Time, days int) (*Figure4Result, error)
+	// Figure4Sets returns the mergeable per-day entity sets over the
+	// same window — what a federation requests from each shard.
+	Figure4Sets(ctx context.Context, start time.Time, days int) (*Figure4Sets, error)
+	// LegitimacySummary aggregates the legitimacy view over matches.
+	LegitimacySummary(ctx context.Context, q Query) (*LegitimacySummary, error)
+	// Stats snapshots the backend's store shape.
+	Stats(ctx context.Context) (*BackendStats, error)
+	// Healthz probes the backend; it never returns an error — an
+	// unreachable backend reports Status "down".
+	Healthz(ctx context.Context) *ShardHealth
+	// Close releases the backend's resources.
+	Close() error
+}
+
+// errNoAnnotator marks an enrichment or legitimacy request against a
+// backend with no annotator; HTTP handlers map it to a 503.
+var errNoAnnotator = errors.New("enrichment needs the pipeline's registry and dictionary; run the server with a world")
+
+// ---------------------------------------------------------------------
+// StoreBackend: the local store as a Backend.
+
+// StoreBackend adapts a local Store (and optionally its Pipeline, for
+// enrichment) to the Backend interface. It is what NewStoreHandler
+// serves, and what a FederatedStore composes when shards live in the
+// same process (tests, benchmarks, single-host splits).
+type StoreBackend struct {
+	name string
+	st   *Store
+	p    *Pipeline
+	// recs memoizes the base (unenriched) wire projection per stored
+	// event. Events are immutable once closed, so the projection —
+	// prefix formatting, provider/community/platform rendering, the
+	// sorts — is a pure function of the event and only worth paying
+	// once, not per query. Entries live as long as the backend; the
+	// map is bounded by the number of distinct events ever returned.
+	recs sync.Map // *Event -> *EventRecord
+}
+
+// NewStoreBackend wraps a store. p may be nil; enrichment then falls
+// back to the store's own annotator (Store.SetAnnotator), matching
+// NewStoreHandler's behavior.
+func NewStoreBackend(st *Store, p *Pipeline) *StoreBackend {
+	return &StoreBackend{name: "local", st: st, p: p}
+}
+
+// WithName labels the backend (shard names in federated stats).
+func (b *StoreBackend) WithName(name string) *StoreBackend {
+	b.name = name
+	return b
+}
+
+// Name implements Backend.
+func (b *StoreBackend) Name() string { return b.name }
+
+// Store returns the underlying store.
+func (b *StoreBackend) Store() *Store { return b.st }
+
+func (b *StoreBackend) annotator() *Annotator {
+	if b.p != nil {
+		return b.p.Annotator()
+	}
+	return b.st.Annotator()
+}
+
+// record returns the memoized base projection of ev. The returned
+// record (and any copy of it) shares its rendered slices with every
+// other caller — the query surface treats records as read-only wire
+// values, never mutating Providers/Users/Communities/Platforms.
+func (b *StoreBackend) record(ev *Event) *EventRecord {
+	if r, ok := b.recs.Load(ev); ok {
+		return r.(*EventRecord)
+	}
+	r := NewEventRecord(ev)
+	actual, _ := b.recs.LoadOrStore(ev, &r)
+	return actual.(*EventRecord)
+}
+
+// Records implements Backend over Store.Query, annotating through the
+// shared (cached) annotator exactly as the JSON /events path always
+// has.
+func (b *StoreBackend) Records(ctx context.Context, q Query) (*RecordSet, error) {
+	began := time.Now()
+	ann := b.annotator()
+	if q.Enrich && ann == nil {
+		return nil, errNoAnnotator
+	}
+	// Annotate while building records; clearing Enrich keeps
+	// Store.Query from running a second annotation pass when the store
+	// carries its own annotator.
+	enrich := q.Enrich
+	q.Enrich = false
+	res := b.st.Query(q)
+	records := make([]*EventRecord, len(res.Events))
+	for i, ev := range res.Events {
+		if enrich {
+			r := *b.record(ev) // annotation fields differ per call: copy the base
+			a := ann.Annotate(ev)
+			r.RPKI = a.RPKI
+			r.CommunityDoc = a.Communities
+			r.Legitimacy = a.Legitimacy
+			r.LegitimacyReasons = a.Reasons
+			records[i] = &r
+		} else {
+			records[i] = b.record(ev)
+		}
+	}
+	return &RecordSet{
+		Records: records,
+		Total:   res.Total,
+		Scanned: res.Scanned,
+		Elapsed: time.Since(began),
+	}, nil
+}
+
+// RecordLines implements Backend over Store.QuerySeq. Enrichment is
+// uncached (an unbounded stream must not grow the shared annotation
+// cache by one entry per stored event), matching the NDJSON path's
+// historical behavior.
+func (b *StoreBackend) RecordLines(ctx context.Context, q Query) (*RecordStream, error) {
+	ann := b.annotator()
+	if q.Enrich && ann == nil {
+		return nil, errNoAnnotator
+	}
+	enrich := q.Enrich
+	q.Enrich = false
+	next, stop := iter.Pull(b.st.QuerySeq(q))
+	done := ctx.Done()
+	return &RecordStream{
+		next: func() (RecordLine, error) {
+			select {
+			case <-done:
+				return RecordLine{}, ctx.Err()
+			default:
+			}
+			ev, ok := next()
+			if !ok {
+				return RecordLine{}, io.EOF
+			}
+			rec := NewEventRecord(ev)
+			if enrich {
+				rec = NewEventRecordEnriched(ev, ann.AnnotateUncached(ev))
+			}
+			line, err := json.Marshal(rec)
+			if err != nil {
+				return RecordLine{}, err
+			}
+			return RecordLine{
+				Key: RecordKey{
+					End:    ev.End.UnixNano(),
+					Seq:    ev.Seq,
+					Start:  ev.Start.UnixNano(),
+					Prefix: ev.Prefix.String(),
+				},
+				Line: line,
+			}, nil
+		},
+		close: stop,
+	}, nil
+}
+
+// Figure4 implements Backend over the store's (possibly materialized)
+// daily series.
+func (b *StoreBackend) Figure4(ctx context.Context, start time.Time, days int) (*Figure4Result, error) {
+	return &Figure4Result{Series: b.st.Figure4(start, days)}, nil
+}
+
+// Figure4Sets implements Backend with a one-pass scan into the
+// mergeable partial.
+func (b *StoreBackend) Figure4Sets(ctx context.Context, start time.Time, days int) (*Figure4Sets, error) {
+	p := analysis.NewFigure4Partial(start, days)
+	done := ctx.Done()
+	for ev := range b.st.QuerySeq(Query{}) {
+		select {
+		case <-done:
+			return nil, ctx.Err()
+		default:
+		}
+		p.Observe(ev)
+	}
+	sets := p.Sets()
+	return &sets, nil
+}
+
+// LegitimacySummary implements Backend: a streaming aggregation
+// through the uncached annotator, matching the /legitimacy endpoint's
+// historical behavior.
+func (b *StoreBackend) LegitimacySummary(ctx context.Context, q Query) (*LegitimacySummary, error) {
+	ann := b.annotator()
+	if ann == nil {
+		return nil, errNoAnnotator
+	}
+	began := time.Now()
+	sum := newLegitimacySummary()
+	done := ctx.Done()
+	for ev := range b.st.QuerySeq(q) {
+		select {
+		case <-done:
+			return nil, ctx.Err()
+		default:
+		}
+		a := ann.AnnotateUncached(ev) // one-shot sweep: bypass the cache
+		sum.Total++
+		sum.Legitimacy[a.Legitimacy]++
+		if len(a.RPKI) > 0 {
+			sum.RPKI[a.RPKISummary()]++
+		}
+		for _, cd := range a.Communities {
+			sum.CommunityDoc[cd.Doc]++
+		}
+		for _, reason := range a.Reasons {
+			sum.Reasons[reason]++
+		}
+	}
+	sum.ElapsedUS = time.Since(began).Microseconds()
+	return sum, nil
+}
+
+// Stats implements Backend.
+func (b *StoreBackend) Stats(ctx context.Context) (*BackendStats, error) {
+	return &BackendStats{StoreStats: b.st.Stats()}, nil
+}
+
+// Healthz implements Backend with the same write-path checks the
+// /healthz endpoint runs (minus redial sources, which belong to the
+// serving process, not the store).
+func (b *StoreBackend) Healthz(ctx context.Context) *ShardHealth {
+	h := &ShardHealth{Name: b.name, Status: "ok", Events: b.st.Len()}
+	sh := b.st.s.Health()
+	checks := map[string]string{}
+	if sh.WoundedSegment {
+		checks["store_segment"] = "wounded active segment pending failover"
+	}
+	if sh.AsyncSyncError != "" {
+		checks["store_fsync"] = "parked async fsync error: " + sh.AsyncSyncError
+	}
+	if sh.HydrationError != "" {
+		checks["store_hydration"] = "cold segment hydration failed; queries may see partial data: " + sh.HydrationError
+	}
+	if len(checks) > 0 {
+		h.Status = "degraded"
+		h.Checks = checks
+	}
+	return h
+}
+
+// Close closes the underlying store.
+func (b *StoreBackend) Close() error { return b.st.Close() }

@@ -13,6 +13,12 @@
 //	bhquery -store ./bhstore -figure8 -group-timeout 5m
 //	bhquery -server http://127.0.0.1:8080 -provider AS3356 -format ndjson
 //
+// A comma-separated -server list federates the servers client-side:
+// every server is queried concurrently and the answers merge in global
+// event order, exactly as a bhroute router would serve them —
+//
+//	bhquery -server http://shard-a:8080,http://shard-b:8080,http://shard-c:8080 -origin 65001
+//
 // With -enrich every returned event carries its legitimacy view — RPKI
 // validity per inferred origin, documentation status per matched
 // community, and a combined verdict (legitimate | questionable |
@@ -30,6 +36,7 @@
 //	bhquery -store ./bhstore -delete-prefix 10.2.0.0/16              # GDPR-style erasure
 //	bhquery -store ./bhstore -delete-prefix 10.2.0.0/16 -delete-up-to 2016-01-01T00:00:00Z
 //	bhquery -store ./bhstore -compact tiered,partition=30d,ratio=4,min-run=4
+//	bhquery -store ./bhstore -replicate-to /var/bh/replicas/a        # ship segments to a read replica
 //
 // A deleted prefix disappears from queries immediately; its bytes
 // leave the disk at the next compaction of its partition (run -compact
@@ -37,6 +44,8 @@
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -54,7 +63,7 @@ import (
 func main() {
 	var (
 		storeDir = flag.String("store", "", "open this store directory (read-only)")
-		server   = flag.String("server", "", "query a running bhserve at this base URL instead")
+		server   = flag.String("server", "", "query a running bhserve/bhroute at this base URL instead; a comma-separated list federates the servers client-side, merging answers in global event order")
 
 		from      = flag.String("from", "", "events overlapping at/after this RFC 3339 time")
 		to        = flag.String("to", "", "events overlapping at/before this RFC 3339 time")
@@ -81,6 +90,7 @@ func main() {
 		deletePrefix = flag.String("delete-prefix", "", "admin: erase this prefix's history (opens the store read-write)")
 		deleteUpTo   = flag.String("delete-up-to", "", "admin: bound -delete-prefix to events ending at/before this RFC 3339 time")
 		compact      = flag.String("compact", "", "admin: run a compaction pass (merge-all, or tiered[,partition=30d,ratio=4,min-run=4])")
+		replicateTo  = flag.String("replicate-to", "", "admin: one-shot sync the -store directory into this replica directory (sealed segments + sidecars; re-run to catch up)")
 
 		watch     = flag.Bool("watch", false, "stream live alerts from the server's /watch SSE endpoint (requires -server)")
 		metrics   = flag.Bool("metrics", false, "scrape the server's /metrics Prometheus exposition to stdout (requires -server)")
@@ -98,7 +108,8 @@ func main() {
 		figure8: *figure8, groupTO: *groupTO,
 		enrich: *enrichQ, scale: *scale, seed: *seed,
 		deletePrefix: *deletePrefix, deleteUpTo: *deleteUpTo, compact: *compact,
-		watch: *watch, watchRules: watchRules, metrics: *metrics, authToken: *authToken,
+		replicateTo: *replicateTo,
+		watch:       *watch, watchRules: watchRules, metrics: *metrics, authToken: *authToken,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "bhquery:", err)
 		os.Exit(1)
@@ -122,6 +133,7 @@ type config struct {
 	seed                   int64
 
 	deletePrefix, deleteUpTo, compact string
+	replicateTo                       string
 
 	watch      bool
 	watchRules multiFlag
@@ -158,7 +170,7 @@ func run(c *config) error {
 	if c.figure8 && c.groupTO <= 0 {
 		return fmt.Errorf("-group-timeout: grouping timeout must be positive, got %v", c.groupTO)
 	}
-	if c.deletePrefix != "" || c.compact != "" {
+	if c.deletePrefix != "" || c.compact != "" || c.replicateTo != "" {
 		if c.server != "" {
 			return fmt.Errorf("admin verbs need direct store access; use -store, not -server")
 		}
@@ -177,15 +189,50 @@ func run(c *config) error {
 		return pipeGET(c, strings.TrimRight(c.server, "/")+"/metrics")
 	}
 	if c.server != "" {
+		if servers := splitServers(c.server); len(servers) > 1 {
+			return runFederated(c, servers)
+		}
 		return runServer(c)
 	}
 	return runDirect(c)
+}
+
+// splitServers splits the comma-separated -server list.
+func splitServers(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, strings.TrimSuffix(part, "/"))
+		}
+	}
+	return out
 }
 
 // ---------------------------------------------------------------------
 // Admin verbs: tombstone a prefix's history, force a compaction pass.
 
 func runAdmin(c *config) error {
+	if c.deletePrefix != "" || c.compact != "" {
+		if err := runWriteAdmin(c); err != nil {
+			return err
+		}
+	}
+	// Replication runs last, so a same-invocation compaction's output is
+	// what ships. It never opens the store: a replica pass is plain file
+	// sync over the CRC-framed segments, safe against a live writer.
+	if c.replicateTo != "" {
+		rep, err := bgpblackholing.ReplicateStore(c.storeDir, c.replicateTo)
+		if err != nil {
+			return fmt.Errorf("-replicate-to: %w", err)
+		}
+		fmt.Printf("bhquery: replicated %s -> %s: %d files copied (%d bytes), %d unchanged, %d retired\n",
+			c.storeDir, c.replicateTo, len(rep.Copied), rep.Bytes, rep.Skipped, len(rep.Deleted))
+	}
+	return nil
+}
+
+// runWriteAdmin handles the verbs that open the store read-write.
+func runWriteAdmin(c *config) error {
 	st, err := bgpblackholing.OpenStore(c.storeDir)
 	if err != nil {
 		return err
@@ -295,13 +342,15 @@ func runDirect(c *config) error {
 		return err
 	}
 	res := st.Query(q)
-	records := make([]bgpblackholing.EventRecord, len(res.Events))
+	records := make([]*bgpblackholing.EventRecord, len(res.Events))
 	for i, ev := range res.Events {
+		var r bgpblackholing.EventRecord
 		if res.Annotations != nil {
-			records[i] = bgpblackholing.NewEventRecordEnriched(ev, res.Annotations[i])
+			r = bgpblackholing.NewEventRecordEnriched(ev, res.Annotations[i])
 		} else {
-			records[i] = bgpblackholing.NewEventRecord(ev)
+			r = bgpblackholing.NewEventRecord(ev)
 		}
+		records[i] = &r
 	}
 	fmt.Fprintf(os.Stderr, "bhquery: %d matches (%d returned), %d candidates scanned, %s\n",
 		res.Total, len(records), res.Scanned, res.Elapsed)
@@ -408,11 +457,11 @@ func runServer(c *config) error {
 		return fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(body)))
 	}
 	var payload struct {
-		Total     int                          `json:"total"`
-		Returned  int                          `json:"returned"`
-		Scanned   int                          `json:"scanned"`
-		ElapsedUS int64                        `json:"elapsed_us"`
-		Events    []bgpblackholing.EventRecord `json:"events"`
+		Total     int                           `json:"total"`
+		Returned  int                           `json:"returned"`
+		Scanned   int                           `json:"scanned"`
+		ElapsedUS int64                         `json:"elapsed_us"`
+		Events    []*bgpblackholing.EventRecord `json:"events"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
 		return err
@@ -420,6 +469,97 @@ func runServer(c *config) error {
 	fmt.Fprintf(os.Stderr, "bhquery: %d matches (%d returned), %d candidates scanned, %dµs server-side\n",
 		payload.Total, payload.Returned, payload.Scanned, payload.ElapsedUS)
 	return render(os.Stdout, c.format, c.enrich, payload.Events)
+}
+
+// ---------------------------------------------------------------------
+// Federated mode: several servers behind -server, merged client-side.
+
+// runFederated answers from a comma-separated server list: one
+// RemoteBackend per base URL, federated through the same merge core
+// bhroute serves — per-server answers interleave in global event
+// order, totals sum, and a down server degrades the answer (with a
+// warning) instead of failing it.
+func runFederated(c *config, servers []string) error {
+	ctx := context.Background()
+	backends := make([]bgpblackholing.Backend, 0, len(servers))
+	for _, base := range servers {
+		b, err := bgpblackholing.NewRemoteBackend([]string{base}, bgpblackholing.RemoteOptions{
+			AuthToken: c.authToken,
+		})
+		if err != nil {
+			return err
+		}
+		backends = append(backends, b)
+	}
+	fed := bgpblackholing.NewFederatedStore(backends...)
+	defer fed.Close()
+
+	if c.stats {
+		stats, err := fed.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		return printJSON(os.Stdout, stats)
+	}
+	if c.figure4 {
+		stats, err := fed.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		if stats.Events == 0 {
+			fmt.Println("(no events)")
+			return nil
+		}
+		start := stats.MinStart.UTC().Truncate(24 * time.Hour)
+		days := int(stats.MaxEnd.Sub(start).Hours()/24) + 1
+		res, err := fed.Figure4(ctx, start, days)
+		if err != nil {
+			return err
+		}
+		warnShardsFailed(res.ShardsFailed)
+		fmt.Print(bgpblackholing.FormatFigure4(res.Series, max(1, c.every)))
+		return nil
+	}
+	if c.figure8 {
+		return fmt.Errorf("-figure8 needs a single -server; durations cannot merge from counted answers")
+	}
+
+	q, err := buildQuery(c)
+	if err != nil {
+		return err
+	}
+	if c.format == "ndjson" {
+		stream, err := fed.RecordLines(ctx, q)
+		if err != nil {
+			return err
+		}
+		defer stream.Close()
+		warnShardsFailed(stream.ShardsFailed)
+		w := bufio.NewWriter(os.Stdout)
+		for {
+			rl, err := stream.Next()
+			if err != nil {
+				break
+			}
+			w.Write(rl.Line)
+			w.WriteByte('\n')
+		}
+		return w.Flush()
+	}
+	rs, err := fed.Records(ctx, q)
+	if err != nil {
+		return err
+	}
+	warnShardsFailed(rs.ShardsFailed)
+	fmt.Fprintf(os.Stderr, "bhquery: %d matches (%d returned), %d candidates scanned across %d servers, %s\n",
+		rs.Total, len(rs.Records), rs.Scanned, len(servers), rs.Elapsed)
+	return render(os.Stdout, c.format, c.enrich, rs.Records)
+}
+
+func warnShardsFailed(failed int) {
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "bhquery: warning: %d server(s) failed to answer; results are partial\n", failed)
+	}
 }
 
 // serverGET issues a GET with the configured bearer token and any
@@ -462,7 +602,7 @@ func pipeGET(c *config, u string) error {
 // ---------------------------------------------------------------------
 // Rendering.
 
-func render(w io.Writer, format string, enriched bool, records []bgpblackholing.EventRecord) error {
+func render(w io.Writer, format string, enriched bool, records []*bgpblackholing.EventRecord) error {
 	switch format {
 	case "json":
 		return printJSON(w, records)
@@ -532,7 +672,7 @@ func render(w io.Writer, format string, enriched bool, records []bgpblackholing.
 
 // rpkiColumn renders a record's folded RPKI state, "-" when the record
 // carries no RPKI section.
-func rpkiColumn(r bgpblackholing.EventRecord) string {
+func rpkiColumn(r *bgpblackholing.EventRecord) string {
 	if len(r.RPKI) == 0 {
 		return "-"
 	}

@@ -530,6 +530,43 @@ func (d *Detector) SinkToStore(st *Store) (wait func() error) {
 	return func() error { return <-done }
 }
 
+// SinkToShards is SinkToStore over a sharded fleet: each closed event
+// is routed by the plan to exactly one of the stores, so the stores
+// partition the run's events and a FederatedStore over them answers
+// queries byte-identically to one store holding everything (events
+// keep their engine-stamped Seq, the global merge order, wherever they
+// land). len(stores) must equal plan.Shards(). The returned wait
+// function blocks until the Run has returned, every event has been
+// appended to its shard, and every store has been synced; it joins the
+// per-shard errors. A failing shard never blocks the others: its
+// remaining events are still routed (and dropped with the error
+// latched), the healthy shards keep appending.
+func (d *Detector) SinkToShards(plan ShardPlan, stores []*Store) (wait func() error) {
+	if len(stores) != plan.Shards() {
+		err := fmt.Errorf("SinkToShards: plan %v wants %d stores, got %d", plan, plan.Shards(), len(stores))
+		return func() error { return err }
+	}
+	s := d.subscribeUnbounded()
+	done := make(chan error, 1)
+	go func() {
+		errs := make([]error, len(stores))
+		for ev := range s.ch {
+			i := plan.Shard(ev)
+			if i < 0 || i >= len(stores) || errs[i] != nil {
+				continue // drain so Run's finish isn't blocked
+			}
+			errs[i] = stores[i].Append(ev)
+		}
+		for i, st := range stores {
+			if errs[i] == nil {
+				errs[i] = st.Sync()
+			}
+		}
+		done <- errors.Join(errs...)
+	}()
+	return func() error { return <-done }
+}
+
 // Stream returns the subscription as an iterator: ranging over it
 // yields each event as it closes, ending when the current (or next)
 // Run returns. Breaking out of the range cancels the subscription.

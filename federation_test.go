@@ -1,0 +1,566 @@
+package bgpblackholing
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+)
+
+// federationFixture is one detector run persisted three ways at once:
+// a single store holding everything, and the same events sharded under
+// both split plans. All sinks subscribe to the same run, so every
+// store sees the same *Event pointers with the same engine-stamped
+// Seq — the property the byte-identity claim rests on.
+type federationFixture struct {
+	p         *Pipeline
+	single    *Store
+	shards    map[string][]*Store // plan name -> 3 shard stores
+	shardDirs map[string][]string // plan name -> the stores' directories
+	events    []*Event
+}
+
+func newFederationFixture(t *testing.T) *federationFixture {
+	t.Helper()
+	p, err := NewPipeline(SmallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	openStore := func() (*Store, string) {
+		dir := t.TempDir()
+		st, err := OpenStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { st.Close() })
+		return st, dir
+	}
+	f := &federationFixture{p: p, shards: map[string][]*Store{}, shardDirs: map[string][]string{}}
+	f.single, _ = openStore()
+	plans := map[string]ShardPlan{
+		"time-partition": TimeShardPlan{Width: 24 * time.Hour, N: 3},
+		"prefix-split":   PrefixShardPlan{Bit: 8, N: 3},
+	}
+	det := p.NewDetector()
+	waits := []func() error{det.SinkToStore(f.single)}
+	for name, plan := range plans {
+		var stores []*Store
+		var dirs []string
+		for i := 0; i < 3; i++ {
+			st, dir := openStore()
+			stores, dirs = append(stores, st), append(dirs, dir)
+		}
+		f.shards[name] = stores
+		f.shardDirs[name] = dirs
+		waits = append(waits, det.SinkToShards(plan, stores))
+	}
+	res, err := det.Run(context.Background(), p.Replay(800, 806))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wait := range waits {
+		if err := wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(res.Events) < 20 {
+		t.Fatalf("replay produced only %d events; fixture too thin", len(res.Events))
+	}
+	f.events = res.Events
+	return f
+}
+
+// queryCombos derives ≥ 12 filter/limit/enrich parameter sets from the
+// fixture's actual events, so every filter has matches.
+func (f *federationFixture) queryCombos(t *testing.T) []string {
+	t.Helper()
+	ev := f.events[len(f.events)/2]
+	var user ASN
+	for u := range ev.Users {
+		user = u
+		break
+	}
+	var prov ProviderRef
+	for pr := range ev.Providers {
+		prov = pr
+		break
+	}
+	var comm Community
+	for c := range ev.Communities {
+		comm = c
+		break
+	}
+	from := ev.Start.Add(-12 * time.Hour).UTC().Format(time.RFC3339)
+	to := ev.End.Add(12 * time.Hour).UTC().Format(time.RFC3339)
+	octet := ev.Prefix.Addr().As4()[0]
+	return []string{
+		"",
+		"limit=1",
+		"limit=7",
+		"limit=1000",
+		"prefix=" + ev.Prefix.String() + "&mode=exact",
+		"prefix=" + ev.Prefix.Addr().String() + "&mode=lpm",
+		fmt.Sprintf("prefix=%d.0.0.0/8&mode=covered", octet),
+		"prefix=" + ev.Prefix.String() + "&mode=covering",
+		fmt.Sprintf("origin=%d", user),
+		"provider=" + prov.String(),
+		"community=" + comm.String(),
+		"from=" + from + "&to=" + to,
+		"min_duration=10m",
+		"max_duration=2h",
+		fmt.Sprintf("enrich=1&limit=50&origin=%d", user),
+		"enrich=1&limit=25",
+	}
+}
+
+// startShardServers serves each shard store over HTTP and returns a
+// router handler federating them, plus the shard servers (so tests can
+// kill one).
+func (f *federationFixture) startShardServers(t *testing.T, plan string) ([]*httptest.Server, http.Handler) {
+	t.Helper()
+	stores := f.shards[plan]
+	servers := make([]*httptest.Server, len(stores))
+	backends := make([]Backend, len(stores))
+	for i, st := range stores {
+		srv := httptest.NewServer(NewStoreHandlerWith(st, f.p, HandlerOptions{}))
+		t.Cleanup(srv.Close)
+		servers[i] = srv
+		rb, err := NewRemoteBackend([]string{srv.URL}, RemoteOptions{
+			Name:    fmt.Sprintf("shard-%d", i),
+			Timeout: 30 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		backends[i] = rb
+	}
+	return servers, NewRouterHandler(NewFederatedStore(backends...), RouterOptions{})
+}
+
+func get(t *testing.T, base, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	return resp, body
+}
+
+// TestFederationByteIdentical is the tentpole acceptance test: a
+// 3-shard federation behind bhroute's router answers /events NDJSON
+// and /figure4 byte-for-byte identically to one store holding every
+// event, and /stats totals agree — under both shard plans, across the
+// full filter/limit/enrich combo matrix.
+func TestFederationByteIdentical(t *testing.T) {
+	f := newFederationFixture(t)
+	single := httptest.NewServer(NewStoreHandlerWith(f.single, f.p, HandlerOptions{}))
+	defer single.Close()
+	combos := f.queryCombos(t)
+
+	for plan := range f.shards {
+		t.Run(plan, func(t *testing.T) {
+			_, routerHandler := f.startShardServers(t, plan)
+			router := httptest.NewServer(routerHandler)
+			defer router.Close()
+
+			for _, combo := range combos {
+				path := "/events?format=ndjson"
+				if combo != "" {
+					path += "&" + combo
+				}
+				sresp, sbody := get(t, single.URL, path)
+				rresp, rbody := get(t, router.URL, path)
+				if sresp.StatusCode != 200 || rresp.StatusCode != 200 {
+					t.Fatalf("%s: status single=%d router=%d", path, sresp.StatusCode, rresp.StatusCode)
+				}
+				if !bytes.Equal(sbody, rbody) {
+					t.Errorf("%s: NDJSON bodies diverge (single %d bytes, router %d bytes)\nfirst single line: %.200s\nfirst router line: %.200s",
+						path, len(sbody), len(rbody), firstDiffLine(sbody, rbody), firstDiffLine(rbody, sbody))
+					continue
+				}
+				if got := rresp.Header.Get("X-Shards-Failed"); got != "" {
+					t.Errorf("%s: healthy federation set X-Shards-Failed=%q", path, got)
+				}
+
+				// JSON shape: totals and the record array must agree
+				// (elapsed/scanned are timing- and shard-local).
+				jpath := "/events"
+				if combo != "" {
+					jpath += "?" + combo
+				}
+				_, sj := get(t, single.URL, jpath)
+				_, rj := get(t, router.URL, jpath)
+				var se, re struct {
+					Total    int             `json:"total"`
+					Returned int             `json:"returned"`
+					Events   json.RawMessage `json:"events"`
+				}
+				if err := json.Unmarshal(sj, &se); err != nil {
+					t.Fatalf("%s: single decode: %v", jpath, err)
+				}
+				if err := json.Unmarshal(rj, &re); err != nil {
+					t.Fatalf("%s: router decode: %v", jpath, err)
+				}
+				if se.Total != re.Total || se.Returned != re.Returned || !bytes.Equal(se.Events, re.Events) {
+					t.Errorf("%s: JSON answers diverge: total %d vs %d, returned %d vs %d, events equal=%v",
+						jpath, se.Total, re.Total, se.Returned, re.Returned, bytes.Equal(se.Events, re.Events))
+				}
+			}
+
+			// Figure 4: full-span and explicit-window series must be
+			// byte-identical (per-shard entity sets union to the same
+			// distinct counts the single store computes).
+			for _, path := range []string{
+				"/figure4",
+				"/figure4?every=2",
+				"/figure4?start=" + f.events[0].Start.UTC().Format(time.RFC3339) + "&days=5",
+			} {
+				_, sbody := get(t, single.URL, path)
+				_, rbody := get(t, router.URL, path)
+				if !bytes.Equal(sbody, rbody) {
+					t.Errorf("%s: figure4 bodies diverge\nsingle: %.300s\nrouter: %.300s", path, sbody, rbody)
+				}
+			}
+
+			// Legitimacy histograms sum across shards.
+			_, sleg := get(t, single.URL, "/legitimacy")
+			_, rleg := get(t, router.URL, "/legitimacy")
+			var sl, rl LegitimacySummary
+			if err := json.Unmarshal(sleg, &sl); err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(rleg, &rl); err != nil {
+				t.Fatal(err)
+			}
+			sl.ElapsedUS, rl.ElapsedUS = 0, 0
+			if !reflect.DeepEqual(sl, rl) {
+				t.Errorf("legitimacy diverges:\nsingle %+v\nrouter %+v", sl, rl)
+			}
+
+			// Stats totals: events and the global time span always agree;
+			// distinct-prefix sums are exact only when prefixes cannot
+			// straddle shards (the prefix-split plan).
+			sstats := f.single.Stats()
+			_, rs := get(t, router.URL, "/stats")
+			var rstats BackendStats
+			if err := json.Unmarshal(rs, &rstats); err != nil {
+				t.Fatal(err)
+			}
+			if rstats.Events != sstats.Events {
+				t.Errorf("stats events: single %d router %d", sstats.Events, rstats.Events)
+			}
+			if !rstats.MinStart.Equal(sstats.MinStart) || !rstats.MaxEnd.Equal(sstats.MaxEnd) {
+				t.Errorf("stats span: single [%v, %v] router [%v, %v]",
+					sstats.MinStart, sstats.MaxEnd, rstats.MinStart, rstats.MaxEnd)
+			}
+			if plan == "prefix-split" && rstats.Prefixes != sstats.Prefixes {
+				t.Errorf("stats prefixes: single %d router %d", sstats.Prefixes, rstats.Prefixes)
+			}
+			if rstats.Shards == nil || rstats.Shards.Version != ShardsInfoVersion ||
+				len(rstats.Shards.Shards) != 3 || rstats.Shards.Failed != 0 {
+				t.Errorf("stats shards block: %+v", rstats.Shards)
+			}
+		})
+	}
+}
+
+// firstDiffLine returns the first line of a at which a and b diverge.
+func firstDiffLine(a, b []byte) []byte {
+	al, bl := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+	for i := range al {
+		if i >= len(bl) || !bytes.Equal(al[i], bl[i]) {
+			return al[i]
+		}
+	}
+	return nil
+}
+
+// TestFederationPartialResults kills one shard and proves the router
+// degrades instead of failing: 200 answers carrying an accurate
+// X-Shards-Failed header, a down row in the stats shards block, and a
+// 503 /healthz naming the dead shard.
+func TestFederationPartialResults(t *testing.T) {
+	f := newFederationFixture(t)
+	servers, routerHandler := f.startShardServers(t, "prefix-split")
+	router := httptest.NewServer(routerHandler)
+	defer router.Close()
+
+	// Baseline: all shards up, no degradation header.
+	resp, _ := get(t, router.URL, "/events?format=ndjson")
+	if resp.StatusCode != 200 || resp.Header.Get("X-Shards-Failed") != "" {
+		t.Fatalf("healthy baseline: status=%d header=%q", resp.StatusCode, resp.Header.Get("X-Shards-Failed"))
+	}
+
+	servers[1].Close() // kill one shard
+
+	resp, body := get(t, router.URL, "/events?format=ndjson")
+	if resp.StatusCode != 200 {
+		t.Fatalf("partial NDJSON: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Shards-Failed"); got != "1" {
+		t.Fatalf("partial NDJSON: X-Shards-Failed=%q, want 1", got)
+	}
+	lines := bytes.Count(bytes.TrimRight(body, "\n"), []byte("\n")) + 1
+	if lines >= len(f.events) || lines == 0 {
+		t.Fatalf("partial NDJSON: %d lines, want a non-empty strict subset of %d", lines, len(f.events))
+	}
+
+	resp, jbody := get(t, router.URL, "/events")
+	if resp.StatusCode != 200 || resp.Header.Get("X-Shards-Failed") != "1" {
+		t.Fatalf("partial JSON: status=%d header=%q", resp.StatusCode, resp.Header.Get("X-Shards-Failed"))
+	}
+	var envelope struct {
+		Total int `json:"total"`
+	}
+	if err := json.Unmarshal(jbody, &envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.Total <= 0 || envelope.Total >= len(f.events) {
+		t.Fatalf("partial JSON: total %d, want a non-empty strict subset of %d", envelope.Total, len(f.events))
+	}
+
+	_, sbody := get(t, router.URL, "/stats")
+	var stats BackendStats
+	if err := json.Unmarshal(sbody, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shards == nil || stats.Shards.Failed != 1 {
+		t.Fatalf("stats after kill: %+v", stats.Shards)
+	}
+	down := 0
+	for _, sh := range stats.Shards.Shards {
+		if sh.Status == "down" {
+			down++
+			if sh.Err == "" {
+				t.Error("down shard row carries no error")
+			}
+		}
+	}
+	if down != 1 {
+		t.Fatalf("stats after kill: %d down rows, want 1", down)
+	}
+
+	resp, hbody := get(t, router.URL, "/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after kill: status %d, want 503", resp.StatusCode)
+	}
+	var health struct {
+		Status string            `json:"status"`
+		Checks map[string]string `json:"checks"`
+	}
+	if err := json.Unmarshal(hbody, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "degraded" || len(health.Checks) == 0 {
+		t.Fatalf("healthz after kill: %+v", health)
+	}
+
+	// Everything dead: data routes fail loudly instead of serving an
+	// empty 200.
+	servers[0].Close()
+	servers[2].Close()
+	resp, _ = get(t, router.URL, "/events")
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("all shards dead: status %d, want 502", resp.StatusCode)
+	}
+}
+
+// TestFederationLimitPushdownProperty is the pushdown law, in process:
+// for every filter combination and a range of limits, pushing Limit=k
+// to each shard and re-cutting the global merge equals the single
+// store's top-k. Holds because each shard's stream is an ordered
+// subsequence of the global stream, so per-shard top-ks cover the
+// global top-k.
+func TestFederationLimitPushdownProperty(t *testing.T) {
+	f := newFederationFixture(t)
+	ctx := context.Background()
+	singleBE := NewStoreBackend(f.single, f.p)
+	for plan, stores := range f.shards {
+		backends := make([]Backend, len(stores))
+		for i, st := range stores {
+			backends[i] = NewStoreBackend(st, f.p).WithName(fmt.Sprintf("s%d", i))
+		}
+		fed := NewFederatedStore(backends...)
+		ev := f.events[len(f.events)/2]
+		var user ASN
+		for u := range ev.Users {
+			user = u
+			break
+		}
+		octet := ev.Prefix.Addr().As4()[0]
+		queries := []Query{
+			{},
+			{Prefix: mustPrefix(fmt.Sprintf("%d.0.0.0/8", octet)), Mode: PrefixCovered},
+			{OriginASN: user},
+			{MinDuration: 10 * time.Minute},
+			{From: ev.Start.Add(-24 * time.Hour), To: ev.End.Add(24 * time.Hour)},
+		}
+		for qi, base := range queries {
+			for _, k := range []int{0, 1, 2, 3, 5, 8, 13, 50, 10000} {
+				q := base
+				q.Limit = k
+				want, err := singleBE.Records(ctx, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := fed.Records(ctx, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Total != want.Total || len(got.Records) != len(want.Records) {
+					t.Fatalf("%s q%d k=%d: total %d vs %d, returned %d vs %d",
+						plan, qi, k, got.Total, want.Total, len(got.Records), len(want.Records))
+				}
+				for i := range want.Records {
+					if KeyOf(got.Records[i]) != KeyOf(want.Records[i]) {
+						t.Fatalf("%s q%d k=%d: record %d diverges: %v vs %v",
+							plan, qi, k, i, KeyOf(got.Records[i]), KeyOf(want.Records[i]))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFederationStatsVersionTag is the compatibility regression: the
+// router's /stats still decodes into the plain StoreStats shape older
+// clients use (flat keys untouched by the shards block), /healthz
+// keeps its historical {"status","events"} keys, and the shards block
+// carries its version tag for forward evolution.
+func TestFederationStatsVersionTag(t *testing.T) {
+	f := newFederationFixture(t)
+	_, routerHandler := f.startShardServers(t, "time-partition")
+	router := httptest.NewServer(routerHandler)
+	defer router.Close()
+
+	// A PR-6-era decoder: plain StoreStats, no knowledge of shards.
+	var old StoreStats
+	_, body := get(t, router.URL, "/stats")
+	if err := json.Unmarshal(body, &old); err != nil {
+		t.Fatalf("old decoder rejects router stats: %v", err)
+	}
+	if old.Events != f.single.Len() {
+		t.Fatalf("old decoder sees %d events, want %d", old.Events, f.single.Len())
+	}
+
+	// The raw JSON carries the version-tagged block alongside.
+	var tagged map[string]json.RawMessage
+	if err := json.Unmarshal(body, &tagged); err != nil {
+		t.Fatal(err)
+	}
+	var shards struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal(tagged["shards"], &shards); err != nil || shards.Version != ShardsInfoVersion {
+		t.Fatalf("shards block version: %v (err %v), want %d", shards.Version, err, ShardsInfoVersion)
+	}
+
+	var health struct {
+		Status string `json:"status"`
+		Events int    `json:"events"`
+	}
+	_, hbody := get(t, router.URL, "/healthz")
+	if err := json.Unmarshal(hbody, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Events != f.single.Len() {
+		t.Fatalf("healthz shape: %+v", health)
+	}
+}
+
+// TestFederationReplica proves the replica flow end to end: ship a
+// live store's segments with ReplicateStore, serve the replica
+// read-only, and get identical query answers; re-replication after
+// more writes catches the replica up incrementally.
+func TestFederationReplica(t *testing.T) {
+	f := newFederationFixture(t)
+	src := f.shards["prefix-split"][0]
+	srcDir := f.shardDirs["prefix-split"][0]
+	dstDir := t.TempDir() + "/replica"
+
+	rep, err := ReplicateStore(srcDir, dstDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Copied) == 0 {
+		t.Fatal("first pass copied nothing")
+	}
+	replica, err := OpenStoreReadOnly(dstDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replica.Close()
+	if replica.Len() != src.Len() {
+		t.Fatalf("replica holds %d events, source %d", replica.Len(), src.Len())
+	}
+	wantEvents, gotEvents := src.Events(), replica.Events()
+	for i := range wantEvents {
+		if wantEvents[i].Seq != gotEvents[i].Seq || wantEvents[i].Prefix != gotEvents[i].Prefix {
+			t.Fatalf("replica event %d diverges", i)
+		}
+	}
+
+	// Second pass over an unchanged source ships nothing.
+	rep2, err := ReplicateStore(srcDir, dstDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Copied) != 0 || len(rep2.Deleted) != 0 {
+		t.Fatalf("steady-state pass copied %v deleted %v", rep2.Copied, rep2.Deleted)
+	}
+}
+
+// TestFederationMergeOrderIsGlobalCloseOrder pins the ordering
+// contract directly: the federated stream yields events in exactly the
+// single store's append order (closing order), which is also strictly
+// sorted by RecordKey when every event carries a Seq.
+func TestFederationMergeOrderIsGlobalCloseOrder(t *testing.T) {
+	f := newFederationFixture(t)
+	ctx := context.Background()
+	for plan, stores := range f.shards {
+		backends := make([]Backend, len(stores))
+		for i, st := range stores {
+			backends[i] = NewStoreBackend(st, nil)
+		}
+		fed := NewFederatedStore(backends...)
+		stream, err := fed.RecordLines(ctx, Query{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var keys []RecordKey
+		for {
+			rl, err := stream.Next()
+			if err != nil {
+				break
+			}
+			keys = append(keys, rl.Key)
+		}
+		stream.Close()
+		if len(keys) != len(f.events) {
+			t.Fatalf("%s: merged %d records, want %d", plan, len(keys), len(f.events))
+		}
+		if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i].Less(keys[j]) }) {
+			t.Fatalf("%s: merged stream is not sorted by RecordKey", plan)
+		}
+		for i, ev := range f.single.Events() {
+			if keys[i].Seq != ev.Seq {
+				t.Fatalf("%s: position %d has seq %d, single store has %d", plan, i, keys[i].Seq, ev.Seq)
+			}
+		}
+	}
+}
+
+func mustPrefix(s string) netip.Prefix { return netip.MustParsePrefix(s) }

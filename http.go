@@ -121,7 +121,8 @@ type HandlerOptions struct {
 // NewStoreHandlerWith is NewStoreHandler plus live-exposure hardening:
 // optional bearer-token auth and a per-client token-bucket rate limit.
 func NewStoreHandlerWith(st *Store, p *Pipeline, opts HandlerOptions) http.Handler {
-	h := &storeHandler{st: st, p: p, det: opts.Detector, hub: opts.Hub,
+	h := &storeHandler{st: st, p: p, be: NewStoreBackend(st, p),
+		det: opts.Detector, hub: opts.Hub,
 		redials: opts.RedialSources, heartbeat: opts.WatchHeartbeat}
 	if h.heartbeat <= 0 {
 		h.heartbeat = 15 * time.Second
@@ -270,8 +271,10 @@ func rateLimitMiddleware(next http.Handler, rate float64, burst int) http.Handle
 }
 
 type storeHandler struct {
-	st        *Store
-	p         *Pipeline
+	st *Store
+	p  *Pipeline
+	be Backend // the store behind the Backend query surface
+
 	det       *Detector       // optional: fan-out counters on /stats
 	hub       *AlertHub       // optional: /watch, /rules, hub counters
 	redials   []*RedialSource // optional: session counters on /stats, readiness on /healthz
@@ -505,60 +508,83 @@ func (h *storeHandler) events(w http.ResponseWriter, r *http.Request) {
 	ndjson := r.URL.Query().Get("format") == "ndjson" ||
 		strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
 	if ndjson {
-		h.streamNDJSON(r.Context(), w, q, ann)
+		streamRecordLines(r.Context(), w, h.be, q)
 		return
 	}
 	if q.Limit <= 0 {
 		q.Limit = defaultJSONLimit
 	}
-	// The handler annotates while building records; clearing Enrich
-	// keeps Store.Query from running a second annotation pass when the
-	// store carries its own annotator (as bhserve configures).
-	enrich := q.Enrich
-	q.Enrich = false
-	res := h.st.Query(q)
-	records := make([]EventRecord, len(res.Events))
-	for i, ev := range res.Events {
-		if enrich {
-			records[i] = NewEventRecordEnriched(ev, ann.Annotate(ev))
-		} else {
-			records[i] = NewEventRecord(ev)
-		}
+	serveEventsJSON(r.Context(), w, h.be, q)
+}
+
+// backendError maps a Backend failure onto an HTTP response: the
+// no-annotator sentinel keeps its historical 503, anything else —
+// which for a federated backend means every shard failed — is a 502.
+func backendError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errNoAnnotator) {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
 	}
+	httpError(w, http.StatusBadGateway, "%v", err)
+}
+
+// shardsFailedHeader exposes partial-result degradation: when any
+// shard of a federated backend failed to answer, the response is still
+// 200 but carries X-Shards-Failed so callers can tell complete answers
+// from degraded ones. Single-store backends never set it.
+func shardsFailedHeader(w http.ResponseWriter, failed int) {
+	if failed > 0 {
+		w.Header().Set("X-Shards-Failed", strconv.Itoa(failed))
+	}
+}
+
+// serveEventsJSON answers the JSON /events shape from any Backend.
+// The envelope (and its byte layout) is unchanged from the pre-Backend
+// handler.
+func serveEventsJSON(ctx context.Context, w http.ResponseWriter, be Backend, q Query) {
+	rs, err := be.Records(ctx, q)
+	if err != nil {
+		backendError(w, err)
+		return
+	}
+	shardsFailedHeader(w, rs.ShardsFailed)
 	writeJSON(w, map[string]any{
-		"total":      res.Total,
-		"returned":   len(records),
-		"scanned":    res.Scanned,
-		"elapsed_us": res.Elapsed.Microseconds(),
-		"events":     records,
+		"total":      rs.Total,
+		"returned":   len(rs.Records),
+		"scanned":    rs.Scanned,
+		"elapsed_us": rs.Elapsed.Microseconds(),
+		"events":     rs.Records,
 	})
 }
 
-// streamNDJSON writes one event record per line, flushing periodically.
-// The records drain Store.QuerySeq incrementally — "streaming, uncapped"
-// is literal: nothing is materialized ahead of the wire, however many
-// events match. The drain watches ctx so a client that disconnects
-// mid-stream stops the store scan instead of riding it to the end.
-func (h *storeHandler) streamNDJSON(ctx context.Context, w http.ResponseWriter, q Query, ann *Annotator) {
+// streamRecordLines writes one event record per line, flushing
+// periodically. The lines drain Backend.RecordLines incrementally —
+// "streaming, uncapped" is literal: nothing is materialized ahead of
+// the wire, however many events match. The stream is opened (and, for
+// a federation, every shard primed) before the first byte, so the
+// X-Shards-Failed header can still be set; a shard dying mid-stream
+// after that shows up in counters, not in this response.
+func streamRecordLines(ctx context.Context, w http.ResponseWriter, be Backend, q Query) {
+	rs, err := be.RecordLines(ctx, q)
+	if err != nil {
+		backendError(w, err)
+		return
+	}
+	defer rs.Close()
+	shardsFailedHeader(w, rs.ShardsFailed)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	done := ctx.Done()
 	i := 0
-	for ev := range h.st.QuerySeq(q) {
-		select {
-		case <-done:
-			return // client went away; abandon the scan
-		default:
+	for {
+		rl, err := rs.Next()
+		if err != nil {
+			break // io.EOF, client cancellation, or a dead source
 		}
-		rec := NewEventRecord(ev)
-		if q.Enrich {
-			// Uncached: an unbounded stream must not grow the shared
-			// annotation cache by one entry per stored event.
-			rec = NewEventRecordEnriched(ev, ann.AnnotateUncached(ev))
-		}
-		if err := enc.Encode(rec); err != nil {
+		if _, err := w.Write(rl.Line); err != nil {
 			return // client went away
+		}
+		if _, err := w.Write(nl); err != nil {
+			return
 		}
 		if flusher != nil && i%256 == 255 {
 			flusher.Flush()
@@ -569,6 +595,8 @@ func (h *storeHandler) streamNDJSON(ctx context.Context, w http.ResponseWriter, 
 		flusher.Flush()
 	}
 }
+
+var nl = []byte{'\n'}
 
 // legitimacy aggregates the legitimacy view over every event matching
 // the filter params: verdict, folded RPKI-state and community-doc
@@ -585,45 +613,41 @@ func (h *storeHandler) legitimacy(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	began := time.Now()
-	total := 0
-	verdicts := map[string]int{}
-	rpkiStates := map[string]int{}
-	commDocs := map[string]int{}
-	reasons := map[string]int{}
-	done := r.Context().Done()
-	for ev := range h.st.QuerySeq(q) {
-		select {
-		case <-done:
-			return // client went away; abandon the aggregation
-		default:
+	serveLegitimacy(r.Context(), w, h.be, q)
+}
+
+// serveLegitimacy answers /legitimacy from any Backend (same JSON keys
+// as the historical inline aggregation).
+func serveLegitimacy(ctx context.Context, w http.ResponseWriter, be Backend, q Query) {
+	sum, err := be.LegitimacySummary(ctx, q)
+	if err != nil {
+		if ctx.Err() != nil {
+			return // client went away; nothing to write
 		}
-		a := ann.AnnotateUncached(ev) // one-shot sweep: bypass the cache
-		total++
-		verdicts[a.Legitimacy]++
-		if len(a.RPKI) > 0 {
-			rpkiStates[a.RPKISummary()]++
-		}
-		for _, cd := range a.Communities {
-			commDocs[cd.Doc]++
-		}
-		for _, reason := range a.Reasons {
-			reasons[reason]++
-		}
+		backendError(w, err)
+		return
 	}
-	writeJSON(w, map[string]any{
-		"total":         total,
-		"legitimacy":    verdicts,
-		"rpki":          rpkiStates,
-		"community_doc": commDocs,
-		"reasons":       reasons,
-		"elapsed_us":    time.Since(began).Microseconds(),
-	})
+	shardsFailedHeader(w, sum.ShardsFailed)
+	writeJSON(w, sum)
 }
 
 func (h *storeHandler) figure4(w http.ResponseWriter, r *http.Request) {
+	serveFigure4(w, r, h.be)
+}
+
+// serveFigure4 answers /figure4 from any Backend. shape=sets serves
+// the mergeable per-day entity sets instead of the counted series —
+// the form one federation tier ships to the next so distinct-entity
+// counts stay exact across shards.
+func serveFigure4(w http.ResponseWriter, r *http.Request, be Backend) {
+	ctx := r.Context()
 	get := r.URL.Query().Get
-	stats := h.st.Stats()
+	sets := get("shape") == "sets"
+	stats, err := be.Stats(ctx)
+	if err != nil {
+		backendError(w, err)
+		return
+	}
 	start := stats.MinStart
 	if s := get("start"); s != "" {
 		t, err := time.Parse(time.RFC3339, s)
@@ -634,6 +658,10 @@ func (h *storeHandler) figure4(w http.ResponseWriter, r *http.Request) {
 		start = t
 	}
 	if start.IsZero() {
+		if sets {
+			writeJSON(w, &Figure4Sets{})
+			return
+		}
 		writeJSON(w, []DailyPoint{})
 		return
 	}
@@ -651,6 +679,10 @@ func (h *storeHandler) figure4(w http.ResponseWriter, r *http.Request) {
 	// it would make the daily series explode — both are caller errors.
 	const maxFigure4Days = 36600
 	if days <= 0 {
+		if sets {
+			writeJSON(w, &Figure4Sets{})
+			return
+		}
 		writeJSON(w, []DailyPoint{})
 		return
 	}
@@ -658,7 +690,21 @@ func (h *storeHandler) figure4(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "series of %d days exceeds the %d-day cap; pass an explicit start and days", days, maxFigure4Days)
 		return
 	}
-	series := h.st.Figure4(start, days)
+	if sets {
+		fs, err := be.Figure4Sets(ctx, start, days)
+		if err != nil {
+			backendError(w, err)
+			return
+		}
+		writeJSON(w, fs)
+		return
+	}
+	res, err := be.Figure4(ctx, start, days)
+	if err != nil {
+		backendError(w, err)
+		return
+	}
+	series := res.Series
 	if s := get("every"); s != "" {
 		n, err := strconv.Atoi(s)
 		if err != nil || n <= 0 {
@@ -671,6 +717,7 @@ func (h *storeHandler) figure4(w http.ResponseWriter, r *http.Request) {
 		}
 		series = sampled
 	}
+	shardsFailedHeader(w, res.ShardsFailed)
 	writeJSON(w, series)
 }
 

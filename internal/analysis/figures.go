@@ -126,48 +126,18 @@ func Figure4(events []*core.Event, start time.Time, days int) []DailyPoint {
 
 // Figure4Seq is Figure4 over an event sequence — the store-backed
 // variant: it runs in one pass without materializing the event slice,
-// so a persisted longitudinal store can stream straight into it.
+// so a persisted longitudinal store can stream straight into it. It is
+// the single-pass form of the mergeable Figure4Partial (partial.go),
+// which the federated query layer uses to combine shards.
 func Figure4Seq(events iter.Seq[*core.Event], start time.Time, days int) []DailyPoint {
 	if days <= 0 {
 		return nil
 	}
-	provs := make([]map[string]bool, days)
-	users := make([]map[bgp.ASN]bool, days)
-	prefixes := make([]map[netip.Prefix]bool, days)
-	for i := range provs {
-		provs[i] = map[string]bool{}
-		users[i] = map[bgp.ASN]bool{}
-		prefixes[i] = map[netip.Prefix]bool{}
-	}
+	p := NewFigure4Partial(start, days)
 	for ev := range events {
-		d0 := floorDays(ev.Start.Sub(start))
-		d1 := floorDays(ev.End.Sub(start))
-		if d0 < 0 {
-			d0 = 0
-		}
-		if d1 >= days {
-			d1 = days - 1
-		}
-		for d := d0; d <= d1; d++ {
-			for pr := range ev.Providers {
-				provs[d][pr.String()] = true
-			}
-			for u := range ev.Users {
-				users[d][u] = true
-			}
-			prefixes[d][ev.Prefix] = true
-		}
+		p.Observe(ev)
 	}
-	out := make([]DailyPoint, days)
-	for d := 0; d < days; d++ {
-		out[d] = DailyPoint{
-			Day:       start.Add(time.Duration(d) * 24 * time.Hour),
-			Providers: len(provs[d]),
-			Users:     len(users[d]),
-			Prefixes:  len(prefixes[d]),
-		}
-	}
-	return out
+	return p.Finalize()
 }
 
 // floorDays is the number of whole 24-hour days in d, rounding toward

@@ -3,7 +3,6 @@ package analysis
 import (
 	"fmt"
 	"iter"
-	"net/netip"
 	"slices"
 
 	"bgpblackholing/internal/bgp"
@@ -176,142 +175,14 @@ func Table3(events []*core.Event, deploy *collector.Deployment) []Table3Row {
 
 // Table3Seq is Table3 over an event sequence — the store-backed
 // variant: a persisted longitudinal store streams straight into it
-// without materializing the event slice.
+// without materializing the event slice. It is the single-pass form
+// of the mergeable Table3Partial (partial.go).
 func Table3Seq(events iter.Seq[*core.Event], deploy *collector.Deployment) []Table3Row {
-	platforms := collector.Platforms()
-	type sets struct {
-		providers map[core.ProviderRef]bool
-		users     map[bgp.ASN]bool
-		prefixes  map[netip.Prefix]bool
-		direct    map[core.ProviderRef]bool
-	}
-	mk := func() *sets {
-		return &sets{map[core.ProviderRef]bool{}, map[bgp.ASN]bool{}, map[netip.Prefix]bool{}, map[core.ProviderRef]bool{}}
-	}
-	per := map[collector.Platform]*sets{}
-	for _, p := range platforms {
-		per[p] = mk()
-	}
-	all := mk()
-
-	// isDirect resolves the direct-feed property: static deployment
-	// sessions when available, per-event evidence otherwise.
-	isDirect := func(p collector.Platform, pr core.ProviderRef, ev *core.Event) bool {
-		if deploy == nil {
-			return ev.DirectProviders[pr]
-		}
-		if pr.Kind == core.ProviderIXP {
-			return deploy.HasRSFeed(p, pr.IXPID)
-		}
-		return deploy.HasDirectFeed(p, pr.ASN)
-	}
-
+	p := NewTable3Partial(deploy)
 	for ev := range events {
-		for _, p := range platforms {
-			if !ev.Platforms[p] {
-				continue
-			}
-			s := per[p]
-			for pr := range ev.ProvidersByPlatform[p] {
-				s.providers[pr] = true
-				if isDirect(p, pr, ev) {
-					s.direct[pr] = true
-				}
-			}
-			for u := range ev.UsersByPlatform[p] {
-				s.users[u] = true
-			}
-			s.prefixes[ev.Prefix] = true
-		}
-		for pr := range ev.Providers {
-			all.providers[pr] = true
-			if isDirect(-1, pr, ev) {
-				all.direct[pr] = true
-			}
-		}
-		for u := range ev.Users {
-			all.users[u] = true
-		}
-		all.prefixes[ev.Prefix] = true
+		p.Observe(ev)
 	}
-
-	uniqueCount := func(get func(*sets) map[core.ProviderRef]bool, self collector.Platform) int {
-		n := 0
-		for k := range get(per[self]) {
-			only := true
-			for _, q := range platforms {
-				if q != self && get(per[q])[k] {
-					only = false
-					break
-				}
-			}
-			if only {
-				n++
-			}
-		}
-		return n
-	}
-	uniqueUsers := func(self collector.Platform) int {
-		n := 0
-		for k := range per[self].users {
-			only := true
-			for _, q := range platforms {
-				if q != self && per[q].users[k] {
-					only = false
-					break
-				}
-			}
-			if only {
-				n++
-			}
-		}
-		return n
-	}
-	uniquePrefixes := func(self collector.Platform) int {
-		n := 0
-		for k := range per[self].prefixes {
-			only := true
-			for _, q := range platforms {
-				if q != self && per[q].prefixes[k] {
-					only = false
-					break
-				}
-			}
-			if only {
-				n++
-			}
-		}
-		return n
-	}
-
-	var out []Table3Row
-	for _, p := range platforms {
-		s := per[p]
-		row := Table3Row{
-			Source:          p.String(),
-			Providers:       len(s.providers),
-			UniqueProviders: uniqueCount(func(s *sets) map[core.ProviderRef]bool { return s.providers }, p),
-			Users:           len(s.users),
-			UniqueUsers:     uniqueUsers(p),
-			Prefixes:        len(s.prefixes),
-			UniquePrefixes:  uniquePrefixes(p),
-		}
-		if len(s.providers) > 0 {
-			row.DirectFeedFrac = float64(len(s.direct)) / float64(len(s.providers))
-		}
-		out = append(out, row)
-	}
-	allRow := Table3Row{
-		Source:    "ALL",
-		Providers: len(all.providers),
-		Users:     len(all.users),
-		Prefixes:  len(all.prefixes),
-	}
-	if len(all.providers) > 0 {
-		allRow.DirectFeedFrac = float64(len(all.direct)) / float64(len(all.providers))
-	}
-	out = append(out, allRow)
-	return out
+	return p.Finalize()
 }
 
 // FormatTable3 renders Table 3.
@@ -347,71 +218,14 @@ func Table4(events []*core.Event, topo *topology.Topology, deploy *collector.Dep
 }
 
 // Table4Seq is Table4 over an event sequence — the store-backed
-// variant.
+// variant. It is the single-pass form of the mergeable Table4Partial
+// (partial.go).
 func Table4Seq(events iter.Seq[*core.Event], topo *topology.Topology, deploy *collector.Deployment) []Table4Row {
-	type sets struct {
-		providers map[core.ProviderRef]bool
-		users     map[bgp.ASN]bool
-		prefixes  map[netip.Prefix]bool
-		direct    map[core.ProviderRef]bool
-	}
-	per := map[topology.Kind]*sets{}
-	get := func(k topology.Kind) *sets {
-		if per[k] == nil {
-			per[k] = &sets{map[core.ProviderRef]bool{}, map[bgp.ASN]bool{}, map[netip.Prefix]bool{}, map[core.ProviderRef]bool{}}
-		}
-		return per[k]
-	}
-	isDirect := func(pr core.ProviderRef, ev *core.Event) bool {
-		if deploy == nil {
-			return ev.DirectProviders[pr]
-		}
-		if pr.Kind == core.ProviderIXP {
-			return deploy.HasRSFeed(-1, pr.IXPID)
-		}
-		return deploy.HasDirectFeed(-1, pr.ASN)
-	}
+	p := NewTable4Partial(topo, deploy)
 	for ev := range events {
-		for pr := range ev.Providers {
-			k := topology.KindIXP
-			if pr.Kind == core.ProviderAS {
-				k = topology.KindUnknown
-				if as := topo.AS(pr.ASN); as != nil {
-					k = as.Kind()
-				}
-			}
-			s := get(k)
-			s.providers[pr] = true
-			if isDirect(pr, ev) {
-				s.direct[pr] = true
-			}
-			// Users are credited to the provider they were inferred
-			// with, not to every provider of the event.
-			for u := range ev.ProviderUsers[pr] {
-				s.users[u] = true
-			}
-			s.prefixes[ev.Prefix] = true
-		}
+		p.Observe(ev)
 	}
-	var out []Table4Row
-	for _, k := range topology.Kinds() {
-		s := per[k]
-		if s == nil {
-			out = append(out, Table4Row{Type: k})
-			continue
-		}
-		row := Table4Row{
-			Type:      k,
-			Providers: len(s.providers),
-			Users:     len(s.users),
-			Prefixes:  len(s.prefixes),
-		}
-		if len(s.providers) > 0 {
-			row.DirectFeedFrac = float64(len(s.direct)) / float64(len(s.providers))
-		}
-		out = append(out, row)
-	}
-	return out
+	return p.Finalize()
 }
 
 // FormatTable4 renders Table 4.

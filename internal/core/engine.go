@@ -103,6 +103,14 @@ type Event struct {
 	Prefix netip.Prefix
 	Start  time.Time
 	End    time.Time
+	// Seq is the event's position in the engine's global closing order,
+	// stamped when the event closes (1, 2, 3, …; 0 means unstamped —
+	// an event constructed by hand or decoded from a pre-seq store).
+	// Seq alone totally orders a detector lineage's events — End does
+	// not, because implicit withdrawals backdate End to the last
+	// sighting — so a query router merging per-shard streams compares
+	// Seq first to reproduce the exact single-store order.
+	Seq uint64
 	// StartUnknown marks events seeded from a table dump, whose true
 	// start predates monitoring (§4.2 "initial starting time of zero").
 	StartUnknown bool
@@ -218,6 +226,10 @@ type Engine struct {
 	// perPrefix correlates peers into prefix-level events.
 	perPrefix map[netip.Prefix]*prefixState
 	closed    []*Event
+	// seq numbers closed events across the engine's whole lifetime —
+	// sequential Run calls keep counting, so one detector lineage has
+	// one total closing order.
+	seq uint64
 
 	// Clean enables §3 data cleaning (bogon and coarse-prefix removal).
 	Clean bool
@@ -631,7 +643,11 @@ func (e *Engine) Flush(t time.Time) {
 }
 
 // closeEvent records a closed event and notifies the OnEventClose hook.
+// The closing sequence number is stamped before the hook fires, so
+// every sink — stores, shard routers, alert hubs — sees the same Seq.
 func (e *Engine) closeEvent(ev *Event) {
+	e.seq++
+	ev.Seq = e.seq
 	if e.OnEventClose != nil {
 		e.OnEventClose(ev)
 	}

@@ -29,14 +29,26 @@ import (
 
 // codecVersion is the record payload format version; bump on any layout
 // change. Decoding rejects unknown versions rather than guessing.
-const codecVersion = 1
+// Version 2 prepends the event's global closing sequence number
+// (core.Event.Seq); version 1 is the pre-seq layout, still written for
+// unstamped events so hand-built stores and old goldens stay
+// byte-stable, and still decoded (Seq = 0).
+const (
+	codecVersion    = 1
+	codecVersionSeq = 2
+)
 
 // EncodeEvent appends the canonical binary encoding of ev to buf and
 // returns the extended buffer. The encoding is deterministic: map keys
 // are sorted, times are UTC nanoseconds, identical events encode to
 // identical bytes (the round-trip tests compare raw encodings).
 func EncodeEvent(buf []byte, ev *core.Event) []byte {
-	buf = append(buf, codecVersion)
+	if ev.Seq != 0 {
+		buf = append(buf, codecVersionSeq)
+		buf = binary.AppendUvarint(buf, ev.Seq)
+	} else {
+		buf = append(buf, codecVersion)
+	}
 	buf = appendPrefix(buf, ev.Prefix)
 	buf = binary.AppendVarint(buf, ev.Start.UTC().UnixNano())
 	buf = binary.AppendVarint(buf, ev.End.UTC().UnixNano())
@@ -100,10 +112,14 @@ func EncodeEvent(buf []byte, ev *core.Event) []byte {
 // EncodeEvent payload.
 func DecodeEvent(data []byte) (*core.Event, error) {
 	d := &decoder{buf: data}
-	if v := d.byte(); v != codecVersion {
+	v := d.byte()
+	if v != codecVersion && v != codecVersionSeq {
 		return nil, fmt.Errorf("store: unsupported event encoding version %d", v)
 	}
 	ev := &core.Event{}
+	if v == codecVersionSeq {
+		ev.Seq = d.uvarint()
+	}
 	ev.Prefix = d.prefix()
 	ev.Start = time.Unix(0, d.varint()).UTC()
 	ev.End = time.Unix(0, d.varint()).UTC()

@@ -38,6 +38,7 @@ func TestFormatDocMatchesCode(t *testing.T) {
 	}
 	want := map[string]byte{
 		"event":     codecVersion,
+		"event-v2":  codecVersionSeq,
 		"tombstone": kindTombstone,
 		"marker-v2": kindMarkerV2,
 		"marker-v1": kindMarkerV1,
@@ -91,7 +92,7 @@ func TestFormatDocMatchesCode(t *testing.T) {
 	if !strings.Contains(flat, fmt.Sprintf("%d MiB (`maxSidecarBytes`)", maxSidecarBytes>>20)) {
 		t.Errorf("FORMAT.md sidecar size cap drifted from maxSidecarBytes = %d MiB", maxSidecarBytes>>20)
 	}
-	if codecVersion != 0x01 || sumVersion != 0x01 {
-		t.Errorf("version bytes moved (codec 0x%02X, sum 0x%02X); FORMAT.md documents 0x01 for both", codecVersion, sumVersion)
+	if codecVersion != 0x01 || codecVersionSeq != 0x02 || sumVersion != 0x01 {
+		t.Errorf("version bytes moved (codec 0x%02X/0x%02X, sum 0x%02X); FORMAT.md documents 0x01/0x02 and 0x01", codecVersion, codecVersionSeq, sumVersion)
 	}
 }

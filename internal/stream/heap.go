@@ -1,0 +1,95 @@
+package stream
+
+// Heap is a binary min-heap over any element type, ordered by a
+// caller-supplied strict less function. It backs the k-way merges in
+// this package (time-ordered update streams) and in the federated
+// query layer (global-order event record streams): both need the same
+// pop-min / push-refill loop, and the generic form keeps the two merge
+// cores literally the same code.
+//
+// The zero value is not usable; construct with NewHeap. Heap is not
+// safe for concurrent use.
+type Heap[T any] struct {
+	items []T
+	less  func(a, b T) bool
+}
+
+// NewHeap returns an empty heap ordered by less.
+func NewHeap[T any](less func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{less: less}
+}
+
+// Len reports the number of elements on the heap.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Grow reserves capacity for at least n elements.
+func (h *Heap[T]) Grow(n int) {
+	if cap(h.items) < n {
+		items := make([]T, len(h.items), n)
+		copy(items, h.items)
+		h.items = items
+	}
+}
+
+// Push adds x to the heap.
+func (h *Heap[T]) Push(x T) {
+	h.items = append(h.items, x)
+	h.siftUp(len(h.items) - 1)
+}
+
+// Peek returns the minimum element without removing it. It must not be
+// called on an empty heap.
+func (h *Heap[T]) Peek() T { return h.items[0] }
+
+// Pop removes and returns the minimum element. It must not be called
+// on an empty heap.
+func (h *Heap[T]) Pop() T {
+	root := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	var zero T
+	h.items[last] = zero // release references for the GC
+	h.items = h.items[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return root
+}
+
+// ReplaceMin replaces the minimum element with x and restores heap
+// order — a Pop followed by a Push, in one sift. It must not be called
+// on an empty heap.
+func (h *Heap[T]) ReplaceMin(x T) {
+	h.items[0] = x
+	h.siftDown(0)
+}
+
+func (h *Heap[T]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *Heap[T]) siftDown(i int) {
+	n := len(h.items)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && h.less(h.items[left], h.items[smallest]) {
+			smallest = left
+		}
+		if right < n && h.less(h.items[right], h.items[smallest]) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}

@@ -101,7 +101,7 @@ func FromElems(elems []*Elem) Stream {
 // timestamps the lowest-numbered source wins.
 type mergeStream struct {
 	srcs   []Stream
-	heap   []mergeEntry
+	heap   *Heap[mergeEntry]
 	primed bool
 	// err is a deferred source error: a refill failure is surfaced on
 	// the Next call after the already-popped element is delivered.
@@ -117,44 +117,12 @@ type mergeEntry struct {
 // Merge combines streams into one time-ordered stream. Children must
 // themselves be time-ordered.
 func Merge(srcs ...Stream) Stream {
-	return &mergeStream{srcs: srcs}
-}
-
-func (m *mergeStream) less(a, b mergeEntry) bool {
-	if a.key != b.key {
-		return a.key < b.key
-	}
-	return a.src < b.src
-}
-
-func (m *mergeStream) siftUp(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !m.less(m.heap[i], m.heap[parent]) {
-			return
+	return &mergeStream{srcs: srcs, heap: NewHeap(func(a, b mergeEntry) bool {
+		if a.key != b.key {
+			return a.key < b.key
 		}
-		m.heap[i], m.heap[parent] = m.heap[parent], m.heap[i]
-		i = parent
-	}
-}
-
-func (m *mergeStream) siftDown(i int) {
-	n := len(m.heap)
-	for {
-		left, right := 2*i+1, 2*i+2
-		smallest := i
-		if left < n && m.less(m.heap[left], m.heap[smallest]) {
-			smallest = left
-		}
-		if right < n && m.less(m.heap[right], m.heap[smallest]) {
-			smallest = right
-		}
-		if smallest == i {
-			return
-		}
-		m.heap[i], m.heap[smallest] = m.heap[smallest], m.heap[i]
-		i = smallest
-	}
+		return a.src < b.src
+	})}
 }
 
 // pull reads the next element of source i onto the heap.
@@ -166,8 +134,7 @@ func (m *mergeStream) pull(i int) error {
 	if err != nil {
 		return err
 	}
-	m.heap = append(m.heap, mergeEntry{key: e.Update.Time.UnixNano(), src: i, elem: e})
-	m.siftUp(len(m.heap) - 1)
+	m.heap.Push(mergeEntry{key: e.Update.Time.UnixNano(), src: i, elem: e})
 	return nil
 }
 
@@ -179,7 +146,7 @@ func (m *mergeStream) Next() (*Elem, error) {
 	}
 	if !m.primed {
 		m.primed = true
-		m.heap = make([]mergeEntry, 0, len(m.srcs))
+		m.heap.Grow(len(m.srcs))
 		// Prime every source even if one errors, so a caller that
 		// continues past the error still merges the healthy sources;
 		// the first priming error surfaces immediately.
@@ -197,16 +164,10 @@ func (m *mergeStream) Next() (*Elem, error) {
 			return nil, err
 		}
 	}
-	if len(m.heap) == 0 {
+	if m.heap.Len() == 0 {
 		return nil, io.EOF
 	}
-	root := m.heap[0]
-	last := len(m.heap) - 1
-	m.heap[0] = m.heap[last]
-	m.heap = m.heap[:last]
-	if last > 0 {
-		m.siftDown(0)
-	}
+	root := m.heap.Pop()
 	// A refill failure must not swallow the element already popped:
 	// deliver it now and surface the error on the following call.
 	m.err = m.pull(root.src)

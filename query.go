@@ -106,6 +106,20 @@ func OpenStoreReadOnly(dir string) (*Store, error) {
 	return OpenStoreWith(dir, StoreOptions{ReadOnly: true})
 }
 
+// ReplicaReport says what one ReplicateStore pass shipped.
+type ReplicaReport = store.ReplicaReport
+
+// ReplicateStore one-shot syncs the store directory srcDir into
+// dstDir: sealed segments and sidecars copy once, the active segment
+// re-ships as it grows, and files superseded by compaction are
+// retired. Safe against a live source (segments are CRC-framed, so a
+// torn tail costs the replica only the newest events until the next
+// pass). The replica is served by OpenStoreReadOnly — the shape a
+// federated read tier fans out to.
+func ReplicateStore(srcDir, dstDir string) (*ReplicaReport, error) {
+	return store.Replicate(srcDir, dstDir)
+}
+
 // OpenStoreWith opens a store with explicit options — segment size and
 // the background compactor threshold (CompactSegments > 0 merges
 // sealed segments and drops superseded flush duplicates continuously).
@@ -342,6 +356,12 @@ type EventRecord struct {
 	DirectFeed      bool      `json:"direct_feed,omitempty"`
 	SawNoExport     bool      `json:"saw_no_export,omitempty"`
 
+	// Seq is the event's global closing sequence number (Event.Seq),
+	// the total-order key federated queries merge shard streams on.
+	// Zero (and absent on the wire) for events written before seq
+	// stamping or built by hand.
+	Seq uint64 `json:"seq,omitempty"`
+
 	// Legitimacy enrichment (query-time, opt-in): absent unless the
 	// record was built with an annotation (NewEventRecordEnriched /
 	// enrich=1), so un-enriched responses are byte-identical to the
@@ -364,6 +384,7 @@ func NewEventRecord(ev *Event) EventRecord {
 		Detections:      ev.Detections,
 		DirectFeed:      ev.DirectFeed,
 		SawNoExport:     ev.SawNoExport,
+		Seq:             ev.Seq,
 	}
 	for pr := range ev.Providers {
 		r.Providers = append(r.Providers, pr.String())
@@ -528,6 +549,21 @@ func parseDaysOrDuration(s string) (time.Duration, error) {
 		return time.Duration(n) * 24 * time.Hour, nil
 	}
 	return time.ParseDuration(s)
+}
+
+// FormatPrefixMode renders a prefix match mode as its parameter name —
+// the inverse of ParsePrefixMode, used when forwarding a Query to a
+// remote shard.
+func FormatPrefixMode(m PrefixMode) string {
+	switch m {
+	case PrefixLPM:
+		return "lpm"
+	case PrefixCovered:
+		return "covered"
+	case PrefixCovering:
+		return "covering"
+	}
+	return "exact"
 }
 
 // ParsePrefixMode parses a prefix match mode name: "exact", "lpm",

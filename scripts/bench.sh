@@ -34,7 +34,11 @@
 # BenchmarkRuleMatch (a day of live inference with a 100-rule alerting
 # hub on the event-close hook, detection-time enrichment included) vs
 # BenchmarkRuleMatchBaseline (the bare engine) — the hub must stay
-# within 1.3x — and the memory-speed read-path walls:
+# within 1.3x — BenchmarkFederatedQueryLPM (the same LPM point queries
+# through a FederatedStore over three local prefix-split shards: fan
+# -out, per-shard indexed lookups, k-way merge on RecordKey — must stay
+# within 5x BenchmarkStoreQueryLPM, the federation-overhead wall) —
+# and the memory-speed read-path walls:
 # BenchmarkStoreColdOpen (sidecar-backed open, zero sealed-segment
 # decodes) vs BenchmarkStoreFullOpen (classic decode-everything open) —
 # cold must stay under 0.25x full — and BenchmarkFigure4Materialized
@@ -45,16 +49,16 @@
 # CI gates BenchmarkStoreIngest, BenchmarkStoreIngestGroupCommit,
 # BenchmarkStoreQueryLPM and BenchmarkQueryEnriched against the
 # committed baseline, plus the QueryEnriched:StoreQueryLPM,
-# RuleMatch:RuleMatchBaseline, StoreColdOpen:StoreFullOpen and
-# Figure4Materialized:Figure4Scan cross-row walls, via
-# scripts/bench_compare.go (see the bench-gate job in
-# .github/workflows/ci.yml).
+# RuleMatch:RuleMatchBaseline, FederatedQueryLPM:StoreQueryLPM,
+# StoreColdOpen:StoreFullOpen and Figure4Materialized:Figure4Scan
+# cross-row walls, via scripts/bench_compare.go (see the bench-gate
+# job in .github/workflows/ci.yml).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-2x}"
-FILTER="${BENCH_FILTER:-BenchmarkEngineThroughput\$|BenchmarkRunWindowParallel|BenchmarkRunStreaming|BenchmarkStoreIngest\$|BenchmarkStoreIngestInstrumented\$|BenchmarkStoreIngestGroupCommit\$|BenchmarkStoreQueryLPM\$|BenchmarkQueryEnriched\$|BenchmarkCompactTiered\$|BenchmarkRuleMatch\$|BenchmarkRuleMatchBaseline\$|BenchmarkStoreColdOpen\$|BenchmarkStoreFullOpen\$|BenchmarkFigure4Scan\$|BenchmarkFigure4Materialized\$}"
+FILTER="${BENCH_FILTER:-BenchmarkEngineThroughput\$|BenchmarkRunWindowParallel|BenchmarkRunStreaming|BenchmarkStoreIngest\$|BenchmarkStoreIngestInstrumented\$|BenchmarkStoreIngestGroupCommit\$|BenchmarkStoreQueryLPM\$|BenchmarkQueryEnriched\$|BenchmarkFederatedQueryLPM\$|BenchmarkCompactTiered\$|BenchmarkRuleMatch\$|BenchmarkRuleMatchBaseline\$|BenchmarkStoreColdOpen\$|BenchmarkStoreFullOpen\$|BenchmarkFigure4Scan\$|BenchmarkFigure4Materialized\$}"
 OUT="${BENCH_OUT:-BENCH_$(date +%Y%m%d).json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT

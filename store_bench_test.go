@@ -11,6 +11,7 @@ package bgpblackholing
 
 import (
 	"context"
+	"fmt"
 	"net/netip"
 	"os"
 	"sync"
@@ -185,6 +186,56 @@ func BenchmarkQueryEnriched(b *testing.B) {
 	b.StopTimer()
 	if hits == 0 || annotated == 0 {
 		b.Fatal("enriched LPM queries found or annotated nothing")
+	}
+}
+
+// BenchmarkFederatedQueryLPM answers the same LPM point queries as
+// BenchmarkStoreQueryLPM, but federated: the window's events split
+// across three local shards by the prefix plan, queried through a
+// FederatedStore that fans out, heap-merges on RecordKey and sums the
+// accounting. The acceptance wall: ≤5× BenchmarkStoreQueryLPM ns/op —
+// federation costs three indexed lookups plus a merge, never a scan.
+func BenchmarkFederatedQueryLPM(b *testing.B) {
+	events := storeBenchEvents(b)
+	plan := PrefixShardPlan{Bit: 8, N: 3}
+	stores := make([]*Store, plan.Shards())
+	for i := range stores {
+		st, err := OpenStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		stores[i] = st
+	}
+	for _, ev := range events {
+		if err := stores[plan.Shard(ev)].Append(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+	backends := make([]Backend, len(stores))
+	for i, st := range stores {
+		backends[i] = NewStoreBackend(st, nil).WithName(fmt.Sprintf("shard-%d", i))
+	}
+	fed := NewFederatedStore(backends...)
+	addrs := make([]netip.Prefix, len(events))
+	for i, ev := range events {
+		a := ev.Prefix.Addr()
+		addrs[i] = netip.PrefixFrom(a, a.BitLen())
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		rs, err := fed.Records(ctx, Query{Prefix: addrs[i%len(addrs)], Mode: PrefixLPM})
+		if err != nil {
+			b.Fatal(err)
+		}
+		hits += rs.Total
+	}
+	b.StopTimer()
+	if hits == 0 {
+		b.Fatal("federated LPM queries found nothing")
 	}
 }
 
